@@ -1,0 +1,102 @@
+//! Micro-benchmarks of DAMPI's hot primitives: clock operations, stamp
+//! codec, and the message-matching engine.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dampi_clocks::{ClockStamp, LamportClock, LogicalClock, VectorClock};
+use dampi_core::pb;
+use dampi_mpi::envelope::Envelope;
+use dampi_mpi::matching::{MatchEngine, MatchPolicy};
+use dampi_mpi::{ANY_SOURCE, ANY_TAG};
+
+fn clocks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clocks");
+    g.bench_function("lamport_tick_merge", |b| {
+        let mut clk = LamportClock::new(0, 1024);
+        let stamp = ClockStamp::Lamport(123);
+        b.iter(|| {
+            clk.tick();
+            clk.merge(&stamp);
+            clk.scalar()
+        });
+    });
+    g.bench_function("vector_tick_merge_1024", |b| {
+        let mut clk = VectorClock::new(0, 1024);
+        let mut other = VectorClock::new(1, 1024);
+        other.tick();
+        let stamp = other.stamp();
+        b.iter(|| {
+            clk.tick();
+            clk.merge(&stamp);
+            clk.scalar()
+        });
+    });
+    g.bench_function("vector_compare_1024", |b| {
+        let a = ClockStamp::Vector((0..1024).collect());
+        let bb = ClockStamp::Vector((0..1024).rev().collect());
+        b.iter(|| VectorClock::compare(&a, &bb));
+    });
+    g.finish();
+}
+
+fn codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pb_codec");
+    g.bench_function("encode_lamport", |b| {
+        let s = ClockStamp::Lamport(42);
+        b.iter(|| pb::encode_stamp(&s));
+    });
+    g.bench_function("encode_vector_1024", |b| {
+        let s = ClockStamp::Vector(vec![7; 1024]);
+        b.iter(|| pb::encode_stamp(&s));
+    });
+    g.bench_function("pack_unpack_1k_payload", |b| {
+        let s = ClockStamp::Lamport(42);
+        let payload = Bytes::from(vec![0u8; 1024]);
+        b.iter(|| {
+            let packed = pb::pack(&s, &payload);
+            pb::unpack(&packed)
+        });
+    });
+    g.finish();
+}
+
+fn matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    let env = |src: usize| Envelope {
+        src,
+        dst: 0,
+        tag: 1,
+        payload: Bytes::from_static(b"x"),
+        arrival_seq: 0,
+        send_vt: 0.0,
+            send_req: None,
+    };
+    g.bench_function("deliver_match_posted", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MatchEngine::new(64);
+                m.post(0, 1, 5, 1, MatchPolicy::ArrivalOrder);
+                m
+            },
+            |mut m| m.deliver(env(5)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("wildcard_pick_among_32_sources", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MatchEngine::new(64);
+                for s in 1..33 {
+                    m.deliver(env(s));
+                }
+                m
+            },
+            |mut m| m.post(0, 1, ANY_SOURCE, ANY_TAG, MatchPolicy::LowestRank),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, clocks, codec, matching);
+criterion_main!(benches);

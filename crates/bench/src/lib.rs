@@ -1,0 +1,13 @@
+//! Shared helpers for the DAMPI benchmark harnesses.
+//!
+//! Each Criterion bench target in `benches/` regenerates one table or
+//! figure of the paper; this small library holds the table-printing
+//! utilities they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod table2;
+
+pub use table::Table;

@@ -1,0 +1,135 @@
+//! Scalar Lamport clocks (paper §II-C).
+//!
+//! A Lamport clock approximates a vector clock with a single integer under
+//! the same update rules. It preserves `VC[i] < VC[j] ⇒ LC_i < LC_j` but the
+//! converse fails: Lamport clocks may order concurrent events, which is
+//! exactly why DAMPI's completeness has the rare exception of the paper's
+//! Fig. 4.
+
+use crate::ordering::{ClockOrd, LogicalClock};
+use crate::ClockStamp;
+
+/// A process-local scalar Lamport clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LamportClock {
+    value: u64,
+}
+
+impl LamportClock {
+    /// Create a clock starting at zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { value: 0 }
+    }
+
+    /// Current scalar value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Set the clock to an explicit value (used by the replay engine when
+    /// restoring `guided_epoch` bookkeeping).
+    pub fn set(&mut self, value: u64) {
+        self.value = value;
+    }
+}
+
+impl LogicalClock for LamportClock {
+    fn new(_rank: usize, _nprocs: usize) -> Self {
+        Self::zero()
+    }
+
+    fn tick(&mut self) {
+        self.value += 1;
+    }
+
+    fn merge(&mut self, stamp: &ClockStamp) {
+        match stamp {
+            ClockStamp::Lamport(v) => self.value = self.value.max(*v),
+            ClockStamp::Vector(_) => {
+                unreachable!("Lamport clock cannot merge a vector stamp: mixed clock modes")
+            }
+        }
+    }
+
+    fn stamp(&self) -> ClockStamp {
+        ClockStamp::Lamport(self.value)
+    }
+
+    fn compare(incoming: &ClockStamp, recorded: &ClockStamp) -> ClockOrd {
+        let a = incoming
+            .as_lamport()
+            .expect("Lamport compare requires Lamport stamps");
+        let b = recorded
+            .as_lamport()
+            .expect("Lamport compare requires Lamport stamps");
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => ClockOrd::Before,
+            std::cmp::Ordering::Greater => ClockOrd::After,
+            std::cmp::Ordering::Equal => ClockOrd::Equal,
+        }
+    }
+
+    fn scalar(&self) -> u64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_increments() {
+        let mut c = LamportClock::zero();
+        assert_eq!(c.value(), 0);
+        c.tick();
+        c.tick();
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn merge_takes_max() {
+        let mut c = LamportClock::zero();
+        c.set(5);
+        c.merge(&ClockStamp::Lamport(3));
+        assert_eq!(c.value(), 5);
+        c.merge(&ClockStamp::Lamport(9));
+        assert_eq!(c.value(), 9);
+    }
+
+    #[test]
+    fn compare_orders_scalars() {
+        let a = ClockStamp::Lamport(1);
+        let b = ClockStamp::Lamport(2);
+        assert_eq!(LamportClock::compare(&a, &b), ClockOrd::Before);
+        assert_eq!(LamportClock::compare(&b, &a), ClockOrd::After);
+        assert_eq!(LamportClock::compare(&a, &a), ClockOrd::Equal);
+    }
+
+    #[test]
+    fn stamp_roundtrip() {
+        let mut c = LamportClock::zero();
+        c.tick();
+        let s = c.stamp();
+        assert_eq!(s.as_lamport(), Some(1));
+        let mut d = LamportClock::zero();
+        d.merge(&s);
+        assert_eq!(d.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed clock modes")]
+    fn merge_rejects_vector_stamp() {
+        let mut c = LamportClock::zero();
+        c.merge(&ClockStamp::Vector(vec![1, 2]));
+    }
+
+    #[test]
+    fn scalar_matches_value() {
+        let mut c = <LamportClock as LogicalClock>::new(3, 8);
+        c.tick();
+        assert_eq!(c.scalar(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Logical clocks for the DAMPI dynamic verifier.
+//!
+//! DAMPI's decentralized match-detection algorithm (paper §II-B/§II-C) rests
+//! on *logical time*: every process keeps a clock, piggybacks it on each
+//! message, and classifies incoming messages as **late** when the piggybacked
+//! clock shows the send is *not causally after* an earlier wildcard receive.
+//!
+//! Two clock implementations are provided:
+//!
+//! * [`LamportClock`] — a single integer; scalable (O(1) piggyback) but
+//!   imprecise: it may order genuinely concurrent events, so a late send can
+//!   be misclassified as causally-after (the paper's Fig. 4 cross-coupled
+//!   pattern). This is DAMPI's default.
+//! * [`VectorClock`] — an N-vector; precise (characterizes concurrency
+//!   exactly) but O(N) piggyback per message, which the paper deems
+//!   non-scalable. DAMPI supports it as a reference mode to *characterize*
+//!   what Lamport clocks miss.
+//!
+//! The [`LogicalClock`] trait abstracts over both so the verifier core is
+//! generic in its clock mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lamport;
+pub mod ordering;
+pub mod vector;
+
+pub use lamport::LamportClock;
+pub use ordering::{ClockOrd, LogicalClock};
+pub use vector::VectorClock;
+
+/// A snapshot of a process clock as carried by a piggyback message.
+///
+/// DAMPI piggybacks either a single integer (Lamport mode) or a full vector
+/// (vector mode). `ClockStamp` is the wire representation; it is what the
+/// piggyback module serializes onto the shadow communicator.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ClockStamp {
+    /// Lamport-mode stamp: the sender's scalar clock at send time.
+    Lamport(u64),
+    /// Vector-mode stamp: the sender's full vector at send time.
+    Vector(Vec<u64>),
+}
+
+impl ClockStamp {
+    /// The number of `u64` words this stamp occupies on the wire.
+    ///
+    /// Used by the virtual-time model to charge piggyback bandwidth: Lamport
+    /// stamps cost one word, vector stamps cost N words — the scalability
+    /// difference the paper's §II-C argues about.
+    #[must_use]
+    pub fn wire_words(&self) -> usize {
+        match self {
+            ClockStamp::Lamport(_) => 1,
+            ClockStamp::Vector(v) => v.len(),
+        }
+    }
+
+    /// Returns the scalar Lamport value if this is a Lamport stamp.
+    #[must_use]
+    pub fn as_lamport(&self) -> Option<u64> {
+        match self {
+            ClockStamp::Lamport(v) => Some(*v),
+            ClockStamp::Vector(_) => None,
+        }
+    }
+
+    /// Returns the vector if this is a vector stamp.
+    #[must_use]
+    pub fn as_vector(&self) -> Option<&[u64]> {
+        match self {
+            ClockStamp::Lamport(_) => None,
+            ClockStamp::Vector(v) => Some(v),
+        }
+    }
+}
+
+/// Which clock algebra a verifier run uses (paper §II-C / §II-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ClockMode {
+    /// Scalar Lamport clocks: scalable, sound, incomplete on rare
+    /// cross-coupled patterns (paper Fig. 4).
+    Lamport,
+    /// Vector clocks: complete but O(N) piggyback — the non-scalable
+    /// reference mode used to characterize Lamport imprecision.
+    Vector,
+}
+
+impl ClockMode {
+    /// Human-readable name used in reports and bench tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockMode::Lamport => "lamport",
+            ClockMode::Vector => "vector",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_wire_words() {
+        assert_eq!(ClockStamp::Lamport(7).wire_words(), 1);
+        assert_eq!(ClockStamp::Vector(vec![0; 128]).wire_words(), 128);
+    }
+
+    #[test]
+    fn stamp_accessors() {
+        let l = ClockStamp::Lamport(3);
+        assert_eq!(l.as_lamport(), Some(3));
+        assert!(l.as_vector().is_none());
+        let v = ClockStamp::Vector(vec![1, 2]);
+        assert!(v.as_lamport().is_none());
+        assert_eq!(v.as_vector(), Some(&[1u64, 2][..]));
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(ClockMode::Lamport.name(), "lamport");
+        assert_eq!(ClockMode::Vector.name(), "vector");
+    }
+
+    #[test]
+    fn stamp_serde_roundtrip() {
+        let s = ClockStamp::Vector(vec![4, 5, 6]);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: ClockStamp = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

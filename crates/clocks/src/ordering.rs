@@ -1,0 +1,97 @@
+//! Causal ordering relations and the [`LogicalClock`] abstraction.
+
+use crate::ClockStamp;
+
+/// Result of comparing two clock values causally.
+///
+/// For vector clocks this is the exact happens-before relation of
+/// Lamport's 1978 paper as refined by Fidge/Mattern; for scalar Lamport
+/// clocks only `Before`/`After`/`Equal` are produced and concurrency is
+/// *not* observable — the source of DAMPI's (rare) incompleteness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockOrd {
+    /// Left event happens-before right event.
+    Before,
+    /// Left event happens-after right event.
+    After,
+    /// Events are causally concurrent (only observable with vector clocks).
+    Concurrent,
+    /// Identical clock values.
+    Equal,
+}
+
+impl ClockOrd {
+    /// True when the relation establishes that the left event is *not
+    /// causally after* the right event.
+    #[must_use]
+    pub fn is_not_after(self) -> bool {
+        !matches!(self, ClockOrd::After)
+    }
+
+    /// The paper's **late** criterion (§II-C) against an epoch's *event
+    /// timestamp* (post-tick): a send is a potential alternate match when it
+    /// is strictly before or concurrent. Equality is excluded — a sender
+    /// whose stamp equals the epoch's event stamp has already observed the
+    /// epoch's tick (Lamport projection of a causally-after send), so
+    /// counting it would be unsound.
+    #[must_use]
+    pub fn is_potential_match(self) -> bool {
+        matches!(self, ClockOrd::Before | ClockOrd::Concurrent)
+    }
+}
+
+/// A process-local logical clock, generic over the clock algebra.
+///
+/// The verifier core manipulates clocks only through this trait so that a
+/// single implementation of Algorithm 1 serves both Lamport and vector
+/// modes.
+pub trait LogicalClock: Clone + Send + 'static {
+    /// Create the zero clock for process `rank` in a world of `nprocs`.
+    fn new(rank: usize, nprocs: usize) -> Self;
+
+    /// Advance local time by one *visible* event (paper: each wildcard
+    /// receive ticks the local clock, giving every epoch a unique value).
+    fn tick(&mut self);
+
+    /// Merge a received stamp into the local clock (receive rule).
+    ///
+    /// Lamport: `LC := max(LC, m.LC)`. Vector: component-wise max.
+    fn merge(&mut self, stamp: &ClockStamp);
+
+    /// Snapshot the current clock for piggybacking on an outgoing message.
+    fn stamp(&self) -> ClockStamp;
+
+    /// Compare an incoming stamp against a locally recorded stamp.
+    ///
+    /// Returns the causal relation of the *stamp's event* relative to the
+    /// *recorded event*.
+    fn compare(incoming: &ClockStamp, recorded: &ClockStamp) -> ClockOrd;
+
+    /// Scalar projection of the clock used for epoch numbering.
+    ///
+    /// Epoch identifiers in the Epoch Decisions file are scalar even in
+    /// vector mode (each process's own component is strictly monotonic, so it
+    /// uniquely numbers that process's ND events).
+    fn scalar(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_after_relation() {
+        assert!(ClockOrd::Before.is_not_after());
+        assert!(ClockOrd::Concurrent.is_not_after());
+        assert!(ClockOrd::Equal.is_not_after());
+        assert!(!ClockOrd::After.is_not_after());
+    }
+
+    #[test]
+    fn late_criterion_excludes_equality() {
+        assert!(ClockOrd::Before.is_potential_match());
+        assert!(ClockOrd::Concurrent.is_potential_match());
+        assert!(!ClockOrd::Equal.is_potential_match());
+        assert!(!ClockOrd::After.is_potential_match());
+    }
+}

@@ -1,0 +1,187 @@
+//! Vector clocks (Fidge/Mattern), the precise but non-scalable reference
+//! clock algebra (paper §II-C).
+//!
+//! Each process `i` in an `N`-process world keeps an `N`-vector `VC[i]`;
+//! `VC_j[i]` is `i`'s knowledge of `j`'s time. Sends ship the whole vector,
+//! receives merge component-wise, and comparison recovers the *exact*
+//! happens-before relation — including concurrency, which scalar Lamport
+//! clocks cannot observe.
+
+use crate::ordering::{ClockOrd, LogicalClock};
+use crate::ClockStamp;
+
+/// A process-local vector clock.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    rank: usize,
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Create the zero vector for `rank` in a world of `nprocs` processes.
+    #[must_use]
+    pub fn zero(rank: usize, nprocs: usize) -> Self {
+        assert!(rank < nprocs, "rank {rank} out of range for {nprocs} procs");
+        Self {
+            rank,
+            components: vec![0; nprocs],
+        }
+    }
+
+    /// The owning process rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Read-only view of the components.
+    #[must_use]
+    pub fn components(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// Compare two raw vectors under the component-wise partial order.
+    ///
+    /// `a happens-before b` iff `∀k a[k] ≤ b[k]` and `a ≠ b`.
+    #[must_use]
+    pub fn compare_raw(a: &[u64], b: &[u64]) -> ClockOrd {
+        assert_eq!(a.len(), b.len(), "vector clocks of different worlds");
+        let mut le = true;
+        let mut ge = true;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            if x > y {
+                le = false;
+            }
+            if x < y {
+                ge = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => ClockOrd::Equal,
+            (true, false) => ClockOrd::Before,
+            (false, true) => ClockOrd::After,
+            (false, false) => ClockOrd::Concurrent,
+        }
+    }
+}
+
+impl LogicalClock for VectorClock {
+    fn new(rank: usize, nprocs: usize) -> Self {
+        Self::zero(rank, nprocs)
+    }
+
+    fn tick(&mut self) {
+        self.components[self.rank] += 1;
+    }
+
+    fn merge(&mut self, stamp: &ClockStamp) {
+        let incoming = stamp
+            .as_vector()
+            .expect("vector clock cannot merge a Lamport stamp: mixed clock modes");
+        assert_eq!(
+            incoming.len(),
+            self.components.len(),
+            "vector clocks of different worlds"
+        );
+        for (mine, theirs) in self.components.iter_mut().zip(incoming.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    fn stamp(&self) -> ClockStamp {
+        ClockStamp::Vector(self.components.clone())
+    }
+
+    fn compare(incoming: &ClockStamp, recorded: &ClockStamp) -> ClockOrd {
+        let a = incoming
+            .as_vector()
+            .expect("vector compare requires vector stamps");
+        let b = recorded
+            .as_vector()
+            .expect("vector compare requires vector stamps");
+        Self::compare_raw(a, b)
+    }
+
+    fn scalar(&self) -> u64 {
+        self.components[self.rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_all_zero() {
+        let c = VectorClock::zero(1, 4);
+        assert_eq!(c.components(), &[0, 0, 0, 0]);
+        assert_eq!(c.rank(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_rejects_bad_rank() {
+        let _ = VectorClock::zero(4, 4);
+    }
+
+    #[test]
+    fn tick_bumps_own_component() {
+        let mut c = VectorClock::zero(2, 4);
+        c.tick();
+        c.tick();
+        assert_eq!(c.components(), &[0, 0, 2, 0]);
+        assert_eq!(c.scalar(), 2);
+    }
+
+    #[test]
+    fn merge_componentwise_max() {
+        let mut a = VectorClock::zero(0, 3);
+        a.tick(); // [1,0,0]
+        let mut b = VectorClock::zero(1, 3);
+        b.tick();
+        b.tick(); // [0,2,0]
+        a.merge(&b.stamp());
+        assert_eq!(a.components(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn compare_detects_concurrency() {
+        let a = ClockStamp::Vector(vec![1, 0]);
+        let b = ClockStamp::Vector(vec![0, 1]);
+        assert_eq!(VectorClock::compare(&a, &b), ClockOrd::Concurrent);
+        assert_eq!(VectorClock::compare(&a, &a), ClockOrd::Equal);
+    }
+
+    #[test]
+    fn compare_detects_order() {
+        let a = ClockStamp::Vector(vec![1, 1]);
+        let b = ClockStamp::Vector(vec![2, 1]);
+        assert_eq!(VectorClock::compare(&a, &b), ClockOrd::Before);
+        assert_eq!(VectorClock::compare(&b, &a), ClockOrd::After);
+    }
+
+    #[test]
+    #[should_panic(expected = "different worlds")]
+    fn compare_rejects_mismatched_lengths() {
+        let a = ClockStamp::Vector(vec![1]);
+        let b = ClockStamp::Vector(vec![1, 2]);
+        let _ = VectorClock::compare(&a, &b);
+    }
+
+    #[test]
+    fn message_chain_establishes_order() {
+        // P0 ticks & sends to P1; P1 merges, ticks, sends to P2; P2 merges.
+        // Then P0's send event is Before P2's state.
+        let mut p0 = VectorClock::zero(0, 3);
+        p0.tick();
+        let s0 = p0.stamp();
+        let mut p1 = VectorClock::zero(1, 3);
+        p1.merge(&s0);
+        p1.tick();
+        let s1 = p1.stamp();
+        let mut p2 = VectorClock::zero(2, 3);
+        p2.merge(&s1);
+        p2.tick();
+        assert_eq!(VectorClock::compare(&s0, &p2.stamp()), ClockOrd::Before);
+    }
+}

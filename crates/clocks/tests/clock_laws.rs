@@ -1,0 +1,157 @@
+//! Property-based tests of the clock algebras.
+//!
+//! The key law the paper relies on (§II-C): if we maintain time with *both*
+//! vector and Lamport clocks under identical event streams, then
+//! `VC[i] < VC[j]  ⇒  LC_i < LC_j`. The converse does not hold — Lamport
+//! clocks may order concurrent events — which these tests also demonstrate.
+
+use dampi_clocks::{ClockOrd, LamportClock, LogicalClock, VectorClock};
+use proptest::prelude::*;
+
+/// A random distributed computation: a sequence of events over `n` procs.
+#[derive(Debug, Clone)]
+enum Event {
+    /// `Local(p)`: process p performs a visible local event (ticks).
+    Local(usize),
+    /// `Msg(src, dst)`: src ticks, stamps, sends; dst merges and ticks.
+    Msg(usize, usize),
+}
+
+/// Replay an event trace with both clock families, returning per-event
+/// (vector stamp, lamport stamp) pairs taken at the acting process.
+fn replay(nprocs: usize, events: &[Event]) -> Vec<(Vec<u64>, u64)> {
+    let mut vcs: Vec<VectorClock> = (0..nprocs).map(|r| VectorClock::new(r, nprocs)).collect();
+    let mut lcs: Vec<LamportClock> = (0..nprocs).map(|r| LamportClock::new(r, nprocs)).collect();
+    let mut stamps = Vec::with_capacity(events.len());
+    for ev in events {
+        match *ev {
+            Event::Local(p) => {
+                vcs[p].tick();
+                lcs[p].tick();
+                stamps.push((vcs[p].components().to_vec(), lcs[p].scalar()));
+            }
+            Event::Msg(src, dst) => {
+                vcs[src].tick();
+                lcs[src].tick();
+                let vs = vcs[src].stamp();
+                let ls = lcs[src].stamp();
+                if src != dst {
+                    vcs[dst].merge(&vs);
+                    lcs[dst].merge(&ls);
+                }
+                vcs[dst].tick();
+                lcs[dst].tick();
+                stamps.push((vcs[dst].components().to_vec(), lcs[dst].scalar()));
+            }
+        }
+    }
+    stamps
+}
+
+proptest! {
+    /// VC order implies LC order over arbitrary computations.
+    #[test]
+    fn lamport_consistent_with_vector(
+        nprocs in 2usize..6,
+        raw in prop::collection::vec((0usize..100, 0usize..100, 0usize..2), 1..60),
+    ) {
+        let events: Vec<Event> = raw
+            .into_iter()
+            .map(|(a, b, kind)| {
+                if kind == 0 {
+                    Event::Local(a % nprocs)
+                } else {
+                    Event::Msg(a % nprocs, b % nprocs)
+                }
+            })
+            .collect();
+        let stamps = replay(nprocs, &events);
+        for (i, (vi, li)) in stamps.iter().enumerate() {
+            for (vj, lj) in stamps.iter().skip(i + 1) {
+                if VectorClock::compare_raw(vi, vj) == ClockOrd::Before {
+                    prop_assert!(li < lj, "VC says before but LC {li} >= {lj}");
+                }
+                if VectorClock::compare_raw(vj, vi) == ClockOrd::Before {
+                    prop_assert!(lj < li, "VC says before but LC {lj} >= {li}");
+                }
+            }
+        }
+    }
+
+    /// Merging is monotone: a clock's scalar never decreases.
+    #[test]
+    fn merge_monotone(values in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut c = LamportClock::new(0, 1);
+        let mut prev = c.scalar();
+        for v in values {
+            c.merge(&dampi_clocks::ClockStamp::Lamport(v));
+            c.tick();
+            prop_assert!(c.scalar() >= prev);
+            prop_assert!(c.scalar() > v);
+            prev = c.scalar();
+        }
+    }
+
+    /// Vector comparison is a partial order: antisymmetric & transitive over
+    /// generated stamps.
+    #[test]
+    fn vector_partial_order_laws(
+        nprocs in 2usize..5,
+        raw in prop::collection::vec((0usize..100, 0usize..100), 1..40),
+    ) {
+        let events: Vec<Event> = raw
+            .into_iter()
+            .map(|(a, b)| Event::Msg(a % nprocs, b % nprocs))
+            .collect();
+        let stamps = replay(nprocs, &events);
+        let vs: Vec<&Vec<u64>> = stamps.iter().map(|(v, _)| v).collect();
+        for a in &vs {
+            prop_assert_eq!(VectorClock::compare_raw(a, a), ClockOrd::Equal);
+        }
+        for a in &vs {
+            for b in &vs {
+                let ab = VectorClock::compare_raw(a, b);
+                let ba = VectorClock::compare_raw(b, a);
+                match ab {
+                    ClockOrd::Before => prop_assert_eq!(ba, ClockOrd::After),
+                    ClockOrd::After => prop_assert_eq!(ba, ClockOrd::Before),
+                    ClockOrd::Concurrent => prop_assert_eq!(ba, ClockOrd::Concurrent),
+                    ClockOrd::Equal => prop_assert_eq!(ba, ClockOrd::Equal),
+                }
+                for c in &vs {
+                    if ab == ClockOrd::Before
+                        && VectorClock::compare_raw(b, c) == ClockOrd::Before
+                    {
+                        prop_assert_eq!(VectorClock::compare_raw(a, c), ClockOrd::Before);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The canonical demonstration that Lamport clocks order concurrent events:
+/// two processes that never communicate but tick different amounts.
+#[test]
+fn lamport_orders_concurrent_events() {
+    let mut p0 = VectorClock::new(0, 2);
+    let mut p1 = VectorClock::new(1, 2);
+    p0.tick();
+    p1.tick();
+    p1.tick();
+    // Vector clocks: concurrent.
+    assert_eq!(
+        VectorClock::compare(&p0.stamp(), &p1.stamp()),
+        ClockOrd::Concurrent
+    );
+    // Lamport clocks: ordered (1 < 2) — the imprecision of §II-F.
+    let mut l0 = LamportClock::new(0, 2);
+    let mut l1 = LamportClock::new(1, 2);
+    l0.tick();
+    l1.tick();
+    l1.tick();
+    assert_eq!(
+        LamportClock::compare(&l0.stamp(), &l1.stamp()),
+        ClockOrd::Before
+    );
+}

@@ -1,0 +1,62 @@
+//! Bounded mixing (paper §III-B2).
+//!
+//! A full depth-first walk over non-deterministic matches is exponential in
+//! the number of wildcard receives. Bounded mixing exploits the paper's
+//! empirical observation that MPI programs move through *zones* whose
+//! effects rarely reach far: when the schedule generator forces an
+//! alternate match at epoch *s*, the replay subtree rooted there may branch
+//! only on epochs within *k* further non-deterministic events of *s* —
+//! beyond the window, matching reverts to whatever the runtime does
+//! (`SELF_RUN`). Every epoch of the initial run anchors its own window, so
+//! windows *overlap* and total search cost becomes a sum of `O(P^k)`
+//! subtrees instead of one `P^N` tree. `k = 0` yields roughly `P·N`
+//! interleavings for a program with `N` wildcards of `P` senders each;
+//! `k = ∞` is full coverage. The window arithmetic itself lives in
+//! [`crate::scheduler`].
+
+/// Mixing bound: how far below a forced match the search keeps branching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixingBound {
+    /// Full exploration (the paper's "No Bounds" curve).
+    Unbounded,
+    /// Branch only on epochs at most `k` non-deterministic events below
+    /// the subtree's anchoring forced match.
+    K(u32),
+}
+
+impl MixingBound {
+    /// Short label for reports and bench tables ("k=2", "unbounded").
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            MixingBound::Unbounded => "unbounded".to_owned(),
+            MixingBound::K(k) => format!("k={k}"),
+        }
+    }
+
+    /// The window height, if bounded.
+    #[must_use]
+    pub fn k(self) -> Option<u32> {
+        match self {
+            MixingBound::Unbounded => None,
+            MixingBound::K(k) => Some(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(MixingBound::Unbounded.label(), "unbounded");
+        assert_eq!(MixingBound::K(3).label(), "k=3");
+    }
+
+    #[test]
+    fn k_accessor() {
+        assert_eq!(MixingBound::Unbounded.k(), None);
+        assert_eq!(MixingBound::K(2).k(), Some(2));
+    }
+}

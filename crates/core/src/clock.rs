@@ -1,0 +1,164 @@
+//! Runtime-selectable clock: Lamport or vector behind one concrete type.
+//!
+//! The verifier chooses the clock algebra per session ([`ClockMode`]), so
+//! the tool layer needs a single type that dispatches to either
+//! implementation. `AnyClock` is that type; stamps remain the shared
+//! [`ClockStamp`] wire format.
+
+use dampi_clocks::{ClockMode, ClockOrd, ClockStamp, LamportClock, LogicalClock, VectorClock};
+
+/// A logical clock whose algebra is chosen at run time.
+#[derive(Debug, Clone)]
+pub enum AnyClock {
+    /// Scalar Lamport clock.
+    Lamport(LamportClock),
+    /// Vector clock.
+    Vector(VectorClock),
+}
+
+impl AnyClock {
+    /// Zero clock for `rank` in a world of `nprocs`, in the given mode.
+    #[must_use]
+    pub fn new(mode: ClockMode, rank: usize, nprocs: usize) -> Self {
+        match mode {
+            ClockMode::Lamport => AnyClock::Lamport(LamportClock::new(rank, nprocs)),
+            ClockMode::Vector => AnyClock::Vector(VectorClock::new(rank, nprocs)),
+        }
+    }
+
+    /// The clock's mode.
+    #[must_use]
+    pub fn mode(&self) -> ClockMode {
+        match self {
+            AnyClock::Lamport(_) => ClockMode::Lamport,
+            AnyClock::Vector(_) => ClockMode::Vector,
+        }
+    }
+
+    /// Advance local time (wildcard receives tick, giving each epoch a
+    /// unique per-rank scalar).
+    pub fn tick(&mut self) {
+        match self {
+            AnyClock::Lamport(c) => c.tick(),
+            AnyClock::Vector(c) => c.tick(),
+        }
+    }
+
+    /// Merge an incoming stamp (receive rule).
+    pub fn merge(&mut self, stamp: &ClockStamp) {
+        match self {
+            AnyClock::Lamport(c) => c.merge(stamp),
+            AnyClock::Vector(c) => c.merge(stamp),
+        }
+    }
+
+    /// Snapshot for piggybacking.
+    #[must_use]
+    pub fn stamp(&self) -> ClockStamp {
+        match self {
+            AnyClock::Lamport(c) => c.stamp(),
+            AnyClock::Vector(c) => c.stamp(),
+        }
+    }
+
+    /// Scalar projection (epoch numbering; strictly monotone per rank).
+    #[must_use]
+    pub fn scalar(&self) -> u64 {
+        match self {
+            AnyClock::Lamport(c) => c.scalar(),
+            AnyClock::Vector(c) => c.scalar(),
+        }
+    }
+
+    /// Compare two stamps under `mode`'s algebra.
+    #[must_use]
+    pub fn compare(mode: ClockMode, incoming: &ClockStamp, recorded: &ClockStamp) -> ClockOrd {
+        match mode {
+            ClockMode::Lamport => LamportClock::compare(incoming, recorded),
+            ClockMode::Vector => VectorClock::compare(incoming, recorded),
+        }
+    }
+
+    /// Encode a stamp as `u64` words for collective clock exchanges
+    /// (elementwise `MAX` over these words is a correct merge for both
+    /// algebras).
+    #[must_use]
+    pub fn stamp_words(stamp: &ClockStamp) -> Vec<u64> {
+        match stamp {
+            ClockStamp::Lamport(v) => vec![*v],
+            ClockStamp::Vector(v) => v.clone(),
+        }
+    }
+
+    /// Decode `u64` words back into a stamp of the given mode.
+    #[must_use]
+    pub fn stamp_from_words(mode: ClockMode, words: &[u64]) -> ClockStamp {
+        match mode {
+            ClockMode::Lamport => {
+                assert_eq!(words.len(), 1, "Lamport stamp must be one word");
+                ClockStamp::Lamport(words[0])
+            }
+            ClockMode::Vector => ClockStamp::Vector(words.to_vec()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lamport_roundtrip() {
+        let mut c = AnyClock::new(ClockMode::Lamport, 0, 4);
+        assert_eq!(c.mode(), ClockMode::Lamport);
+        c.tick();
+        c.tick();
+        assert_eq!(c.scalar(), 2);
+        let s = c.stamp();
+        let words = AnyClock::stamp_words(&s);
+        assert_eq!(words, vec![2]);
+        assert_eq!(AnyClock::stamp_from_words(ClockMode::Lamport, &words), s);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let mut c = AnyClock::new(ClockMode::Vector, 1, 3);
+        c.tick();
+        let s = c.stamp();
+        let words = AnyClock::stamp_words(&s);
+        assert_eq!(words, vec![0, 1, 0]);
+        assert_eq!(AnyClock::stamp_from_words(ClockMode::Vector, &words), s);
+    }
+
+    #[test]
+    fn elementwise_max_is_merge() {
+        // Two vector stamps merged by word-wise max equal clock merge.
+        let mut a = AnyClock::new(ClockMode::Vector, 0, 2);
+        a.tick();
+        let mut b = AnyClock::new(ClockMode::Vector, 1, 2);
+        b.tick();
+        b.tick();
+        let wa = AnyClock::stamp_words(&a.stamp());
+        let wb = AnyClock::stamp_words(&b.stamp());
+        let maxed: Vec<u64> = wa.iter().zip(&wb).map(|(x, y)| *x.max(y)).collect();
+        a.merge(&b.stamp());
+        assert_eq!(AnyClock::stamp_words(&a.stamp()), maxed);
+    }
+
+    #[test]
+    fn compare_dispatches_by_mode() {
+        use dampi_clocks::ClockOrd;
+        let a = ClockStamp::Lamport(1);
+        let b = ClockStamp::Lamport(5);
+        assert_eq!(
+            AnyClock::compare(ClockMode::Lamport, &a, &b),
+            ClockOrd::Before
+        );
+        let va = ClockStamp::Vector(vec![1, 0]);
+        let vb = ClockStamp::Vector(vec![0, 1]);
+        assert_eq!(
+            AnyClock::compare(ClockMode::Vector, &va, &vb),
+            ClockOrd::Concurrent
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Verifier configuration.
+
+use crate::bounds::MixingBound;
+use dampi_clocks::ClockMode;
+
+/// How clock stamps travel with messages (paper §II-D; mechanisms from
+/// Schulz et al. \[15\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PiggybackMechanism {
+    /// A separate piggyback message per payload message, sent on a shadow
+    /// communicator — the mechanism DAMPI chose for implementation
+    /// simplicity without sacrificing performance. Wildcard receives defer
+    /// their piggyback receive until the main receive completes (so the
+    /// source is known), per §II-D.
+    ///
+    /// Known limitation inherited from the paper's scheme: if a program
+    /// interleaves wildcard and named receives for the *same*
+    /// (source, tag, communicator) stream, the deferred piggyback receive
+    /// can pair with the wrong payload message.
+    SeparateMessage,
+    /// Prepend the stamp to the payload itself ("data payload packing") —
+    /// exact pairing by construction, at the cost of touching every message
+    /// buffer. Used as an ablation reference.
+    PayloadPacking,
+}
+
+/// Configuration of a DAMPI verification session.
+#[derive(Debug, Clone)]
+pub struct DampiConfig {
+    /// Clock algebra: Lamport (scalable, default) or vector (precise
+    /// reference mode for the §II-F completeness characterization).
+    pub clock_mode: ClockMode,
+    /// Bounded-mixing window (paper §III-B2). Default unbounded = full
+    /// coverage.
+    pub bound: MixingBound,
+    /// Honor `pcontrol`-bracketed loop-iteration-abstraction regions
+    /// (§III-B1): non-deterministic matches inside such regions follow the
+    /// `SELF_RUN` outcome and are never branched on.
+    pub honor_regions: bool,
+    /// Hard cap on the number of interleavings (replays) explored.
+    pub max_interleavings: Option<u64>,
+    /// Stop the depth-first walk at the first program bug found.
+    pub stop_on_first_error: bool,
+    /// Run the §V unsafe-pattern monitor (clock transmitted between a
+    /// wildcard `Irecv` and its `Wait`/`Test`).
+    pub monitor_unsafe_pattern: bool,
+    /// Piggyback transport mechanism.
+    pub piggyback: PiggybackMechanism,
+    /// Also branch on alternates discovered for *guided* (already-forced)
+    /// epochs during replays. The paper's algorithm does not; enabling this
+    /// explores additional interleavings a DPOR-style tool would.
+    pub branch_on_guided: bool,
+    /// The paper's §V proposed fix for the unsafe pattern ("a pair of
+    /// Lamport clocks — one for handling wildcard receives, and the other
+    /// for transmittal to other processes, synchronized when a Wait/Test
+    /// is encountered"). When enabled, the clock a wildcard receive ticks
+    /// is *not* transmitted until the receive completes, so a send racing
+    /// the receive across an intervening barrier (Fig. 10) is still
+    /// classified late. Off by default — the paper left this as future
+    /// work and ships the monitor instead.
+    pub deferred_clock_sync: bool,
+}
+
+impl Default for DampiConfig {
+    fn default() -> Self {
+        Self {
+            clock_mode: ClockMode::Lamport,
+            bound: MixingBound::Unbounded,
+            honor_regions: true,
+            max_interleavings: Some(100_000),
+            stop_on_first_error: false,
+            monitor_unsafe_pattern: true,
+            piggyback: PiggybackMechanism::SeparateMessage,
+            branch_on_guided: false,
+            deferred_clock_sync: false,
+        }
+    }
+}
+
+impl DampiConfig {
+    /// Builder-style: set the clock mode.
+    #[must_use]
+    pub fn with_clock_mode(mut self, mode: ClockMode) -> Self {
+        self.clock_mode = mode;
+        self
+    }
+
+    /// Builder-style: set the bounded-mixing window.
+    #[must_use]
+    pub fn with_bound(mut self, bound: MixingBound) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Builder-style: cap interleavings.
+    #[must_use]
+    pub fn with_max_interleavings(mut self, max: u64) -> Self {
+        self.max_interleavings = Some(max);
+        self
+    }
+
+    /// Builder-style: stop at the first bug.
+    #[must_use]
+    pub fn stop_at_first_error(mut self) -> Self {
+        self.stop_on_first_error = true;
+        self
+    }
+
+    /// Builder-style: choose the piggyback mechanism.
+    #[must_use]
+    pub fn with_piggyback(mut self, pb: PiggybackMechanism) -> Self {
+        self.piggyback = pb;
+        self
+    }
+
+    /// Builder-style: enable the §V paired-clock fix.
+    #[must_use]
+    pub fn with_deferred_clock_sync(mut self) -> Self {
+        self.deferred_clock_sync = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let c = DampiConfig::default();
+        assert_eq!(c.clock_mode, ClockMode::Lamport);
+        assert_eq!(c.bound, MixingBound::Unbounded);
+        assert_eq!(c.piggyback, PiggybackMechanism::SeparateMessage);
+        assert!(c.honor_regions);
+        assert!(!c.branch_on_guided);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DampiConfig::default()
+            .with_clock_mode(ClockMode::Vector)
+            .with_bound(MixingBound::K(2))
+            .with_max_interleavings(10)
+            .stop_at_first_error();
+        assert_eq!(c.clock_mode, ClockMode::Vector);
+        assert_eq!(c.bound, MixingBound::K(2));
+        assert_eq!(c.max_interleavings, Some(10));
+        assert!(c.stop_on_first_error);
+    }
+}

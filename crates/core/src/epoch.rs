@@ -1,0 +1,210 @@
+//! Epoch records: the per-rank log of non-deterministic events.
+//!
+//! Each wildcard receive (or probe) *starts an epoch* — an interval on the
+//! issuing process's timeline stretching to the next non-deterministic
+//! event (paper §II-B). `RecordEpochData` in Algorithm 1 is
+//! [`EpochRecord`] creation here: the record captures the clock at the
+//! event, the matching constraints (communicator, tag specifier), and — as
+//! the run proceeds — the actually-matched source plus every *potential
+//! alternate match* discovered through late-message analysis.
+
+use std::collections::BTreeSet;
+
+use dampi_clocks::ClockStamp;
+use dampi_mpi::{Comm, Tag};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Kind of non-deterministic event that opened the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NdKind {
+    /// `Irecv`/`Recv` with `MPI_ANY_SOURCE`.
+    Recv,
+    /// `Probe`/`Iprobe` with `MPI_ANY_SOURCE` (recorded for `Iprobe` only
+    /// when the flag was true, per §II-E).
+    Probe,
+}
+
+/// One non-deterministic event and everything DAMPI learned about it.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// World rank that issued the event.
+    pub rank: usize,
+    /// Scalar clock value identifying the epoch on this rank (unique and
+    /// strictly increasing per rank; the key of the Epoch Decisions file).
+    pub clock: u64,
+    /// The event's clock stamp (post-tick — the receive event's own
+    /// timestamp) — what late analysis compares incoming stamps against.
+    pub stamp: ClockStamp,
+    /// Communicator of the receive/probe.
+    pub comm: Comm,
+    /// Tag specifier as posted (possibly `ANY_TAG`).
+    pub tag_spec: Tag,
+    /// Receive or probe.
+    pub kind: NdKind,
+    /// Inside a `pcontrol`-bracketed loop-abstraction region?
+    pub in_region: bool,
+    /// Was the source forced by the Epoch Decisions file (GUIDED_RUN)?
+    pub guided: bool,
+    /// The source (comm rank) that actually matched, once known.
+    pub matched_src: Option<usize>,
+    /// Potential alternate matches: sources whose late sends could have
+    /// matched this epoch instead.
+    pub alternates: BTreeSet<usize>,
+}
+
+impl EpochRecord {
+    /// Alternate sources excluding the one that actually matched — the
+    /// decisions the schedule generator will branch on.
+    #[must_use]
+    pub fn unexplored_alternates(&self) -> Vec<usize> {
+        self.alternates
+            .iter()
+            .copied()
+            .filter(|s| Some(*s) != self.matched_src)
+            .collect()
+    }
+}
+
+/// Per-run tool statistics (Table II inputs and report details).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ToolRunStats {
+    /// Wildcard operations analyzed (Table II's R\* column).
+    pub wildcards: u64,
+    /// Incoming messages classified late and analyzed for matches.
+    pub late_messages: u64,
+    /// Piggyback messages generated.
+    pub pb_messages: u64,
+    /// §V unsafe-pattern monitor alerts.
+    pub unsafe_alerts: u64,
+    /// Guided-mode lookups that found no decision entry (replay
+    /// divergence).
+    pub divergences: u64,
+    /// Messages the program never received that the tool drained and
+    /// analyzed at finalize (they still "impinge on the process" and can be
+    /// potential matches — paper §II-B).
+    pub drained_messages: u64,
+}
+
+impl ToolRunStats {
+    /// Merge another rank's stats into this aggregate.
+    pub fn merge(&mut self, other: &ToolRunStats) {
+        self.wildcards += other.wildcards;
+        self.late_messages += other.late_messages;
+        self.pb_messages += other.pb_messages;
+        self.unsafe_alerts += other.unsafe_alerts;
+        self.divergences += other.divergences;
+        self.drained_messages += other.drained_messages;
+    }
+}
+
+/// Gathers every rank's epoch log and stats at finalize — the simulator
+/// analog of DAMPI's per-node Potential Matches files that the schedule
+/// generator reads after the run.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    inner: Mutex<TraceInner>,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    epochs: Vec<EpochRecord>,
+    stats: ToolRunStats,
+    submitted_ranks: usize,
+}
+
+impl TraceCollector {
+    /// Fresh collector behind an `Arc` for sharing with per-rank layers.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Submit one rank's log (called by the tool layer at finalize).
+    pub fn submit(&self, mut epochs: Vec<EpochRecord>, stats: ToolRunStats) {
+        let mut g = self.inner.lock();
+        g.epochs.append(&mut epochs);
+        g.stats.merge(&stats);
+        g.submitted_ranks += 1;
+    }
+
+    /// Drain the collected trace: all epochs (unsorted) plus aggregate
+    /// stats.
+    #[must_use]
+    pub fn take(&self) -> (Vec<EpochRecord>, ToolRunStats) {
+        let mut g = self.inner.lock();
+        let epochs = std::mem::take(&mut g.epochs);
+        let stats = g.stats;
+        g.stats = ToolRunStats::default();
+        g.submitted_ranks = 0;
+        (epochs, stats)
+    }
+
+    /// How many ranks have submitted so far.
+    #[must_use]
+    pub fn submitted_ranks(&self) -> usize {
+        self.inner.lock().submitted_ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(rank: usize, clock: u64) -> EpochRecord {
+        EpochRecord {
+            rank,
+            clock,
+            stamp: ClockStamp::Lamport(clock),
+            comm: Comm::WORLD,
+            tag_spec: 0,
+            kind: NdKind::Recv,
+            in_region: false,
+            guided: false,
+            matched_src: Some(1),
+            alternates: BTreeSet::from([1, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn unexplored_excludes_matched() {
+        let e = record(0, 0);
+        assert_eq!(e.unexplored_alternates(), vec![2, 3]);
+    }
+
+    #[test]
+    fn unexplored_with_no_match_keeps_all() {
+        let mut e = record(0, 0);
+        e.matched_src = None;
+        assert_eq!(e.unexplored_alternates(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collector_merges_ranks() {
+        let c = TraceCollector::new();
+        c.submit(
+            vec![record(0, 0)],
+            ToolRunStats {
+                wildcards: 1,
+                ..Default::default()
+            },
+        );
+        c.submit(
+            vec![record(1, 0), record(1, 1)],
+            ToolRunStats {
+                wildcards: 2,
+                late_messages: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.submitted_ranks(), 2);
+        let (epochs, stats) = c.take();
+        assert_eq!(epochs.len(), 3);
+        assert_eq!(stats.wildcards, 3);
+        assert_eq!(stats.late_messages, 5);
+        // Drained.
+        let (epochs, stats) = c.take();
+        assert!(epochs.is_empty());
+        assert_eq!(stats, ToolRunStats::default());
+    }
+}

@@ -1,0 +1,284 @@
+//! `FindPotentialMatches`: late-message classification (paper §II-C).
+//!
+//! When a rank completes any receive, the piggybacked stamp of the incoming
+//! message is compared against the rank's recorded epochs. The message is
+//! **late** with respect to an epoch when its send event is *not causally
+//! after* the epoch event — causally before or concurrent — which means MPI
+//! could legally have matched it to that wildcard instead. Subject to
+//! communicator and tag compatibility (and MPI's non-overtaking rule, which
+//! replay enforcement handles by always taking the *earliest* unconsumed
+//! message from the forced source), the sender is recorded as a potential
+//! alternate match.
+
+use dampi_clocks::{ClockMode, ClockStamp};
+use dampi_mpi::types::tag_matches;
+use dampi_mpi::{Comm, Tag};
+
+use crate::clock::AnyClock;
+use crate::epoch::EpochRecord;
+
+/// Analyze one incoming message against a rank's epoch log, adding its
+/// source as an alternate wherever it is late and compatible.
+///
+/// `matched_epoch_clock` is the clock of the wildcard epoch this message
+/// actually completed, if any. Per MPI's non-overtaking rule a message
+/// matches the *earliest* open compatible receive, so a message consumed
+/// by epoch *k* can only have matched a **later-posted** epoch in a world
+/// where some earlier epoch took a different message first — a scenario
+/// the depth-first walk reaches by branching that earlier epoch, whose
+/// replay then rediscovers this message organically. Recording it directly
+/// as a later epoch's alternate would let the schedule generator force the
+/// same single message at two epochs at once (an infeasible schedule that
+/// replays as a false deadlock), so the alternate is recorded only for
+/// epochs posted *before* the matched one.
+///
+/// Returns `true` if the message was late for at least one epoch (the
+/// paper's "late" classification; drives the analysis-cost accounting).
+pub fn analyze_incoming(
+    epochs: &mut [EpochRecord],
+    mode: ClockMode,
+    incoming: &ClockStamp,
+    src: usize,
+    tag: Tag,
+    comm: Comm,
+    matched_epoch_clock: Option<u64>,
+) -> bool {
+    let mut late = false;
+    for e in epochs.iter_mut() {
+        if e.comm != comm || !tag_matches(e.tag_spec, tag) {
+            continue;
+        }
+        if !AnyClock::compare(mode, incoming, &e.stamp).is_potential_match() {
+            continue;
+        }
+        late = true;
+        if let Some(mc) = matched_epoch_clock {
+            if e.clock > mc {
+                // Posted after the epoch this message matched: reachable
+                // only through an earlier branch (see above).
+                continue;
+            }
+        }
+        // The matched source itself is not an *alternate*; it may however
+        // be unknown yet (open epoch) — reporting filters it later.
+        if e.matched_src != Some(src) {
+            e.alternates.insert(src);
+        }
+    }
+    late
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::NdKind;
+    use dampi_mpi::{ANY_TAG, Comm};
+    use std::collections::BTreeSet;
+
+    fn epoch(clock: u64, tag_spec: Tag, matched: Option<usize>) -> EpochRecord {
+        EpochRecord {
+            rank: 0,
+            clock,
+            stamp: ClockStamp::Lamport(clock),
+            comm: Comm::WORLD,
+            tag_spec,
+            kind: NdKind::Recv,
+            in_region: false,
+            guided: false,
+            matched_src: matched,
+            alternates: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn late_message_recorded_as_alternate() {
+        let mut eps = vec![epoch(5, 7, Some(1))];
+        let late = analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(3),
+            2,
+            7,
+            Comm::WORLD,
+            None,
+        );
+        assert!(late);
+        assert_eq!(eps[0].alternates, BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn causally_after_message_ignored() {
+        let mut eps = vec![epoch(5, 7, Some(1))];
+        let late = analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(9),
+            2,
+            7,
+            Comm::WORLD,
+            None,
+        );
+        assert!(!late);
+        assert!(eps[0].alternates.is_empty());
+    }
+
+    #[test]
+    fn equal_clock_is_not_late() {
+        // Epoch stamps are post-tick event timestamps: a sender whose stamp
+        // equals the epoch's has already observed the epoch's tick (it is
+        // the Lamport shadow of a causally-after send), so it must not be
+        // counted — soundness.
+        let mut eps = vec![epoch(5, 7, Some(1))];
+        assert!(!analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(5),
+            3,
+            7,
+            Comm::WORLD,
+            None,
+        ));
+        assert!(eps[0].alternates.is_empty());
+    }
+
+    #[test]
+    fn tag_mismatch_is_not_a_match() {
+        let mut eps = vec![epoch(5, 7, Some(1))];
+        assert!(!analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(1),
+            2,
+            8,
+            Comm::WORLD,
+            None,
+        ));
+        assert!(eps[0].alternates.is_empty());
+    }
+
+    #[test]
+    fn any_tag_epoch_accepts_all_tags() {
+        let mut eps = vec![epoch(5, ANY_TAG, Some(1))];
+        assert!(analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(1),
+            2,
+            123,
+            Comm::WORLD,
+            None,
+        ));
+    }
+
+    #[test]
+    fn comm_mismatch_is_not_a_match() {
+        let mut eps = vec![epoch(5, 7, Some(1))];
+        assert!(!analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(1),
+            2,
+            7,
+            Comm(9),
+            None,
+        ));
+    }
+
+    #[test]
+    fn matched_source_not_duplicated_as_alternate() {
+        let mut eps = vec![epoch(5, 7, Some(2))];
+        analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(1),
+            2,
+            7,
+            Comm::WORLD,
+            None,
+        );
+        assert!(eps[0].alternates.is_empty());
+    }
+
+    #[test]
+    fn multiple_epochs_updated_by_one_message() {
+        let mut eps = vec![epoch(5, 7, Some(1)), epoch(9, 7, Some(1))];
+        analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(2),
+            3,
+            7,
+            Comm::WORLD,
+            None,
+        );
+        assert!(eps[0].alternates.contains(&3));
+        assert!(eps[1].alternates.contains(&3));
+    }
+
+    #[test]
+    fn matched_message_not_alternate_for_later_epochs() {
+        // Three concurrently posted wildcard epochs (clocks 0,1,2); the
+        // message matched epoch 1: it may be an alternate for epoch 0, but
+        // never for epoch 2 (non-overtaking feasibility).
+        let mut eps = vec![
+            epoch(0, 7, Some(4)),
+            epoch(1, 7, Some(2)),
+            epoch(2, 7, None),
+        ];
+        // Post-tick event stamps for concurrent pre-posted epochs.
+        for (i, e) in eps.iter_mut().enumerate() {
+            e.stamp = ClockStamp::Lamport(i as u64 + 1);
+        }
+        assert!(analyze_incoming(
+            &mut eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(0),
+            2,
+            7,
+            Comm::WORLD,
+            Some(1),
+        ));
+        assert!(eps[0].alternates.contains(&2), "earlier epoch gets it");
+        assert!(eps[1].alternates.is_empty(), "own match excluded");
+        assert!(
+            eps[2].alternates.is_empty(),
+            "later epoch must not: {:?}",
+            eps[2]
+        );
+    }
+
+    #[test]
+    fn vector_mode_sees_concurrency_lamport_misses() {
+        // Epoch stamp [0,5,0]; incoming [3,0,0] — concurrent under vector
+        // clocks (late), but its Lamport projection 3 < 5 is also late.
+        // The interesting direction: incoming [9,0,0] vs epoch [0,5,0] is
+        // *concurrent* (late) under vector clocks, but Lamport scalar 9 > 5
+        // judges it causally-after and misses it — §II-F imprecision.
+        let mut vec_eps = vec![EpochRecord {
+            stamp: ClockStamp::Vector(vec![0, 5, 0]),
+            ..epoch(5, 7, Some(1))
+        }];
+        assert!(analyze_incoming(
+            &mut vec_eps,
+            ClockMode::Vector,
+            &ClockStamp::Vector(vec![9, 0, 0]),
+            2,
+            7,
+            Comm::WORLD,
+            None,
+        ));
+        assert!(vec_eps[0].alternates.contains(&2));
+
+        let mut lam_eps = vec![epoch(5, 7, Some(1))];
+        assert!(!analyze_incoming(
+            &mut lam_eps,
+            ClockMode::Lamport,
+            &ClockStamp::Lamport(9),
+            2,
+            7,
+            Comm::WORLD,
+            None,
+        ));
+        assert!(lam_eps[0].alternates.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Reproduction-schedule minimization.
+//!
+//! The schedule generator hands back a bug with the *full* forced prefix
+//! that led to it — every epoch decision along the depth-first path. Most
+//! of those decisions are usually irrelevant: the bug needs only the one
+//! or two forced matches that actually enable it. This module shrinks a
+//! failing [`DecisionSet`] greedily (one-at-a-time delta debugging): drop
+//! each decision, re-run, and keep the drop if the bug still manifests.
+//! The result is the human-readable core of the schedule — "the bug
+//! happens whenever P2's message wins epoch 0" — which is what a developer
+//! pastes into a regression test.
+
+use crate::decisions::DecisionSet;
+
+/// Shrink `repro` while `still_fails` holds, re-running the program once
+/// per candidate. Returns the minimized set and the number of runs spent.
+///
+/// Greedy one-at-a-time minimization: sound (the result still fails) and
+/// 1-minimal (no single decision can be removed), though not necessarily
+/// globally minimal.
+pub fn minimize<F>(repro: &DecisionSet, mut still_fails: F) -> (DecisionSet, u64)
+where
+    F: FnMut(&DecisionSet) -> bool,
+{
+    let mut runs = 0u64;
+    let mut current = repro.clone();
+    if current.decisions.is_empty() {
+        // The bug manifested in the free run: nothing to minimize.
+        return (current, 0);
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < current.decisions.len() {
+            let mut candidate_decisions = current.decisions.clone();
+            candidate_decisions.remove(i);
+            if candidate_decisions.is_empty() {
+                i += 1;
+                continue;
+            }
+            // The horizon only needs to cover the remaining decisions.
+            let horizon = candidate_decisions
+                .iter()
+                .map(|d| d.clock)
+                .max()
+                .expect("nonempty");
+            let candidate = DecisionSet::guided(horizon, candidate_decisions);
+            runs += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                changed = true;
+                // Keep i: the next decision shifted into this slot.
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Tighten the horizon of the final set too.
+    let horizon = current
+        .decisions
+        .iter()
+        .map(|d| d.clock)
+        .max()
+        .unwrap_or(0);
+    if horizon < current.guided_epoch {
+        let tightened = DecisionSet::guided(horizon, current.decisions.clone());
+        runs += 1;
+        if still_fails(&tightened) {
+            current = tightened;
+        }
+    }
+    (current, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decisions::EpochDecision;
+
+    fn ds(pairs: &[(usize, u64, usize)]) -> DecisionSet {
+        let decisions: Vec<EpochDecision> = pairs
+            .iter()
+            .map(|&(rank, clock, src)| EpochDecision { rank, clock, src })
+            .collect();
+        let horizon = decisions.iter().map(|d| d.clock).max().unwrap_or(0);
+        DecisionSet::guided(horizon, decisions)
+    }
+
+    #[test]
+    fn drops_irrelevant_decisions() {
+        // Bug fires iff (rank 1, clock 2) is forced to source 5.
+        let full = ds(&[(0, 0, 1), (0, 1, 2), (1, 2, 5), (2, 3, 0)]);
+        let (minimal, runs) = minimize(&full, |c| c.lookup(1, 2) == Some(5));
+        assert_eq!(minimal.decisions.len(), 1);
+        assert_eq!(minimal.lookup(1, 2), Some(5));
+        assert_eq!(minimal.guided_epoch, 2);
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn keeps_jointly_required_decisions() {
+        // Bug needs BOTH forced matches.
+        let full = ds(&[(0, 0, 1), (1, 1, 2), (0, 2, 3)]);
+        let (minimal, _) = minimize(&full, |c| {
+            c.lookup(0, 0) == Some(1) && c.lookup(1, 1) == Some(2)
+        });
+        assert_eq!(minimal.decisions.len(), 2);
+        assert_eq!(minimal.lookup(0, 0), Some(1));
+        assert_eq!(minimal.lookup(1, 1), Some(2));
+        assert_eq!(minimal.guided_epoch, 1, "horizon tightened");
+    }
+
+    #[test]
+    fn empty_repro_is_a_noop() {
+        let (minimal, runs) = minimize(&DecisionSet::self_run(), |_| true);
+        assert!(minimal.decisions.is_empty());
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn already_minimal_is_unchanged() {
+        let full = ds(&[(0, 0, 1)]);
+        let (minimal, runs) = minimize(&full, |_| true);
+        assert_eq!(minimal.decisions.len(), 1);
+        assert_eq!(runs, 0, "nothing to try below one decision");
+    }
+}

@@ -1,0 +1,134 @@
+//! Piggyback wire format (paper §II-D).
+//!
+//! Clock stamps travel either as **separate messages** on a shadow
+//! communicator (DAMPI's choice) or **packed into the payload** (the
+//! ablation reference). Both use the same stamp codec: a `u64`-word frame
+//! `[mode, nwords, words...]` that is self-describing, so a receiver can
+//! split a packed message without out-of-band length information.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dampi_clocks::{ClockMode, ClockStamp};
+
+const MODE_LAMPORT: u64 = 0;
+const MODE_VECTOR: u64 = 1;
+
+/// Encode a stamp into its wire frame.
+#[must_use]
+pub fn encode_stamp(stamp: &ClockStamp) -> Bytes {
+    let (mode, words): (u64, &[u64]) = match stamp {
+        ClockStamp::Lamport(v) => (MODE_LAMPORT, std::slice::from_ref(v)),
+        ClockStamp::Vector(v) => (MODE_VECTOR, v.as_slice()),
+    };
+    let mut b = BytesMut::with_capacity(16 + words.len() * 8);
+    b.put_u64_le(mode);
+    b.put_u64_le(words.len() as u64);
+    for w in words {
+        b.put_u64_le(*w);
+    }
+    b.freeze()
+}
+
+/// Decode a stamp frame; returns the stamp and the number of bytes
+/// consumed. Panics on malformed frames (tool-internal traffic only).
+#[must_use]
+pub fn decode_stamp(data: &[u8]) -> (ClockStamp, usize) {
+    assert!(data.len() >= 16, "stamp frame too short");
+    let mode = u64::from_le_bytes(data[0..8].try_into().expect("8 bytes"));
+    let n = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
+    let end = 16 + n * 8;
+    assert!(data.len() >= end, "stamp frame truncated");
+    let words: Vec<u64> = (0..n)
+        .map(|i| {
+            let off = 16 + i * 8;
+            u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"))
+        })
+        .collect();
+    let stamp = match mode {
+        MODE_LAMPORT => {
+            assert_eq!(n, 1, "Lamport stamp must be one word");
+            ClockStamp::Lamport(words[0])
+        }
+        MODE_VECTOR => ClockStamp::Vector(words),
+        other => panic!("unknown stamp mode {other}"),
+    };
+    (stamp, end)
+}
+
+/// Payload packing: prepend the stamp frame to the application payload.
+#[must_use]
+pub fn pack(stamp: &ClockStamp, payload: &Bytes) -> Bytes {
+    let frame = encode_stamp(stamp);
+    let mut b = BytesMut::with_capacity(frame.len() + payload.len());
+    b.extend_from_slice(&frame);
+    b.extend_from_slice(payload);
+    b.freeze()
+}
+
+/// Split a packed message back into (stamp, application payload).
+#[must_use]
+pub fn unpack(data: &Bytes) -> (ClockStamp, Bytes) {
+    let (stamp, consumed) = decode_stamp(data);
+    (stamp, data.slice(consumed..))
+}
+
+/// Number of extra wire bytes the chosen stamp costs per message — the
+/// quantity whose growth with world size makes vector clocks non-scalable
+/// (§II-C).
+#[must_use]
+pub fn stamp_wire_bytes(mode: ClockMode, nprocs: usize) -> usize {
+    match mode {
+        ClockMode::Lamport => 16 + 8,
+        ClockMode::Vector => 16 + 8 * nprocs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lamport_stamp_roundtrip() {
+        let s = ClockStamp::Lamport(42);
+        let enc = encode_stamp(&s);
+        let (dec, used) = decode_stamp(&enc);
+        assert_eq!(dec, s);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn vector_stamp_roundtrip() {
+        let s = ClockStamp::Vector(vec![1, 0, 99, u64::MAX]);
+        let (dec, _) = decode_stamp(&encode_stamp(&s));
+        assert_eq!(dec, s);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let s = ClockStamp::Vector(vec![7, 8]);
+        let payload = Bytes::from_static(b"application data");
+        let packed = pack(&s, &payload);
+        let (dec, rest) = unpack(&packed);
+        assert_eq!(dec, s);
+        assert_eq!(&rest[..], b"application data");
+    }
+
+    #[test]
+    fn pack_empty_payload() {
+        let s = ClockStamp::Lamport(0);
+        let (dec, rest) = unpack(&pack(&s, &Bytes::new()));
+        assert_eq!(dec, s);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn truncated_frame_panics() {
+        let _ = decode_stamp(&[0u8; 8]);
+    }
+
+    #[test]
+    fn wire_cost_scales_with_mode() {
+        assert_eq!(stamp_wire_bytes(ClockMode::Lamport, 1024), 24);
+        assert_eq!(stamp_wire_bytes(ClockMode::Vector, 1024), 16 + 8192);
+    }
+}

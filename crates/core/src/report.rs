@@ -1,0 +1,285 @@
+//! Verification reports.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use dampi_clocks::ClockMode;
+use dampi_mpi::{LeakReport, MpiError};
+
+use crate::bounds::MixingBound;
+use crate::decisions::DecisionSet;
+
+/// A program bug found during exploration, with its reproduction recipe:
+/// replaying `decisions` deterministically re-triggers the bug.
+#[derive(Debug, Clone)]
+pub struct FoundError {
+    /// 1-based interleaving number in which the bug first manifested.
+    pub interleaving: u64,
+    /// World rank that failed.
+    pub rank: usize,
+    /// The failure.
+    pub error: MpiError,
+    /// Epoch Decisions that force the failing schedule.
+    pub decisions: DecisionSet,
+}
+
+/// Everything a verification session produced.
+#[derive(Debug)]
+pub struct VerificationReport {
+    /// Program name (from `MpiProgram::name`).
+    pub program: String,
+    /// World size.
+    pub nprocs: usize,
+    /// Clock algebra used.
+    pub clock_mode: ClockMode,
+    /// Bounded-mixing setting.
+    pub bound: MixingBound,
+    /// Interleavings executed (including the initial `SELF_RUN`).
+    pub interleavings: u64,
+    /// Distinct program bugs, each with a reproduction schedule.
+    pub errors: Vec<FoundError>,
+    /// Resource-leak census of the initial run (Table II C-leak/R-leak).
+    pub leaks: LeakReport,
+    /// Wildcard operations analyzed in the initial run (Table II R\*).
+    pub wildcards_analyzed: u64,
+    /// §V unsafe-pattern monitor alerts.
+    pub unsafe_alerts: u64,
+    /// Guided-replay divergences across all runs.
+    pub divergences: u64,
+    /// Piggyback messages generated in the initial run.
+    pub pb_messages: u64,
+    /// Simulated seconds of the initial (instrumented) run.
+    pub first_run_makespan: f64,
+    /// Simulated seconds summed over every interleaving — the cost of the
+    /// whole exploration (paper Fig. 6's y-axis).
+    pub total_virtual_time: f64,
+    /// True when `max_interleavings` cut the walk short.
+    pub budget_exhausted: bool,
+    /// Per-epoch `(rank, clock)` union of every discovered match (matched
+    /// source and alternates, over all runs) — the verifier's coverage.
+    pub discovered: BTreeMap<(usize, u64), BTreeSet<usize>>,
+}
+
+impl VerificationReport {
+    /// Number of deadlocks among the found errors.
+    #[must_use]
+    pub fn deadlocks(&self) -> usize {
+        self.errors
+            .iter()
+            .filter(|e| matches!(e.error, MpiError::Deadlock { .. }))
+            .count()
+    }
+
+    /// Number of application assertion failures among the found errors.
+    #[must_use]
+    pub fn assertion_failures(&self) -> usize {
+        self.errors
+            .iter()
+            .filter(|e| matches!(e.error, MpiError::UserAssert { .. }))
+            .count()
+    }
+
+    /// True when no bug was found and no resource leaked.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.errors.is_empty() && self.leaks.is_clean()
+    }
+
+    /// Total distinct match outcomes discovered across all epochs — the
+    /// quantity vector clocks can strictly increase on cross-coupled
+    /// patterns (§II-F).
+    #[must_use]
+    pub fn total_discovered_matches(&self) -> usize {
+        self.discovered.values().map(BTreeSet::len).sum()
+    }
+
+    /// Machine-readable export of the report (CI integration, the CLI's
+    /// `--json` mode). Epoch keys are rendered as `"rank:clock"` strings.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        let errors: Vec<serde_json::Value> = self
+            .errors
+            .iter()
+            .map(|e| {
+                serde_json::json!({
+                    "interleaving": e.interleaving,
+                    "rank": e.rank,
+                    "error": e.error,
+                    "message": e.error.to_string(),
+                    "decisions": e.decisions,
+                })
+            })
+            .collect();
+        let discovered: serde_json::Map<String, serde_json::Value> = self
+            .discovered
+            .iter()
+            .map(|((rank, clock), srcs)| {
+                (
+                    format!("{rank}:{clock}"),
+                    serde_json::json!(srcs.iter().collect::<Vec<_>>()),
+                )
+            })
+            .collect();
+        serde_json::json!({
+            "program": self.program,
+            "nprocs": self.nprocs,
+            "clock_mode": self.clock_mode.name(),
+            "bound": self.bound.label(),
+            "interleavings": self.interleavings,
+            "budget_exhausted": self.budget_exhausted,
+            "errors": errors,
+            "deadlocks": self.deadlocks(),
+            "assertion_failures": self.assertion_failures(),
+            "leaks": self.leaks,
+            "wildcards_analyzed": self.wildcards_analyzed,
+            "unsafe_alerts": self.unsafe_alerts,
+            "divergences": self.divergences,
+            "pb_messages": self.pb_messages,
+            "first_run_makespan_s": self.first_run_makespan,
+            "total_virtual_time_s": self.total_virtual_time,
+            "discovered": discovered,
+        })
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DAMPI verification of `{}` ({} procs, {} clocks, {})",
+            self.program,
+            self.nprocs,
+            self.clock_mode.name(),
+            self.bound.label()
+        )?;
+        writeln!(
+            f,
+            "  interleavings: {}{}",
+            self.interleavings,
+            if self.budget_exhausted {
+                " (budget exhausted)"
+            } else {
+                ""
+            }
+        )?;
+        writeln!(f, "  wildcards analyzed (R*): {}", self.wildcards_analyzed)?;
+        writeln!(
+            f,
+            "  C-leak: {}   R-leak: {}",
+            if self.leaks.has_comm_leak() { "Yes" } else { "No" },
+            if self.leaks.has_request_leak() { "Yes" } else { "No" },
+        )?;
+        writeln!(
+            f,
+            "  virtual time: first run {:.6}s, exploration total {:.3}s",
+            self.first_run_makespan, self.total_virtual_time
+        )?;
+        if self.unsafe_alerts > 0 {
+            writeln!(
+                f,
+                "  WARNING: unsafe pattern (clock transmitted before Wait) seen {} times",
+                self.unsafe_alerts
+            )?;
+        }
+        if self.errors.is_empty() {
+            writeln!(f, "  no errors found")?;
+        } else {
+            writeln!(f, "  errors ({}):", self.errors.len())?;
+            for e in &self.errors {
+                writeln!(
+                    f,
+                    "    [interleaving {}] rank {}: {}",
+                    e.interleaving, e.rank, e.error
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> VerificationReport {
+        VerificationReport {
+            program: "demo".into(),
+            nprocs: 4,
+            clock_mode: ClockMode::Lamport,
+            bound: MixingBound::Unbounded,
+            interleavings: 7,
+            errors: vec![
+                FoundError {
+                    interleaving: 3,
+                    rank: 1,
+                    error: MpiError::UserAssert {
+                        message: "x==33".into(),
+                    },
+                    decisions: DecisionSet::self_run(),
+                },
+                FoundError {
+                    interleaving: 5,
+                    rank: 0,
+                    error: MpiError::Deadlock {
+                        blocked_ranks: vec![0, 1],
+                    },
+                    decisions: DecisionSet::self_run(),
+                },
+            ],
+            leaks: LeakReport::default(),
+            wildcards_analyzed: 12,
+            unsafe_alerts: 1,
+            divergences: 0,
+            pb_messages: 40,
+            first_run_makespan: 0.001,
+            total_virtual_time: 0.01,
+            budget_exhausted: false,
+            discovered: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn error_classification() {
+        let r = report();
+        assert_eq!(r.deadlocks(), 1);
+        assert_eq!(r.assertion_failures(), 1);
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let s = report().to_string();
+        assert!(s.contains("interleavings: 7"));
+        assert!(s.contains("R*"));
+        assert!(s.contains("x==33"));
+        assert!(s.contains("unsafe pattern"));
+    }
+
+    #[test]
+    fn json_export_roundtrips_key_fields() {
+        let mut r = report();
+        r.discovered.insert((1, 3), BTreeSet::from([0, 2]));
+        let j = r.to_json();
+        assert_eq!(j["interleavings"], 7);
+        assert_eq!(j["assertion_failures"], 1);
+        assert_eq!(j["deadlocks"], 1);
+        assert_eq!(j["clock_mode"], "lamport");
+        assert_eq!(j["discovered"]["1:3"], serde_json::json!([0, 2]));
+        assert!(j["errors"][0]["message"]
+            .as_str()
+            .unwrap()
+            .contains("x==33"));
+        // Full document serializes.
+        let text = serde_json::to_string(&j).unwrap();
+        assert!(text.contains("wildcards_analyzed"));
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let mut r = report();
+        r.errors.clear();
+        r.unsafe_alerts = 0;
+        assert!(r.clean());
+        assert!(r.to_string().contains("no errors found"));
+    }
+}

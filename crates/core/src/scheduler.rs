@@ -1,0 +1,430 @@
+//! The schedule generator: a depth-first walk over Epoch Decisions.
+//!
+//! After each run, every epoch's potential alternate matches become branch
+//! points. The generator forces one unexplored alternate per replay,
+//! deepest-first (the paper §II-B: "successively force alternate matches at
+//! the last step; then at the penultimate step; and so on"). Bounded mixing
+//! and loop-iteration-abstraction regions prune the branch set; a visited
+//! set over decision-prefix signatures prevents re-exploration.
+//!
+//! The generator is tool-agnostic: it only needs a `run` function mapping a
+//! [`DecisionSet`] to a [`RunResult`]. Both the DAMPI verifier
+//! (decentralized piggyback analysis) and the ISP baseline (centralized
+//! scheduler) drive their replays through this one implementation.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use dampi_mpi::program::RunOutcome;
+
+use crate::bounds::MixingBound;
+use crate::decisions::{DecisionSet, EpochDecision};
+use crate::epoch::{EpochRecord, ToolRunStats};
+use crate::report::FoundError;
+
+/// What one execution produced, as the scheduler sees it.
+pub struct RunResult {
+    /// Runtime outcome (errors, leaks, virtual times).
+    pub outcome: RunOutcome,
+    /// Every rank's epoch log (unsorted).
+    pub epochs: Vec<EpochRecord>,
+    /// Aggregate tool statistics for the run.
+    pub stats: ToolRunStats,
+}
+
+/// Exploration policy knobs (subset of `DampiConfig` the walk needs).
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Bounded-mixing window.
+    pub bound: MixingBound,
+    /// Honor loop-iteration-abstraction regions.
+    pub honor_regions: bool,
+    /// Replay budget.
+    pub max_interleavings: Option<u64>,
+    /// Stop at the first program bug.
+    pub stop_on_first_error: bool,
+    /// Branch on alternates discovered for already-guided epochs.
+    pub branch_on_guided: bool,
+}
+
+/// Aggregated result of a full exploration.
+#[derive(Debug, Default)]
+pub struct Exploration {
+    /// Number of interleavings executed (including the initial run).
+    pub interleavings: u64,
+    /// Distinct program bugs found, with their reproduction decisions.
+    pub errors: Vec<FoundError>,
+    /// Tool stats of the initial `SELF_RUN`.
+    pub first_run_stats: ToolRunStats,
+    /// Simulated makespan of the initial run.
+    pub first_run_makespan: f64,
+    /// Leak census of the initial run.
+    pub first_run_leaks: dampi_mpi::LeakReport,
+    /// Sum of simulated makespans across every run — "time to explore".
+    pub total_virtual_time: f64,
+    /// Guided-lookup misses across all replays.
+    pub divergences: u64,
+    /// True when the interleaving budget stopped the walk early.
+    pub budget_exhausted: bool,
+    /// Union of every match discovered per epoch `(rank, clock)` across
+    /// all runs — matched sources and alternates combined. This is the
+    /// verifier's *coverage*: the set of non-deterministic outcomes it
+    /// knows about (used by the §II-F completeness comparisons).
+    pub discovered: BTreeMap<(usize, u64), BTreeSet<usize>>,
+}
+
+struct Fork {
+    decisions: DecisionSet,
+    /// Deepest canonical epoch index this fork's subtree may still branch
+    /// at (`None` = unbounded). Bounded mixing anchors the window at the
+    /// epoch where the subtree's *original* alternate was forced and the
+    /// window is inherited, not re-anchored, by nested forks — so each
+    /// initial-run epoch opens one overlapping window of height `k` and
+    /// the search cost is a sum of `O(P^k)` subtrees (paper §III-B2).
+    window_end: Option<usize>,
+}
+
+/// Run the depth-first exploration.
+pub fn explore<F>(mut run: F, opts: &ExploreOptions) -> Exploration
+where
+    F: FnMut(&DecisionSet) -> RunResult,
+{
+    let mut ex = Exploration::default();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<Fork> = Vec::new();
+    let mut seen_errors: HashSet<(usize, String)> = HashSet::new();
+
+    let first = run(&DecisionSet::self_run());
+    ex.interleavings = 1;
+    ex.first_run_stats = first.stats;
+    ex.first_run_makespan = first.outcome.makespan;
+    // Leak checking happens at MPI_Finalize; a run that aborted or
+    // deadlocked never reached it, so its leftover resources are teardown
+    // debris, not application leaks.
+    if first.outcome.succeeded() {
+        ex.first_run_leaks = first.outcome.leaks.clone();
+    }
+    ex.total_virtual_time += first.outcome.makespan;
+    ex.divergences += first.stats.divergences;
+    absorb_errors(&mut ex, &mut seen_errors, &first.outcome, 1, &DecisionSet::self_run());
+    absorb_discoveries(&mut ex, &first.epochs);
+    push_forks(&mut stack, &mut visited, &first.epochs, Root, opts);
+
+    while let Some(fork) = stack.pop() {
+        if let Some(max) = opts.max_interleavings {
+            if ex.interleavings >= max {
+                ex.budget_exhausted = true;
+                break;
+            }
+        }
+        if opts.stop_on_first_error && !ex.errors.is_empty() {
+            break;
+        }
+        let res = run(&fork.decisions);
+        ex.interleavings += 1;
+        ex.total_virtual_time += res.outcome.makespan;
+        ex.divergences += res.stats.divergences;
+        let interleaving = ex.interleavings;
+        absorb_errors(
+            &mut ex,
+            &mut seen_errors,
+            &res.outcome,
+            interleaving,
+            &fork.decisions,
+        );
+        absorb_discoveries(&mut ex, &res.epochs);
+        push_forks(
+            &mut stack,
+            &mut visited,
+            &res.epochs,
+            Child {
+                fork_index: fork_index_of(&fork),
+                window_end: fork.window_end,
+            },
+            opts,
+        );
+    }
+    ex
+}
+
+fn fork_index_of(fork: &Fork) -> usize {
+    // The branch point is the last decision in the set; its canonical
+    // index is not needed beyond window math, which uses window_end, so
+    // this helper only disambiguates Child provenance for region checks.
+    fork.decisions.decisions.len().saturating_sub(1)
+}
+
+/// Where a run came from, for window bookkeeping.
+enum Provenance {
+    /// The initial `SELF_RUN`: every epoch anchors its own window.
+    Root,
+    /// A guided replay: new epochs may branch only inside the inherited
+    /// window.
+    Child {
+        #[allow(dead_code)]
+        fork_index: usize,
+        window_end: Option<usize>,
+    },
+}
+use Provenance::{Child, Root};
+
+fn absorb_errors(
+    ex: &mut Exploration,
+    seen: &mut HashSet<(usize, String)>,
+    outcome: &RunOutcome,
+    interleaving: u64,
+    decisions: &DecisionSet,
+) {
+    for bug in outcome.program_bugs() {
+        let key = (bug.rank, bug.error.to_string());
+        if seen.insert(key) {
+            ex.errors.push(FoundError {
+                interleaving,
+                rank: bug.rank,
+                error: bug.error,
+                decisions: decisions.clone(),
+            });
+        }
+    }
+}
+
+fn absorb_discoveries(ex: &mut Exploration, epochs: &[EpochRecord]) {
+    for e in epochs {
+        let entry = ex.discovered.entry((e.rank, e.clock)).or_default();
+        if let Some(m) = e.matched_src {
+            entry.insert(m);
+        }
+        entry.extend(e.alternates.iter().copied());
+    }
+}
+
+/// Sort this run's epochs canonically and push a fork for every unexplored
+/// alternate inside the mixing window.
+fn push_forks(
+    stack: &mut Vec<Fork>,
+    visited: &mut HashSet<u64>,
+    epochs: &[EpochRecord],
+    provenance: Provenance,
+    opts: &ExploreOptions,
+) {
+    let mut eps: Vec<&EpochRecord> = epochs.iter().collect();
+    eps.sort_by_key(|e| (e.clock, e.rank));
+    for (i, e) in eps.iter().enumerate() {
+        if e.guided && !opts.branch_on_guided {
+            continue;
+        }
+        if opts.honor_regions && e.in_region {
+            continue;
+        }
+        // Bounded-mixing window: in the initial run every epoch anchors a
+        // fresh window [i, i+k]; in a replay, new epochs may branch only
+        // within the inherited window of the subtree's anchor.
+        let window_end = match (&provenance, opts.bound) {
+            (_, MixingBound::Unbounded) => None,
+            (Root, MixingBound::K(k)) => Some(i.saturating_add(k as usize)),
+            (Child { window_end, .. }, MixingBound::K(_)) => {
+                match window_end {
+                    Some(end) if i <= *end => Some(*end),
+                    Some(_) => continue, // outside the window: SELF_RUN only
+                    None => None,
+                }
+            }
+        };
+        for alt in e.unexplored_alternates() {
+            // The forced prefix: every earlier epoch keeps the match it had
+            // in this run; the branch point takes the alternate.
+            let mut decisions: Vec<EpochDecision> = eps[..i]
+                .iter()
+                .filter_map(|p| {
+                    p.matched_src.map(|m| EpochDecision {
+                        rank: p.rank,
+                        clock: p.clock,
+                        src: m,
+                    })
+                })
+                .collect();
+            decisions.push(EpochDecision {
+                rank: e.rank,
+                clock: e.clock,
+                src: alt,
+            });
+            let ds = DecisionSet::guided(e.clock, decisions);
+            if visited.insert(ds.signature()) {
+                stack.push(Fork {
+                    decisions: ds,
+                    window_end,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::NdKind;
+    use dampi_clocks::ClockStamp;
+    use dampi_mpi::{Comm, LeakReport, MpiError};
+
+    /// A synthetic "program": `n_epochs` wildcard receives on rank 0, each
+    /// with sources `0..n_srcs`. The run function honors forced decisions
+    /// and reports all alternates, mimicking what DampiLayer produces.
+    fn synthetic_run(n_epochs: u64, n_srcs: usize) -> impl FnMut(&DecisionSet) -> RunResult {
+        move |ds: &DecisionSet| {
+            let epochs: Vec<EpochRecord> = (0..n_epochs)
+                .map(|clock| {
+                    let forced = ds.lookup(0, clock);
+                    let matched = forced.unwrap_or(0);
+                    let guided = forced.is_some();
+                    EpochRecord {
+                        rank: 0,
+                        clock,
+                        stamp: ClockStamp::Lamport(clock),
+                        comm: Comm::WORLD,
+                        tag_spec: 0,
+                        kind: NdKind::Recv,
+                        in_region: false,
+                        guided,
+                        matched_src: Some(matched),
+                        alternates: (0..n_srcs).filter(|s| *s != matched).collect(),
+                    }
+                })
+                .collect();
+            RunResult {
+                outcome: RunOutcome {
+                    rank_errors: vec![None],
+                    leaks: LeakReport::default(),
+                    fatal: None,
+                    per_rank_vt: vec![1.0],
+                    makespan: 1.0,
+                },
+                epochs,
+                stats: ToolRunStats {
+                    wildcards: n_epochs,
+                    ..Default::default()
+                },
+            }
+        }
+    }
+
+    fn opts(bound: MixingBound) -> ExploreOptions {
+        ExploreOptions {
+            bound,
+            honor_regions: true,
+            max_interleavings: Some(1_000_000),
+            stop_on_first_error: false,
+            branch_on_guided: false,
+        }
+    }
+
+    #[test]
+    fn single_epoch_explores_each_alternate_once() {
+        // 1 epoch, 3 sources: initial run + 2 alternates = 3 interleavings.
+        let ex = explore(synthetic_run(1, 3), &opts(MixingBound::Unbounded));
+        assert_eq!(ex.interleavings, 3);
+        assert_eq!(ex.discovered[&(0, 0)].len(), 3);
+    }
+
+    #[test]
+    fn unbounded_covers_full_product() {
+        // 3 epochs × 3 sources each: 27 total interleavings (3^3).
+        let ex = explore(synthetic_run(3, 3), &opts(MixingBound::Unbounded));
+        assert_eq!(ex.interleavings, 27);
+    }
+
+    #[test]
+    fn k0_is_linear() {
+        // k=0: initial run + one replay per (epoch, alternate) pair:
+        // 1 + N*(P-1) = 1 + 4*2 = 9.
+        let ex = explore(synthetic_run(4, 3), &opts(MixingBound::K(0)));
+        assert_eq!(ex.interleavings, 9);
+    }
+
+    #[test]
+    fn k_grows_between_linear_and_exponential() {
+        let full = explore(synthetic_run(4, 3), &opts(MixingBound::Unbounded)).interleavings;
+        let k0 = explore(synthetic_run(4, 3), &opts(MixingBound::K(0))).interleavings;
+        let k1 = explore(synthetic_run(4, 3), &opts(MixingBound::K(1))).interleavings;
+        let k2 = explore(synthetic_run(4, 3), &opts(MixingBound::K(2))).interleavings;
+        assert!(k0 < k1, "k0={k0} k1={k1}");
+        assert!(k1 < k2, "k1={k1} k2={k2}");
+        assert!(k2 < full, "k2={k2} full={full}");
+        assert_eq!(full, 81);
+    }
+
+    #[test]
+    fn budget_stops_exploration() {
+        let ex = explore(
+            synthetic_run(10, 4),
+            &ExploreOptions {
+                max_interleavings: Some(50),
+                ..opts(MixingBound::Unbounded)
+            },
+        );
+        assert_eq!(ex.interleavings, 50);
+        assert!(ex.budget_exhausted);
+    }
+
+    #[test]
+    fn regions_suppress_branching() {
+        let mut base = synthetic_run(2, 3);
+        let run = move |ds: &DecisionSet| {
+            let mut r = base(ds);
+            for e in &mut r.epochs {
+                e.in_region = true;
+            }
+            r
+        };
+        let ex = explore(run, &opts(MixingBound::Unbounded));
+        assert_eq!(ex.interleavings, 1, "regions make everything SELF_RUN");
+    }
+
+    #[test]
+    fn errors_deduplicate_and_keep_repro() {
+        let mut inner = synthetic_run(1, 2);
+        let run = move |ds: &DecisionSet| {
+            let mut r = inner(ds);
+            // The bug manifests only when source 1 is forced.
+            if ds.lookup(0, 0) == Some(1) {
+                r.outcome.rank_errors[0] = Some(MpiError::UserAssert {
+                    message: "x==33".into(),
+                });
+            }
+            r
+        };
+        let ex = explore(run, &opts(MixingBound::Unbounded));
+        assert_eq!(ex.interleavings, 2);
+        assert_eq!(ex.errors.len(), 1);
+        let err = &ex.errors[0];
+        assert_eq!(err.interleaving, 2);
+        assert_eq!(err.decisions.lookup(0, 0), Some(1));
+    }
+
+    #[test]
+    fn stop_on_first_error_halts() {
+        let mut inner = synthetic_run(2, 3);
+        let run = move |ds: &DecisionSet| {
+            let mut r = inner(ds);
+            if !ds.is_self_run() {
+                r.outcome.rank_errors[0] = Some(MpiError::UserAssert {
+                    message: "any replay fails".into(),
+                });
+            }
+            r
+        };
+        let ex = explore(
+            run,
+            &ExploreOptions {
+                stop_on_first_error: true,
+                ..opts(MixingBound::Unbounded)
+            },
+        );
+        assert_eq!(ex.interleavings, 2);
+        assert_eq!(ex.errors.len(), 1);
+    }
+
+    #[test]
+    fn total_virtual_time_accumulates() {
+        let ex = explore(synthetic_run(1, 3), &opts(MixingBound::Unbounded));
+        assert!((ex.total_virtual_time - 3.0).abs() < 1e-12);
+    }
+}

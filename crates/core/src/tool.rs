@@ -1,0 +1,715 @@
+//! `DampiLayer`: the DAMPI interposition tool (paper Algorithm 1).
+//!
+//! One instance wraps each rank's MPI stack and implements, per operation:
+//!
+//! * **`MPI_Irecv`** — a wildcard source opens an epoch
+//!   (`RecordEpochData`), ticks the clock, and — under `GUIDED_RUN` with
+//!   the clock inside the guided horizon — is rewritten to the source the
+//!   Epoch Decisions file prescribes (`GetSrcFromEpoch`). Deterministic
+//!   receives post their piggyback receive immediately; wildcard piggyback
+//!   receives are deferred to completion time, when the source is known
+//!   (§II-D).
+//! * **`MPI_Isend`** — piggybacks the current clock stamp (separate shadow
+//!   message or payload packing, per configuration).
+//! * **`MPI_Wait`/`Test`/`Waitany`** — completes the piggyback exchange,
+//!   merges the incoming stamp, and runs `FindPotentialMatches` (late
+//!   message analysis) against the rank's epoch log.
+//! * **Probes** — wildcard probes are epochs too; `Iprobe` is recorded only
+//!   when its flag is true (§II-E).
+//! * **Collectives** — the clock is exchanged per the operation's
+//!   semantics: all-to-all max for barrier/allreduce/allgather/alltoall,
+//!   root-to-all for bcast/scatter, all-to-root for reduce/gather (§II-E).
+//! * **`MPI_Pcontrol`** — brackets loop-iteration-abstraction regions
+//!   (§III-B1).
+//!
+//! The layer also hosts the §V unsafe-pattern monitor.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use dampi_clocks::ClockMode;
+use dampi_mpi::matching::ProbeInfo;
+use dampi_mpi::proc_api::{Mpi, Status};
+use dampi_mpi::{Comm, MpiError, ReduceOp, Request, Result, Tag, ANY_SOURCE, ANY_TAG};
+
+use crate::clock::AnyClock;
+use crate::config::PiggybackMechanism;
+use crate::decisions::DecisionSet;
+use crate::epoch::{EpochRecord, NdKind, ToolRunStats, TraceCollector};
+use crate::late;
+use crate::monitor::UnsafePatternMonitor;
+use crate::pb;
+
+/// `MPI_Pcontrol` code opening a loop-iteration-abstraction region.
+pub const PCONTROL_LOOP_BEGIN: i32 = 2;
+/// `MPI_Pcontrol` code closing a loop-iteration-abstraction region.
+pub const PCONTROL_LOOP_END: i32 = 3;
+
+/// Per-run shared context: decisions in, trace out.
+#[derive(Debug)]
+pub struct DampiCtx {
+    /// Epoch Decisions driving this run (`self_run()` for the first).
+    pub decisions: DecisionSet,
+    /// Where each rank submits its epoch log at finalize.
+    pub collector: Arc<TraceCollector>,
+    /// Clock algebra for this session.
+    pub clock_mode: ClockMode,
+    /// Piggyback transport.
+    pub piggyback: PiggybackMechanism,
+    /// Run the §V monitor.
+    pub monitor: bool,
+    /// Virtual CPU seconds charged per late message analyzed.
+    pub analysis_cost: f64,
+    /// §V paired-clock fix: keep a separate transmittal clock that only
+    /// learns of a wildcard receive's tick once its Wait/Test completes.
+    pub deferred_clock: bool,
+}
+
+/// What the layer must do when an application request completes.
+enum ReqMeta {
+    /// Send with a separate piggyback message in flight.
+    SendPb(Request),
+    /// Send with the stamp packed into the payload: nothing pending.
+    SendPacked,
+    /// Deterministic receive with its piggyback receive already posted.
+    RecvNamed { pb: Request, comm: Comm },
+    /// Receive whose piggyback is deferred until the source is known
+    /// (wildcard, possibly rewritten under guidance).
+    RecvDeferred { comm: Comm, epoch_idx: Option<usize> },
+    /// Packing-mode receive: stamp arrives inside the payload.
+    RecvPacked { comm: Comm, epoch_idx: Option<usize> },
+}
+
+/// The DAMPI tool layer for one rank.
+pub struct DampiLayer<M: Mpi> {
+    inner: M,
+    ctx: Arc<DampiCtx>,
+    rank: usize,
+    nprocs: usize,
+    clock: AnyClock,
+    /// §V paired-clock fix: the clock actually piggybacked on outgoing
+    /// traffic. Identical to `clock` unless `deferred_clock` is on, in
+    /// which case wildcard ticks reach it only at Wait/Test time.
+    xmit: AnyClock,
+    /// Currently in `GUIDED_RUN` (reverts to `SELF_RUN` past the horizon).
+    guided: bool,
+    epochs: Vec<EpochRecord>,
+    meta: HashMap<Request, ReqMeta>,
+    /// Application comm → shadow piggyback comm (separate-message mode).
+    /// Ordered so finalize-time cleanup frees collectively in one order.
+    shadow: BTreeMap<Comm, Comm>,
+    /// Every live application communicator, for the finalize-time drain.
+    known_comms: BTreeSet<Comm>,
+    region_depth: u32,
+    monitor: UnsafePatternMonitor,
+    stats: ToolRunStats,
+}
+
+impl<M: Mpi> DampiLayer<M> {
+    /// Build the layer for one rank. Creates the world shadow communicator
+    /// (a collective — every rank constructs its layer before the program
+    /// starts, so this is safe, mirroring tool setup inside `MPI_Init`).
+    pub fn new(mut inner: M, ctx: Arc<DampiCtx>) -> Result<Self> {
+        let rank = inner.world_rank();
+        let nprocs = inner.world_size();
+        let mut shadow = BTreeMap::new();
+        if ctx.piggyback == PiggybackMechanism::SeparateMessage {
+            let sh = inner.comm_dup(Comm::WORLD)?;
+            shadow.insert(Comm::WORLD, sh);
+        }
+        let guided = !ctx.decisions.is_self_run();
+        Ok(Self {
+            inner,
+            rank,
+            nprocs,
+            known_comms: BTreeSet::from([Comm::WORLD]),
+            clock: AnyClock::new(ctx.clock_mode, rank, nprocs),
+            xmit: AnyClock::new(ctx.clock_mode, rank, nprocs),
+            guided,
+            epochs: Vec::new(),
+            meta: HashMap::new(),
+            shadow,
+            region_depth: 0,
+            monitor: UnsafePatternMonitor::new(ctx.monitor),
+            stats: ToolRunStats::default(),
+            ctx,
+        })
+    }
+
+    /// Current clock (exposed for tests and diagnostics).
+    #[must_use]
+    pub fn clock_scalar(&self) -> u64 {
+        self.clock.scalar()
+    }
+
+    /// The stamp piggybacked on outgoing traffic (§V: the transmittal
+    /// clock when the paired-clock fix is on, else the analysis clock).
+    fn xmit_stamp(&self) -> dampi_clocks::ClockStamp {
+        if self.ctx.deferred_clock {
+            self.xmit.stamp()
+        } else {
+            self.clock.stamp()
+        }
+    }
+
+    /// §V synchronization point: a wildcard receive committed (Wait/Test),
+    /// so its tick may now be transmitted.
+    fn sync_clocks(&mut self) {
+        if self.ctx.deferred_clock {
+            self.xmit.merge(&self.clock.stamp());
+        }
+    }
+
+    fn shadow_of(&self, comm: Comm) -> Result<Comm> {
+        self.shadow
+            .get(&comm)
+            .copied()
+            .ok_or_else(|| MpiError::ToolProtocol {
+                detail: format!("no shadow communicator for {comm:?}"),
+            })
+    }
+
+    fn transmit_guard(&mut self) {
+        // §V: transmitting the clock while a wildcard receive is pending
+        // makes late analysis unsound for that window.
+        let _ = self.monitor.clock_transmitted();
+    }
+
+    /// Wildcard receive/probe entry: mode bookkeeping and source rewrite.
+    fn nd_source(&mut self) -> (i32, bool) {
+        let clock_val = self.clock.scalar();
+        if self.guided && clock_val > self.ctx.decisions.guided_epoch {
+            // Algorithm 1: past the horizon, revert to SELF_RUN.
+            self.guided = false;
+        }
+        if self.guided {
+            match self.ctx.decisions.lookup(self.rank, clock_val) {
+                Some(src) => (src as i32, true),
+                None => {
+                    self.stats.divergences += 1;
+                    (ANY_SOURCE, false)
+                }
+            }
+        } else {
+            (ANY_SOURCE, false)
+        }
+    }
+
+    fn record_epoch(
+        &mut self,
+        comm: Comm,
+        tag_spec: Tag,
+        kind: NdKind,
+        guided: bool,
+        matched_src: Option<usize>,
+    ) -> usize {
+        // The epoch *id* is the pre-tick scalar (Algorithm 1 associates the
+        // current LC with the event, then increments); the epoch *stamp* is
+        // the event's timestamp — post-tick — so late analysis compares
+        // against the receive event itself.
+        let clock = self.clock.scalar();
+        self.clock.tick();
+        self.epochs.push(EpochRecord {
+            rank: self.rank,
+            clock,
+            stamp: self.clock.stamp(),
+            comm,
+            tag_spec,
+            kind,
+            in_region: self.region_depth > 0,
+            guided,
+            matched_src,
+            alternates: BTreeSet::new(),
+        });
+        self.stats.wildcards += 1;
+        self.epochs.len() - 1
+    }
+
+    /// Non-deterministic receive (Algorithm 1, `MPI_Irecv` wildcard arm).
+    fn nd_irecv(&mut self, comm: Comm, tag: Tag) -> Result<Request> {
+        let (post_src, guided_flag) = self.nd_source();
+        let req = self.inner.irecv(comm, post_src, tag)?;
+        let epoch_idx = self.record_epoch(comm, tag, NdKind::Recv, guided_flag, None);
+        let meta = match self.ctx.piggyback {
+            PiggybackMechanism::SeparateMessage => ReqMeta::RecvDeferred {
+                comm,
+                epoch_idx: Some(epoch_idx),
+            },
+            PiggybackMechanism::PayloadPacking => ReqMeta::RecvPacked {
+                comm,
+                epoch_idx: Some(epoch_idx),
+            },
+        };
+        self.meta.insert(req, meta);
+        self.monitor.nd_posted(req);
+        Ok(req)
+    }
+
+    /// Consume an incoming stamp: `FindPotentialMatches` then clock merge.
+    fn ingest(
+        &mut self,
+        stamp: &dampi_clocks::ClockStamp,
+        src: usize,
+        tag: Tag,
+        comm: Comm,
+        matched_epoch_clock: Option<u64>,
+    ) -> Result<()> {
+        let was_late = late::analyze_incoming(
+            &mut self.epochs,
+            self.ctx.clock_mode,
+            stamp,
+            src,
+            tag,
+            comm,
+            matched_epoch_clock,
+        );
+        if was_late {
+            self.stats.late_messages += 1;
+        }
+        // FindPotentialMatches scans the epoch log: its cost grows with
+        // the number of wildcard receives recorded so far, which is why
+        // wildcard-heavy codes (104.milc) pay far more than sparse ones
+        // (Table II). Each comparison is O(1) for scalar Lamport clocks
+        // but O(N) for vector clocks — the per-operation side of the
+        // §II-C scalability argument.
+        if !self.epochs.is_empty() {
+            let words = match self.ctx.clock_mode {
+                ClockMode::Lamport => 1.0,
+                ClockMode::Vector => self.nprocs as f64,
+            };
+            let per_compare = self.ctx.analysis_cost * (1.0 + words / 16.0);
+            self.inner
+                .compute(per_compare * self.epochs.len() as f64)?;
+        }
+        self.clock.merge(stamp);
+        if self.ctx.deferred_clock {
+            self.xmit.merge(stamp);
+        }
+        Ok(())
+    }
+
+    /// Post-completion processing shared by wait/test/waitany.
+    fn after_completion(
+        &mut self,
+        req: Request,
+        status: Status,
+        data: Bytes,
+    ) -> Result<(Status, Bytes)> {
+        match self.meta.remove(&req) {
+            None => Ok((status, data)),
+            Some(ReqMeta::SendPb(pb)) => {
+                self.inner.wait(pb)?;
+                Ok((status, data))
+            }
+            Some(ReqMeta::SendPacked) => Ok((status, data)),
+            Some(ReqMeta::RecvNamed { pb, comm }) => {
+                let (_, pbdata) = self.inner.wait(pb)?;
+                let (stamp, _) = pb::decode_stamp(&pbdata);
+                self.ingest(&stamp, status.source, status.tag, comm, None)?;
+                Ok((status, data))
+            }
+            Some(ReqMeta::RecvDeferred { comm, epoch_idx }) => {
+                self.monitor.nd_completed(req);
+                self.sync_clocks();
+                // §II-D: the source is now known, so the piggyback receive
+                // can be posted deterministically.
+                let shadow = self.shadow_of(comm)?;
+                let (_, pbdata) = self.inner.recv(shadow, status.source as i32, status.tag)?;
+                let (stamp, _) = pb::decode_stamp(&pbdata);
+                let mut matched_clock = None;
+                if let Some(i) = epoch_idx {
+                    self.epochs[i].matched_src = Some(status.source);
+                    matched_clock = Some(self.epochs[i].clock);
+                }
+                self.ingest(&stamp, status.source, status.tag, comm, matched_clock)?;
+                Ok((status, data))
+            }
+            Some(ReqMeta::RecvPacked { comm, epoch_idx }) => {
+                self.monitor.nd_completed(req);
+                self.sync_clocks();
+                let (stamp, payload) = pb::unpack(&data);
+                let mut matched_clock = None;
+                if let Some(i) = epoch_idx {
+                    self.epochs[i].matched_src = Some(status.source);
+                    matched_clock = Some(self.epochs[i].clock);
+                }
+                self.ingest(&stamp, status.source, status.tag, comm, matched_clock)?;
+                Ok((status, payload))
+            }
+        }
+    }
+
+    /// Clock exchange: all-to-all max (barrier/allreduce/allgather/
+    /// alltoall semantics — every process effectively receives from all).
+    fn clock_allmax(&mut self, comm: Comm) -> Result<()> {
+        let words = AnyClock::stamp_words(&self.xmit_stamp());
+        let merged = self.inner.allreduce_u64(comm, words, ReduceOp::Max)?;
+        let stamp = AnyClock::stamp_from_words(self.ctx.clock_mode, &merged);
+        self.clock.merge(&stamp);
+        if self.ctx.deferred_clock {
+            self.xmit.merge(&stamp);
+        }
+        Ok(())
+    }
+
+    /// Clock exchange: all processes receive the root's clock (bcast/
+    /// scatter semantics).
+    fn clock_from_root(&mut self, comm: Comm, root: usize) -> Result<()> {
+        let crank = self.inner.comm_rank(comm)?;
+        let payload = if crank == root {
+            Some(pb::encode_stamp(&self.xmit_stamp()))
+        } else {
+            None
+        };
+        let data = self.inner.bcast(comm, root, payload)?;
+        if crank != root {
+            let (stamp, _) = pb::decode_stamp(&data);
+            self.clock.merge(&stamp);
+            if self.ctx.deferred_clock {
+                self.xmit.merge(&stamp);
+            }
+        }
+        Ok(())
+    }
+
+    /// Clock exchange: the root receives from all (reduce/gather
+    /// semantics).
+    fn clock_to_root(&mut self, comm: Comm, root: usize) -> Result<()> {
+        let words = AnyClock::stamp_words(&self.xmit_stamp());
+        let merged = self.inner.reduce_u64(comm, root, words, ReduceOp::Max)?;
+        if let Some(w) = merged {
+            let stamp = AnyClock::stamp_from_words(self.ctx.clock_mode, &w);
+            self.clock.merge(&stamp);
+            if self.ctx.deferred_clock {
+                self.xmit.merge(&stamp);
+            }
+        }
+        Ok(())
+    }
+
+    fn adjust_probe(&self, info: ProbeInfo) -> ProbeInfo {
+        match self.ctx.piggyback {
+            PiggybackMechanism::SeparateMessage => info,
+            PiggybackMechanism::PayloadPacking => ProbeInfo {
+                len: info
+                    .len
+                    .saturating_sub(pb::stamp_wire_bytes(self.ctx.clock_mode, self.nprocs)),
+                ..info
+            },
+        }
+    }
+}
+
+impl<M: Mpi> Mpi for DampiLayer<M> {
+    fn world_rank(&self) -> usize {
+        self.inner.world_rank()
+    }
+
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+
+    fn comm_rank(&self, comm: Comm) -> Result<usize> {
+        self.inner.comm_rank(comm)
+    }
+
+    fn comm_size(&self, comm: Comm) -> Result<usize> {
+        self.inner.comm_size(comm)
+    }
+    fn translate_rank(&self, comm: Comm, comm_rank: usize) -> Result<usize> {
+        self.inner.translate_rank(comm, comm_rank)
+    }
+
+    fn now(&self) -> f64 {
+        self.inner.now()
+    }
+
+    fn isend(&mut self, comm: Comm, dest: i32, tag: Tag, data: Bytes) -> Result<Request> {
+        self.transmit_guard();
+        self.stats.pb_messages += 1;
+        match self.ctx.piggyback {
+            PiggybackMechanism::SeparateMessage => {
+                let req = self.inner.isend(comm, dest, tag, data)?;
+                let stamp = pb::encode_stamp(&self.xmit_stamp());
+                let shadow = self.shadow_of(comm)?;
+                let pbr = self.inner.isend(shadow, dest, tag, stamp)?;
+                self.meta.insert(req, ReqMeta::SendPb(pbr));
+                Ok(req)
+            }
+            PiggybackMechanism::PayloadPacking => {
+                let packed = pb::pack(&self.xmit_stamp(), &data);
+                let req = self.inner.isend(comm, dest, tag, packed)?;
+                self.meta.insert(req, ReqMeta::SendPacked);
+                Ok(req)
+            }
+        }
+    }
+
+    fn irecv(&mut self, comm: Comm, src: i32, tag: Tag) -> Result<Request> {
+        if src == ANY_SOURCE {
+            return self.nd_irecv(comm, tag);
+        }
+        let req = self.inner.irecv(comm, src, tag)?;
+        let meta = match self.ctx.piggyback {
+            PiggybackMechanism::SeparateMessage => {
+                let shadow = self.shadow_of(comm)?;
+                let pbr = self.inner.irecv(shadow, src, tag)?;
+                ReqMeta::RecvNamed { pb: pbr, comm }
+            }
+            PiggybackMechanism::PayloadPacking => ReqMeta::RecvPacked {
+                comm,
+                epoch_idx: None,
+            },
+        };
+        self.meta.insert(req, meta);
+        Ok(req)
+    }
+
+    fn wait(&mut self, req: Request) -> Result<(Status, Bytes)> {
+        let (status, data) = self.inner.wait(req)?;
+        self.after_completion(req, status, data)
+    }
+
+    fn test(&mut self, req: Request) -> Result<Option<(Status, Bytes)>> {
+        match self.inner.test(req)? {
+            Some((status, data)) => self.after_completion(req, status, data).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn waitany(&mut self, reqs: &[Request]) -> Result<(usize, Status, Bytes)> {
+        let (idx, status, data) = self.inner.waitany(reqs)?;
+        let (status, data) = self.after_completion(reqs[idx], status, data)?;
+        Ok((idx, status, data))
+    }
+
+    fn testany(&mut self, reqs: &[Request]) -> Result<Option<(usize, Status, Bytes)>> {
+        match self.inner.testany(reqs)? {
+            Some((idx, status, data)) => {
+                let (status, data) = self.after_completion(reqs[idx], status, data)?;
+                Ok(Some((idx, status, data)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn waitsome(&mut self, reqs: &[Request]) -> Result<Vec<(usize, Status, Bytes)>> {
+        let completed = self.inner.waitsome(reqs)?;
+        let mut out = Vec::with_capacity(completed.len());
+        for (idx, status, data) in completed {
+            let (status, data) = self.after_completion(reqs[idx], status, data)?;
+            out.push((idx, status, data));
+        }
+        Ok(out)
+    }
+
+    fn probe(&mut self, comm: Comm, src: i32, tag: Tag) -> Result<ProbeInfo> {
+        if src == ANY_SOURCE {
+            let (post_src, guided_flag) = self.nd_source();
+            let info = self.inner.probe(comm, post_src, tag)?;
+            self.record_epoch(comm, tag, NdKind::Probe, guided_flag, Some(info.src));
+            // A probe commits its match immediately: synchronize now.
+            self.sync_clocks();
+            return Ok(self.adjust_probe(info));
+        }
+        self.inner.probe(comm, src, tag).map(|i| self.adjust_probe(i))
+    }
+
+    fn iprobe(&mut self, comm: Comm, src: i32, tag: Tag) -> Result<Option<ProbeInfo>> {
+        if src == ANY_SOURCE {
+            let (post_src, guided_flag) = self.nd_source();
+            return match self.inner.iprobe(comm, post_src, tag)? {
+                // §II-E: only record when the flag says a message is ready.
+                Some(info) => {
+                    self.record_epoch(comm, tag, NdKind::Probe, guided_flag, Some(info.src));
+                    self.sync_clocks();
+                    Ok(Some(self.adjust_probe(info)))
+                }
+                None => Ok(None),
+            };
+        }
+        Ok(self.inner.iprobe(comm, src, tag)?.map(|i| self.adjust_probe(i)))
+    }
+
+    fn barrier(&mut self, comm: Comm) -> Result<()> {
+        self.transmit_guard();
+        self.inner.barrier(comm)?;
+        self.clock_allmax(comm)
+    }
+
+    fn bcast(&mut self, comm: Comm, root: usize, data: Option<Bytes>) -> Result<Bytes> {
+        self.transmit_guard();
+        let out = self.inner.bcast(comm, root, data)?;
+        self.clock_from_root(comm, root)?;
+        Ok(out)
+    }
+
+    fn reduce_u64(
+        &mut self,
+        comm: Comm,
+        root: usize,
+        value: Vec<u64>,
+        op: ReduceOp,
+    ) -> Result<Option<Vec<u64>>> {
+        self.transmit_guard();
+        let out = self.inner.reduce_u64(comm, root, value, op)?;
+        self.clock_to_root(comm, root)?;
+        Ok(out)
+    }
+
+    fn allreduce_u64(&mut self, comm: Comm, value: Vec<u64>, op: ReduceOp) -> Result<Vec<u64>> {
+        self.transmit_guard();
+        let out = self.inner.allreduce_u64(comm, value, op)?;
+        self.clock_allmax(comm)?;
+        Ok(out)
+    }
+
+    fn reduce_f64(
+        &mut self,
+        comm: Comm,
+        root: usize,
+        value: Vec<f64>,
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>> {
+        self.transmit_guard();
+        let out = self.inner.reduce_f64(comm, root, value, op)?;
+        self.clock_to_root(comm, root)?;
+        Ok(out)
+    }
+
+    fn allreduce_f64(&mut self, comm: Comm, value: Vec<f64>, op: ReduceOp) -> Result<Vec<f64>> {
+        self.transmit_guard();
+        let out = self.inner.allreduce_f64(comm, value, op)?;
+        self.clock_allmax(comm)?;
+        Ok(out)
+    }
+
+    fn gather(&mut self, comm: Comm, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>> {
+        self.transmit_guard();
+        let out = self.inner.gather(comm, root, data)?;
+        self.clock_to_root(comm, root)?;
+        Ok(out)
+    }
+
+    fn allgather(&mut self, comm: Comm, data: Bytes) -> Result<Vec<Bytes>> {
+        self.transmit_guard();
+        let out = self.inner.allgather(comm, data)?;
+        self.clock_allmax(comm)?;
+        Ok(out)
+    }
+
+    fn scatter(&mut self, comm: Comm, root: usize, data: Option<Vec<Bytes>>) -> Result<Bytes> {
+        self.transmit_guard();
+        let out = self.inner.scatter(comm, root, data)?;
+        self.clock_from_root(comm, root)?;
+        Ok(out)
+    }
+
+    fn alltoall(&mut self, comm: Comm, data: Vec<Bytes>) -> Result<Vec<Bytes>> {
+        self.transmit_guard();
+        let out = self.inner.alltoall(comm, data)?;
+        self.clock_allmax(comm)?;
+        Ok(out)
+    }
+
+    fn comm_dup(&mut self, comm: Comm) -> Result<Comm> {
+        self.transmit_guard();
+        let app = self.inner.comm_dup(comm)?;
+        self.known_comms.insert(app);
+        if self.ctx.piggyback == PiggybackMechanism::SeparateMessage {
+            // §II-D: a shadow piggyback communicator for each existing
+            // communicator in the program, created where we have collective
+            // context.
+            let sh = self.inner.comm_dup(comm)?;
+            self.shadow.insert(app, sh);
+        }
+        self.clock_allmax(comm)?;
+        Ok(app)
+    }
+
+    fn comm_split(&mut self, comm: Comm, color: i64, key: i64) -> Result<Option<Comm>> {
+        self.transmit_guard();
+        let app = self.inner.comm_split(comm, color, key)?;
+        if let Some(a) = app {
+            self.known_comms.insert(a);
+        }
+        if self.ctx.piggyback == PiggybackMechanism::SeparateMessage {
+            let sh = self.inner.comm_split(comm, color, key)?;
+            if let (Some(a), Some(s)) = (app, sh) {
+                self.shadow.insert(a, s);
+            }
+        }
+        self.clock_allmax(comm)?;
+        Ok(app)
+    }
+
+    fn comm_free(&mut self, comm: Comm) -> Result<()> {
+        self.transmit_guard();
+        // Exchange on the communicator while it is still alive, then free
+        // the shadow and the app communicator.
+        self.clock_allmax(comm)?;
+        self.known_comms.remove(&comm);
+        if let Some(sh) = self.shadow.remove(&comm) {
+            self.inner.comm_free(sh)?;
+        }
+        self.inner.comm_free(comm)
+    }
+
+    fn pcontrol(&mut self, code: i32) -> Result<()> {
+        match code {
+            PCONTROL_LOOP_BEGIN => self.region_depth += 1,
+            PCONTROL_LOOP_END => self.region_depth = self.region_depth.saturating_sub(1),
+            _ => {}
+        }
+        self.inner.pcontrol(code)
+    }
+
+    fn compute(&mut self, seconds: f64) -> Result<()> {
+        self.inner.compute(seconds)
+    }
+
+    fn finalize(&mut self) -> Result<()> {
+        // Sends that never matched a receive still *impinge* on their
+        // destination and are potential matches for its epochs (§II-B, and
+        // the paper's Fig. 3, where the alternate sender's message is never
+        // received in the SELF_RUN). Synchronize so every pre-finalize send
+        // has arrived, then drain and analyze pending messages.
+        self.inner.barrier(Comm::WORLD)?;
+        let comms: Vec<Comm> = self.known_comms.iter().copied().collect();
+        for comm in comms {
+            while let Some(info) = self.inner.iprobe(comm, ANY_SOURCE, ANY_TAG)? {
+                let (_, data) = self.inner.recv(comm, info.src as i32, info.tag)?;
+                let stamp = match self.ctx.piggyback {
+                    PiggybackMechanism::SeparateMessage => {
+                        let shadow = self.shadow_of(comm)?;
+                        let (_, pbdata) = self.inner.recv(shadow, info.src as i32, info.tag)?;
+                        pb::decode_stamp(&pbdata).0
+                    }
+                    PiggybackMechanism::PayloadPacking => pb::unpack(&data).0,
+                };
+                self.ingest(&stamp, info.src, info.tag, comm, None)?;
+                self.stats.drained_messages += 1;
+            }
+        }
+        // Free remaining shadow communicators (deterministic order — every
+        // rank iterates the same BTreeMap keys) so tool-created
+        // communicators never pollute the application's C-leak census.
+        let shadows: Vec<Comm> = self.shadow.values().copied().collect();
+        self.shadow.clear();
+        for sh in shadows {
+            self.inner.comm_free(sh)?;
+        }
+        // Final epoch hygiene: the matched source is not an alternate.
+        for e in &mut self.epochs {
+            if let Some(m) = e.matched_src {
+                e.alternates.remove(&m);
+            }
+        }
+        self.stats.unsafe_alerts = self.monitor.alerts();
+        self.ctx
+            .collector
+            .submit(std::mem::take(&mut self.epochs), self.stats);
+        self.inner.finalize()
+    }
+}

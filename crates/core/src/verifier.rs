@@ -1,0 +1,168 @@
+//! The DAMPI verification driver: run → analyze → generate → replay.
+//!
+//! [`DampiVerifier`] glues the pieces together, mirroring the framework
+//! diagram of the paper's Fig. 1: the program executes under the
+//! DAMPI-PnMPI module stack; potential matches are collected; the schedule
+//! generator produces Epoch Decisions; the program is rerun under guidance
+//! until the space of non-deterministic matches (as bounded by the
+//! configuration) is covered.
+
+use std::sync::Arc;
+
+use dampi_mpi::program::{MpiProgram, RunOutcome};
+use dampi_mpi::runtime::{run_with_layers, SimConfig};
+use dampi_mpi::Mpi;
+
+use crate::config::DampiConfig;
+use crate::decisions::DecisionSet;
+use crate::epoch::{ToolRunStats, TraceCollector};
+use crate::report::VerificationReport;
+use crate::scheduler::{self, ExploreOptions, RunResult};
+use crate::tool::{DampiCtx, DampiLayer};
+
+/// The top-level DAMPI verifier.
+#[derive(Debug, Clone)]
+pub struct DampiVerifier {
+    /// Simulated-world configuration (process count, match policy, costs).
+    pub sim: SimConfig,
+    /// Verifier configuration (clock mode, bounds, heuristics).
+    pub cfg: DampiConfig,
+}
+
+impl DampiVerifier {
+    /// Verifier with default DAMPI configuration.
+    #[must_use]
+    pub fn new(sim: SimConfig) -> Self {
+        Self {
+            sim,
+            cfg: DampiConfig::default(),
+        }
+    }
+
+    /// Verifier with an explicit configuration.
+    #[must_use]
+    pub fn with_config(sim: SimConfig, cfg: DampiConfig) -> Self {
+        Self { sim, cfg }
+    }
+
+    fn make_ctx(&self, decisions: &DecisionSet) -> (Arc<DampiCtx>, Arc<TraceCollector>) {
+        let collector = TraceCollector::new();
+        let ctx = Arc::new(DampiCtx {
+            decisions: decisions.clone(),
+            collector: Arc::clone(&collector),
+            clock_mode: self.cfg.clock_mode,
+            piggyback: self.cfg.piggyback,
+            monitor: self.cfg.monitor_unsafe_pattern,
+            analysis_cost: self.sim.vtime.dampi_analysis,
+            deferred_clock: self.cfg.deferred_clock_sync,
+        });
+        (ctx, collector)
+    }
+
+    /// Execute one run of `program` under the DAMPI tool stack with the
+    /// given decisions. Public so overhead experiments (Table II) can time
+    /// a single instrumented run.
+    pub fn instrumented_run(
+        &self,
+        program: &dyn MpiProgram,
+        decisions: &DecisionSet,
+    ) -> RunResult {
+        let (ctx, collector) = self.make_ctx(decisions);
+        let outcome = run_with_layers(&self.sim, program, &|_rank, pmpi| {
+            let ctx = Arc::clone(&ctx);
+            Box::new(
+                DampiLayer::new(pmpi, ctx).expect("DAMPI layer construction (world shadow dup)"),
+            ) as Box<dyn Mpi>
+        });
+        let (epochs, stats) = collector.take();
+        RunResult {
+            outcome,
+            epochs,
+            stats,
+        }
+    }
+
+    /// Execute `program` without instrumentation (the "native MPI"
+    /// baseline for Table II slowdowns).
+    #[must_use]
+    pub fn native_run(&self, program: &dyn MpiProgram) -> RunOutcome {
+        dampi_mpi::runtime::run_native(&self.sim, program)
+    }
+
+    /// Instrumented-vs-native slowdown of a single run (Table II).
+    #[must_use]
+    pub fn slowdown(&self, program: &dyn MpiProgram) -> (f64, RunOutcome, RunResult) {
+        let native = self.native_run(program);
+        let inst = self.instrumented_run(program, &DecisionSet::self_run());
+        let ratio = if native.makespan > 0.0 {
+            inst.outcome.makespan / native.makespan
+        } else {
+            1.0
+        };
+        (ratio, native, inst)
+    }
+
+    /// Shrink a found error's reproduction schedule to its essential
+    /// decisions by repeated re-execution (greedy delta debugging; see
+    /// [`crate::minimize`]). Returns the minimized schedule and the number
+    /// of extra runs spent.
+    pub fn minimize_error(
+        &self,
+        program: &dyn MpiProgram,
+        error: &crate::report::FoundError,
+    ) -> (DecisionSet, u64) {
+        let target_rank = error.rank;
+        let target_msg = error.error.to_string();
+        crate::minimize::minimize(&error.decisions, |ds| {
+            let run = self.instrumented_run(program, ds);
+            run.outcome
+                .program_bugs()
+                .iter()
+                .any(|b| b.rank == target_rank && b.error.to_string() == target_msg)
+        })
+    }
+
+    /// Full verification: explore the space of non-deterministic matches.
+    #[must_use]
+    pub fn verify(&self, program: &dyn MpiProgram) -> VerificationReport {
+        let opts = ExploreOptions {
+            bound: self.cfg.bound,
+            honor_regions: self.cfg.honor_regions,
+            max_interleavings: self.cfg.max_interleavings,
+            stop_on_first_error: self.cfg.stop_on_first_error,
+            branch_on_guided: self.cfg.branch_on_guided,
+        };
+        let ex = scheduler::explore(|ds| self.instrumented_run(program, ds), &opts);
+        self.report_from(program.name(), ex)
+    }
+
+    fn report_from(
+        &self,
+        program: &str,
+        ex: scheduler::Exploration,
+    ) -> VerificationReport {
+        let ToolRunStats {
+            wildcards,
+            pb_messages,
+            unsafe_alerts,
+            ..
+        } = ex.first_run_stats;
+        VerificationReport {
+            program: program.to_owned(),
+            nprocs: self.sim.nprocs,
+            clock_mode: self.cfg.clock_mode,
+            bound: self.cfg.bound,
+            interleavings: ex.interleavings,
+            errors: ex.errors,
+            leaks: ex.first_run_leaks,
+            wildcards_analyzed: wildcards,
+            unsafe_alerts,
+            divergences: ex.divergences,
+            pb_messages,
+            first_run_makespan: ex.first_run_makespan,
+            total_virtual_time: ex.total_virtual_time,
+            budget_exhausted: ex.budget_exhausted,
+            discovered: ex.discovered,
+        }
+    }
+}

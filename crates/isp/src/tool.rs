@@ -1,0 +1,334 @@
+//! `IspLayer`: ISP's interposition layer.
+//!
+//! Every MPI operation performs a synchronous transaction with the central
+//! scheduler (cost: serialized virtual time plus a round trip, §II-A) and
+//! reports the information the scheduler needs for exact central match
+//! detection. Wildcard receives are forced from an Epoch Decisions set —
+//! the same replay mechanism as DAMPI, but keyed by ISP's per-rank
+//! non-deterministic event counters.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use dampi_core::decisions::DecisionSet;
+use dampi_core::epoch::NdKind;
+use dampi_mpi::matching::ProbeInfo;
+use dampi_mpi::proc_api::{Mpi, Status};
+use dampi_mpi::{Comm, ReduceOp, Request, Result, Tag, ANY_SOURCE};
+
+use crate::sched::{CollClockKind, IspScheduler};
+
+/// Request bookkeeping: what to report at completion time.
+enum IspMeta {
+    Send,
+    Recv {
+        comm: Comm,
+        /// Epoch counter for wildcard receives.
+        epoch: Option<u64>,
+    },
+}
+
+/// The ISP tool layer for one rank.
+pub struct IspLayer<M: Mpi> {
+    inner: M,
+    sched: Arc<IspScheduler>,
+    decisions: Arc<DecisionSet>,
+    rank: usize,
+    nd_counter: u64,
+    meta: HashMap<Request, IspMeta>,
+    divergences: u64,
+}
+
+impl<M: Mpi> IspLayer<M> {
+    /// Build the layer for one rank.
+    pub fn new(inner: M, sched: Arc<IspScheduler>, decisions: Arc<DecisionSet>) -> Self {
+        let rank = inner.world_rank();
+        Self {
+            inner,
+            sched,
+            decisions,
+            rank,
+            nd_counter: 0,
+            meta: HashMap::new(),
+            divergences: 0,
+        }
+    }
+
+    /// The synchronous scheduler exchange every call performs.
+    fn transact(&mut self) -> Result<()> {
+        let now = self.inner.now();
+        let new_vt = self.sched.transact(now);
+        self.inner.compute((new_vt - now).max(0.0))
+    }
+
+    /// Resolve a wildcard source: ISP's central replay forcing.
+    fn nd_source(&mut self) -> (i32, bool) {
+        let counter = self.nd_counter;
+        match self.decisions.lookup(self.rank, counter) {
+            Some(src) => (src as i32, true),
+            None => {
+                if !self.decisions.is_self_run() && counter <= self.decisions.guided_epoch {
+                    self.divergences += 1;
+                }
+                (ANY_SOURCE, false)
+            }
+        }
+    }
+
+    fn report_collective(&mut self, comm: Comm, kind: CollClockKind, root: usize) -> Result<()> {
+        self.transact()?;
+        let crank = self.inner.comm_rank(comm)?;
+        let size = self.inner.comm_size(comm)?;
+        self.sched
+            .on_collective(self.rank, crank, comm, size, kind, root);
+        Ok(())
+    }
+
+    fn after_recv_complete(&mut self, req: Request, status: &Status) -> Result<()> {
+        match self.meta.remove(&req) {
+            Some(IspMeta::Recv { comm, epoch }) => {
+                let src_world = self.inner.translate_rank(comm, status.source)?;
+                self.sched.on_recv_complete(
+                    self.rank,
+                    comm,
+                    src_world,
+                    status.source,
+                    status.tag,
+                    epoch,
+                );
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl<M: Mpi> Mpi for IspLayer<M> {
+    fn world_rank(&self) -> usize {
+        self.inner.world_rank()
+    }
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+    fn comm_rank(&self, comm: Comm) -> Result<usize> {
+        self.inner.comm_rank(comm)
+    }
+    fn comm_size(&self, comm: Comm) -> Result<usize> {
+        self.inner.comm_size(comm)
+    }
+    fn translate_rank(&self, comm: Comm, comm_rank: usize) -> Result<usize> {
+        self.inner.translate_rank(comm, comm_rank)
+    }
+    fn now(&self) -> f64 {
+        self.inner.now()
+    }
+
+    fn isend(&mut self, comm: Comm, dest: i32, tag: Tag, data: Bytes) -> Result<Request> {
+        self.transact()?;
+        let crank = self.inner.comm_rank(comm)?;
+        let dst_world = self.inner.translate_rank(comm, dest as usize)?;
+        self.sched.on_send(self.rank, crank, dst_world, comm, tag);
+        let req = self.inner.isend(comm, dest, tag, data)?;
+        self.meta.insert(req, IspMeta::Send);
+        Ok(req)
+    }
+
+    fn irecv(&mut self, comm: Comm, src: i32, tag: Tag) -> Result<Request> {
+        self.transact()?;
+        if src == ANY_SOURCE {
+            let (post_src, guided) = self.nd_source();
+            let epoch = self
+                .sched
+                .on_nd_post(self.rank, comm, tag, NdKind::Recv, guided, None);
+            debug_assert_eq!(epoch, self.nd_counter);
+            self.nd_counter += 1;
+            let req = self.inner.irecv(comm, post_src, tag)?;
+            self.meta.insert(
+                req,
+                IspMeta::Recv {
+                    comm,
+                    epoch: Some(epoch),
+                },
+            );
+            Ok(req)
+        } else {
+            let req = self.inner.irecv(comm, src, tag)?;
+            self.meta.insert(req, IspMeta::Recv { comm, epoch: None });
+            Ok(req)
+        }
+    }
+
+    fn wait(&mut self, req: Request) -> Result<(Status, Bytes)> {
+        self.transact()?;
+        let (status, data) = self.inner.wait(req)?;
+        self.after_recv_complete(req, &status)?;
+        Ok((status, data))
+    }
+
+    fn test(&mut self, req: Request) -> Result<Option<(Status, Bytes)>> {
+        self.transact()?;
+        match self.inner.test(req)? {
+            Some((status, data)) => {
+                self.after_recv_complete(req, &status)?;
+                Ok(Some((status, data)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn waitany(&mut self, reqs: &[Request]) -> Result<(usize, Status, Bytes)> {
+        self.transact()?;
+        let (idx, status, data) = self.inner.waitany(reqs)?;
+        self.after_recv_complete(reqs[idx], &status)?;
+        Ok((idx, status, data))
+    }
+
+    fn testany(&mut self, reqs: &[Request]) -> Result<Option<(usize, Status, Bytes)>> {
+        self.transact()?;
+        match self.inner.testany(reqs)? {
+            Some((idx, status, data)) => {
+                self.after_recv_complete(reqs[idx], &status)?;
+                Ok(Some((idx, status, data)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn waitsome(&mut self, reqs: &[Request]) -> Result<Vec<(usize, Status, Bytes)>> {
+        self.transact()?;
+        let completed = self.inner.waitsome(reqs)?;
+        for (idx, status, _) in &completed {
+            self.after_recv_complete(reqs[*idx], status)?;
+        }
+        Ok(completed)
+    }
+
+    fn probe(&mut self, comm: Comm, src: i32, tag: Tag) -> Result<ProbeInfo> {
+        self.transact()?;
+        if src == ANY_SOURCE {
+            let (post_src, guided) = self.nd_source();
+            let info = self.inner.probe(comm, post_src, tag)?;
+            self.sched
+                .on_nd_post(self.rank, comm, tag, NdKind::Probe, guided, Some(info.src));
+            self.nd_counter += 1;
+            return Ok(info);
+        }
+        self.inner.probe(comm, src, tag)
+    }
+
+    fn iprobe(&mut self, comm: Comm, src: i32, tag: Tag) -> Result<Option<ProbeInfo>> {
+        self.transact()?;
+        if src == ANY_SOURCE {
+            let (post_src, guided) = self.nd_source();
+            return match self.inner.iprobe(comm, post_src, tag)? {
+                Some(info) => {
+                    self.sched.on_nd_post(
+                        self.rank,
+                        comm,
+                        tag,
+                        NdKind::Probe,
+                        guided,
+                        Some(info.src),
+                    );
+                    self.nd_counter += 1;
+                    Ok(Some(info))
+                }
+                None => Ok(None),
+            };
+        }
+        self.inner.iprobe(comm, src, tag)
+    }
+
+    fn barrier(&mut self, comm: Comm) -> Result<()> {
+        self.report_collective(comm, CollClockKind::AllMax, 0)?;
+        self.inner.barrier(comm)
+    }
+
+    fn bcast(&mut self, comm: Comm, root: usize, data: Option<Bytes>) -> Result<Bytes> {
+        self.report_collective(comm, CollClockKind::FromRoot, root)?;
+        self.inner.bcast(comm, root, data)
+    }
+
+    fn reduce_u64(
+        &mut self,
+        comm: Comm,
+        root: usize,
+        value: Vec<u64>,
+        op: ReduceOp,
+    ) -> Result<Option<Vec<u64>>> {
+        self.report_collective(comm, CollClockKind::ToRoot, root)?;
+        self.inner.reduce_u64(comm, root, value, op)
+    }
+
+    fn allreduce_u64(&mut self, comm: Comm, value: Vec<u64>, op: ReduceOp) -> Result<Vec<u64>> {
+        self.report_collective(comm, CollClockKind::AllMax, 0)?;
+        self.inner.allreduce_u64(comm, value, op)
+    }
+
+    fn reduce_f64(
+        &mut self,
+        comm: Comm,
+        root: usize,
+        value: Vec<f64>,
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>> {
+        self.report_collective(comm, CollClockKind::ToRoot, root)?;
+        self.inner.reduce_f64(comm, root, value, op)
+    }
+
+    fn allreduce_f64(&mut self, comm: Comm, value: Vec<f64>, op: ReduceOp) -> Result<Vec<f64>> {
+        self.report_collective(comm, CollClockKind::AllMax, 0)?;
+        self.inner.allreduce_f64(comm, value, op)
+    }
+
+    fn gather(&mut self, comm: Comm, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>> {
+        self.report_collective(comm, CollClockKind::ToRoot, root)?;
+        self.inner.gather(comm, root, data)
+    }
+
+    fn allgather(&mut self, comm: Comm, data: Bytes) -> Result<Vec<Bytes>> {
+        self.report_collective(comm, CollClockKind::AllMax, 0)?;
+        self.inner.allgather(comm, data)
+    }
+
+    fn scatter(&mut self, comm: Comm, root: usize, data: Option<Vec<Bytes>>) -> Result<Bytes> {
+        self.report_collective(comm, CollClockKind::FromRoot, root)?;
+        self.inner.scatter(comm, root, data)
+    }
+
+    fn alltoall(&mut self, comm: Comm, data: Vec<Bytes>) -> Result<Vec<Bytes>> {
+        self.report_collective(comm, CollClockKind::AllMax, 0)?;
+        self.inner.alltoall(comm, data)
+    }
+
+    fn comm_dup(&mut self, comm: Comm) -> Result<Comm> {
+        self.report_collective(comm, CollClockKind::AllMax, 0)?;
+        self.inner.comm_dup(comm)
+    }
+
+    fn comm_split(&mut self, comm: Comm, color: i64, key: i64) -> Result<Option<Comm>> {
+        self.report_collective(comm, CollClockKind::AllMax, 0)?;
+        self.inner.comm_split(comm, color, key)
+    }
+
+    fn comm_free(&mut self, comm: Comm) -> Result<()> {
+        self.report_collective(comm, CollClockKind::AllMax, 0)?;
+        self.inner.comm_free(comm)
+    }
+
+    fn pcontrol(&mut self, code: i32) -> Result<()> {
+        self.inner.pcontrol(code)
+    }
+
+    fn compute(&mut self, seconds: f64) -> Result<()> {
+        self.inner.compute(seconds)
+    }
+
+    fn finalize(&mut self) -> Result<()> {
+        // One last transaction: the tool detaches from the scheduler.
+        self.transact()?;
+        self.sched.report_divergences(self.divergences);
+        self.inner.finalize()
+    }
+}

@@ -1,0 +1,114 @@
+//! Communicator handles and the global communicator table.
+
+/// A communicator handle (the analog of `MPI_Comm`). Cheap to copy; resolves
+/// through the runtime's communicator table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Comm(pub u32);
+
+impl Comm {
+    /// `MPI_COMM_WORLD`.
+    pub const WORLD: Comm = Comm(0);
+}
+
+/// Metadata for one communicator.
+#[derive(Debug, Clone)]
+pub struct CommInfo {
+    /// Handle of this communicator.
+    pub id: Comm,
+    /// Group: index is the communicator-local rank, value the world rank.
+    pub group: Vec<usize>,
+    /// Inverse map: world rank → comm-local rank (None if not a member).
+    pub world_to_comm: Vec<Option<usize>>,
+    /// Freed by `comm_free`.
+    pub freed: bool,
+    /// Created by `comm_dup`/`comm_split` (subject to leak accounting; the
+    /// predefined world communicator is not).
+    pub derived: bool,
+    /// Human-readable provenance for leak reports.
+    pub label: String,
+}
+
+impl CommInfo {
+    /// Build the world communicator for `nprocs` ranks.
+    #[must_use]
+    pub fn world(nprocs: usize) -> Self {
+        Self {
+            id: Comm::WORLD,
+            group: (0..nprocs).collect(),
+            world_to_comm: (0..nprocs).map(Some).collect(),
+            freed: false,
+            derived: false,
+            label: "MPI_COMM_WORLD".to_owned(),
+        }
+    }
+
+    /// Build a derived communicator over `group` (world ranks, in comm-rank
+    /// order) with the given handle and provenance label.
+    #[must_use]
+    pub fn derived(id: Comm, group: Vec<usize>, nprocs: usize, label: String) -> Self {
+        let mut world_to_comm = vec![None; nprocs];
+        for (crank, &wrank) in group.iter().enumerate() {
+            world_to_comm[wrank] = Some(crank);
+        }
+        Self {
+            id,
+            group,
+            world_to_comm,
+            freed: false,
+            derived: true,
+            label,
+        }
+    }
+
+    /// Communicator size.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Comm-local rank of a world rank, if it is a member.
+    #[must_use]
+    pub fn comm_rank_of(&self, world_rank: usize) -> Option<usize> {
+        self.world_to_comm.get(world_rank).copied().flatten()
+    }
+
+    /// World rank of a comm-local rank.
+    #[must_use]
+    pub fn world_rank_of(&self, comm_rank: usize) -> Option<usize> {
+        self.group.get(comm_rank).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_comm_is_identity() {
+        let w = CommInfo::world(4);
+        assert_eq!(w.size(), 4);
+        assert!(!w.derived);
+        for r in 0..4 {
+            assert_eq!(w.comm_rank_of(r), Some(r));
+            assert_eq!(w.world_rank_of(r), Some(r));
+        }
+    }
+
+    #[test]
+    fn derived_comm_maps_ranks() {
+        // World ranks {3, 1} as comm ranks {0, 1}.
+        let c = CommInfo::derived(Comm(5), vec![3, 1], 4, "split".into());
+        assert_eq!(c.size(), 2);
+        assert!(c.derived);
+        assert_eq!(c.comm_rank_of(3), Some(0));
+        assert_eq!(c.comm_rank_of(1), Some(1));
+        assert_eq!(c.comm_rank_of(0), None);
+        assert_eq!(c.world_rank_of(0), Some(3));
+        assert_eq!(c.world_rank_of(2), None);
+    }
+
+    #[test]
+    fn world_constant() {
+        assert_eq!(Comm::WORLD, Comm(0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Message envelopes carried through the matching engine.
+
+use bytes::Bytes;
+
+use crate::types::Tag;
+
+/// A message in flight: the simulator analog of an MPI message plus the
+/// metadata the matching engine and virtual-time model need.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender, as a rank *within the message's communicator*.
+    pub src: usize,
+    /// Destination, as a rank within the communicator.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload bytes (eager-buffered; ownership moves to the receiver).
+    pub payload: Bytes,
+    /// Arrival sequence number at the destination — total order of message
+    /// arrivals per destination per communicator. Because envelopes are
+    /// enqueued under the runtime lock at send time and each sender is a
+    /// single thread, per-(src,dst) subsequences are in send order, which is
+    /// exactly MPI's non-overtaking guarantee.
+    pub arrival_seq: u64,
+    /// Sender's virtual time at send (plus send overhead); receive-side
+    /// completion time derives from this.
+    pub send_vt: f64,
+    /// For rendezvous-mode sends: the send request that completes only
+    /// when this message is matched by a receive. `None` for eager sends
+    /// (buffered; the send request completed at post time).
+    pub send_req: Option<u64>,
+}
+
+impl Envelope {
+    /// Wire size used by the virtual-time model.
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// Payload helpers: tiny codec for the scalar/array payloads workloads use.
+pub mod codec {
+    use bytes::{BufMut, Bytes, BytesMut};
+
+    /// Encode a `u64` slice little-endian.
+    #[must_use]
+    pub fn encode_u64s(values: &[u64]) -> Bytes {
+        let mut b = BytesMut::with_capacity(values.len() * 8);
+        for v in values {
+            b.put_u64_le(*v);
+        }
+        b.freeze()
+    }
+
+    /// Decode a little-endian `u64` slice; panics on ragged input.
+    #[must_use]
+    pub fn decode_u64s(data: &[u8]) -> Vec<u64> {
+        assert!(data.len().is_multiple_of(8), "ragged u64 payload");
+        data.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()
+    }
+
+    /// Encode an `f64` slice little-endian.
+    #[must_use]
+    pub fn encode_f64s(values: &[f64]) -> Bytes {
+        let mut b = BytesMut::with_capacity(values.len() * 8);
+        for v in values {
+            b.put_f64_le(*v);
+        }
+        b.freeze()
+    }
+
+    /// Decode a little-endian `f64` slice; panics on ragged input.
+    #[must_use]
+    pub fn decode_f64s(data: &[u8]) -> Vec<f64> {
+        assert!(data.len().is_multiple_of(8), "ragged f64 payload");
+        data.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()
+    }
+
+    /// Encode a single u64 (common case: a work-item id or a clock word).
+    #[must_use]
+    pub fn encode_u64(v: u64) -> Bytes {
+        encode_u64s(&[v])
+    }
+
+    /// Decode a single u64.
+    #[must_use]
+    pub fn decode_u64(data: &[u8]) -> u64 {
+        let v = decode_u64s(data);
+        assert_eq!(v.len(), 1, "expected a single u64 payload");
+        v[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::codec::*;
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let vals = vec![0, 1, u64::MAX, 42];
+        assert_eq!(decode_u64s(&encode_u64s(&vals)), vals);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = vec![0.0, -1.5, 1e300];
+        assert_eq!(decode_f64s(&encode_f64s(&vals)), vals);
+    }
+
+    #[test]
+    fn single_u64_roundtrip() {
+        assert_eq!(decode_u64(&encode_u64(7)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_input_panics() {
+        let _ = decode_u64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_bytes_is_payload_len() {
+        let e = Envelope {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            payload: Bytes::from_static(b"abcd"),
+            arrival_seq: 0,
+            send_vt: 0.0,
+            send_req: None,
+        };
+        assert_eq!(e.wire_bytes(), 4);
+    }
+}

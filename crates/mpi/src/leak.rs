@@ -1,0 +1,104 @@
+//! Resource-leak reporting (Table II's C-Leak / R-Leak columns).
+//!
+//! DAMPI's "local error checking capabilities" (paper §III) flag MPI
+//! resources still live when `MPI_Finalize` is reached: derived
+//! communicators that were never `comm_free`d and requests that were never
+//! completed by a `Wait`/`Test`. The runtime owns both tables, so the leak
+//! census is computed at world teardown.
+
+/// A leaked (never freed) derived communicator.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CommLeak {
+    /// Handle of the leaked communicator.
+    pub comm: crate::comm::Comm,
+    /// Provenance label recorded at creation.
+    pub label: String,
+    /// Group size.
+    pub size: usize,
+}
+
+/// Leak census for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LeakReport {
+    /// Derived communicators never freed.
+    pub comm_leaks: Vec<CommLeak>,
+    /// Per-rank count of requests never completed before finalize.
+    pub request_leaks: Vec<usize>,
+    /// Messages sent but never received (orphan messages at teardown).
+    pub unreceived_messages: usize,
+}
+
+impl LeakReport {
+    /// Table II's C-Leak column: any communicator leaked?
+    #[must_use]
+    pub fn has_comm_leak(&self) -> bool {
+        !self.comm_leaks.is_empty()
+    }
+
+    /// Table II's R-Leak column: any request leaked?
+    #[must_use]
+    pub fn has_request_leak(&self) -> bool {
+        self.request_leaks.iter().any(|&c| c > 0)
+    }
+
+    /// Total leaked requests across ranks.
+    #[must_use]
+    pub fn total_request_leaks(&self) -> usize {
+        self.request_leaks.iter().sum()
+    }
+
+    /// True when no resource leaked at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.has_comm_leak() && !self.has_request_leak() && self.unreceived_messages == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = LeakReport::default();
+        assert!(r.is_clean());
+        assert!(!r.has_comm_leak());
+        assert!(!r.has_request_leak());
+    }
+
+    #[test]
+    fn comm_leak_detected() {
+        let r = LeakReport {
+            comm_leaks: vec![CommLeak {
+                comm: Comm(3),
+                label: "dup of MPI_COMM_WORLD".into(),
+                size: 8,
+            }],
+            request_leaks: vec![0; 8],
+            unreceived_messages: 0,
+        };
+        assert!(r.has_comm_leak());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn request_leak_counted() {
+        let r = LeakReport {
+            comm_leaks: vec![],
+            request_leaks: vec![0, 2, 1],
+            unreceived_messages: 0,
+        };
+        assert!(r.has_request_leak());
+        assert_eq!(r.total_request_leaks(), 3);
+    }
+
+    #[test]
+    fn unreceived_messages_are_not_clean() {
+        let r = LeakReport {
+            unreceived_messages: 4,
+            ..Default::default()
+        };
+        assert!(!r.is_clean());
+    }
+}

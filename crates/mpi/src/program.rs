@@ -1,0 +1,149 @@
+//! Program abstraction and run outcomes.
+
+use crate::error::{MpiError, Result};
+use crate::leak::LeakReport;
+use crate::proc_api::Mpi;
+
+/// An MPI program under verification: executed once per rank, against the
+/// rank's own interposition stack. Must be `Sync` because every rank thread
+/// shares one instance (like a compiled SPMD binary).
+pub trait MpiProgram: Send + Sync {
+    /// Program body for one rank; `mpi.world_rank()` distinguishes roles.
+    fn run(&self, mpi: &mut dyn Mpi) -> Result<()>;
+
+    /// Optional human-readable name used in reports.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Adapter: any `Fn(&mut dyn Mpi) -> Result<()>` is a program.
+pub struct FnProgram<F>(pub F);
+
+impl<F> MpiProgram for FnProgram<F>
+where
+    F: Fn(&mut dyn Mpi) -> Result<()> + Send + Sync,
+{
+    fn run(&self, mpi: &mut dyn Mpi) -> Result<()> {
+        (self.0)(mpi)
+    }
+}
+
+/// A per-rank error paired with its rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankError {
+    /// World rank that failed.
+    pub rank: usize,
+    /// The failure.
+    pub error: MpiError,
+}
+
+/// Everything a single execution of a program produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-rank error, if the rank's program (or its finalize) failed.
+    pub rank_errors: Vec<Option<MpiError>>,
+    /// Resource-leak census at teardown.
+    pub leaks: LeakReport,
+    /// The first global failure (deadlock / abort / collective mismatch),
+    /// if any.
+    pub fatal: Option<MpiError>,
+    /// Final virtual time of each rank.
+    pub per_rank_vt: Vec<f64>,
+    /// Simulated makespan: max over ranks of final virtual time.
+    pub makespan: f64,
+}
+
+impl RunOutcome {
+    /// Root-cause program bugs: per-rank errors excluding the secondary
+    /// `Aborted` teardown errors other ranks observe.
+    #[must_use]
+    pub fn program_bugs(&self) -> Vec<RankError> {
+        let mut bugs: Vec<RankError> = self
+            .rank_errors
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, e)| match e {
+                Some(err) if !matches!(err, MpiError::Aborted { .. }) => Some(RankError {
+                    rank,
+                    error: err.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        // Every blocked rank reports the same deadlock; keep one.
+        if bugs
+            .iter()
+            .all(|b| matches!(b.error, MpiError::Deadlock { .. }))
+            && bugs.len() > 1
+        {
+            bugs.truncate(1);
+        }
+        bugs
+    }
+
+    /// True when the run deadlocked.
+    #[must_use]
+    pub fn deadlocked(&self) -> bool {
+        matches!(self.fatal, Some(MpiError::Deadlock { .. }))
+    }
+
+    /// True when no rank failed (leaks may still exist).
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.fatal.is_none() && self.rank_errors.iter().all(Option::is_none)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_with(errors: Vec<Option<MpiError>>, fatal: Option<MpiError>) -> RunOutcome {
+        RunOutcome {
+            rank_errors: errors,
+            leaks: LeakReport::default(),
+            fatal,
+            per_rank_vt: vec![0.0],
+            makespan: 0.0,
+        }
+    }
+
+    #[test]
+    fn clean_outcome_succeeds() {
+        let o = outcome_with(vec![None, None], None);
+        assert!(o.succeeded());
+        assert!(o.program_bugs().is_empty());
+        assert!(!o.deadlocked());
+    }
+
+    #[test]
+    fn aborted_ranks_are_not_root_causes() {
+        let o = outcome_with(
+            vec![
+                Some(MpiError::UserAssert {
+                    message: "boom".into(),
+                }),
+                Some(MpiError::Aborted { by_rank: 0 }),
+            ],
+            Some(MpiError::Aborted { by_rank: 0 }),
+        );
+        let bugs = o.program_bugs();
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].rank, 0);
+        assert!(!o.succeeded());
+    }
+
+    #[test]
+    fn duplicate_deadlocks_collapse() {
+        let dl = MpiError::Deadlock {
+            blocked_ranks: vec![0, 1],
+        };
+        let o = outcome_with(
+            vec![Some(dl.clone()), Some(dl.clone())],
+            Some(dl),
+        );
+        assert!(o.deadlocked());
+        assert_eq!(o.program_bugs().len(), 1);
+    }
+}

@@ -1,0 +1,1097 @@
+//! The simulated-world runtime: rank threads, blocking, progress, deadlock
+//! detection, collectives, communicator management, and the run harness.
+//!
+//! Every rank is an OS thread. All shared state sits behind one mutex; a
+//! rank that cannot make progress waits on its *own* condvar (targeted
+//! wakeups keep 1024-rank runs cheap). Deadlock is declared exactly when
+//! every unfinished rank is blocked inside the runtime: state then can only
+//! change through another rank's action, and there is none left to act —
+//! the classical "all live processes blocked" criterion.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::collective::{combine, CollOutcome, CollSig, CollSlot, Contribution, ReduceOp};
+use crate::comm::{Comm, CommInfo};
+use crate::envelope::Envelope;
+use crate::error::{MpiError, Result};
+use crate::matching::{Delivery, MatchEngine, MatchPolicy, ProbeInfo};
+use crate::program::{MpiProgram, RunOutcome};
+use crate::proc_api::{Pmpi, Status};
+use crate::request::{ReqKind, ReqState, Request, RequestEntry, RequestTable};
+use crate::leak::{CommLeak, LeakReport};
+use crate::types::{Tag, ANY_SOURCE};
+use crate::vtime::VTimeParams;
+
+/// Configuration of a simulated world.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of MPI processes (rank threads).
+    pub nprocs: usize,
+    /// Wildcard-receive resolution policy of the "native" runtime.
+    pub policy: MatchPolicy,
+    /// Virtual-time model parameters.
+    pub vtime: VTimeParams,
+    /// Stack size per rank thread (kept small so 1024-rank worlds are
+    /// cheap; workloads are shallow).
+    pub stack_size: usize,
+    /// Eager-protocol threshold: messages with payloads up to this size
+    /// are buffered (the send completes at post time); larger messages use
+    /// the rendezvous protocol (the send completes only when matched by a
+    /// receive). `None` means everything is eager — the default, and the
+    /// common small-message regime. Real MPI implementations switch
+    /// protocols exactly this way, and programs that are only correct
+    /// under eager buffering ("unsafe" sends per the MPI standard)
+    /// deadlock when run with `Some(0)`.
+    pub eager_limit: Option<usize>,
+}
+
+impl SimConfig {
+    /// Default configuration for `nprocs` ranks.
+    #[must_use]
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs > 0, "world must have at least one rank");
+        Self {
+            nprocs,
+            policy: MatchPolicy::default(),
+            vtime: VTimeParams::default(),
+            stack_size: 256 * 1024,
+            eager_limit: None,
+        }
+    }
+
+    /// Builder-style: set the eager-protocol threshold (see
+    /// [`SimConfig::eager_limit`]).
+    #[must_use]
+    pub fn with_eager_limit(mut self, limit: Option<usize>) -> Self {
+        self.eager_limit = limit;
+        self
+    }
+
+    /// Builder-style: set the wildcard match policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: MatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style: set virtual-time parameters.
+    #[must_use]
+    pub fn with_vtime(mut self, vtime: VTimeParams) -> Self {
+        self.vtime = vtime;
+        self
+    }
+}
+
+struct CommEntry {
+    info: CommInfo,
+    engine: MatchEngine,
+    coll: CollSlot,
+}
+
+impl CommEntry {
+    fn new(info: CommInfo) -> Self {
+        let size = info.size();
+        Self {
+            info,
+            engine: MatchEngine::new(size),
+            coll: CollSlot::new(size),
+        }
+    }
+}
+
+struct Shared {
+    comms: Vec<CommEntry>,
+    requests: RequestTable,
+    vt: Vec<f64>,
+    blocked: Vec<bool>,
+    nblocked: usize,
+    finished: Vec<bool>,
+    nfinished: usize,
+    fatal: Option<MpiError>,
+}
+
+/// A simulated MPI world. Construct with [`World::new`], then execute
+/// programs with [`run_native`] / [`run_with_layers`] (which build the
+/// world internally) or drive ranks manually through [`Pmpi`] handles.
+pub struct World {
+    cfg: SimConfig,
+    state: Mutex<Shared>,
+    /// One condvar per rank for targeted wakeups; all bound to `state`.
+    cvs: Vec<Condvar>,
+}
+
+impl World {
+    /// Create a world with `COMM_WORLD` over `cfg.nprocs` ranks.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Arc<Self> {
+        let n = cfg.nprocs;
+        let shared = Shared {
+            comms: vec![CommEntry::new(CommInfo::world(n))],
+            requests: RequestTable::new(),
+            vt: vec![0.0; n],
+            blocked: vec![false; n],
+            nblocked: 0,
+            finished: vec![false; n],
+            nfinished: 0,
+            fatal: None,
+        };
+        Arc::new(Self {
+            cfg,
+            state: Mutex::new(shared),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+        })
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn nprocs(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    /// The world configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    // ---- internal helpers -------------------------------------------------
+
+    fn resolve(s: &Shared, comm: Comm, world_rank: usize) -> Result<(usize, usize)> {
+        let idx = comm.0 as usize;
+        let entry = s.comms.get(idx).ok_or(MpiError::InvalidComm)?;
+        if entry.info.freed {
+            return Err(MpiError::InvalidComm);
+        }
+        let crank = entry
+            .info
+            .comm_rank_of(world_rank)
+            .ok_or(MpiError::InvalidComm)?;
+        Ok((idx, crank))
+    }
+
+    fn fatal_err(s: &Shared) -> Option<MpiError> {
+        s.fatal.clone()
+    }
+
+    /// Block `rank` until `ready` yields a result, with deadlock detection.
+    ///
+    /// `blocked[r]` means *logically* blocked: `r`'s predicate was
+    /// unsatisfied when last evaluated and no event since could have
+    /// satisfied it. Every predicate-changing event ([`Self::unblock`])
+    /// clears the flag of the rank it may have satisfied *before* notifying,
+    /// so `nblocked == live ranks` holds exactly when no rank can ever make
+    /// progress — a true deadlock, immune to wakeup-scheduling races.
+    fn block_on<T>(
+        &self,
+        rank: usize,
+        mut ready: impl FnMut(&mut Shared) -> Option<Result<T>>,
+    ) -> Result<T> {
+        let mut g = self.state.lock();
+        loop {
+            // Completion first: an operation whose predicate is already
+            // satisfied succeeds even if the job is being torn down — only
+            // operations that would still have to wait observe the abort.
+            if let Some(out) = ready(&mut g) {
+                Self::clear_blocked(&mut g, rank);
+                return out;
+            }
+            if let Some(f) = Self::fatal_err(&g) {
+                Self::clear_blocked(&mut g, rank);
+                return Err(f);
+            }
+            if !g.blocked[rank] {
+                g.blocked[rank] = true;
+                g.nblocked += 1;
+            }
+            if g.nblocked == self.cfg.nprocs - g.nfinished {
+                // Every unfinished rank (including us) is blocked: deadlock.
+                let blocked_ranks: Vec<usize> = g
+                    .blocked
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(r, &b)| b.then_some(r))
+                    .collect();
+                let err = MpiError::Deadlock { blocked_ranks };
+                g.fatal = Some(err.clone());
+                Self::clear_blocked(&mut g, rank);
+                for cv in &self.cvs {
+                    cv.notify_all();
+                }
+                return Err(err);
+            }
+            self.cvs[rank].wait(&mut g);
+        }
+    }
+
+    fn clear_blocked(s: &mut Shared, rank: usize) {
+        if s.blocked[rank] {
+            s.blocked[rank] = false;
+            s.nblocked -= 1;
+        }
+    }
+
+    /// An event occurred that may satisfy `world_rank`'s blocking
+    /// predicate: clear its logical-block flag and wake it.
+    fn unblock(&self, s: &mut Shared, world_rank: usize) {
+        Self::clear_blocked(s, world_rank);
+        self.cvs[world_rank].notify_all();
+    }
+
+    /// Complete a recv request (and, for rendezvous messages, the paired
+    /// send request) and wake the owners. Caller holds the lock.
+    fn complete_recv_locked(&self, s: &mut Shared, req_id: u64, env: Envelope) {
+        if let Some(sreq) = env.send_req {
+            let sender = s.requests.complete_send(sreq);
+            self.unblock(s, sender);
+        }
+        s.requests.complete_recv(req_id, env);
+        let owner = s
+            .requests
+            .get(Request(req_id))
+            .expect("just completed")
+            .owner;
+        self.unblock(s, owner);
+    }
+
+    // ---- point-to-point ---------------------------------------------------
+
+    pub(crate) fn op_now(&self, rank: usize) -> f64 {
+        self.state.lock().vt[rank]
+    }
+
+    pub(crate) fn op_compute(&self, rank: usize, seconds: f64) -> Result<()> {
+        let mut g = self.state.lock();
+        if let Some(f) = Self::fatal_err(&g) {
+            return Err(f);
+        }
+        g.vt[rank] += seconds.max(0.0);
+        Ok(())
+    }
+
+    pub(crate) fn op_fatal_check(&self) -> Result<()> {
+        let g = self.state.lock();
+        match Self::fatal_err(&g) {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+
+    pub(crate) fn op_comm_rank(&self, rank: usize, comm: Comm) -> Result<usize> {
+        let g = self.state.lock();
+        Self::resolve(&g, comm, rank).map(|(_, crank)| crank)
+    }
+
+    pub(crate) fn op_comm_size(&self, rank: usize, comm: Comm) -> Result<usize> {
+        let g = self.state.lock();
+        Self::resolve(&g, comm, rank).map(|(idx, _)| g.comms[idx].info.size())
+    }
+
+    pub(crate) fn op_translate_rank(&self, comm: Comm, comm_rank: usize) -> Result<usize> {
+        let g = self.state.lock();
+        let entry = g.comms.get(comm.0 as usize).ok_or(MpiError::InvalidComm)?;
+        entry
+            .info
+            .world_rank_of(comm_rank)
+            .ok_or(MpiError::InvalidRank {
+                rank: comm_rank as i32,
+                comm_size: entry.info.size(),
+            })
+    }
+
+    pub(crate) fn op_isend(
+        &self,
+        rank: usize,
+        comm: Comm,
+        dest: i32,
+        tag: Tag,
+        data: Bytes,
+    ) -> Result<Request> {
+        let mut g = self.state.lock();
+        if let Some(f) = Self::fatal_err(&g) {
+            return Err(f);
+        }
+        let (idx, crank) = Self::resolve(&g, comm, rank)?;
+        let size = g.comms[idx].info.size();
+        if dest < 0 || dest as usize >= size {
+            return Err(MpiError::InvalidRank {
+                rank: dest,
+                comm_size: size,
+            });
+        }
+        g.vt[rank] += self.cfg.vtime.send_overhead;
+        let eager = self
+            .cfg
+            .eager_limit
+            .is_none_or(|limit| data.len() <= limit);
+        let req = g.requests.create(RequestEntry {
+            owner: rank,
+            comm,
+            kind: ReqKind::Send,
+            src_spec: dest,
+            tag_spec: tag,
+            state: if eager {
+                ReqState::SendDone
+            } else {
+                ReqState::Pending
+            },
+        });
+        let env = Envelope {
+            src: crank,
+            dst: dest as usize,
+            tag,
+            payload: data,
+            arrival_seq: 0,
+            send_vt: g.vt[rank],
+            send_req: (!eager).then_some(req.0),
+        };
+        let dst_world = g.comms[idx]
+            .info
+            .world_rank_of(dest as usize)
+            .expect("validated dest");
+        match g.comms[idx].engine.deliver(env) {
+            Delivery::Matched { req: rreq, envelope } => {
+                self.complete_recv_locked(&mut g, rreq, envelope);
+            }
+            Delivery::Queued => {
+                // A new unexpected message may satisfy a blocked probe.
+                self.unblock(&mut g, dst_world);
+            }
+        }
+        Ok(req)
+    }
+
+    pub(crate) fn op_irecv(&self, rank: usize, comm: Comm, src: i32, tag: Tag) -> Result<Request> {
+        let mut g = self.state.lock();
+        if let Some(f) = Self::fatal_err(&g) {
+            return Err(f);
+        }
+        let (idx, crank) = Self::resolve(&g, comm, rank)?;
+        let size = g.comms[idx].info.size();
+        if src != ANY_SOURCE && (src < 0 || src as usize >= size) {
+            return Err(MpiError::InvalidRank {
+                rank: src,
+                comm_size: size,
+            });
+        }
+        let req = g.requests.create(RequestEntry {
+            owner: rank,
+            comm,
+            kind: ReqKind::Recv,
+            src_spec: src,
+            tag_spec: tag,
+            state: ReqState::Pending,
+        });
+        let policy = self.cfg.policy;
+        if let Some(env) = g.comms[idx].engine.post(crank, req.0, src, tag, policy) {
+            self.complete_recv_locked(&mut g, req.0, env);
+        }
+        Ok(req)
+    }
+
+    fn finish_wait(
+        &self,
+        s: &mut Shared,
+        rank: usize,
+        req: Request,
+    ) -> Result<(Status, Bytes)> {
+        let entry = s.requests.consume(req)?;
+        match entry.state {
+            ReqState::SendDone => Ok((
+                Status {
+                    source: rank,
+                    tag: entry.tag_spec,
+                },
+                Bytes::new(),
+            )),
+            ReqState::RecvDone(env) => {
+                s.vt[rank] =
+                    self.cfg
+                        .vtime
+                        .recv_complete(env.send_vt, s.vt[rank], env.payload.len());
+                Ok((
+                    Status {
+                        source: env.src,
+                        tag: env.tag,
+                    },
+                    env.payload,
+                ))
+            }
+            ReqState::Pending => unreachable!("finish_wait on incomplete request"),
+        }
+    }
+
+    pub(crate) fn op_wait(&self, rank: usize, req: Request) -> Result<(Status, Bytes)> {
+        self.block_on(rank, |s| {
+            let entry = match s.requests.get(req) {
+                Ok(e) => e,
+                Err(e) => return Some(Err(e)),
+            };
+            if entry.owner != rank {
+                return Some(Err(MpiError::ToolProtocol {
+                    detail: format!("rank {rank} waited on rank {}'s request", entry.owner),
+                }));
+            }
+            if entry.is_done() {
+                Some(self.finish_wait(s, rank, req))
+            } else {
+                None
+            }
+        })
+    }
+
+    pub(crate) fn op_test(&self, rank: usize, req: Request) -> Result<Option<(Status, Bytes)>> {
+        let mut g = self.state.lock();
+        if let Some(f) = Self::fatal_err(&g) {
+            return Err(f);
+        }
+        let entry = g.requests.get(req)?;
+        if entry.owner != rank {
+            return Err(MpiError::ToolProtocol {
+                detail: format!("rank {rank} tested rank {}'s request", entry.owner),
+            });
+        }
+        if entry.is_done() {
+            self.finish_wait(&mut g, rank, req).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    pub(crate) fn op_waitany(
+        &self,
+        rank: usize,
+        reqs: &[Request],
+    ) -> Result<(usize, Status, Bytes)> {
+        if reqs.is_empty() {
+            return Err(MpiError::ToolProtocol {
+                detail: "waitany on an empty request list".to_owned(),
+            });
+        }
+        self.block_on(rank, |s| {
+            for (i, r) in reqs.iter().enumerate() {
+                match s.requests.get(*r) {
+                    Ok(e) if e.is_done() && e.owner == rank => {
+                        return Some(self.finish_wait(s, rank, *r).map(|(st, b)| (i, st, b)));
+                    }
+                    Ok(_) => {}
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            None
+        })
+    }
+
+    pub(crate) fn op_testany(
+        &self,
+        rank: usize,
+        reqs: &[Request],
+    ) -> Result<Option<(usize, Status, Bytes)>> {
+        let mut g = self.state.lock();
+        if let Some(f) = Self::fatal_err(&g) {
+            return Err(f);
+        }
+        for (i, r) in reqs.iter().enumerate() {
+            match g.requests.get(*r) {
+                Ok(e) if e.is_done() && e.owner == rank => {
+                    return self
+                        .finish_wait(&mut g, rank, *r)
+                        .map(|(st, b)| Some((i, st, b)));
+                }
+                Ok(_) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    pub(crate) fn op_waitsome(
+        &self,
+        rank: usize,
+        reqs: &[Request],
+    ) -> Result<Vec<(usize, Status, Bytes)>> {
+        if reqs.is_empty() {
+            return Err(MpiError::ToolProtocol {
+                detail: "waitsome on an empty request list".to_owned(),
+            });
+        }
+        self.block_on(rank, |s| {
+            let mut done = Vec::new();
+            for (i, r) in reqs.iter().enumerate() {
+                match s.requests.get(*r) {
+                    Ok(e) if e.is_done() && e.owner == rank => done.push(i),
+                    Ok(_) => {}
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            if done.is_empty() {
+                return None;
+            }
+            let mut out = Vec::with_capacity(done.len());
+            for i in done {
+                match self.finish_wait(s, rank, reqs[i]) {
+                    Ok((st, b)) => out.push((i, st, b)),
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            Some(Ok(out))
+        })
+    }
+
+    pub(crate) fn op_probe(
+        &self,
+        rank: usize,
+        comm: Comm,
+        src: i32,
+        tag: Tag,
+    ) -> Result<ProbeInfo> {
+        let policy = self.cfg.policy;
+        self.block_on(rank, move |s| {
+            let (idx, crank) = match Self::resolve(s, comm, rank) {
+                Ok(v) => v,
+                Err(e) => return Some(Err(e)),
+            };
+            s.comms[idx]
+                .engine
+                .probe(crank, src, tag, policy)
+                .map(Ok)
+        })
+    }
+
+    pub(crate) fn op_iprobe(
+        &self,
+        rank: usize,
+        comm: Comm,
+        src: i32,
+        tag: Tag,
+    ) -> Result<Option<ProbeInfo>> {
+        let mut g = self.state.lock();
+        if let Some(f) = Self::fatal_err(&g) {
+            return Err(f);
+        }
+        let (idx, crank) = Self::resolve(&g, comm, rank)?;
+        let policy = self.cfg.policy;
+        Ok(g.comms[idx].engine.probe(crank, src, tag, policy))
+    }
+
+    // ---- collectives ------------------------------------------------------
+
+    /// Shared rendezvous path for every collective operation.
+    fn collective(
+        &self,
+        rank: usize,
+        comm: Comm,
+        sig: CollSig,
+        contribution: Contribution,
+    ) -> Result<CollOutcome> {
+        let gen = {
+            let mut g = self.state.lock();
+            if let Some(f) = Self::fatal_err(&g) {
+                return Err(f);
+            }
+            let (idx, crank) = Self::resolve(&g, comm, rank)?;
+            g.vt[rank] += self.cfg.vtime.send_overhead;
+            let vt = g.vt[rank];
+            let (gen, last) = match g.comms[idx].coll.enter(crank, sig, contribution, vt) {
+                Ok(v) => v,
+                Err(e) => {
+                    // Mismatched collective: a program bug that would hang
+                    // the other participants — declare it globally.
+                    g.fatal = Some(e.clone());
+                    for cv in &self.cvs {
+                        cv.notify_all();
+                    }
+                    return Err(e);
+                }
+            };
+            if last {
+                let (sig, contribs, max_vt) = g.comms[idx].coll.take_contributions();
+                let size = g.comms[idx].info.size();
+                let result_vt = max_vt + self.cfg.vtime.collective_cost(size);
+                let outcomes = match sig {
+                    CollSig::CommDup | CollSig::CommSplit | CollSig::CommFree => {
+                        self.comm_management(&mut g, idx, sig, &contribs)
+                    }
+                    _ => combine(sig, &contribs),
+                };
+                g.comms[idx].coll.finish(gen, outcomes, result_vt);
+                let members: Vec<usize> = g.comms[idx].info.group.clone();
+                for m in members {
+                    if m != rank {
+                        self.unblock(&mut g, m);
+                    }
+                }
+            }
+            gen
+        };
+        let idx = comm.0 as usize;
+        let crank = {
+            let g = self.state.lock();
+            g.comms[idx]
+                .info
+                .comm_rank_of(rank)
+                .ok_or(MpiError::InvalidComm)?
+        };
+        let (outcome, vt) = self
+            .block_on(rank, |s| s.comms[idx].coll.try_take(gen, crank).map(Ok))?;
+        let mut g = self.state.lock();
+        g.vt[rank] = g.vt[rank].max(vt);
+        outcome
+    }
+
+    /// Combine communicator-management collectives; owns the comm table.
+    fn comm_management(
+        &self,
+        s: &mut Shared,
+        parent_idx: usize,
+        sig: CollSig,
+        contribs: &[Contribution],
+    ) -> std::result::Result<Vec<CollOutcome>, MpiError> {
+        let n = contribs.len();
+        match sig {
+            CollSig::CommDup => {
+                let parent = &s.comms[parent_idx].info;
+                let id = Comm(s.comms.len() as u32);
+                let info = CommInfo::derived(
+                    id,
+                    parent.group.clone(),
+                    self.cfg.nprocs,
+                    format!("dup of {}", parent.label),
+                );
+                s.comms.push(CommEntry::new(info));
+                Ok(vec![CollOutcome::Comm(id); n])
+            }
+            CollSig::CommSplit => {
+                let parent_group = s.comms[parent_idx].info.group.clone();
+                let parent_label = s.comms[parent_idx].info.label.clone();
+                // Collect (color, key, comm rank) triples.
+                let mut triples: Vec<(i64, i64, usize)> = Vec::with_capacity(n);
+                for (crank, c) in contribs.iter().enumerate() {
+                    match c {
+                        Contribution::Split { color, key } => triples.push((*color, *key, crank)),
+                        _ => {
+                            return Err(MpiError::CollectiveMismatch {
+                                detail: "comm_split got a non-split contribution".to_owned(),
+                            })
+                        }
+                    }
+                }
+                let mut colors: Vec<i64> = triples
+                    .iter()
+                    .map(|t| t.0)
+                    .filter(|&c| c >= 0)
+                    .collect();
+                colors.sort_unstable();
+                colors.dedup();
+                let mut outcomes = vec![CollOutcome::NoComm; n];
+                for color in colors {
+                    let mut members: Vec<(i64, usize)> = triples
+                        .iter()
+                        .filter(|t| t.0 == color)
+                        .map(|t| (t.1, t.2))
+                        .collect();
+                    members.sort_unstable();
+                    let group: Vec<usize> =
+                        members.iter().map(|&(_, crank)| parent_group[crank]).collect();
+                    let id = Comm(s.comms.len() as u32);
+                    let info = CommInfo::derived(
+                        id,
+                        group,
+                        self.cfg.nprocs,
+                        format!("split(color={color}) of {parent_label}"),
+                    );
+                    s.comms.push(CommEntry::new(info));
+                    for &(_, crank) in &members {
+                        outcomes[crank] = CollOutcome::Comm(id);
+                    }
+                }
+                Ok(outcomes)
+            }
+            CollSig::CommFree => {
+                s.comms[parent_idx].info.freed = true;
+                Ok(vec![CollOutcome::None; n])
+            }
+            _ => unreachable!("comm_management called for a data collective"),
+        }
+    }
+
+    pub(crate) fn op_barrier(&self, rank: usize, comm: Comm) -> Result<()> {
+        match self.collective(rank, comm, CollSig::Barrier, Contribution::None)? {
+            CollOutcome::None => Ok(()),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("barrier returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_bcast(
+        &self,
+        rank: usize,
+        comm: Comm,
+        root: usize,
+        data: Option<Bytes>,
+    ) -> Result<Bytes> {
+        let crank = self.op_comm_rank(rank, comm)?;
+        let contribution = if crank == root {
+            Contribution::Bytes(data.ok_or_else(|| MpiError::ToolProtocol {
+                detail: "bcast root passed no data".to_owned(),
+            })?)
+        } else {
+            Contribution::None
+        };
+        match self.collective(rank, comm, CollSig::Bcast { root }, contribution)? {
+            CollOutcome::Bytes(b) => Ok(b),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("bcast returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_reduce_u64(
+        &self,
+        rank: usize,
+        comm: Comm,
+        root: usize,
+        value: Vec<u64>,
+        op: ReduceOp,
+    ) -> Result<Option<Vec<u64>>> {
+        match self.collective(
+            rank,
+            comm,
+            CollSig::ReduceU64 { root, op },
+            Contribution::U64s(value),
+        )? {
+            CollOutcome::U64s(v) => Ok(Some(v)),
+            CollOutcome::None => Ok(None),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("reduce returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_allreduce_u64(
+        &self,
+        rank: usize,
+        comm: Comm,
+        value: Vec<u64>,
+        op: ReduceOp,
+    ) -> Result<Vec<u64>> {
+        match self.collective(
+            rank,
+            comm,
+            CollSig::AllreduceU64 { op },
+            Contribution::U64s(value),
+        )? {
+            CollOutcome::U64s(v) => Ok(v),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("allreduce returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_reduce_f64(
+        &self,
+        rank: usize,
+        comm: Comm,
+        root: usize,
+        value: Vec<f64>,
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>> {
+        match self.collective(
+            rank,
+            comm,
+            CollSig::ReduceF64 { root, op },
+            Contribution::F64s(value),
+        )? {
+            CollOutcome::F64s(v) => Ok(Some(v)),
+            CollOutcome::None => Ok(None),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("reduce returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_allreduce_f64(
+        &self,
+        rank: usize,
+        comm: Comm,
+        value: Vec<f64>,
+        op: ReduceOp,
+    ) -> Result<Vec<f64>> {
+        match self.collective(
+            rank,
+            comm,
+            CollSig::AllreduceF64 { op },
+            Contribution::F64s(value),
+        )? {
+            CollOutcome::F64s(v) => Ok(v),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("allreduce returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_gather(
+        &self,
+        rank: usize,
+        comm: Comm,
+        root: usize,
+        data: Bytes,
+    ) -> Result<Option<Vec<Bytes>>> {
+        match self.collective(
+            rank,
+            comm,
+            CollSig::Gather { root },
+            Contribution::Bytes(data),
+        )? {
+            CollOutcome::BytesVec(v) => Ok(Some(v)),
+            CollOutcome::None => Ok(None),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("gather returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_allgather(
+        &self,
+        rank: usize,
+        comm: Comm,
+        data: Bytes,
+    ) -> Result<Vec<Bytes>> {
+        match self.collective(rank, comm, CollSig::Allgather, Contribution::Bytes(data))? {
+            CollOutcome::BytesVec(v) => Ok(v),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("allgather returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_scatter(
+        &self,
+        rank: usize,
+        comm: Comm,
+        root: usize,
+        data: Option<Vec<Bytes>>,
+    ) -> Result<Bytes> {
+        let crank = self.op_comm_rank(rank, comm)?;
+        let contribution = if crank == root {
+            Contribution::BytesVec(data.ok_or_else(|| MpiError::ToolProtocol {
+                detail: "scatter root passed no data".to_owned(),
+            })?)
+        } else {
+            Contribution::None
+        };
+        match self.collective(rank, comm, CollSig::Scatter { root }, contribution)? {
+            CollOutcome::Bytes(b) => Ok(b),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("scatter returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_alltoall(
+        &self,
+        rank: usize,
+        comm: Comm,
+        data: Vec<Bytes>,
+    ) -> Result<Vec<Bytes>> {
+        match self.collective(rank, comm, CollSig::Alltoall, Contribution::BytesVec(data))? {
+            CollOutcome::BytesVec(v) => Ok(v),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("alltoall returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_comm_dup(&self, rank: usize, comm: Comm) -> Result<Comm> {
+        match self.collective(rank, comm, CollSig::CommDup, Contribution::None)? {
+            CollOutcome::Comm(c) => Ok(c),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("comm_dup returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_comm_split(
+        &self,
+        rank: usize,
+        comm: Comm,
+        color: i64,
+        key: i64,
+    ) -> Result<Option<Comm>> {
+        match self.collective(
+            rank,
+            comm,
+            CollSig::CommSplit,
+            Contribution::Split { color, key },
+        )? {
+            CollOutcome::Comm(c) => Ok(Some(c)),
+            CollOutcome::NoComm => Ok(None),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("comm_split returned {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn op_comm_free(&self, rank: usize, comm: Comm) -> Result<()> {
+        if comm == Comm::WORLD {
+            return Err(MpiError::ToolProtocol {
+                detail: "cannot free MPI_COMM_WORLD".to_owned(),
+            });
+        }
+        match self.collective(rank, comm, CollSig::CommFree, Contribution::None)? {
+            CollOutcome::None => Ok(()),
+            other => Err(MpiError::ToolProtocol {
+                detail: format!("comm_free returned {other:?}"),
+            }),
+        }
+    }
+
+    // ---- lifecycle --------------------------------------------------------
+
+    fn mark_finished(&self, rank: usize) {
+        let mut g = self.state.lock();
+        if g.finished[rank] {
+            return;
+        }
+        g.finished[rank] = true;
+        g.nfinished += 1;
+        // A finishing rank can strand blocked peers: recheck deadlock.
+        if g.fatal.is_none() && g.nblocked > 0 && g.nblocked == self.cfg.nprocs - g.nfinished {
+            let blocked_ranks: Vec<usize> = g
+                .blocked
+                .iter()
+                .enumerate()
+                .filter_map(|(r, &b)| b.then_some(r))
+                .collect();
+            g.fatal = Some(MpiError::Deadlock { blocked_ranks });
+        }
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    fn abort(&self, rank: usize) {
+        let mut g = self.state.lock();
+        if g.fatal.is_none() {
+            g.fatal = Some(MpiError::Aborted { by_rank: rank });
+        }
+        if !g.finished[rank] {
+            g.finished[rank] = true;
+            g.nfinished += 1;
+        }
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    fn leak_report(&self) -> LeakReport {
+        let g = self.state.lock();
+        let comm_leaks = g
+            .comms
+            .iter()
+            .filter(|c| c.info.derived && !c.info.freed)
+            .map(|c| CommLeak {
+                comm: c.info.id,
+                label: c.info.label.clone(),
+                size: c.info.size(),
+            })
+            .collect();
+        let request_leaks = g.requests.live_by_owner(self.cfg.nprocs);
+        let unreceived_messages = g.comms.iter().map(|c| c.engine.total_unexpected()).sum();
+        LeakReport {
+            comm_leaks,
+            request_leaks,
+            unreceived_messages,
+        }
+    }
+
+    fn snapshot_vt(&self) -> Vec<f64> {
+        self.state.lock().vt.clone()
+    }
+
+    fn fatal(&self) -> Option<MpiError> {
+        self.state.lock().fatal.clone()
+    }
+}
+
+/// Factory building each rank's interposition stack on top of the runtime
+/// handle — the analog of PnMPI loading a tool-module chain.
+pub type LayerFactory<'a> = dyn Fn(usize, Pmpi) -> Box<dyn Mpi> + Sync + 'a;
+
+use crate::proc_api::Mpi;
+
+/// Execute `program` on a fresh world with a tool stack built by `factory`
+/// for each rank. Blocks until every rank thread exits; returns the
+/// [`RunOutcome`] with per-rank errors, leak census, and virtual times.
+pub fn run_with_layers(
+    cfg: &SimConfig,
+    program: &dyn MpiProgram,
+    factory: &LayerFactory<'_>,
+) -> RunOutcome {
+    let world = World::new(cfg.clone());
+    let n = cfg.nprocs;
+    let mut rank_errors: Vec<Option<MpiError>> = vec![None; n];
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let world = Arc::clone(&world);
+            let builder = scope.builder().stack_size(cfg.stack_size).name(format!("rank-{rank}"));
+            let handle = builder
+                .spawn(move |_| {
+                    let pmpi = Pmpi::new(Arc::clone(&world), rank);
+                    let mut stack = factory(rank, pmpi);
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| program.run(stack.as_mut())));
+                    let outcome: Option<MpiError> = match result {
+                        Ok(Ok(())) => stack.finalize().err(),
+                        Ok(Err(e)) => Some(e),
+                        Err(panic) => Some(MpiError::Panicked {
+                            message: panic_message(panic.as_ref()),
+                        }),
+                    };
+                    match &outcome {
+                        None => world.mark_finished(rank),
+                        Some(_) => world.abort(rank),
+                    }
+                    outcome
+                })
+                .expect("spawn rank thread");
+            handles.push(handle);
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            rank_errors[rank] = h.join().expect("rank thread never panics past the catch");
+        }
+    })
+    .expect("scope completes");
+
+    let per_rank_vt = world.snapshot_vt();
+    let makespan = per_rank_vt.iter().copied().fold(0.0_f64, f64::max);
+    RunOutcome {
+        rank_errors,
+        leaks: world.leak_report(),
+        fatal: world.fatal(),
+        per_rank_vt,
+        makespan,
+    }
+}
+
+/// Execute `program` with no tool layers (the "native MPI" baseline used
+/// for Table II slowdown denominators).
+pub fn run_native(cfg: &SimConfig, program: &dyn MpiProgram) -> RunOutcome {
+    run_with_layers(cfg, program, &|_, pmpi| Box::new(pmpi))
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}

@@ -1,0 +1,169 @@
+//! MPI operation census, classified as in the paper's Table I.
+//!
+//! The paper logs all *communication* MPI operations of ParMETIS and buckets
+//! them as Send-Recv (all point-to-point including probes), Collective, and
+//! Wait (all `MPI_Wait`/`MPI_Test` variants). Local operations
+//! (`MPI_Type_create`, `MPI_Get_count`, …) are not counted. The census is
+//! collected by a [`StatsLayer`](crate::interpose::StatsLayer) placed at the
+//! *top* of the interposition stack so tool-generated traffic (piggybacks)
+//! is excluded, exactly like logging the application's own calls.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Classification of a communication operation (Table I rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Point-to-point: send/isend/recv/irecv/probe/iprobe.
+    SendRecv,
+    /// Collective: barrier, bcast, reductions, gathers, scatters, alltoall,
+    /// and communicator management (collective by the standard).
+    Collective,
+    /// Completion: wait/test/waitall/waitany variants.
+    Wait,
+}
+
+/// Census of operations for one rank or aggregated across ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Point-to-point operation count.
+    pub send_recv: u64,
+    /// Collective operation count.
+    pub collective: u64,
+    /// Wait/test operation count.
+    pub wait: u64,
+}
+
+impl OpStats {
+    /// Record one operation.
+    pub fn record(&mut self, class: OpClass) {
+        match class {
+            OpClass::SendRecv => self.send_recv += 1,
+            OpClass::Collective => self.collective += 1,
+            OpClass::Wait => self.wait += 1,
+        }
+    }
+
+    /// Total operations across all classes (Table I "All" row).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.send_recv + self.collective + self.wait
+    }
+
+    /// Merge another census into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.send_recv += other.send_recv;
+        self.collective += other.collective;
+        self.wait += other.wait;
+    }
+}
+
+/// Thread-safe collector aggregating per-rank censuses; shared between the
+/// caller and the [`StatsLayer`](crate::interpose::StatsLayer) instances.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    inner: Mutex<CollectorInner>,
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    total: OpStats,
+    per_rank: Vec<(usize, OpStats)>,
+}
+
+impl StatsCollector {
+    /// New empty collector behind an `Arc` for sharing with layers.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Fold one rank's census in (called by the layer at finalize).
+    pub fn submit(&self, rank: usize, stats: OpStats) {
+        let mut g = self.inner.lock();
+        g.total.merge(&stats);
+        g.per_rank.push((rank, stats));
+    }
+
+    /// Aggregated census across all submitted ranks.
+    #[must_use]
+    pub fn total(&self) -> OpStats {
+        self.inner.lock().total
+    }
+
+    /// Per-rank censuses in submission order.
+    #[must_use]
+    pub fn per_rank(&self) -> Vec<(usize, OpStats)> {
+        self.inner.lock().per_rank.clone()
+    }
+
+    /// Mean operations per submitting rank (Table I "per proc" rows).
+    #[must_use]
+    pub fn per_proc(&self) -> OpStats {
+        let g = self.inner.lock();
+        let n = g.per_rank.len().max(1) as u64;
+        OpStats {
+            send_recv: g.total.send_recv / n,
+            collective: g.total.collective / n,
+            wait: g.total.wait / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut s = OpStats::default();
+        s.record(OpClass::SendRecv);
+        s.record(OpClass::SendRecv);
+        s.record(OpClass::Collective);
+        s.record(OpClass::Wait);
+        assert_eq!(s.send_recv, 2);
+        assert_eq!(s.collective, 1);
+        assert_eq!(s.wait, 1);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn merge_sums_classes() {
+        let mut a = OpStats {
+            send_recv: 1,
+            collective: 2,
+            wait: 3,
+        };
+        let b = OpStats {
+            send_recv: 10,
+            collective: 20,
+            wait: 30,
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 66);
+    }
+
+    #[test]
+    fn collector_aggregates() {
+        let c = StatsCollector::new();
+        c.submit(
+            0,
+            OpStats {
+                send_recv: 4,
+                collective: 2,
+                wait: 2,
+            },
+        );
+        c.submit(
+            1,
+            OpStats {
+                send_recv: 6,
+                collective: 2,
+                wait: 4,
+            },
+        );
+        assert_eq!(c.total().total(), 20);
+        assert_eq!(c.per_proc().send_recv, 5);
+        assert_eq!(c.per_rank().len(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Basic MPI-flavored scalar types and wildcard constants.
+
+/// Message tag. Like MPI, tags are small non-negative integers; the wildcard
+/// [`ANY_TAG`] is negative.
+pub type Tag = i32;
+
+/// Wildcard source rank: matches a message from any source
+/// (`MPI_ANY_SOURCE`). Receives posted with this source are the
+/// *non-deterministic* operations whose outcomes DAMPI enumerates.
+pub const ANY_SOURCE: i32 = -1;
+
+/// Wildcard tag (`MPI_ANY_TAG`): matches a message with any tag.
+pub const ANY_TAG: i32 = -1;
+
+/// True if `spec` (a source argument) accepts world/comm rank `actual`.
+#[must_use]
+pub fn source_matches(spec: i32, actual: usize) -> bool {
+    spec == ANY_SOURCE || spec == actual as i32
+}
+
+/// True if `spec` (a tag argument) accepts message tag `actual`.
+#[must_use]
+pub fn tag_matches(spec: Tag, actual: Tag) -> bool {
+    spec == ANY_TAG || spec == actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_source_matches_everything() {
+        assert!(source_matches(ANY_SOURCE, 0));
+        assert!(source_matches(ANY_SOURCE, 1023));
+    }
+
+    #[test]
+    fn named_source_matches_only_itself() {
+        assert!(source_matches(3, 3));
+        assert!(!source_matches(3, 4));
+    }
+
+    #[test]
+    fn tag_wildcards() {
+        assert!(tag_matches(ANY_TAG, 0));
+        assert!(tag_matches(ANY_TAG, 99));
+        assert!(tag_matches(7, 7));
+        assert!(!tag_matches(7, 8));
+    }
+}

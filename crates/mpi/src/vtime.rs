@@ -1,0 +1,169 @@
+//! The virtual-time (simulated wall-clock) cost model.
+//!
+//! The paper evaluates DAMPI and ISP by wall-clock time on an 800-node
+//! cluster. We have no cluster, so the runtime tracks **simulated seconds**
+//! with a LogP-flavored model: every rank accumulates local time for compute
+//! and per-call overheads; message receives synchronize with the sender's
+//! stamped time plus latency and bandwidth terms; collectives cost a
+//! log-depth tree. ISP's centralized scheduler is modeled as a serialized
+//! transaction per MPI call (its real bottleneck, §II-A), DAMPI's overhead
+//! as the organic cost of its extra piggyback messages.
+//!
+//! Absolute values are calibrated to commodity-cluster magnitudes
+//! (microsecond latencies); only the *shape* of the paper's figures is
+//! claimed, as DESIGN.md documents.
+
+/// Parameters of the virtual-time model.
+#[derive(Debug, Clone, Copy)]
+pub struct VTimeParams {
+    /// CPU overhead charged to the sender per send (LogP `o`).
+    pub send_overhead: f64,
+    /// CPU overhead charged to the receiver per completed receive.
+    pub recv_overhead: f64,
+    /// Wire latency, send completion to receive availability (LogP `L`).
+    pub latency: f64,
+    /// Per-byte bandwidth term (LogP `G`).
+    pub per_byte: f64,
+    /// Per-tree-stage latency of a collective (cost = `coll_latency *
+    /// ceil(log2 n)`).
+    pub coll_latency: f64,
+    /// Central-scheduler processing time per MPI call under ISP. Serialized
+    /// across *all* ranks — the term that makes ISP's curves explode.
+    pub isp_per_op: f64,
+    /// Round-trip time of the ISP scheduler's synchronous socket exchange,
+    /// charged to the calling rank on top of the serialized portion.
+    pub isp_rtt: f64,
+    /// CPU time DAMPI spends analyzing one late message
+    /// (`FindPotentialMatches`).
+    pub dampi_analysis: f64,
+}
+
+impl Default for VTimeParams {
+    fn default() -> Self {
+        Self {
+            send_overhead: 2e-6,
+            recv_overhead: 2e-6,
+            latency: 5e-6,
+            per_byte: 5e-10, // ~2 GB/s
+            coll_latency: 5e-6,
+            isp_per_op: 120e-6,
+            isp_rtt: 60e-6,
+            dampi_analysis: 5e-6,
+        }
+    }
+}
+
+impl VTimeParams {
+    /// Receiver-side completion time of a message sent at `send_vt` with
+    /// `bytes` payload, at a receiver whose local time is `recv_vt`.
+    #[must_use]
+    pub fn recv_complete(&self, send_vt: f64, recv_vt: f64, bytes: usize) -> f64 {
+        let arrival = send_vt + self.latency + bytes as f64 * self.per_byte;
+        recv_vt.max(arrival) + self.recv_overhead
+    }
+
+    /// Cost of a collective over `n` ranks (dissemination-tree depth).
+    #[must_use]
+    pub fn collective_cost(&self, n: usize) -> f64 {
+        let stages = (n.max(1) as f64).log2().ceil().max(1.0);
+        self.coll_latency * stages
+    }
+}
+
+/// Serialized virtual clock of the ISP central scheduler.
+///
+/// Each intercepted MPI call performs a synchronous transaction: the
+/// scheduler cannot begin it before finishing every earlier transaction, so
+/// scheduler time advances `max(sched, caller) + per_op`, and the caller
+/// resumes at `sched + rtt`. With per-process op counts growing with scale
+/// (paper Table I), this serialization is ISP's non-scalability.
+#[derive(Debug, Default)]
+pub struct CentralClock {
+    vt: f64,
+    transactions: u64,
+}
+
+impl CentralClock {
+    /// Fresh scheduler clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run one synchronous transaction for a caller whose local time is
+    /// `caller_vt`; returns the caller's new local time.
+    pub fn transact(&mut self, caller_vt: f64, params: &VTimeParams) -> f64 {
+        self.vt = self.vt.max(caller_vt) + params.isp_per_op;
+        self.transactions += 1;
+        self.vt + params.isp_rtt
+    }
+
+    /// Scheduler's current virtual time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.vt
+    }
+
+    /// Number of transactions processed.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recv_complete_waits_for_arrival() {
+        let p = VTimeParams::default();
+        // Receiver is early: completion dominated by arrival.
+        let t = p.recv_complete(1.0, 0.0, 0);
+        assert!((t - (1.0 + p.latency + p.recv_overhead)).abs() < 1e-12);
+        // Receiver is late: completion dominated by receiver time.
+        let t = p.recv_complete(0.0, 2.0, 0);
+        assert!((t - (2.0 + p.recv_overhead)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_bytes() {
+        let p = VTimeParams::default();
+        let small = p.recv_complete(0.0, 0.0, 8);
+        let big = p.recv_complete(0.0, 0.0, 8 << 20);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn collective_cost_grows_logarithmically() {
+        let p = VTimeParams::default();
+        let c2 = p.collective_cost(2);
+        let c1024 = p.collective_cost(1024);
+        assert!((c1024 / c2 - 10.0).abs() < 1e-9, "log2(1024)/log2(2) = 10");
+    }
+
+    #[test]
+    fn central_clock_serializes() {
+        let p = VTimeParams::default();
+        let mut c = CentralClock::new();
+        // Two calls from ranks both at local time 0: the second caller's
+        // completion includes the first transaction's processing time.
+        let t1 = c.transact(0.0, &p);
+        let t2 = c.transact(0.0, &p);
+        assert!(t2 > t1);
+        assert_eq!(c.transactions(), 2);
+        // N transactions take at least N * per_op of scheduler time.
+        for _ in 0..98 {
+            c.transact(0.0, &p);
+        }
+        assert!(c.now() >= 100.0 * p.isp_per_op - 1e-12);
+    }
+
+    #[test]
+    fn central_clock_respects_caller_time() {
+        let p = VTimeParams::default();
+        let mut c = CentralClock::new();
+        let t = c.transact(5.0, &p);
+        assert!(t > 5.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the matching engine: MPI matching invariants
+//! under arbitrary operation sequences.
+
+use bytes::Bytes;
+use dampi_mpi::envelope::Envelope;
+use dampi_mpi::matching::{Delivery, MatchEngine, MatchPolicy};
+use dampi_mpi::{ANY_SOURCE, ANY_TAG};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Send from `src` to `dst` with `tag`; payload encodes a per-stream
+    /// sequence number.
+    Send { src: usize, dst: usize, tag: i32 },
+    /// Post a receive at `dst` (src/tag may be wildcards).
+    Recv { dst: usize, src: i32, tag: i32 },
+}
+
+/// Execute ops against the engine, tracking matched (src,tag,seq) streams
+/// per destination.
+fn run_ops(nprocs: usize, ops: &[Op], policy: MatchPolicy) -> TestState {
+    let mut engine = MatchEngine::new(nprocs);
+    let mut next_seq: HashMap<(usize, usize, i32), u64> = HashMap::new();
+    let mut req_id = 0u64;
+    let mut st = TestState::new_ok();
+    for op in ops {
+        match *op {
+            Op::Send { src, dst, tag } => {
+                let seq = next_seq.entry((src, dst, tag)).or_insert(0);
+                let env = Envelope {
+                    src,
+                    dst,
+                    tag,
+                    payload: Bytes::from(seq.to_le_bytes().to_vec()),
+                    arrival_seq: 0,
+                    send_vt: 0.0,
+            send_req: None,
+                };
+                *seq += 1;
+                st.sent += 1;
+                match engine.deliver(env) {
+                    Delivery::Matched { envelope, .. } => st.record_match(&envelope),
+                    Delivery::Queued => {}
+                }
+            }
+            Op::Recv { dst, src, tag } => {
+                req_id += 1;
+                if let Some(env) = engine.post(dst, req_id, src, tag, policy) {
+                    st.record_match(&env);
+                }
+            }
+        }
+        st.invariant_ok &= engine.matching_invariant_holds();
+    }
+    st.remaining = (0..nprocs).map(|d| engine.unexpected_count(d)).sum();
+    st
+}
+
+#[derive(Debug, Default)]
+struct TestState {
+    sent: usize,
+    matched: usize,
+    remaining: usize,
+    invariant_ok: bool,
+    /// Last matched seq per (src, dst, tag): must be strictly increasing.
+    last_seq: HashMap<(usize, usize, i32), u64>,
+    fifo_ok: bool,
+}
+
+impl TestState {
+    fn record_match(&mut self, env: &Envelope) {
+        self.matched += 1;
+        let seq = u64::from_le_bytes(env.payload[..8].try_into().expect("8 bytes"));
+        let key = (env.src, env.dst, env.tag);
+        if let Some(&prev) = self.last_seq.get(&key) {
+            if seq != prev + 1 {
+                self.fifo_ok = false;
+            }
+        } else if seq != 0 {
+            self.fifo_ok = false;
+        }
+        self.last_seq.insert(key, seq);
+    }
+}
+
+impl TestState {
+    fn new_ok() -> Self {
+        Self {
+            invariant_ok: true,
+            fifo_ok: true,
+            ..Default::default()
+        }
+    }
+}
+
+fn check(nprocs: usize, ops: Vec<Op>, policy: MatchPolicy) -> TestState {
+    let mut st = TestState::new_ok();
+    let run = run_ops(nprocs, &ops, policy);
+    st.sent = run.sent;
+    st.matched = run.matched;
+    st.remaining = run.remaining;
+    st.invariant_ok = run.invariant_ok && st.invariant_ok;
+    st.fifo_ok = run.fifo_ok && st.fifo_ok;
+    st.last_seq = run.last_seq;
+    st
+}
+
+proptest! {
+    /// Messages are conserved: matched + still-queued = sent.
+    #[test]
+    fn message_conservation(
+        nprocs in 2usize..6,
+        raw in prop::collection::vec((0usize..6, 0usize..6, -1i32..3, 0usize..2), 1..200),
+    ) {
+        let ops: Vec<Op> = raw
+            .into_iter()
+            .map(|(a, b, t, kind)| {
+                if kind == 0 {
+                    Op::Send { src: a % nprocs, dst: b % nprocs, tag: t.max(0) }
+                } else {
+                    Op::Recv { dst: a % nprocs, src: if t < 0 { ANY_SOURCE } else { (b % nprocs) as i32 }, tag: if t < 1 { ANY_TAG } else { t } }
+                }
+            })
+            .collect();
+        let st = check(nprocs, ops, MatchPolicy::ArrivalOrder);
+        prop_assert_eq!(st.matched + st.remaining, st.sent);
+        prop_assert!(st.invariant_ok, "posted/unexpected invariant violated");
+    }
+
+    /// Non-overtaking: per (src, dst, tag) stream, messages match in send
+    /// order, under every wildcard policy.
+    #[test]
+    fn non_overtaking_all_policies(
+        nprocs in 2usize..5,
+        raw in prop::collection::vec((0usize..5, 0usize..5, 0i32..2, 0usize..2), 1..150),
+        policy_sel in 0usize..3,
+    ) {
+        let policy = [
+            MatchPolicy::ArrivalOrder,
+            MatchPolicy::LowestRank,
+            MatchPolicy::Seeded(99),
+        ][policy_sel];
+        let ops: Vec<Op> = raw
+            .into_iter()
+            .map(|(a, b, t, kind)| {
+                if kind == 0 {
+                    Op::Send { src: a % nprocs, dst: b % nprocs, tag: t }
+                } else {
+                    // Wildcard-heavy receives to stress policy choice.
+                    Op::Recv { dst: a % nprocs, src: ANY_SOURCE, tag: if t == 0 { ANY_TAG } else { t } }
+                }
+            })
+            .collect();
+        let st = check(nprocs, ops, policy);
+        prop_assert!(st.fifo_ok, "a message overtook an earlier one on its stream");
+        prop_assert!(st.invariant_ok);
+    }
+
+    /// Policies choose sources, not messages: the set of matched messages
+    /// per run is policy-independent when receives are all-wildcard and
+    /// drained to exhaustion.
+    #[test]
+    fn full_drain_is_policy_independent(
+        nprocs in 2usize..5,
+        sends in prop::collection::vec((0usize..5, 0usize..5), 1..60),
+    ) {
+        let mut ops: Vec<Op> = sends
+            .iter()
+            .map(|&(src, dst)| Op::Send { src: src % nprocs, dst: dst % nprocs, tag: 0 })
+            .collect();
+        // Drain every destination completely.
+        for &(_, dst) in &sends {
+            ops.push(Op::Recv { dst: dst % nprocs, src: ANY_SOURCE, tag: ANY_TAG });
+        }
+        let a = check(nprocs, ops.clone(), MatchPolicy::ArrivalOrder);
+        let b = check(nprocs, ops, MatchPolicy::LowestRank);
+        prop_assert_eq!(a.matched, b.matched);
+        prop_assert_eq!(a.remaining, 0);
+        prop_assert_eq!(b.remaining, 0);
+    }
+}

@@ -1,0 +1,881 @@
+//! End-to-end semantics of the threaded MPI runtime: point-to-point,
+//! wildcards, collectives, communicator management, deadlock detection,
+//! leaks, aborts, and virtual time.
+
+use bytes::Bytes;
+use dampi_mpi::envelope::codec;
+use dampi_mpi::{
+    run_native, run_with_layers, FnProgram, MatchPolicy, MpiError, MpiProgram, ReduceOp,
+    SimConfig, Comm, ANY_SOURCE, ANY_TAG,
+};
+
+fn cfg(n: usize) -> SimConfig {
+    SimConfig::new(n)
+}
+
+fn bts(s: &[u8]) -> Bytes {
+    Bytes::copy_from_slice(s)
+}
+
+#[test]
+fn ping_pong() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                mpi.send(Comm::WORLD, 1, 7, bts(b"ping"))?;
+                let (st, data) = mpi.recv(Comm::WORLD, 1, 8)?;
+                assert_eq!(st.source, 1);
+                assert_eq!(&data[..], b"pong");
+            }
+            1 => {
+                let (st, data) = mpi.recv(Comm::WORLD, 0, 7)?;
+                assert_eq!(st.source, 0);
+                assert_eq!(&data[..], b"ping");
+                mpi.send(Comm::WORLD, 0, 8, bts(b"pong"))?;
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+    assert!(out.leaks.is_clean());
+}
+
+#[test]
+fn wildcard_receive_gets_all_messages() {
+    // Rank 0 receives world_size-1 messages via ANY_SOURCE; each slave
+    // sends its rank. All must arrive exactly once.
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let n = mpi.world_size();
+        if mpi.world_rank() == 0 {
+            let mut seen = vec![false; n];
+            for _ in 1..n {
+                let (st, data) = mpi.recv(Comm::WORLD, ANY_SOURCE, 1)?;
+                let val = codec::decode_u64(&data) as usize;
+                assert_eq!(st.source, val);
+                assert!(!seen[val], "duplicate message from {val}");
+                seen[val] = true;
+            }
+        } else {
+            mpi.send(Comm::WORLD, 0, 1, codec::encode_u64(mpi.world_rank() as u64))?;
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(6), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+}
+
+#[test]
+fn deadlock_two_ranks_both_receive() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let peer = 1 - mpi.world_rank() as i32;
+        let _ = mpi.recv(Comm::WORLD, peer, 0)?;
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(out.deadlocked(), "expected deadlock, got {:?}", out.fatal);
+    let bugs = out.program_bugs();
+    assert!(matches!(bugs[0].error, MpiError::Deadlock { .. }));
+}
+
+#[test]
+fn deadlock_missing_sender() {
+    // Rank 1 waits for a message nobody sends while others finish.
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 1 {
+            let _ = mpi.recv(Comm::WORLD, 2, 5)?;
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(3), &prog);
+    assert!(out.deadlocked());
+}
+
+#[test]
+fn no_false_deadlock_with_computing_rank() {
+    // Rank 0 blocks while rank 1 computes then sends: must complete.
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            let _ = mpi.recv(Comm::WORLD, 1, 0)?;
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            mpi.send(Comm::WORLD, 0, 0, bts(b"late but real"))?;
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(out.succeeded(), "{:?}", out.fatal);
+}
+
+#[test]
+fn collectives_roundtrip() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let n = mpi.world_size();
+        let me = mpi.world_rank();
+        mpi.barrier(Comm::WORLD)?;
+        // Bcast from root 1.
+        let data = if me == 1 { Some(bts(b"root-data")) } else { None };
+        let got = mpi.bcast(Comm::WORLD, 1, data)?;
+        assert_eq!(&got[..], b"root-data");
+        // Allreduce sum of ranks.
+        let sum = mpi.allreduce_u64(Comm::WORLD, vec![me as u64], ReduceOp::Sum)?;
+        assert_eq!(sum[0], (n * (n - 1) / 2) as u64);
+        // Reduce max to root 0.
+        let max = mpi.reduce_u64(Comm::WORLD, 0, vec![me as u64], ReduceOp::Max)?;
+        if me == 0 {
+            assert_eq!(max.unwrap()[0], (n - 1) as u64);
+        } else {
+            assert!(max.is_none());
+        }
+        // Allgather of rank bytes.
+        let all = mpi.allgather(Comm::WORLD, codec::encode_u64(me as u64))?;
+        for (i, b) in all.iter().enumerate() {
+            assert_eq!(codec::decode_u64(b) as usize, i);
+        }
+        // Gather at root 2.
+        let g = mpi.gather(Comm::WORLD, 2, codec::encode_u64(me as u64 * 10))?;
+        if me == 2 {
+            let g = g.unwrap();
+            assert_eq!(g.len(), n);
+            assert_eq!(codec::decode_u64(&g[3]), 30);
+        }
+        // Scatter from root 0.
+        let parts = if me == 0 {
+            Some((0..n).map(|i| codec::encode_u64(i as u64 + 100)).collect())
+        } else {
+            None
+        };
+        let part = mpi.scatter(Comm::WORLD, 0, parts)?;
+        assert_eq!(codec::decode_u64(&part), me as u64 + 100);
+        // Alltoall.
+        let outbound: Vec<Bytes> = (0..n)
+            .map(|j| codec::encode_u64((me * 100 + j) as u64))
+            .collect();
+        let inbound = mpi.alltoall(Comm::WORLD, outbound)?;
+        for (j, b) in inbound.iter().enumerate() {
+            assert_eq!(codec::decode_u64(b) as usize, j * 100 + me);
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(5), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+}
+
+#[test]
+fn allreduce_f64_sum() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let v = mpi.allreduce_f64(Comm::WORLD, vec![0.5], ReduceOp::Sum)?;
+        assert!((v[0] - mpi.world_size() as f64 * 0.5).abs() < 1e-12);
+        Ok(())
+    });
+    assert!(run_native(&cfg(4), &prog).succeeded());
+}
+
+#[test]
+fn comm_dup_and_free() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let dup = mpi.comm_dup(Comm::WORLD)?;
+        assert_ne!(dup, Comm::WORLD);
+        // Traffic on the dup is isolated from world.
+        if mpi.world_rank() == 0 {
+            mpi.send(dup, 1, 3, bts(b"on-dup"))?;
+        } else if mpi.world_rank() == 1 {
+            let (_, data) = mpi.recv(dup, 0, 3)?;
+            assert_eq!(&data[..], b"on-dup");
+        }
+        mpi.comm_free(dup)?;
+        Ok(())
+    });
+    let out = run_native(&cfg(3), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+    assert!(out.leaks.is_clean(), "{:?}", out.leaks);
+}
+
+#[test]
+fn comm_leak_detected() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let _leaked = mpi.comm_dup(Comm::WORLD)?;
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(out.succeeded());
+    assert!(out.leaks.has_comm_leak());
+    assert_eq!(out.leaks.comm_leaks.len(), 1);
+}
+
+#[test]
+fn request_leak_detected() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            // Post a receive that is matched but never waited: leaked.
+            let _req = mpi.irecv(Comm::WORLD, 1, 9)?;
+        } else {
+            mpi.send(Comm::WORLD, 0, 9, bts(b"x"))?;
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+    assert!(out.leaks.has_request_leak());
+    assert_eq!(out.leaks.request_leaks[0], 1);
+    assert_eq!(out.leaks.request_leaks[1], 0);
+}
+
+#[test]
+fn comm_split_partitions_traffic() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let me = mpi.world_rank();
+        let color = (me % 2) as i64;
+        let sub = mpi.comm_split(Comm::WORLD, color, me as i64)?.unwrap();
+        let sub_size = mpi.comm_size(sub)?;
+        let sub_rank = mpi.comm_rank(sub)?;
+        assert_eq!(sub_size, 2);
+        // Ring exchange inside the subcomm.
+        let peer = ((sub_rank + 1) % sub_size) as i32;
+        let (st, data) = mpi.sendrecv(
+            sub,
+            peer,
+            1,
+            codec::encode_u64(me as u64),
+            ANY_SOURCE,
+            1,
+        )?;
+        let from_world = codec::decode_u64(&data) as usize;
+        // The message must come from the same parity group.
+        assert_eq!(from_world % 2, me % 2);
+        assert_eq!(st.source, (sub_rank + sub_size - 1) % sub_size);
+        mpi.comm_free(sub)?;
+        Ok(())
+    });
+    let out = run_native(&cfg(4), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+    assert!(out.leaks.is_clean());
+}
+
+#[test]
+fn comm_split_undefined_color() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let me = mpi.world_rank();
+        let color = if me == 0 { -1 } else { 1 };
+        let sub = mpi.comm_split(Comm::WORLD, color, 0)?;
+        if me == 0 {
+            assert!(sub.is_none());
+        } else {
+            let sub = sub.unwrap();
+            assert_eq!(mpi.comm_size(sub)?, 2);
+            mpi.comm_free(sub)?;
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(3), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+}
+
+#[test]
+fn collective_mismatch_detected() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            mpi.barrier(Comm::WORLD)?;
+        } else {
+            let _ = mpi.allreduce_u64(Comm::WORLD, vec![1], ReduceOp::Sum)?;
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(matches!(
+        out.fatal,
+        Some(MpiError::CollectiveMismatch { .. })
+    ));
+}
+
+#[test]
+fn user_assert_aborts_job() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 1 {
+            dampi_mpi::proc_api::user_assert(false, "x==33")?;
+        } else {
+            // This rank would block forever; the abort must release it.
+            let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, ANY_TAG);
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    let bugs = out.program_bugs();
+    assert!(bugs
+        .iter()
+        .any(|b| matches!(b.error, MpiError::UserAssert { .. })));
+}
+
+#[test]
+fn panic_is_captured_and_aborts() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            panic!("index out of bounds simulation");
+        }
+        let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, ANY_TAG);
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    let bugs = out.program_bugs();
+    assert!(bugs
+        .iter()
+        .any(|b| matches!(&b.error, MpiError::Panicked { message } if message.contains("index"))));
+}
+
+#[test]
+fn probe_then_recv() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            let info = mpi.probe(Comm::WORLD, ANY_SOURCE, ANY_TAG)?;
+            assert_eq!(info.len, 5);
+            let (st, data) = mpi.recv(Comm::WORLD, info.src as i32, info.tag)?;
+            assert_eq!(st.source, info.src);
+            assert_eq!(&data[..], b"probe");
+        } else {
+            mpi.send(Comm::WORLD, 0, 4, bts(b"probe"))?;
+        }
+        Ok(())
+    });
+    assert!(run_native(&cfg(2), &prog).succeeded());
+}
+
+#[test]
+fn iprobe_polls() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            loop {
+                if let Some(info) = mpi.iprobe(Comm::WORLD, 1, ANY_TAG)? {
+                    let _ = mpi.recv(Comm::WORLD, 1, info.tag)?;
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        } else {
+            mpi.send(Comm::WORLD, 0, 2, bts(b"eventually"))?;
+        }
+        Ok(())
+    });
+    assert!(run_native(&cfg(2), &prog).succeeded());
+}
+
+#[test]
+fn waitany_returns_a_completed_request() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            let r1 = mpi.irecv(Comm::WORLD, 1, 1)?;
+            let r2 = mpi.irecv(Comm::WORLD, 2, 2)?;
+            let (idx, st, _) = mpi.waitany(&[r1, r2])?;
+            // Exactly one of the two; wait the other.
+            let other = if idx == 0 { r2 } else { r1 };
+            assert_eq!(st.source, if idx == 0 { 1 } else { 2 });
+            mpi.wait(other)?;
+        } else {
+            mpi.send(Comm::WORLD, 0, mpi.world_rank() as i32, bts(b"w"))?;
+        }
+        Ok(())
+    });
+    assert!(run_native(&cfg(3), &prog).succeeded());
+}
+
+#[test]
+fn test_polls_request() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            let r = mpi.irecv(Comm::WORLD, 1, 0)?;
+            loop {
+                if let Some((st, data)) = mpi.test(r)? {
+                    assert_eq!(st.source, 1);
+                    assert_eq!(&data[..], b"t");
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        } else {
+            mpi.send(Comm::WORLD, 0, 0, bts(b"t"))?;
+        }
+        Ok(())
+    });
+    assert!(run_native(&cfg(2), &prog).succeeded());
+}
+
+#[test]
+fn match_policy_lowest_rank_biases_wildcards() {
+    // Both senders' messages are queued before the receive is posted (the
+    // barrier orders them), so the policy decides: LowestRank must pick 1.
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            mpi.barrier(Comm::WORLD)?;
+            let (st, _) = mpi.recv(Comm::WORLD, ANY_SOURCE, 0)?;
+            assert_eq!(st.source, 1, "LowestRank policy must prefer rank 1");
+            let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 0)?;
+        } else {
+            mpi.send(Comm::WORLD, 0, 0, bts(b"m"))?;
+            mpi.barrier(Comm::WORLD)?;
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(3).with_policy(MatchPolicy::LowestRank), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+}
+
+#[test]
+fn nonovertaking_across_threads() {
+    // Rank 1 sends 100 ordered messages; rank 0 receives them in order.
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            for i in 0..100u64 {
+                let (_, data) = mpi.recv(Comm::WORLD, 1, 0)?;
+                assert_eq!(codec::decode_u64(&data), i);
+            }
+        } else {
+            for i in 0..100u64 {
+                mpi.send(Comm::WORLD, 0, 0, codec::encode_u64(i))?;
+            }
+        }
+        Ok(())
+    });
+    assert!(run_native(&cfg(2), &prog).succeeded());
+}
+
+#[test]
+fn virtual_time_advances() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        mpi.compute(1.0)?;
+        mpi.barrier(Comm::WORLD)?;
+        assert!(mpi.now() >= 1.0);
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(out.succeeded());
+    assert!(out.makespan >= 1.0);
+}
+
+#[test]
+fn message_latency_reflected_in_vtime() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            mpi.compute(0.5)?;
+            mpi.send(Comm::WORLD, 1, 0, bts(b"x"))?;
+        } else {
+            let _ = mpi.recv(Comm::WORLD, 0, 0)?;
+            // Receiver time must be at least the sender's send time.
+            assert!(mpi.now() > 0.5);
+        }
+        Ok(())
+    });
+    assert!(run_native(&cfg(2), &prog).succeeded());
+}
+
+#[test]
+fn stats_layer_counts_application_ops() {
+    use dampi_mpi::interpose::StatsLayer;
+    use dampi_mpi::stats::StatsCollector;
+
+    let collector = StatsCollector::new();
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            mpi.send(Comm::WORLD, 1, 0, bts(b"a"))?; // isend + wait
+        } else {
+            let _ = mpi.recv(Comm::WORLD, 0, 0)?; // irecv + wait
+        }
+        mpi.barrier(Comm::WORLD)?;
+        Ok(())
+    });
+    let c2 = std::sync::Arc::clone(&collector);
+    let out = run_with_layers(&cfg(2), &prog, &move |_, pmpi| {
+        Box::new(StatsLayer::new(pmpi, std::sync::Arc::clone(&c2)))
+    });
+    assert!(out.succeeded());
+    let total = collector.total();
+    assert_eq!(total.send_recv, 2, "one isend + one irecv");
+    assert_eq!(total.wait, 2);
+    assert_eq!(total.collective, 2);
+}
+
+#[test]
+fn passthrough_layer_is_transparent() {
+    use dampi_mpi::PassthroughLayer;
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let sum = mpi.allreduce_u64(Comm::WORLD, vec![1], ReduceOp::Sum)?;
+        assert_eq!(sum[0], mpi.world_size() as u64);
+        Ok(())
+    });
+    let out = run_with_layers(&cfg(4), &prog, &|_, pmpi| {
+        Box::new(PassthroughLayer::new(PassthroughLayer::new(pmpi)))
+    });
+    assert!(out.succeeded());
+}
+
+#[test]
+fn invalid_rank_rejected() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        if mpi.world_rank() == 0 {
+            let err = mpi.send(Comm::WORLD, 99, 0, bts(b"x")).unwrap_err();
+            assert!(matches!(err, MpiError::InvalidRank { .. }));
+            return Err(err);
+        }
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(!out.succeeded());
+}
+
+#[test]
+fn freed_comm_rejected() {
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let dup = mpi.comm_dup(Comm::WORLD)?;
+        mpi.comm_free(dup)?;
+        let err = mpi.isend(dup, 0, 0, bts(b"x")).unwrap_err();
+        assert!(matches!(err, MpiError::InvalidComm));
+        Ok(())
+    });
+    let out = run_native(&cfg(2), &prog);
+    assert!(out.succeeded(), "{:?}", out.rank_errors);
+}
+
+#[test]
+fn many_ranks_tree_reduction() {
+    // A 64-rank stress of collectives + point-to-point.
+    let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+        let me = mpi.world_rank();
+        let n = mpi.world_size();
+        // Manual binary-tree reduce of rank sums via p2p.
+        let mut acc = me as u64;
+        let mut stride = 1;
+        while stride < n {
+            if me.is_multiple_of(2 * stride) {
+                let peer = me + stride;
+                if peer < n {
+                    let (_, data) = mpi.recv(Comm::WORLD, peer as i32, 0)?;
+                    acc += codec::decode_u64(&data);
+                }
+            } else {
+                mpi.send(Comm::WORLD, (me - stride) as i32, 0, codec::encode_u64(acc))?;
+                break;
+            }
+            stride *= 2;
+        }
+        if me == 0 {
+            assert_eq!(acc, (n as u64) * (n as u64 - 1) / 2);
+        }
+        mpi.barrier(Comm::WORLD)?;
+        Ok(())
+    });
+    let out = run_native(&cfg(64), &prog);
+    assert!(out.succeeded(), "{:?}", out.fatal);
+}
+
+/// A named program struct exercising the trait path (not FnProgram).
+struct NamedProgram;
+impl MpiProgram for NamedProgram {
+    fn run(&self, mpi: &mut dyn dampi_mpi::Mpi) -> dampi_mpi::Result<()> {
+        mpi.barrier(Comm::WORLD)
+    }
+    fn name(&self) -> &str {
+        "named"
+    }
+}
+
+#[test]
+fn named_program_runs() {
+    assert_eq!(NamedProgram.name(), "named");
+    assert!(run_native(&cfg(2), &NamedProgram).succeeded());
+}
+
+mod rendezvous {
+    //! Eager-vs-rendezvous protocol semantics: "unsafe" MPI programs that
+    //! rely on eager buffering deadlock once payloads cross the eager
+    //! limit — exactly like real MPI implementations.
+
+    use super::*;
+
+    /// Both ranks send first, then receive. Safe only with buffering.
+    fn head_to_head_sends(
+        bytes: usize,
+    ) -> FnProgram<impl Fn(&mut dyn dampi_mpi::Mpi) -> dampi_mpi::Result<()> + Send + Sync> {
+        FnProgram(move |mpi: &mut dyn dampi_mpi::Mpi| {
+            let peer = (mpi.world_rank() ^ 1) as i32;
+            mpi.send(Comm::WORLD, peer, 0, Bytes::from(vec![0u8; bytes]))?;
+            let _ = mpi.recv(Comm::WORLD, peer, 0)?;
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn unsafe_send_pattern_ok_under_eager() {
+        let out = run_native(&cfg(2), &head_to_head_sends(4096));
+        assert!(out.succeeded(), "{:?}", out.fatal);
+    }
+
+    #[test]
+    fn unsafe_send_pattern_deadlocks_under_rendezvous() {
+        let sim = cfg(2).with_eager_limit(Some(0));
+        let out = run_native(&sim, &head_to_head_sends(64));
+        assert!(out.deadlocked(), "buffering-dependent program must hang");
+    }
+
+    #[test]
+    fn eager_limit_threshold_is_respected() {
+        // Small messages still eager below the limit: program survives.
+        let sim = cfg(2).with_eager_limit(Some(1024));
+        let out = run_native(&sim, &head_to_head_sends(64));
+        assert!(out.succeeded(), "{:?}", out.fatal);
+        // Above the limit: rendezvous, deadlock.
+        let sim = cfg(2).with_eager_limit(Some(1024));
+        let out = run_native(&sim, &head_to_head_sends(2048));
+        assert!(out.deadlocked());
+    }
+
+    #[test]
+    fn rendezvous_completes_when_receives_are_posted_first() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            let peer = (mpi.world_rank() ^ 1) as i32;
+            let r = mpi.irecv(Comm::WORLD, peer, 0)?;
+            mpi.send(Comm::WORLD, peer, 0, Bytes::from(vec![1u8; 256]))?;
+            let (_, data) = mpi.wait(r)?;
+            assert_eq!(data.len(), 256);
+            Ok(())
+        });
+        let out = run_native(&cfg(2).with_eager_limit(Some(0)), &prog);
+        assert!(out.succeeded(), "{:?}", out.fatal);
+    }
+
+    #[test]
+    fn rendezvous_send_pending_until_matched() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            if mpi.world_rank() == 0 {
+                let sreq = mpi.isend(Comm::WORLD, 1, 0, Bytes::from(vec![0u8; 128]))?;
+                // Unmatched rendezvous send: test must report incomplete.
+                assert!(mpi.test(sreq)?.is_none());
+                mpi.barrier(Comm::WORLD)?;
+                // Peer posts its receive after the barrier; wait completes.
+                mpi.wait(sreq)?;
+            } else {
+                mpi.barrier(Comm::WORLD)?;
+                let _ = mpi.recv(Comm::WORLD, 0, 0)?;
+            }
+            Ok(())
+        });
+        let out = run_native(&cfg(2).with_eager_limit(Some(0)), &prog);
+        assert!(out.succeeded(), "{:?}", out.fatal);
+    }
+
+    #[test]
+    fn dampi_finds_rendezvous_deadlock() {
+        use dampi_core::DampiVerifier;
+        let sim = cfg(2).with_eager_limit(Some(0));
+        let report = DampiVerifier::new(sim).verify(&head_to_head_sends(64));
+        assert!(
+            report.deadlocks() >= 1,
+            "the verifier must flag the unsafe send pattern: {report}"
+        );
+    }
+}
+
+mod completion_variants {
+    //! `MPI_Testany` / `MPI_Waitsome` semantics.
+
+    use super::*;
+
+    #[test]
+    fn testany_polls_and_consumes_one() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            if mpi.world_rank() == 0 {
+                let r1 = mpi.irecv(Comm::WORLD, 1, 1)?;
+                let r2 = mpi.irecv(Comm::WORLD, 2, 2)?;
+                let mut remaining = vec![r1, r2];
+                while !remaining.is_empty() {
+                    if let Some((idx, st, _)) = mpi.testany(&remaining)? {
+                        assert!(st.source == 1 || st.source == 2);
+                        remaining.remove(idx);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            } else {
+                mpi.send(Comm::WORLD, 0, mpi.world_rank() as i32, bts(b"m"))?;
+            }
+            Ok(())
+        });
+        let out = run_native(&cfg(3), &prog);
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+        assert!(out.leaks.is_clean());
+    }
+
+    #[test]
+    fn waitsome_returns_all_ready() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            if mpi.world_rank() == 0 {
+                mpi.barrier(Comm::WORLD)?;
+                // Both messages are already queued (the senders passed the
+                // barrier after sending): waitsome sees both complete.
+                let r1 = mpi.irecv(Comm::WORLD, 1, 0)?;
+                let r2 = mpi.irecv(Comm::WORLD, 2, 0)?;
+                let done = mpi.waitsome(&[r1, r2])?;
+                assert_eq!(done.len(), 2, "both were ready: {done:?}");
+            } else {
+                mpi.send(Comm::WORLD, 0, 0, bts(b"w"))?;
+                mpi.barrier(Comm::WORLD)?;
+            }
+            Ok(())
+        });
+        let out = run_native(&cfg(3), &prog);
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+        assert!(out.leaks.is_clean(), "waitsome must consume requests");
+    }
+
+    #[test]
+    fn waitsome_blocks_until_at_least_one() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            if mpi.world_rank() == 0 {
+                let r1 = mpi.irecv(Comm::WORLD, 1, 0)?;
+                let r2 = mpi.irecv(Comm::WORLD, 2, 0)?;
+                let mut got = 0;
+                let mut remaining = vec![r1, r2];
+                while !remaining.is_empty() {
+                    let done = mpi.waitsome(&remaining)?;
+                    assert!(!done.is_empty());
+                    got += done.len();
+                    let taken: Vec<usize> = done.iter().map(|(i, _, _)| *i).collect();
+                    remaining = remaining
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(i, _)| !taken.contains(i))
+                        .map(|(_, r)| r)
+                        .collect();
+                }
+                assert_eq!(got, 2);
+            } else {
+                mpi.compute(1e-5)?;
+                mpi.send(Comm::WORLD, 0, 0, bts(b"w"))?;
+            }
+            Ok(())
+        });
+        let out = run_native(&cfg(3), &prog);
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn waitsome_under_dampi_wildcards() {
+        use dampi_core::DampiVerifier;
+        // Master collects results with waitsome over wildcard receives:
+        // the tool must complete piggybacks for every element returned.
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            let n = mpi.world_size();
+            if mpi.world_rank() == 0 {
+                let reqs: Vec<_> = (1..n)
+                    .map(|_| mpi.irecv(Comm::WORLD, ANY_SOURCE, 0))
+                    .collect::<dampi_mpi::Result<_>>()?;
+                let mut remaining = reqs;
+                while !remaining.is_empty() {
+                    let done = mpi.waitsome(&remaining)?;
+                    let taken: Vec<usize> = done.iter().map(|(i, _, _)| *i).collect();
+                    remaining = remaining
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(i, _)| !taken.contains(i))
+                        .map(|(_, r)| r)
+                        .collect();
+                }
+            } else {
+                mpi.send(Comm::WORLD, 0, 0, codec::encode_u64(7))?;
+            }
+            Ok(())
+        });
+        let report = DampiVerifier::new(cfg(4)).verify(&prog);
+        assert!(report.errors.is_empty(), "{report}");
+        assert_eq!(report.wildcards_analyzed, 3);
+        assert!(report.interleavings >= 2, "{report}");
+    }
+}
+
+mod collective_edges {
+    //! Collective edge cases: root mismatches, derived-comm collectives,
+    //! and repeated generations.
+
+    use super::*;
+
+    #[test]
+    fn bcast_root_mismatch_detected() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            let root = mpi.world_rank(); // everyone claims root: mismatch
+            let data = Some(bts(b"mine"));
+            let _ = mpi.bcast(Comm::WORLD, root, data)?;
+            Ok(())
+        });
+        let out = run_native(&cfg(2), &prog);
+        assert!(matches!(
+            out.fatal,
+            Some(MpiError::CollectiveMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reduce_op_mismatch_detected() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            let op = if mpi.world_rank() == 0 {
+                ReduceOp::Sum
+            } else {
+                ReduceOp::Max
+            };
+            let _ = mpi.allreduce_u64(Comm::WORLD, vec![1], op)?;
+            Ok(())
+        });
+        let out = run_native(&cfg(2), &prog);
+        assert!(matches!(
+            out.fatal,
+            Some(MpiError::CollectiveMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn collectives_on_split_comm() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            let me = mpi.world_rank();
+            let sub = mpi
+                .comm_split(Comm::WORLD, (me % 2) as i64, me as i64)?
+                .unwrap();
+            let size = mpi.comm_size(sub)? as u64;
+            let sum = mpi.allreduce_u64(sub, vec![1], ReduceOp::Sum)?;
+            assert_eq!(sum[0], size, "reduction stays inside the subgroup");
+            let gathered = mpi.allgather(sub, codec::encode_u64(me as u64))?;
+            for g in &gathered {
+                assert_eq!(codec::decode_u64(g) as usize % 2, me % 2);
+            }
+            mpi.comm_free(sub)?;
+            Ok(())
+        });
+        let out = run_native(&cfg(6), &prog);
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+        assert!(out.leaks.is_clean());
+    }
+
+    #[test]
+    fn many_back_to_back_generations() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            for i in 0..200u64 {
+                let s = mpi.allreduce_u64(Comm::WORLD, vec![i], ReduceOp::Max)?;
+                assert_eq!(s[0], i);
+            }
+            Ok(())
+        });
+        let out = run_native(&cfg(5), &prog);
+        assert!(out.succeeded(), "{:?}", out.fatal);
+    }
+
+    #[test]
+    fn vt_monotone_across_collectives() {
+        let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
+            let mut prev = mpi.now();
+            for _ in 0..10 {
+                mpi.barrier(Comm::WORLD)?;
+                let now = mpi.now();
+                assert!(now >= prev, "virtual time went backwards");
+                prev = now;
+            }
+            Ok(())
+        });
+        assert!(run_native(&cfg(4), &prog).succeeded());
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared communication idioms used by the NAS and SpecMPI skeletons.
+
+use dampi_mpi::envelope::codec;
+use dampi_mpi::{Comm, Mpi, Request, Result, Tag, ANY_SOURCE};
+
+/// Factor `np` into the most square `(rows, cols)` grid.
+#[must_use]
+pub fn grid_dims(np: usize) -> (usize, usize) {
+    let mut best = (1, np);
+    let mut r = 1;
+    while r * r <= np {
+        if np.is_multiple_of(r) {
+            best = (r, np / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+/// Payload of `bytes` length (rounded up to whole u64 words).
+#[must_use]
+pub fn payload(bytes: usize, seed: usize) -> bytes::Bytes {
+    let words = bytes.div_ceil(8).max(1);
+    codec::encode_u64s(&(0..words).map(|i| (seed + i) as u64).collect::<Vec<_>>())
+}
+
+/// Periodic ring shift: send to `(me+1) % n`, receive from `(me-1+n) % n`.
+pub fn ring_shift(mpi: &mut dyn Mpi, comm: Comm, tag: Tag, bytes: usize) -> Result<()> {
+    let n = mpi.comm_size(comm)?;
+    if n < 2 {
+        return Ok(());
+    }
+    let me = mpi.comm_rank(comm)?;
+    let next = ((me + 1) % n) as i32;
+    let prev = ((me + n - 1) % n) as i32;
+    mpi.sendrecv(comm, next, tag, payload(bytes, me), prev, tag)?;
+    Ok(())
+}
+
+/// Non-periodic 1-D halo: exchange with both neighbors where they exist.
+pub fn halo_1d(mpi: &mut dyn Mpi, comm: Comm, tag: Tag, bytes: usize) -> Result<()> {
+    let n = mpi.comm_size(comm)?;
+    let me = mpi.comm_rank(comm)?;
+    let mut reqs: Vec<Request> = Vec::with_capacity(4);
+    if me > 0 {
+        reqs.push(mpi.irecv(comm, (me - 1) as i32, tag)?);
+        reqs.push(mpi.isend(comm, (me - 1) as i32, tag, payload(bytes, me))?);
+    }
+    if me + 1 < n {
+        reqs.push(mpi.irecv(comm, (me + 1) as i32, tag)?);
+        reqs.push(mpi.isend(comm, (me + 1) as i32, tag, payload(bytes, me))?);
+    }
+    mpi.waitall(&reqs)?;
+    Ok(())
+}
+
+/// Hypercube butterfly: one sendrecv per dimension (`log2(n)` rounds).
+pub fn butterfly(mpi: &mut dyn Mpi, comm: Comm, tag: Tag, bytes: usize) -> Result<()> {
+    let n = mpi.comm_size(comm)?;
+    let me = mpi.comm_rank(comm)?;
+    let mut bit = 1usize;
+    while bit < n {
+        let peer = me ^ bit;
+        if peer < n {
+            mpi.sendrecv(comm, peer as i32, tag, payload(bytes, me), peer as i32, tag)?;
+        }
+        bit <<= 1;
+    }
+    Ok(())
+}
+
+/// Full transpose: alltoall of `bytes` to every peer.
+pub fn transpose(mpi: &mut dyn Mpi, comm: Comm, bytes: usize) -> Result<()> {
+    let n = mpi.comm_size(comm)?;
+    let me = mpi.comm_rank(comm)?;
+    let out: Vec<bytes::Bytes> = (0..n).map(|j| payload(bytes, me * n + j)).collect();
+    let _ = mpi.alltoall(comm, out)?;
+    Ok(())
+}
+
+/// 2-D halo on a `rows × cols` grid embedded in `comm` (row-major ranks).
+pub fn halo_2d(mpi: &mut dyn Mpi, comm: Comm, tag: Tag, bytes: usize) -> Result<()> {
+    let n = mpi.comm_size(comm)?;
+    let me = mpi.comm_rank(comm)?;
+    let (rows, cols) = grid_dims(n);
+    let (r, c) = (me / cols, me % cols);
+    let mut reqs: Vec<Request> = Vec::with_capacity(8);
+    let mut neighbors = Vec::new();
+    if r > 0 {
+        neighbors.push((r - 1) * cols + c);
+    }
+    if r + 1 < rows {
+        neighbors.push((r + 1) * cols + c);
+    }
+    if c > 0 {
+        neighbors.push(r * cols + c - 1);
+    }
+    if c + 1 < cols {
+        neighbors.push(r * cols + c + 1);
+    }
+    for &nb in &neighbors {
+        reqs.push(mpi.irecv(comm, nb as i32, tag)?);
+    }
+    for &nb in &neighbors {
+        reqs.push(mpi.isend(comm, nb as i32, tag, payload(bytes, me))?);
+    }
+    mpi.waitall(&reqs)?;
+    Ok(())
+}
+
+/// 2-D halo whose receives use `MPI_ANY_SOURCE`: the wildcard-gather idiom
+/// of codes like 104.milc, where halo contributions are consumed in
+/// arrival order. Each wildcard receive is a DAMPI epoch.
+pub fn halo_2d_wildcard(mpi: &mut dyn Mpi, comm: Comm, tag: Tag, bytes: usize) -> Result<usize> {
+    let n = mpi.comm_size(comm)?;
+    let me = mpi.comm_rank(comm)?;
+    let (rows, cols) = grid_dims(n);
+    let (r, c) = (me / cols, me % cols);
+    let mut neighbors = Vec::new();
+    if r > 0 {
+        neighbors.push((r - 1) * cols + c);
+    }
+    if r + 1 < rows {
+        neighbors.push((r + 1) * cols + c);
+    }
+    if c > 0 {
+        neighbors.push(r * cols + c - 1);
+    }
+    if c + 1 < cols {
+        neighbors.push(r * cols + c + 1);
+    }
+    let mut send_reqs: Vec<Request> = Vec::with_capacity(neighbors.len());
+    for &nb in &neighbors {
+        send_reqs.push(mpi.isend(comm, nb as i32, tag, payload(bytes, me))?);
+    }
+    for _ in &neighbors {
+        let _ = mpi.recv(comm, ANY_SOURCE, tag)?;
+    }
+    mpi.waitall(&send_reqs)?;
+    Ok(neighbors.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_mpi::{run_native, FnProgram, SimConfig};
+
+    #[test]
+    fn grid_dims_most_square() {
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(7), (1, 7));
+        assert_eq!(grid_dims(1), (1, 1));
+    }
+
+    #[test]
+    fn payload_rounds_up() {
+        assert_eq!(payload(1, 0).len(), 8);
+        assert_eq!(payload(9, 0).len(), 16);
+    }
+
+    fn run_idiom(
+        n: usize,
+        f: impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync + 'static,
+    ) {
+        let out = run_native(&SimConfig::new(n), &FnProgram(f));
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+        assert!(out.leaks.is_clean(), "{:?}", out.leaks);
+    }
+
+    #[test]
+    fn ring_completes() {
+        run_idiom(5, |mpi| ring_shift(mpi, Comm::WORLD, 1, 64));
+    }
+
+    #[test]
+    fn halo_1d_completes() {
+        run_idiom(6, |mpi| halo_1d(mpi, Comm::WORLD, 1, 64));
+    }
+
+    #[test]
+    fn butterfly_completes_power_of_two_and_ragged() {
+        run_idiom(8, |mpi| butterfly(mpi, Comm::WORLD, 1, 32));
+        run_idiom(6, |mpi| butterfly(mpi, Comm::WORLD, 1, 32));
+    }
+
+    #[test]
+    fn transpose_completes() {
+        run_idiom(4, |mpi| transpose(mpi, Comm::WORLD, 16));
+    }
+
+    #[test]
+    fn halo_2d_completes() {
+        run_idiom(12, |mpi| halo_2d(mpi, Comm::WORLD, 2, 64));
+    }
+
+    #[test]
+    fn halo_2d_wildcard_completes_and_counts() {
+        run_idiom(9, |mpi| {
+            let nd = halo_2d_wildcard(mpi, Comm::WORLD, 2, 64)?;
+            assert!(nd >= 2, "3x3 grid has 2-4 neighbors");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn singleton_world_is_noop() {
+        run_idiom(1, |mpi| {
+            ring_shift(mpi, Comm::WORLD, 1, 8)?;
+            halo_1d(mpi, Comm::WORLD, 1, 8)?;
+            butterfly(mpi, Comm::WORLD, 1, 8)?;
+            halo_2d(mpi, Comm::WORLD, 1, 8)
+        });
+    }
+}

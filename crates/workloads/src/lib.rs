@@ -1,0 +1,48 @@
+//! Benchmark workloads for the DAMPI reproduction (paper §III).
+//!
+//! Every workload is an [`MpiProgram`](dampi_mpi::MpiProgram) against the
+//! simulator API, reproducing the *communication skeleton* of the paper's
+//! evaluation programs:
+//!
+//! * [`matmul`] — master/slave matrix multiplication with wildcard
+//!   receives (Fig. 6, Fig. 8).
+//! * [`parmetis`] — a deterministic distributed-partitioner kernel whose
+//!   operation census follows ParMETIS-3.1's profile (Fig. 5, Table I,
+//!   Table II).
+//! * [`adlb`] — an asynchronous dynamic load-balancing library with
+//!   heavily non-deterministic server loops (Fig. 9).
+//! * [`nas`] — NAS-PB 3.3 communication skeletons (BT CG DT EP FT IS LU
+//!   MG; Table II).
+//! * [`spec`] — SpecMPI2007 skeletons (104.milc 107.leslie3d 113.GemsFDTD
+//!   126.lammps 130.socorro 137.lu; Table II).
+//! * [`patterns`] — the paper's figure-sized examples (Fig. 3, Fig. 4,
+//!   Fig. 10) plus deadlock/leak injection programs for failure testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adlb;
+pub mod idioms;
+pub mod matmul;
+pub mod nas;
+pub mod parmetis;
+pub mod patterns;
+pub mod spec;
+
+/// Message tags shared by the workloads (kept distinct for readability).
+pub mod tags {
+    /// Work assignment from a master/server.
+    pub const WORK: i32 = 10;
+    /// Computed result back to a master.
+    pub const RESULT: i32 = 11;
+    /// Work request (ADLB `GET`).
+    pub const GET: i32 = 12;
+    /// Work deposit (ADLB `PUT`).
+    pub const PUT: i32 = 13;
+    /// Termination notice.
+    pub const DONE: i32 = 14;
+    /// Halo-exchange payload.
+    pub const HALO: i32 = 20;
+    /// Pipeline-wavefront payload.
+    pub const SWEEP: i32 = 21;
+}

@@ -1,0 +1,74 @@
+//! NAS Parallel Benchmarks 3.3 communication skeletons (Table II rows
+//! BT CG DT EP FT IS LU MG).
+//!
+//! Each module reproduces the benchmark's *communication pattern* — the
+//! determinant of interposition overhead and leak behaviour — not its
+//! numerics. Compute phases are modeled with virtual-time `compute` calls
+//! so the instrumented-vs-native slowdown (Table II) reflects the same
+//! communication-to-computation ratios.
+
+pub mod bt;
+pub mod cg;
+pub mod dt;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+
+pub use bt::Bt;
+pub use cg::Cg;
+pub use dt::Dt;
+pub use ep::Ep;
+pub use ft::Ft;
+pub use is::Is;
+pub use lu::Lu;
+pub use mg::Mg;
+
+use dampi_mpi::MpiProgram;
+
+/// All eight NAS skeletons with their nominal (bench-scale) parameters,
+/// as `(name, program)` pairs — the Table II row iterator.
+#[must_use]
+pub fn all_nominal() -> Vec<(&'static str, Box<dyn MpiProgram>)> {
+    vec![
+        ("BT", Box::new(Bt::nominal()) as Box<dyn MpiProgram>),
+        ("CG", Box::new(Cg::nominal())),
+        ("DT", Box::new(Dt::nominal())),
+        ("EP", Box::new(Ep::nominal())),
+        ("FT", Box::new(Ft::nominal())),
+        ("IS", Box::new(Is::nominal())),
+        ("LU", Box::new(Lu::nominal())),
+        ("MG", Box::new(Mg::nominal())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_mpi::{run_native, SimConfig};
+
+    #[test]
+    fn every_kernel_runs_clean_of_errors_at_small_scale() {
+        for (name, prog) in all_nominal() {
+            let out = run_native(&SimConfig::new(8), prog.as_ref());
+            assert!(out.succeeded(), "{name}: {:?}", out.rank_errors);
+        }
+    }
+
+    #[test]
+    fn leak_profile_matches_table2() {
+        // Table II: BT and FT leak communicators; the others are clean.
+        for (name, prog) in all_nominal() {
+            let out = run_native(&SimConfig::new(8), prog.as_ref());
+            let expect_leak = matches!(name, "BT" | "FT");
+            assert_eq!(
+                out.leaks.has_comm_leak(),
+                expect_leak,
+                "{name} C-leak mismatch: {:?}",
+                out.leaks
+            );
+            assert!(!out.leaks.has_request_leak(), "{name} must not leak requests");
+        }
+    }
+}

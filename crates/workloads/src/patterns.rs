@@ -1,0 +1,211 @@
+//! The paper's figure-sized example programs, plus failure-injection
+//! programs used by the test suite.
+
+use bytes::Bytes;
+use dampi_mpi::envelope::codec;
+use dampi_mpi::proc_api::user_assert;
+use dampi_mpi::{Comm, FnProgram, Mpi, Result, ANY_SOURCE, ANY_TAG};
+
+/// Paper Fig. 3: three processes; P1's wildcard receive can match P0
+/// (value 22, fine) or P2 (value 33, triggers the application error).
+/// A barrier separates the sends from the receive so the choice is purely
+/// the runtime's — the bias DAMPI's replay overrides.
+#[must_use]
+pub fn fig3() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                mpi.send(Comm::WORLD, 1, 22, codec::encode_u64(22))?;
+                mpi.barrier(Comm::WORLD)?;
+            }
+            2 => {
+                mpi.send(Comm::WORLD, 1, 22, codec::encode_u64(33))?;
+                mpi.barrier(Comm::WORLD)?;
+            }
+            1 => {
+                mpi.barrier(Comm::WORLD)?;
+                let (_, data) = mpi.recv(Comm::WORLD, ANY_SOURCE, 22)?;
+                let x = codec::decode_u64(&data);
+                user_assert(x != 33, "x == 33")?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 22)?;
+            }
+            // Extra ranks in larger worlds only synchronize.
+            _ => mpi.barrier(Comm::WORLD)?,
+        }
+        Ok(())
+    })
+}
+
+/// Paper Fig. 4: the cross-coupled four-process pattern on which Lamport
+/// clocks lose completeness (§II-F). P1 and P2 each post a wildcard
+/// receive whose "natural" matches are P0 and P3; each then forwards to
+/// the other, creating concurrent sends whose Lamport projections are
+/// indistinguishable from causally-later ones.
+#[must_use]
+pub fn fig4_cross_coupled() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                mpi.send(Comm::WORLD, 1, 0, Bytes::from_static(b"p0"))?;
+            }
+            1 => {
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 0)?;
+                mpi.send(Comm::WORLD, 2, 0, Bytes::from_static(b"p1"))?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 0)?;
+            }
+            2 => {
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 0)?;
+                mpi.send(Comm::WORLD, 1, 0, Bytes::from_static(b"p2"))?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 0)?;
+            }
+            3 => {
+                mpi.send(Comm::WORLD, 2, 0, Bytes::from_static(b"p3"))?;
+            }
+            // Ranks beyond the four-process pattern sit out.
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
+/// Paper Fig. 10 / §V: an `Irecv(*)` whose clock is transmitted (via a
+/// barrier) before its `Wait`, making P2's post-barrier send an undetected
+/// competitor. Crashes (application error) when that send wins.
+#[must_use]
+pub fn fig10_unsafe() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                mpi.send(Comm::WORLD, 1, 22, codec::encode_u64(22))?;
+                mpi.barrier(Comm::WORLD)?;
+            }
+            1 => {
+                let req = mpi.irecv(Comm::WORLD, ANY_SOURCE, 22)?;
+                mpi.barrier(Comm::WORLD)?;
+                let (_, data) = mpi.wait(req)?;
+                let x = codec::decode_u64(&data);
+                user_assert(x != 33, "x == 33 (fig10 crash)")?;
+                // Drain whichever message lost the race.
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 22)?;
+            }
+            2 => {
+                mpi.barrier(Comm::WORLD)?;
+                mpi.send(Comm::WORLD, 1, 22, codec::encode_u64(33))?;
+            }
+            _ => {
+                mpi.barrier(Comm::WORLD)?;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// A head-to-head deadlock: both ranks receive before sending.
+#[must_use]
+pub fn deadlock_head_to_head() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        let peer = (mpi.world_rank() ^ 1) as i32;
+        if peer as usize >= mpi.world_size() {
+            return Ok(());
+        }
+        let (_, _) = mpi.recv(Comm::WORLD, peer, 0)?;
+        mpi.send(Comm::WORLD, peer, 0, Bytes::from_static(b"never"))?;
+        Ok(())
+    })
+}
+
+/// A schedule-dependent deadlock: the master mishandles the case where
+/// the second worker's result arrives first (real-world bug shape: an
+/// index keyed by arrival order instead of rank).
+#[must_use]
+pub fn deadlock_on_alternate_schedule(
+) -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                let (st, _) = mpi.recv(Comm::WORLD, ANY_SOURCE, 0)?;
+                if st.source == 2 {
+                    // Buggy path: waits for a second message from rank 2
+                    // that never comes.
+                    let _ = mpi.recv(Comm::WORLD, 2, 0)?;
+                } else {
+                    let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 0)?;
+                }
+            }
+            r @ (1 | 2) => {
+                mpi.send(Comm::WORLD, 0, 0, codec::encode_u64(r as u64))?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
+/// Leaks one duplicated communicator and one request per run (Table II's
+/// C-leak and R-leak detectors).
+#[must_use]
+pub fn leaky_program() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        let _leaked_comm = mpi.comm_dup(Comm::WORLD)?;
+        if mpi.world_rank() == 0 {
+            let _leaked_req = mpi.irecv(Comm::WORLD, ANY_SOURCE, ANY_TAG)?;
+        } else if mpi.world_rank() == 1 {
+            mpi.send(Comm::WORLD, 0, 7, Bytes::from_static(b"leak-bait"))?;
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_mpi::{run_native, MatchPolicy, SimConfig};
+
+    #[test]
+    fn fig3_native_biased_run_is_clean() {
+        let out = run_native(
+            &SimConfig::new(3).with_policy(MatchPolicy::LowestRank),
+            &fig3(),
+        );
+        assert!(out.succeeded(), "bias masks the bug: {:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn fig4_native_run_completes() {
+        let out = run_native(&SimConfig::new(4), &fig4_cross_coupled());
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn fig10_native_biased_run_is_clean() {
+        let out = run_native(
+            &SimConfig::new(3).with_policy(MatchPolicy::LowestRank),
+            &fig10_unsafe(),
+        );
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn head_to_head_deadlocks() {
+        let out = run_native(&SimConfig::new(2), &deadlock_head_to_head());
+        assert!(out.deadlocked());
+    }
+
+    #[test]
+    fn alternate_schedule_deadlock_hidden_natively_under_bias() {
+        let out = run_native(
+            &SimConfig::new(3).with_policy(MatchPolicy::LowestRank),
+            &deadlock_on_alternate_schedule(),
+        );
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn leaky_program_leaks() {
+        let out = run_native(&SimConfig::new(2), &leaky_program());
+        assert!(out.succeeded());
+        assert!(out.leaks.has_comm_leak());
+        assert!(out.leaks.has_request_leak());
+        assert!(out.rank_errors[0].is_none());
+    }
+}

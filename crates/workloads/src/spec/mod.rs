@@ -1,0 +1,65 @@
+//! SpecMPI2007 communication skeletons (Table II rows 104.milc,
+//! 107.leslie3d, 113.GemsFDTD, 126.lammps, 130.socorro, 137.lu).
+//!
+//! As with the NAS skeletons, each module reproduces the benchmark's
+//! communication pattern, wildcard usage, and leak behaviour — the inputs
+//! to the paper's overhead and local-error-checking results — with compute
+//! phases modeled in virtual time.
+
+pub mod gems_fdtd;
+pub mod lammps;
+pub mod leslie3d;
+pub mod lu137;
+pub mod milc;
+pub mod socorro;
+
+pub use gems_fdtd::GemsFdtd;
+pub use lammps::Lammps;
+pub use leslie3d::Leslie3d;
+pub use lu137::Lu137;
+pub use milc::Milc;
+pub use socorro::Socorro;
+
+use dampi_mpi::MpiProgram;
+
+/// All six SpecMPI skeletons with bench-scale parameters (Table II rows).
+#[must_use]
+pub fn all_nominal() -> Vec<(&'static str, Box<dyn MpiProgram>)> {
+    vec![
+        ("104.milc", Box::new(Milc::nominal()) as Box<dyn MpiProgram>),
+        ("107.leslie3d", Box::new(Leslie3d::nominal())),
+        ("113.GemsFDTD", Box::new(GemsFdtd::nominal())),
+        ("126.lammps", Box::new(Lammps::nominal())),
+        ("130.socorro", Box::new(Socorro::nominal())),
+        ("137.lu", Box::new(Lu137::nominal())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_mpi::{run_native, SimConfig};
+
+    #[test]
+    fn every_kernel_runs_clean_of_errors_at_small_scale() {
+        for (name, prog) in all_nominal() {
+            let out = run_native(&SimConfig::new(8), prog.as_ref());
+            assert!(out.succeeded(), "{name}: {:?}", out.rank_errors);
+        }
+    }
+
+    #[test]
+    fn leak_profile_matches_table2() {
+        // Table II: milc, GemsFDTD and 137.lu leak communicators.
+        for (name, prog) in all_nominal() {
+            let out = run_native(&SimConfig::new(8), prog.as_ref());
+            let expect_leak = matches!(name, "104.milc" | "113.GemsFDTD" | "137.lu");
+            assert_eq!(
+                out.leaks.has_comm_leak(),
+                expect_leak,
+                "{name} C-leak mismatch"
+            );
+            assert!(!out.leaks.has_request_leak(), "{name} must not leak requests");
+        }
+    }
+}

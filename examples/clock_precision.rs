@@ -1,0 +1,54 @@
+//! The §II-F imprecision of Lamport clocks, made visible (paper Fig. 4).
+//!
+//! Four cross-coupled processes: P1 and P2 each post a wildcard receive
+//! whose natural matches are P0 and P3, then forward to each other. The
+//! two forwards are *concurrent* with the wildcard epochs, but their
+//! Lamport projections equal the epochs' clocks — indistinguishable from
+//! causally-later sends — so Lamport-mode DAMPI misses them as potential
+//! matches. Vector-clock mode finds them, at O(N) piggyback cost.
+//!
+//! Run with: `cargo run --example clock_precision`
+
+use dampi::clocks::ClockMode;
+use dampi::core::{DampiConfig, DampiVerifier, DecisionSet, EpochDecision};
+use dampi::mpi::SimConfig;
+use dampi::workloads::patterns;
+
+fn main() {
+    // Force the paper's initial matching: P0 -> P1, P3 -> P2.
+    let initial = DecisionSet::guided(
+        0,
+        vec![
+            EpochDecision { rank: 1, clock: 0, src: 0 },
+            EpochDecision { rank: 2, clock: 0, src: 3 },
+        ],
+    );
+    println!("cross-coupled pattern (Fig. 4), initial matching P0->P1, P3->P2\n");
+    for mode in [ClockMode::Lamport, ClockMode::Vector] {
+        let v = DampiVerifier::with_config(
+            SimConfig::new(4),
+            DampiConfig::default().with_clock_mode(mode),
+        );
+        let res = v.instrumented_run(&patterns::fig4_cross_coupled(), &initial);
+        assert!(res.outcome.succeeded(), "{:?}", res.outcome.fatal);
+        let e10 = res
+            .epochs
+            .iter()
+            .find(|e| e.rank == 1 && e.clock == 0)
+            .expect("rank 1's first epoch");
+        println!(
+            "  {:<7} clocks: P1's wildcard matched P{}, potential alternates {:?} -> {}",
+            mode.name(),
+            e10.matched_src.expect("matched"),
+            e10.alternates,
+            if e10.alternates.contains(&2) {
+                "found P2's concurrent forward (complete)"
+            } else {
+                "MISSED P2's concurrent forward (the paper's rare incompleteness)"
+            }
+        );
+    }
+    println!();
+    println!("Lamport clocks are DAMPI's default: the pattern is rare in practice");
+    println!("and the scalar piggyback is what makes thousand-process runs cheap.");
+}

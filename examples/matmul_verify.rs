@@ -1,0 +1,48 @@
+//! Verify the master/slave matrix multiplication under different
+//! bounded-mixing settings (paper §III-B2, Fig. 8).
+//!
+//! The master hands out row ranges through wildcard receives; the
+//! interleaving space is factorial in the number of slaves. Bounded mixing
+//! collapses it while still checking every match of every epoch at least
+//! once (k = 0) and letting the user ratchet coverage up with k.
+//!
+//! Run with: `cargo run --release --example matmul_verify`
+
+use dampi::core::{DampiConfig, DampiVerifier, MixingBound};
+use dampi::mpi::SimConfig;
+use dampi::workloads::matmul::{Matmul, MatmulParams};
+
+fn main() {
+    let np = 6;
+    let program = Matmul::new(MatmulParams {
+        n: 8,
+        rounds_per_slave: 1,
+        task_cost: 1e-5,
+    });
+
+    println!("verifying matmul ({np} procs, {} slaves):\n", np - 1);
+    for bound in [
+        MixingBound::K(0),
+        MixingBound::K(1),
+        MixingBound::K(2),
+        MixingBound::Unbounded,
+    ] {
+        let cfg = DampiConfig::default()
+            .with_bound(bound)
+            .with_max_interleavings(100_000);
+        let report = DampiVerifier::with_config(SimConfig::new(np), cfg).verify(&program);
+        println!(
+            "  {:<10}  {:>6} interleavings, {} errors, exploration {:.3} simulated s",
+            bound.label(),
+            report.interleavings,
+            report.errors.len(),
+            report.total_virtual_time,
+        );
+        assert!(
+            report.errors.is_empty(),
+            "matmul is correct under every schedule: {report}"
+        );
+    }
+    println!("\nevery schedule produced a correct product (the master");
+    println!("verifies C = A x B against a serial reference on each run).");
+}

@@ -1,0 +1,29 @@
+//! The §V unsafe pattern and DAMPI's scalable local monitor (paper
+//! Fig. 10).
+//!
+//! P1 posts `Irecv(*)`, then crosses a `Barrier` *before* waiting: the
+//! barrier transmits P1's already-ticked clock, so P2's post-barrier send
+//! — a real competitor for the receive — looks causally-later and escapes
+//! late-message analysis. DAMPI cannot explore that match, but it detects
+//! the vulnerable pattern dynamically and locally, and alerts.
+//!
+//! Run with: `cargo run --example unsafe_pattern`
+
+use dampi::core::verifier::DampiVerifier;
+use dampi::mpi::{MatchPolicy, SimConfig};
+use dampi::workloads::patterns;
+
+fn main() {
+    let sim = SimConfig::new(3).with_policy(MatchPolicy::LowestRank);
+    let report = DampiVerifier::new(sim).verify(&patterns::fig10_unsafe());
+    println!("{report}");
+    if report.unsafe_alerts > 0 {
+        println!(
+            "the monitor flagged {} clock transmission(s) between a wildcard",
+            report.unsafe_alerts
+        );
+        println!("Irecv and its Wait — coverage of that receive is not guaranteed.");
+        println!("(the paper's §V: fixable with a pair of clocks, future work)");
+    }
+    assert!(report.unsafe_alerts > 0, "the monitor must fire on Fig. 10");
+}

@@ -1,0 +1,219 @@
+//! `dampi-cli` — drive the DAMPI verifier from the command line.
+//!
+//! ```text
+//! dampi-cli list
+//! dampi-cli verify <workload> [--np N] [--k K] [--max M] [--clock lamport|vector]
+//!                             [--isp] [--deferred-clock]
+//! dampi-cli overhead [--np N]           # Table II style slowdown census
+//! ```
+
+use std::process::ExitCode;
+
+use dampi::core::{ClockMode, DampiConfig, DampiVerifier, DecisionSet, MixingBound};
+use dampi::isp::IspVerifier;
+use dampi::mpi::{run_native, MatchPolicy, MpiProgram, SimConfig};
+use dampi::workloads::adlb::{Adlb, AdlbParams};
+use dampi::workloads::matmul::{Matmul, MatmulParams};
+use dampi::workloads::parmetis::{Parmetis, ParmetisParams};
+use dampi::workloads::{nas, patterns, spec};
+
+fn registry(np: usize) -> Vec<(String, Box<dyn MpiProgram>)> {
+    let mut v: Vec<(String, Box<dyn MpiProgram>)> = vec![
+        (
+            "matmul".into(),
+            Box::new(Matmul::new(MatmulParams::default())),
+        ),
+        (
+            "parmetis".into(),
+            Box::new(Parmetis::new(ParmetisParams::nominal(np, 0.2))),
+        ),
+        ("adlb".into(), Box::new(Adlb::new(AdlbParams::default()))),
+        ("fig3".into(), Box::new(patterns::fig3())),
+        ("fig4".into(), Box::new(patterns::fig4_cross_coupled())),
+        ("fig10".into(), Box::new(patterns::fig10_unsafe())),
+        (
+            "deadlock".into(),
+            Box::new(patterns::deadlock_on_alternate_schedule()),
+        ),
+        ("leaky".into(), Box::new(patterns::leaky_program())),
+    ];
+    for (name, prog) in nas::all_nominal() {
+        v.push((name.to_lowercase(), prog));
+    }
+    for (name, prog) in spec::all_nominal() {
+        v.push((name.to_lowercase(), prog));
+    }
+    v
+}
+
+struct Args {
+    np: usize,
+    k: Option<u32>,
+    max: u64,
+    clock: ClockMode,
+    isp: bool,
+    deferred: bool,
+    biased: bool,
+    json: bool,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Args, String> {
+    let mut a = Args {
+        np: 4,
+        k: None,
+        max: 10_000,
+        clock: ClockMode::Lamport,
+        isp: false,
+        deferred: false,
+        biased: true,
+        json: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--np" => a.np = val("--np")?.parse().map_err(|e| format!("--np: {e}"))?,
+            "--k" => a.k = Some(val("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
+            "--max" => a.max = val("--max")?.parse().map_err(|e| format!("--max: {e}"))?,
+            "--clock" => {
+                a.clock = match val("--clock")?.as_str() {
+                    "lamport" => ClockMode::Lamport,
+                    "vector" => ClockMode::Vector,
+                    other => return Err(format!("unknown clock mode `{other}`")),
+                }
+            }
+            "--isp" => a.isp = true,
+            "--deferred-clock" => a.deferred = true,
+            "--unbiased" => a.biased = false,
+            "--json" => a.json = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(a)
+}
+
+fn cmd_list() -> ExitCode {
+    println!("available workloads:");
+    for (name, _) in registry(4) {
+        println!("  {name}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
+    let args = match parse_flags(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some((_, prog)) = registry(args.np).into_iter().find(|(n, _)| n == name) else {
+        eprintln!("unknown workload `{name}` — try `dampi-cli list`");
+        return ExitCode::FAILURE;
+    };
+    let mut sim = SimConfig::new(args.np);
+    if args.biased {
+        sim = sim.with_policy(MatchPolicy::LowestRank);
+    }
+    if args.isp {
+        let mut v = IspVerifier::new(sim);
+        v.cfg.max_interleavings = Some(args.max);
+        let report = v.verify(prog.as_ref());
+        if args.json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{report}");
+        }
+        return if report.errors.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+    let mut cfg = DampiConfig::default()
+        .with_clock_mode(args.clock)
+        .with_max_interleavings(args.max);
+    if let Some(k) = args.k {
+        cfg = cfg.with_bound(MixingBound::K(k));
+    }
+    if args.deferred {
+        cfg = cfg.with_deferred_clock_sync();
+    }
+    let report = DampiVerifier::with_config(sim, cfg).verify(prog.as_ref());
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if report.errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_overhead(rest: &[String]) -> ExitCode {
+    let args = match parse_flags(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<14} {:>9} {:>9} {:>7} {:>7}",
+        "program", "slowdown", "R*", "C-leak", "R-leak"
+    );
+    for (name, prog) in registry(args.np) {
+        let sim = SimConfig::new(args.np);
+        let native = run_native(&sim, prog.as_ref());
+        if !native.succeeded() {
+            println!("{name:<14} (native run fails: intentional-bug workload, skipped)");
+            continue;
+        }
+        let inst =
+            DampiVerifier::new(sim).instrumented_run(prog.as_ref(), &DecisionSet::self_run());
+        if !inst.outcome.succeeded() {
+            println!("{name:<14} (instrumented run fails, skipped)");
+            continue;
+        }
+        println!(
+            "{name:<14} {:>8.2}x {:>9} {:>7} {:>7}",
+            inst.outcome.makespan / native.makespan.max(1e-12),
+            inst.stats.wildcards,
+            if inst.outcome.leaks.has_comm_leak() { "Yes" } else { "No" },
+            if inst.outcome.leaks.has_request_leak() { "Yes" } else { "No" },
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dampi-cli list\n  dampi-cli verify <workload> [--np N] [--k K] [--max M] \
+         [--clock lamport|vector] [--isp] [--deferred-clock] [--unbiased] [--json]\n  \
+         dampi-cli overhead [--np N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "list" => cmd_list(),
+            "verify" => match rest.split_first() {
+                Some((name, flags)) => cmd_verify(name, flags),
+                None => usage(),
+            },
+            "overhead" => cmd_overhead(rest),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

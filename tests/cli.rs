@@ -1,0 +1,92 @@
+//! Integration tests of the `dampi-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dampi-cli"))
+}
+
+#[test]
+fn list_names_workloads() {
+    let out = cli().arg("list").output().expect("run dampi-cli");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["matmul", "parmetis", "adlb", "fig3", "104.milc", "lu"] {
+        assert!(stdout.contains(name), "missing `{name}` in:\n{stdout}");
+    }
+}
+
+#[test]
+fn verify_fig3_exits_with_bug_status() {
+    let out = cli()
+        .args(["verify", "fig3", "--np", "3"])
+        .output()
+        .expect("run dampi-cli");
+    // Exit code 2 = verification found bugs.
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("x == 33"), "{stdout}");
+}
+
+#[test]
+fn verify_clean_workload_exits_zero() {
+    let out = cli()
+        .args(["verify", "cg", "--np", "4", "--max", "5"])
+        .output()
+        .expect("run dampi-cli");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no errors found"), "{stdout}");
+}
+
+#[test]
+fn verify_with_isp_backend() {
+    let out = cli()
+        .args(["verify", "fig3", "--np", "3", "--isp"])
+        .output()
+        .expect("run dampi-cli");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn verify_fig10_deferred_clock_finds_bug() {
+    // Without the fix: clean exit (bug not reachable by plain coverage).
+    let out = cli()
+        .args(["verify", "fig10", "--np", "3"])
+        .output()
+        .expect("run dampi-cli");
+    assert!(out.status.success(), "{out:?}");
+    // With the §V paired-clock fix: the bug is found.
+    let out = cli()
+        .args(["verify", "fig10", "--np", "3", "--deferred-clock"])
+        .output()
+        .expect("run dampi-cli");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn unknown_workload_fails_gracefully() {
+    let out = cli()
+        .args(["verify", "nonexistent"])
+        .output()
+        .expect("run dampi-cli");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown workload"));
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = cli().output().expect("run dampi-cli");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn k_bound_flag_parses() {
+    let out = cli()
+        .args(["verify", "matmul", "--np", "4", "--k", "0", "--max", "200"])
+        .output()
+        .expect("run dampi-cli");
+    assert!(out.status.success(), "{out:?}");
+}
