@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, lints-as-errors.
+# Tier-1 is the root-package `cargo test -q`; the workspace run covers
+# every crate. Pass --offline (default here) since the build is vendored.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "ci: all green"

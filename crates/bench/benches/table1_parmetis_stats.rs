@@ -31,7 +31,7 @@ fn census(np: usize) -> (OpStats, OpStats) {
     let prog = Parmetis::new(ParmetisParams::nominal(np, scale()));
     let c2 = Arc::clone(&collector);
     let out = run_with_layers(&SimConfig::new(np), &prog, &move |_, pmpi| {
-        Box::new(StatsLayer::new(pmpi, Arc::clone(&c2)))
+        Ok(Box::new(StatsLayer::new(pmpi, Arc::clone(&c2))))
     });
     assert!(out.succeeded(), "{:?}", out.fatal);
     (collector.total(), collector.per_proc())

@@ -1,5 +1,8 @@
 //! Verifier configuration.
 
+use std::path::PathBuf;
+use std::time::Duration;
+
 use crate::bounds::MixingBound;
 use dampi_clocks::ClockMode;
 
@@ -59,6 +62,14 @@ pub struct DampiConfig {
     /// classified late. Off by default — the paper left this as future
     /// work and ships the monitor instead.
     pub deferred_clock_sync: bool,
+    /// Extra attempts for a guided replay that diverges from its Epoch
+    /// Decisions before the divergent result is accepted.
+    pub divergence_retries: u32,
+    /// Base backoff between divergence retries (doubled per attempt).
+    pub retry_backoff: Duration,
+    /// When set, checkpoint the exploration frontier to this journal file
+    /// after every run; `verify_resumed` continues from it.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for DampiConfig {
@@ -73,6 +84,9 @@ impl Default for DampiConfig {
             piggyback: PiggybackMechanism::SeparateMessage,
             branch_on_guided: false,
             deferred_clock_sync: false,
+            divergence_retries: 2,
+            retry_backoff: Duration::from_millis(5),
+            journal: None,
         }
     }
 }
@@ -117,6 +131,20 @@ impl DampiConfig {
     #[must_use]
     pub fn with_deferred_clock_sync(mut self) -> Self {
         self.deferred_clock_sync = true;
+        self
+    }
+
+    /// Builder-style: set the divergence retry budget.
+    #[must_use]
+    pub fn with_divergence_retries(mut self, retries: u32) -> Self {
+        self.divergence_retries = retries;
+        self
+    }
+
+    /// Builder-style: checkpoint the frontier to `path` after every run.
+    #[must_use]
+    pub fn with_journal(mut self, path: PathBuf) -> Self {
+        self.journal = Some(path);
         self
     }
 }

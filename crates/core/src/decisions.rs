@@ -103,7 +103,10 @@ impl DecisionSet {
         Ok(s)
     }
 
-    fn rebuild_index(&mut self) {
+    /// Rebuild the lookup index after deserialization (the index is
+    /// `#[serde(skip)]`; any `DecisionSet` coming off disk needs this
+    /// before `lookup` works).
+    pub(crate) fn rebuild_index(&mut self) {
         self.index = self
             .decisions
             .iter()

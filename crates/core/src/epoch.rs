@@ -67,7 +67,7 @@ impl EpochRecord {
 }
 
 /// Per-run tool statistics (Table II inputs and report details).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ToolRunStats {
     /// Wildcard operations analyzed (Table II's R\* column).
     pub wildcards: u64,

@@ -1,0 +1,225 @@
+//! Checkpoint/resume for verification campaigns.
+//!
+//! A long exploration (hours of replays on the paper's larger benchmarks)
+//! must survive the driver being killed — a preempted batch job, an OOM'd
+//! login node, a ^C. The scheduler therefore journals its frontier after
+//! every run: the visited-prefix signatures, the pending [`DecisionSet`]
+//! stack, and every partial counter needed to rebuild the
+//! [`crate::scheduler::Exploration`] exactly. `dampi-cli verify
+//! --resume <journal>` reloads the journal and continues where the
+//! campaign stopped; a resumed campaign finishes with the same
+//! interleaving count and error set as an uninterrupted one because the
+//! frontier order is preserved verbatim.
+//!
+//! Writes are atomic (write to a `.tmp` sibling, then rename), so a crash
+//! mid-checkpoint leaves the previous consistent journal in place rather
+//! than a torn file.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use dampi_mpi::LeakReport;
+use serde::{Deserialize, Serialize};
+
+use crate::decisions::DecisionSet;
+use crate::epoch::ToolRunStats;
+use crate::report::{FoundError, ReplayTimeoutRecord};
+
+/// Journal format version; bumped on incompatible shape changes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// One pending branch of the depth-first frontier, as persisted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalFork {
+    /// The guided schedule to replay.
+    pub decisions: DecisionSet,
+    /// Inherited bounded-mixing window (see `scheduler::Fork`).
+    pub window_end: Option<usize>,
+}
+
+/// One epoch's discovered match set, flattened for JSON (object keys must
+/// be strings, so the `(rank, clock)` map key becomes explicit fields).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscoveredEntry {
+    /// World rank of the epoch.
+    pub rank: usize,
+    /// Scalar clock of the epoch.
+    pub clock: u64,
+    /// Every source discovered for it so far.
+    pub sources: Vec<usize>,
+}
+
+/// A consistent snapshot of an in-progress exploration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplorationJournal {
+    /// Format version ([`JOURNAL_VERSION`]).
+    pub version: u32,
+    /// Interleavings executed so far (including the initial run).
+    pub interleavings: u64,
+    /// Divergence-triggered replay retries so far.
+    pub retries: u64,
+    /// Guided-lookup misses so far.
+    pub divergences: u64,
+    /// Simulated seconds summed over every run so far.
+    pub total_virtual_time: f64,
+    /// Tool stats of the initial `SELF_RUN`.
+    pub first_run_stats: ToolRunStats,
+    /// Simulated makespan of the initial run.
+    pub first_run_makespan: f64,
+    /// Leak census of the initial run.
+    pub first_run_leaks: LeakReport,
+    /// Distinct program bugs found so far, with reproduction schedules.
+    pub errors: Vec<FoundError>,
+    /// Replays the watchdog killed so far.
+    pub timeouts: Vec<ReplayTimeoutRecord>,
+    /// Discovered match coverage so far.
+    pub discovered: Vec<DiscoveredEntry>,
+    /// Signatures of every decision prefix already scheduled.
+    pub visited: Vec<u64>,
+    /// The pending frontier, bottom-of-stack first (resume pops from the
+    /// back, exactly as the interrupted walk would have).
+    pub frontier: Vec<JournalFork>,
+}
+
+impl ExplorationJournal {
+    /// Persist atomically: write a `.tmp` sibling, then rename over `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        let tmp = tmp_sibling(path);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a journal and rebuild every deserialized decision index.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let mut j: Self = serde_json::from_str(&json).map_err(io::Error::other)?;
+        if j.version != JOURNAL_VERSION {
+            return Err(io::Error::other(format!(
+                "journal version {} unsupported (expected {JOURNAL_VERSION})",
+                j.version
+            )));
+        }
+        for f in &mut j.frontier {
+            f.decisions.rebuild_index();
+        }
+        for e in &mut j.errors {
+            e.decisions.rebuild_index();
+        }
+        for t in &mut j.timeouts {
+            t.decisions.rebuild_index();
+        }
+        Ok(j)
+    }
+
+    /// Rebuild the coverage map from the flattened entries.
+    #[must_use]
+    pub fn discovered_map(&self) -> BTreeMap<(usize, u64), BTreeSet<usize>> {
+        self.discovered
+            .iter()
+            .map(|d| ((d.rank, d.clock), d.sources.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Flatten a coverage map into journal entries.
+    #[must_use]
+    pub fn flatten_discovered(
+        map: &BTreeMap<(usize, u64), BTreeSet<usize>>,
+    ) -> Vec<DiscoveredEntry> {
+        map.iter()
+            .map(|(&(rank, clock), srcs)| DiscoveredEntry {
+                rank,
+                clock,
+                sources: srcs.iter().copied().collect(),
+            })
+            .collect()
+    }
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("journal"), ToOwned::to_owned);
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decisions::EpochDecision;
+
+    fn sample() -> ExplorationJournal {
+        ExplorationJournal {
+            version: JOURNAL_VERSION,
+            interleavings: 5,
+            retries: 1,
+            divergences: 2,
+            total_virtual_time: 1.25,
+            first_run_stats: ToolRunStats {
+                wildcards: 3,
+                ..Default::default()
+            },
+            first_run_makespan: 0.25,
+            first_run_leaks: LeakReport::default(),
+            errors: vec![],
+            timeouts: vec![],
+            discovered: vec![DiscoveredEntry {
+                rank: 0,
+                clock: 2,
+                sources: vec![0, 1],
+            }],
+            visited: vec![11, 22],
+            frontier: vec![JournalFork {
+                decisions: DecisionSet::guided(
+                    4,
+                    vec![EpochDecision {
+                        rank: 0,
+                        clock: 4,
+                        src: 1,
+                    }],
+                ),
+                window_end: Some(6),
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_indices() {
+        let dir = std::env::temp_dir().join("dampi-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.json");
+        sample().save(&path).unwrap();
+        let j = ExplorationJournal::load(&path).unwrap();
+        assert_eq!(j.interleavings, 5);
+        // The decision index is #[serde(skip)]; load must have rebuilt it.
+        assert_eq!(j.frontier[0].decisions.lookup(0, 4), Some(1));
+        assert_eq!(j.discovered_map()[&(0, 2)], BTreeSet::from([0, 1]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join("dampi-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_version.json");
+        let mut j = sample();
+        j.version = JOURNAL_VERSION + 1;
+        j.save(&path).unwrap();
+        assert!(ExplorationJournal::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_rename() {
+        let dir = std::env::temp_dir().join("dampi-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.json");
+        sample().save(&path).unwrap();
+        sample().save(&path).unwrap();
+        // No .tmp residue after a successful save.
+        assert!(!tmp_sibling(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

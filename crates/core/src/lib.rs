@@ -29,22 +29,35 @@
 //!
 //! ```
 //! use dampi_core::verifier::DampiVerifier;
-//! use dampi_mpi::{FnProgram, SimConfig, Comm, ANY_SOURCE};
+//! use dampi_mpi::{FnProgram, MatchPolicy, SimConfig, Comm, ANY_SOURCE};
 //! use bytes::Bytes;
 //!
-//! // Paper Fig. 3: the error only manifests if P2's send matches.
+//! // Paper Fig. 3: the error only manifests if P2's send matches. The
+//! // barrier (as in the paper's figure) guarantees both sends are visible
+//! // to the wildcard, so the alternate-match analysis is deterministic.
 //! let prog = FnProgram(|mpi: &mut dyn dampi_mpi::Mpi| {
 //!     match mpi.world_rank() {
-//!         0 => mpi.send(Comm::WORLD, 1, 22, Bytes::from_static(b"\x16"))?,
-//!         2 => mpi.send(Comm::WORLD, 1, 22, Bytes::from_static(b"\x21"))?,
+//!         0 => {
+//!             mpi.send(Comm::WORLD, 1, 22, Bytes::from_static(b"\x16"))?;
+//!             mpi.barrier(Comm::WORLD)?;
+//!         }
+//!         2 => {
+//!             mpi.send(Comm::WORLD, 1, 22, Bytes::from_static(b"\x21"))?;
+//!             mpi.barrier(Comm::WORLD)?;
+//!         }
 //!         _ => {
+//!             mpi.barrier(Comm::WORLD)?;
 //!             let (_, x) = mpi.recv(Comm::WORLD, ANY_SOURCE, 22)?;
 //!             dampi_mpi::proc_api::user_assert(x[0] != 0x21, "x == 33")?;
+//!             let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 22)?; // drain
 //!         }
 //!     }
 //!     Ok(())
 //! });
-//! let report = DampiVerifier::new(SimConfig::new(3)).verify(&prog);
+//! // LowestRank matching keeps the SELF_RUN clean (P0's message wins), so
+//! // the bug is provably found by *replay*, not by scheduling luck.
+//! let sim = SimConfig::new(3).with_policy(MatchPolicy::LowestRank);
+//! let report = DampiVerifier::new(sim).verify(&prog);
 //! assert!(report.interleavings >= 2);
 //! assert!(!report.errors.is_empty(), "DAMPI must find the x==33 bug");
 //! ```
@@ -57,6 +70,7 @@ pub mod clock;
 pub mod config;
 pub mod decisions;
 pub mod epoch;
+pub mod journal;
 pub mod late;
 pub mod minimize;
 pub mod monitor;
@@ -70,7 +84,8 @@ pub use bounds::MixingBound;
 pub use config::{DampiConfig, PiggybackMechanism};
 pub use decisions::{DecisionSet, EpochDecision};
 pub use epoch::{EpochRecord, NdKind};
-pub use report::{FoundError, VerificationReport};
+pub use journal::ExplorationJournal;
+pub use report::{FoundError, ReplayTimeoutRecord, VerificationReport};
 pub use verifier::DampiVerifier;
 
 pub use dampi_clocks::ClockMode;

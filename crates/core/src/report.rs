@@ -5,13 +5,14 @@ use std::fmt;
 
 use dampi_clocks::ClockMode;
 use dampi_mpi::{LeakReport, MpiError};
+use serde::{Deserialize, Serialize};
 
 use crate::bounds::MixingBound;
 use crate::decisions::DecisionSet;
 
 /// A program bug found during exploration, with its reproduction recipe:
 /// replaying `decisions` deterministically re-triggers the bug.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FoundError {
     /// 1-based interleaving number in which the bug first manifested.
     pub interleaving: u64,
@@ -20,6 +21,19 @@ pub struct FoundError {
     /// The failure.
     pub error: MpiError,
     /// Epoch Decisions that force the failing schedule.
+    pub decisions: DecisionSet,
+}
+
+/// A replay the watchdog killed ([`dampi_mpi::ReplayBudget`]): coverage of
+/// that schedule is *partial* and the report says so instead of silently
+/// skipping it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayTimeoutRecord {
+    /// 1-based interleaving number of the killed replay.
+    pub interleaving: u64,
+    /// Which budget tripped, with the limit and observed value.
+    pub detail: String,
+    /// The decisions that were being forced when the watchdog fired.
     pub decisions: DecisionSet,
 }
 
@@ -46,6 +60,11 @@ pub struct VerificationReport {
     pub unsafe_alerts: u64,
     /// Guided-replay divergences across all runs.
     pub divergences: u64,
+    /// Replays re-executed after a divergence (bounded retry-with-backoff).
+    pub retries: u64,
+    /// Replays killed by the watchdog budget — schedules with only partial
+    /// coverage.
+    pub timeouts: Vec<ReplayTimeoutRecord>,
     /// Piggyback messages generated in the initial run.
     pub pb_messages: u64,
     /// Simulated seconds of the initial (instrumented) run.
@@ -134,6 +153,18 @@ impl VerificationReport {
             "wildcards_analyzed": self.wildcards_analyzed,
             "unsafe_alerts": self.unsafe_alerts,
             "divergences": self.divergences,
+            "retries": self.retries,
+            "timeouts": self
+                .timeouts
+                .iter()
+                .map(|t| {
+                    serde_json::json!({
+                        "interleaving": t.interleaving,
+                        "detail": t.detail,
+                        "decisions": t.decisions,
+                    })
+                })
+                .collect::<Vec<_>>(),
             "pb_messages": self.pb_messages,
             "first_run_makespan_s": self.first_run_makespan,
             "total_virtual_time_s": self.total_virtual_time,
@@ -174,6 +205,23 @@ impl fmt::Display for VerificationReport {
             "  virtual time: first run {:.6}s, exploration total {:.3}s",
             self.first_run_makespan, self.total_virtual_time
         )?;
+        if self.retries > 0 || self.divergences > 0 {
+            writeln!(
+                f,
+                "  divergences: {} (replays retried {} times)",
+                self.divergences, self.retries
+            )?;
+        }
+        if !self.timeouts.is_empty() {
+            writeln!(
+                f,
+                "  WARNING: {} replay(s) killed by the watchdog — coverage of those schedules is partial:",
+                self.timeouts.len()
+            )?;
+            for t in &self.timeouts {
+                writeln!(f, "    [interleaving {}] {}", t.interleaving, t.detail)?;
+            }
+        }
         if self.unsafe_alerts > 0 {
             writeln!(
                 f,
@@ -230,6 +278,12 @@ mod tests {
             wildcards_analyzed: 12,
             unsafe_alerts: 1,
             divergences: 0,
+            retries: 0,
+            timeouts: vec![ReplayTimeoutRecord {
+                interleaving: 6,
+                detail: "wall-clock budget of 2s exceeded".into(),
+                decisions: DecisionSet::self_run(),
+            }],
             pb_messages: 40,
             first_run_makespan: 0.001,
             total_virtual_time: 0.01,
@@ -253,6 +307,7 @@ mod tests {
         assert!(s.contains("R*"));
         assert!(s.contains("x==33"));
         assert!(s.contains("unsafe pattern"));
+        assert!(s.contains("killed by the watchdog"));
     }
 
     #[test]

@@ -13,13 +13,17 @@
 //! scheduler) drive their replays through this one implementation.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::path::PathBuf;
+use std::time::Duration;
 
 use dampi_mpi::program::RunOutcome;
+use dampi_mpi::MpiError;
 
 use crate::bounds::MixingBound;
 use crate::decisions::{DecisionSet, EpochDecision};
 use crate::epoch::{EpochRecord, ToolRunStats};
-use crate::report::FoundError;
+use crate::journal::{ExplorationJournal, JournalFork, JOURNAL_VERSION};
+use crate::report::{FoundError, ReplayTimeoutRecord};
 
 /// What one execution produced, as the scheduler sees it.
 pub struct RunResult {
@@ -44,6 +48,31 @@ pub struct ExploreOptions {
     pub stop_on_first_error: bool,
     /// Branch on alternates discovered for already-guided epochs.
     pub branch_on_guided: bool,
+    /// Re-run a diverging guided replay up to this many extra times before
+    /// accepting the divergent result (a replay on a loaded machine can
+    /// miss its decisions transiently; the retry is the cheap fix).
+    pub divergence_retries: u32,
+    /// Base delay between divergence retries, doubled per attempt.
+    /// `Duration::ZERO` retries immediately (the unit-test setting).
+    pub retry_backoff: Duration,
+    /// When set, journal the full frontier to this path after every run
+    /// (atomic write-and-rename) so a killed campaign can resume.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self {
+            bound: MixingBound::Unbounded,
+            honor_regions: true,
+            max_interleavings: Some(100_000),
+            stop_on_first_error: false,
+            branch_on_guided: false,
+            divergence_retries: 2,
+            retry_backoff: Duration::from_millis(5),
+            checkpoint: None,
+        }
+    }
 }
 
 /// Aggregated result of a full exploration.
@@ -63,6 +92,15 @@ pub struct Exploration {
     pub total_virtual_time: f64,
     /// Guided-lookup misses across all replays.
     pub divergences: u64,
+    /// Replays re-executed after a divergence (bounded retry-with-backoff;
+    /// retries do not count as interleavings, so a resumed campaign's
+    /// interleaving numbering matches an uninterrupted one).
+    pub retries: u64,
+    /// Replays the watchdog budget killed. The scheduler records them and
+    /// moves on — their subtrees are *not* expanded (the epoch log of a
+    /// killed run is truncated), which is exactly the partial coverage the
+    /// record reports.
+    pub timeouts: Vec<ReplayTimeoutRecord>,
     /// True when the interleaving budget stopped the walk early.
     pub budget_exhausted: bool,
     /// Union of every match discovered per epoch `(rank, clock)` across
@@ -83,8 +121,33 @@ struct Fork {
     window_end: Option<usize>,
 }
 
-/// Run the depth-first exploration.
-pub fn explore<F>(mut run: F, opts: &ExploreOptions) -> Exploration
+/// Run the depth-first exploration from scratch.
+pub fn explore<F>(run: F, opts: &ExploreOptions) -> Exploration
+where
+    F: FnMut(&DecisionSet) -> RunResult,
+{
+    explore_inner(run, opts, None)
+}
+
+/// Continue an interrupted exploration from a journal (see
+/// [`crate::journal`]). The journal's frontier is replayed in its exact
+/// stack order, so the completed campaign matches an uninterrupted one.
+pub fn explore_resumed<F>(
+    run: F,
+    opts: &ExploreOptions,
+    journal: ExplorationJournal,
+) -> Exploration
+where
+    F: FnMut(&DecisionSet) -> RunResult,
+{
+    explore_inner(run, opts, Some(journal))
+}
+
+fn explore_inner<F>(
+    mut run: F,
+    opts: &ExploreOptions,
+    resume: Option<ExplorationJournal>,
+) -> Exploration
 where
     F: FnMut(&DecisionSet) -> RunResult,
 {
@@ -93,25 +156,40 @@ where
     let mut stack: Vec<Fork> = Vec::new();
     let mut seen_errors: HashSet<(usize, String)> = HashSet::new();
 
-    let first = run(&DecisionSet::self_run());
-    ex.interleavings = 1;
-    ex.first_run_stats = first.stats;
-    ex.first_run_makespan = first.outcome.makespan;
-    // Leak checking happens at MPI_Finalize; a run that aborted or
-    // deadlocked never reached it, so its leftover resources are teardown
-    // debris, not application leaks.
-    if first.outcome.succeeded() {
-        ex.first_run_leaks = first.outcome.leaks.clone();
+    match resume {
+        Some(journal) => restore(journal, &mut ex, &mut visited, &mut stack, &mut seen_errors),
+        None => {
+            let first = run_with_retry(&mut run, &DecisionSet::self_run(), opts, &mut ex);
+            ex.interleavings = 1;
+            ex.first_run_stats = first.stats;
+            ex.first_run_makespan = first.outcome.makespan;
+            // Leak checking happens at MPI_Finalize; a run that aborted or
+            // deadlocked never reached it, so its leftover resources are
+            // teardown debris, not application leaks.
+            if first.outcome.succeeded() {
+                ex.first_run_leaks = first.outcome.leaks.clone();
+            }
+            absorb_errors(&mut ex, &mut seen_errors, &first.outcome, 1, &DecisionSet::self_run());
+            absorb_discoveries(&mut ex, &first.epochs);
+            if let Some(detail) = timeout_of(&first.outcome) {
+                ex.timeouts.push(ReplayTimeoutRecord {
+                    interleaving: 1,
+                    detail,
+                    decisions: DecisionSet::self_run(),
+                });
+            } else {
+                push_forks(&mut stack, &mut visited, &first.epochs, Root, opts);
+            }
+            checkpoint_now(opts, &ex, &visited, &stack);
+        }
     }
-    ex.total_virtual_time += first.outcome.makespan;
-    ex.divergences += first.stats.divergences;
-    absorb_errors(&mut ex, &mut seen_errors, &first.outcome, 1, &DecisionSet::self_run());
-    absorb_discoveries(&mut ex, &first.epochs);
-    push_forks(&mut stack, &mut visited, &first.epochs, Root, opts);
 
-    while let Some(fork) = stack.pop() {
+    loop {
+        // Budget and stop checks happen *before* the pop so a checkpointed
+        // frontier still holds every unexplored fork — resuming with a
+        // larger budget loses nothing.
         if let Some(max) = opts.max_interleavings {
-            if ex.interleavings >= max {
+            if ex.interleavings >= max && !stack.is_empty() {
                 ex.budget_exhausted = true;
                 break;
             }
@@ -119,10 +197,9 @@ where
         if opts.stop_on_first_error && !ex.errors.is_empty() {
             break;
         }
-        let res = run(&fork.decisions);
+        let Some(fork) = stack.pop() else { break };
+        let res = run_with_retry(&mut run, &fork.decisions, opts, &mut ex);
         ex.interleavings += 1;
-        ex.total_virtual_time += res.outcome.makespan;
-        ex.divergences += res.stats.divergences;
         let interleaving = ex.interleavings;
         absorb_errors(
             &mut ex,
@@ -132,18 +209,137 @@ where
             &fork.decisions,
         );
         absorb_discoveries(&mut ex, &res.epochs);
-        push_forks(
-            &mut stack,
-            &mut visited,
-            &res.epochs,
-            Child {
-                fork_index: fork_index_of(&fork),
-                window_end: fork.window_end,
-            },
-            opts,
-        );
+        if let Some(detail) = timeout_of(&res.outcome) {
+            // A killed replay's epoch log is truncated; forking from it
+            // would schedule prefixes the run never confirmed. Record the
+            // partial coverage honestly and keep walking the rest of the
+            // frontier.
+            ex.timeouts.push(ReplayTimeoutRecord {
+                interleaving,
+                detail,
+                decisions: fork.decisions.clone(),
+            });
+        } else {
+            push_forks(
+                &mut stack,
+                &mut visited,
+                &res.epochs,
+                Child {
+                    fork_index: fork_index_of(&fork),
+                    window_end: fork.window_end,
+                },
+                opts,
+            );
+        }
+        checkpoint_now(opts, &ex, &visited, &stack);
     }
     ex
+}
+
+/// Execute one schedule, retrying (with exponential backoff) when a guided
+/// replay diverges from its decisions. The final attempt's result is the
+/// one the walk uses; every attempt's cost and divergences are accounted.
+fn run_with_retry<F>(
+    run: &mut F,
+    decisions: &DecisionSet,
+    opts: &ExploreOptions,
+    ex: &mut Exploration,
+) -> RunResult
+where
+    F: FnMut(&DecisionSet) -> RunResult,
+{
+    let mut res = run(decisions);
+    ex.total_virtual_time += res.outcome.makespan;
+    ex.divergences += res.stats.divergences;
+    let mut attempt: u32 = 0;
+    while !decisions.is_self_run()
+        && res.stats.divergences > 0
+        && attempt < opts.divergence_retries
+    {
+        let backoff = opts.retry_backoff * 2u32.saturating_pow(attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        attempt += 1;
+        ex.retries += 1;
+        res = run(decisions);
+        ex.total_virtual_time += res.outcome.makespan;
+        ex.divergences += res.stats.divergences;
+    }
+    res
+}
+
+/// The watchdog detail when this run was killed over budget.
+fn timeout_of(outcome: &RunOutcome) -> Option<String> {
+    match &outcome.fatal {
+        Some(MpiError::ReplayTimeout { detail }) => Some(detail.clone()),
+        _ => None,
+    }
+}
+
+fn checkpoint_now(
+    opts: &ExploreOptions,
+    ex: &Exploration,
+    visited: &HashSet<u64>,
+    stack: &[Fork],
+) {
+    let Some(path) = &opts.checkpoint else { return };
+    let mut sigs: Vec<u64> = visited.iter().copied().collect();
+    sigs.sort_unstable();
+    let journal = ExplorationJournal {
+        version: JOURNAL_VERSION,
+        interleavings: ex.interleavings,
+        retries: ex.retries,
+        divergences: ex.divergences,
+        total_virtual_time: ex.total_virtual_time,
+        first_run_stats: ex.first_run_stats,
+        first_run_makespan: ex.first_run_makespan,
+        first_run_leaks: ex.first_run_leaks.clone(),
+        errors: ex.errors.clone(),
+        timeouts: ex.timeouts.clone(),
+        discovered: ExplorationJournal::flatten_discovered(&ex.discovered),
+        visited: sigs,
+        frontier: stack
+            .iter()
+            .map(|f| JournalFork {
+                decisions: f.decisions.clone(),
+                window_end: f.window_end,
+            })
+            .collect(),
+    };
+    if let Err(e) = journal.save(path) {
+        // A failed checkpoint must not kill a healthy campaign; the
+        // previous journal (if any) is still intact thanks to the atomic
+        // rename.
+        eprintln!("dampi: checkpoint to {} failed: {e}", path.display());
+    }
+}
+
+fn restore(
+    journal: ExplorationJournal,
+    ex: &mut Exploration,
+    visited: &mut HashSet<u64>,
+    stack: &mut Vec<Fork>,
+    seen_errors: &mut HashSet<(usize, String)>,
+) {
+    ex.interleavings = journal.interleavings;
+    ex.retries = journal.retries;
+    ex.divergences = journal.divergences;
+    ex.total_virtual_time = journal.total_virtual_time;
+    ex.first_run_stats = journal.first_run_stats;
+    ex.first_run_makespan = journal.first_run_makespan;
+    ex.discovered = journal.discovered_map();
+    ex.first_run_leaks = journal.first_run_leaks;
+    for e in &journal.errors {
+        seen_errors.insert((e.rank, e.error.to_string()));
+    }
+    ex.errors = journal.errors;
+    ex.timeouts = journal.timeouts;
+    visited.extend(journal.visited);
+    stack.extend(journal.frontier.into_iter().map(|f| Fork {
+        decisions: f.decisions,
+        window_end: f.window_end,
+    }));
 }
 
 fn fork_index_of(fork: &Fork) -> usize {
@@ -309,10 +505,9 @@ mod tests {
     fn opts(bound: MixingBound) -> ExploreOptions {
         ExploreOptions {
             bound,
-            honor_regions: true,
             max_interleavings: Some(1_000_000),
-            stop_on_first_error: false,
-            branch_on_guided: false,
+            retry_backoff: Duration::ZERO,
+            ..ExploreOptions::default()
         }
     }
 

@@ -104,6 +104,8 @@ pub struct DampiLayer<M: Mpi> {
     region_depth: u32,
     monitor: UnsafePatternMonitor,
     stats: ToolRunStats,
+    /// Epoch log already handed to the collector (normally at finalize).
+    submitted: bool,
 }
 
 impl<M: Mpi> DampiLayer<M> {
@@ -133,6 +135,7 @@ impl<M: Mpi> DampiLayer<M> {
             region_depth: 0,
             monitor: UnsafePatternMonitor::new(ctx.monitor),
             stats: ToolRunStats::default(),
+            submitted: false,
             ctx,
         })
     }
@@ -700,6 +703,18 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
         for sh in shadows {
             self.inner.comm_free(sh)?;
         }
+        self.submit_trace();
+        self.inner.finalize()
+    }
+}
+
+impl<M: Mpi> DampiLayer<M> {
+    /// Hand the epoch log and stats to the collector (idempotent).
+    fn submit_trace(&mut self) {
+        if self.submitted {
+            return;
+        }
+        self.submitted = true;
         // Final epoch hygiene: the matched source is not an alternate.
         for e in &mut self.epochs {
             if let Some(m) = e.matched_src {
@@ -710,6 +725,17 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
         self.ctx
             .collector
             .submit(std::mem::take(&mut self.epochs), self.stats);
-        self.inner.finalize()
+    }
+}
+
+impl<M: Mpi> Drop for DampiLayer<M> {
+    fn drop(&mut self) {
+        // A rank that errored or panicked never reaches `finalize`, but its
+        // epoch log still describes real non-determinism the scheduler must
+        // branch on — the buggy interleaving may be the SELF_RUN itself, and
+        // dropping the log would silently prune every alternate reachable
+        // from it. Flush here as a fallback; `finalize` already set the
+        // flag on the happy path. (No MPI calls — the world may be dead.)
+        self.submit_trace();
     }
 }

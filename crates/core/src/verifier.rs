@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use dampi_mpi::fault::{FaultLayer, FaultPlan};
 use dampi_mpi::program::{MpiProgram, RunOutcome};
 use dampi_mpi::runtime::{run_with_layers, SimConfig};
 use dampi_mpi::Mpi;
@@ -16,6 +17,7 @@ use dampi_mpi::Mpi;
 use crate::config::DampiConfig;
 use crate::decisions::DecisionSet;
 use crate::epoch::{ToolRunStats, TraceCollector};
+use crate::journal::ExplorationJournal;
 use crate::report::VerificationReport;
 use crate::scheduler::{self, ExploreOptions, RunResult};
 use crate::tool::{DampiCtx, DampiLayer};
@@ -27,6 +29,9 @@ pub struct DampiVerifier {
     pub sim: SimConfig,
     /// Verifier configuration (clock mode, bounds, heuristics).
     pub cfg: DampiConfig,
+    /// Substrate fault-injection plan, layered below the DAMPI tool when
+    /// set (testing the verifier's own fault tolerance).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl DampiVerifier {
@@ -36,13 +41,25 @@ impl DampiVerifier {
         Self {
             sim,
             cfg: DampiConfig::default(),
+            fault_plan: None,
         }
     }
 
     /// Verifier with an explicit configuration.
     #[must_use]
     pub fn with_config(sim: SimConfig, cfg: DampiConfig) -> Self {
-        Self { sim, cfg }
+        Self {
+            sim,
+            cfg,
+            fault_plan: None,
+        }
+    }
+
+    /// Builder-style: inject substrate faults below the tool stack.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
     }
 
     fn make_ctx(&self, decisions: &DecisionSet) -> (Arc<DampiCtx>, Arc<TraceCollector>) {
@@ -68,11 +85,22 @@ impl DampiVerifier {
         decisions: &DecisionSet,
     ) -> RunResult {
         let (ctx, collector) = self.make_ctx(decisions);
+        let plan = self.fault_plan.clone();
         let outcome = run_with_layers(&self.sim, program, &|_rank, pmpi| {
             let ctx = Arc::clone(&ctx);
-            Box::new(
-                DampiLayer::new(pmpi, ctx).expect("DAMPI layer construction (world shadow dup)"),
-            ) as Box<dyn Mpi>
+            // The fault layer (when armed) sits *below* DAMPI so injected
+            // faults hit both application traffic and the tool's own
+            // piggyback messages on the shadow communicator. Layer
+            // construction performs the shadow `comm_dup`; a failure there
+            // is this rank's error, not a harness panic.
+            let layer: Box<dyn Mpi> = match &plan {
+                Some(plan) if plan.armed(ctx.decisions.is_self_run()) => Box::new(DampiLayer::new(
+                    FaultLayer::new(pmpi, Arc::clone(plan)),
+                    ctx,
+                )?),
+                _ => Box::new(DampiLayer::new(pmpi, ctx)?),
+            };
+            Ok(layer)
         });
         let (epochs, stats) = collector.take();
         RunResult {
@@ -122,18 +150,43 @@ impl DampiVerifier {
         })
     }
 
-    /// Full verification: explore the space of non-deterministic matches.
-    #[must_use]
-    pub fn verify(&self, program: &dyn MpiProgram) -> VerificationReport {
-        let opts = ExploreOptions {
+    fn explore_options(&self) -> ExploreOptions {
+        ExploreOptions {
             bound: self.cfg.bound,
             honor_regions: self.cfg.honor_regions,
             max_interleavings: self.cfg.max_interleavings,
             stop_on_first_error: self.cfg.stop_on_first_error,
             branch_on_guided: self.cfg.branch_on_guided,
-        };
+            divergence_retries: self.cfg.divergence_retries,
+            retry_backoff: self.cfg.retry_backoff,
+            checkpoint: self.cfg.journal.clone(),
+        }
+    }
+
+    /// Full verification: explore the space of non-deterministic matches.
+    #[must_use]
+    pub fn verify(&self, program: &dyn MpiProgram) -> VerificationReport {
+        let opts = self.explore_options();
         let ex = scheduler::explore(|ds| self.instrumented_run(program, ds), &opts);
         self.report_from(program.name(), ex)
+    }
+
+    /// Continue an interrupted campaign from an exploration journal (see
+    /// [`crate::journal`]). Further checkpoints keep going to the same
+    /// file unless the configuration names a different one, so a campaign
+    /// can be killed and resumed any number of times.
+    pub fn verify_resumed(
+        &self,
+        program: &dyn MpiProgram,
+        journal_path: &std::path::Path,
+    ) -> std::io::Result<VerificationReport> {
+        let journal = ExplorationJournal::load(journal_path)?;
+        let mut opts = self.explore_options();
+        if opts.checkpoint.is_none() {
+            opts.checkpoint = Some(journal_path.to_path_buf());
+        }
+        let ex = scheduler::explore_resumed(|ds| self.instrumented_run(program, ds), &opts, journal);
+        Ok(self.report_from(program.name(), ex))
     }
 
     fn report_from(
@@ -158,6 +211,8 @@ impl DampiVerifier {
             wildcards_analyzed: wildcards,
             unsafe_alerts,
             divergences: ex.divergences,
+            retries: ex.retries,
+            timeouts: ex.timeouts,
             pb_messages,
             first_run_makespan: ex.first_run_makespan,
             total_virtual_time: ex.total_virtual_time,

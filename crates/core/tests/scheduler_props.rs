@@ -56,10 +56,9 @@ fn model_run(alt_counts: Vec<usize>) -> impl FnMut(&DecisionSet) -> RunResult {
 fn opts(bound: MixingBound) -> ExploreOptions {
     ExploreOptions {
         bound,
-        honor_regions: true,
         max_interleavings: Some(2_000_000),
-        stop_on_first_error: false,
-        branch_on_guided: false,
+        retry_backoff: std::time::Duration::ZERO,
+        ..ExploreOptions::default()
     }
 }
 

@@ -62,7 +62,7 @@ impl IspVerifier {
         let sched = IspScheduler::new(self.sim.nprocs, self.sim.vtime);
         let ds = Arc::new(decisions.clone());
         let outcome = run_with_layers(&self.sim, program, &|_rank, pmpi| {
-            Box::new(IspLayer::new(pmpi, Arc::clone(&sched), Arc::clone(&ds))) as Box<dyn Mpi>
+            Ok(Box::new(IspLayer::new(pmpi, Arc::clone(&sched), Arc::clone(&ds))) as Box<dyn Mpi>)
         });
         let (epochs, stats) = sched.collect();
         RunResult {
@@ -88,7 +88,7 @@ impl IspVerifier {
             honor_regions: false,
             max_interleavings: self.cfg.max_interleavings,
             stop_on_first_error: self.cfg.stop_on_first_error,
-            branch_on_guided: false,
+            ..ExploreOptions::default()
         };
         let ex = scheduler::explore(|ds| self.instrumented_run(program, ds), &opts);
         VerificationReport {
@@ -102,6 +102,8 @@ impl IspVerifier {
             wildcards_analyzed: ex.first_run_stats.wildcards,
             unsafe_alerts: 0,
             divergences: ex.divergences,
+            retries: ex.retries,
+            timeouts: ex.timeouts,
             pb_messages: 0,
             first_run_makespan: ex.first_run_makespan,
             total_virtual_time: ex.total_virtual_time,

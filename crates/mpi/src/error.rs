@@ -58,6 +58,13 @@ pub enum MpiError {
         /// Which limit was exceeded.
         detail: String,
     },
+    /// A replay watchdog killed the run: a per-replay wall-clock or
+    /// virtual-time budget was exceeded (a hung or runaway interleaving,
+    /// not a program bug — the schedule is recorded and skipped).
+    ReplayTimeout {
+        /// Which budget tripped, with the limit and observed value.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -79,6 +86,9 @@ impl fmt::Display for MpiError {
             MpiError::Panicked { message } => write!(f, "rank panicked: {message}"),
             MpiError::ToolProtocol { detail } => write!(f, "tool protocol violation: {detail}"),
             MpiError::Budget { detail } => write!(f, "exploration budget exceeded: {detail}"),
+            MpiError::ReplayTimeout { detail } => {
+                write!(f, "replay watchdog fired: {detail}")
+            }
         }
     }
 }
@@ -128,6 +138,10 @@ mod tests {
         }
         .is_program_bug());
         assert!(!MpiError::Budget {
+            detail: String::new()
+        }
+        .is_program_bug());
+        assert!(!MpiError::ReplayTimeout {
             detail: String::new()
         }
         .is_program_bug());

@@ -34,6 +34,7 @@ pub mod collective;
 pub mod comm;
 pub mod envelope;
 pub mod error;
+pub mod fault;
 pub mod interpose;
 pub mod leak;
 pub mod matching;
@@ -50,13 +51,14 @@ pub use collective::ReduceOp;
 pub use comm::Comm;
 pub use envelope::Envelope;
 pub use error::{MpiError, Result};
+pub use fault::{FaultAction, FaultLayer, FaultPlan, FaultRule};
 pub use interpose::{LayerFactory, PassthroughLayer};
 pub use leak::LeakReport;
 pub use matching::MatchPolicy;
 pub use program::{FnProgram, MpiProgram, RankError, RunOutcome};
 pub use proc_api::{Mpi, Pmpi, Status};
 pub use request::Request;
-pub use runtime::{run_native, run_with_layers, SimConfig, World};
+pub use runtime::{run_native, run_with_layers, ReplayBudget, SimConfig, World};
 pub use stats::{OpClass, OpStats};
 pub use types::{Tag, ANY_SOURCE, ANY_TAG};
 pub use vtime::VTimeParams;

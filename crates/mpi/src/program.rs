@@ -64,10 +64,20 @@ impl RunOutcome {
             .iter()
             .enumerate()
             .filter_map(|(rank, e)| match e {
-                Some(err) if !matches!(err, MpiError::Aborted { .. }) => Some(RankError {
-                    rank,
-                    error: err.clone(),
-                }),
+                // Aborted ranks are collateral of another rank's failure;
+                // ReplayTimeout is the harness's own watchdog verdict.
+                // Neither is a bug in the program under test.
+                Some(err)
+                    if !matches!(
+                        err,
+                        MpiError::Aborted { .. } | MpiError::ReplayTimeout { .. }
+                    ) =>
+                {
+                    Some(RankError {
+                        rank,
+                        error: err.clone(),
+                    })
+                }
                 _ => None,
             })
             .collect();

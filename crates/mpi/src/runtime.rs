@@ -10,6 +10,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -25,6 +26,46 @@ use crate::request::{ReqKind, ReqState, Request, RequestEntry, RequestTable};
 use crate::leak::{CommLeak, LeakReport};
 use crate::types::{Tag, ANY_SOURCE};
 use crate::vtime::VTimeParams;
+
+/// Per-replay watchdog budgets (§ fault-tolerant exploration).
+///
+/// Both limits apply to a *single* run of the world — one interleaving.
+/// When either trips, the runtime declares a global
+/// [`MpiError::ReplayTimeout`] fatal: every blocked or still-running rank
+/// unwinds with that error, the run harness returns normally, and the
+/// verifier records the schedule as timed out instead of hanging the
+/// whole campaign on one pathological interleaving.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplayBudget {
+    /// Kill the run once any rank's virtual clock passes this many
+    /// simulated seconds (catches livelocks that spin in `compute`).
+    pub max_virtual_time: Option<f64>,
+    /// Kill the run once this much real time has elapsed since the world
+    /// was created (catches hangs that make no virtual progress).
+    pub max_wall_clock: Option<Duration>,
+}
+
+impl ReplayBudget {
+    /// No limits (the default): replays run to completion or deadlock.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: cap per-replay virtual time (simulated seconds).
+    #[must_use]
+    pub fn with_max_virtual_time(mut self, seconds: f64) -> Self {
+        self.max_virtual_time = Some(seconds);
+        self
+    }
+
+    /// Builder-style: cap per-replay wall-clock time.
+    #[must_use]
+    pub fn with_max_wall_clock(mut self, limit: Duration) -> Self {
+        self.max_wall_clock = Some(limit);
+        self
+    }
+}
 
 /// Configuration of a simulated world.
 #[derive(Debug, Clone)]
@@ -47,6 +88,8 @@ pub struct SimConfig {
     /// under eager buffering ("unsafe" sends per the MPI standard)
     /// deadlock when run with `Some(0)`.
     pub eager_limit: Option<usize>,
+    /// Per-replay watchdog budgets (wall clock and virtual time).
+    pub budget: ReplayBudget,
 }
 
 impl SimConfig {
@@ -60,6 +103,7 @@ impl SimConfig {
             vtime: VTimeParams::default(),
             stack_size: 256 * 1024,
             eager_limit: None,
+            budget: ReplayBudget::default(),
         }
     }
 
@@ -82,6 +126,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_vtime(mut self, vtime: VTimeParams) -> Self {
         self.vtime = vtime;
+        self
+    }
+
+    /// Builder-style: set per-replay watchdog budgets.
+    #[must_use]
+    pub fn with_budget(mut self, budget: ReplayBudget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -122,6 +173,8 @@ pub struct World {
     state: Mutex<Shared>,
     /// One condvar per rank for targeted wakeups; all bound to `state`.
     cvs: Vec<Condvar>,
+    /// Wall-clock watchdog deadline for this run (from the replay budget).
+    deadline: Option<Instant>,
 }
 
 impl World {
@@ -139,10 +192,15 @@ impl World {
             nfinished: 0,
             fatal: None,
         };
+        let deadline = cfg
+            .budget
+            .max_wall_clock
+            .map(|limit| Instant::now() + limit);
         Arc::new(Self {
             cfg,
             state: Mutex::new(shared),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
+            deadline,
         })
     }
 
@@ -177,6 +235,53 @@ impl World {
         s.fatal.clone()
     }
 
+    /// Declare a watchdog timeout as the world's fatal error and wake every
+    /// rank. An earlier fatal (first cause) wins.
+    fn trip_timeout(&self, s: &mut Shared, detail: String) -> MpiError {
+        if s.fatal.is_none() {
+            s.fatal = Some(MpiError::ReplayTimeout { detail });
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+        }
+        s.fatal.clone().expect("fatal just set")
+    }
+
+    /// Fatal-or-watchdog check. An existing fatal error wins; otherwise the
+    /// wall-clock deadline is consulted here — on every runtime entry — so
+    /// even non-blocking spin loops (`iprobe`/`test` livelocks) observe the
+    /// watchdog, not just ranks parked in `block_on`.
+    fn guard(&self, s: &mut Shared) -> Option<MpiError> {
+        if let Some(f) = Self::fatal_err(s) {
+            return Some(f);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                let limit = self.cfg.budget.max_wall_clock.unwrap_or_default();
+                return Some(
+                    self.trip_timeout(s, format!("wall-clock budget of {limit:?} exceeded")),
+                );
+            }
+        }
+        None
+    }
+
+    /// Virtual-time budget check, called after `rank`'s clock advances.
+    fn check_vt_budget(&self, s: &mut Shared, rank: usize) -> Result<()> {
+        if let Some(limit) = self.cfg.budget.max_virtual_time {
+            if s.vt[rank] > limit {
+                let vt = s.vt[rank];
+                return Err(self.trip_timeout(
+                    s,
+                    format!(
+                        "virtual-time budget of {limit}s exceeded (rank {rank} at {vt:.6}s)"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Block `rank` until `ready` yields a result, with deadlock detection.
     ///
     /// `blocked[r]` means *logically* blocked: `r`'s predicate was
@@ -199,7 +304,7 @@ impl World {
                 Self::clear_blocked(&mut g, rank);
                 return out;
             }
-            if let Some(f) = Self::fatal_err(&g) {
+            if let Some(f) = self.guard(&mut g) {
                 Self::clear_blocked(&mut g, rank);
                 return Err(f);
             }
@@ -223,7 +328,15 @@ impl World {
                 }
                 return Err(err);
             }
-            self.cvs[rank].wait(&mut g);
+            match self.deadline {
+                // Bounded wait: on timeout the loop re-enters `guard`,
+                // which trips the watchdog and unwinds every rank.
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    let _ = self.cvs[rank].wait_for(&mut g, remaining);
+                }
+                None => self.cvs[rank].wait(&mut g),
+            }
         }
     }
 
@@ -265,16 +378,16 @@ impl World {
 
     pub(crate) fn op_compute(&self, rank: usize, seconds: f64) -> Result<()> {
         let mut g = self.state.lock();
-        if let Some(f) = Self::fatal_err(&g) {
+        if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
         g.vt[rank] += seconds.max(0.0);
-        Ok(())
+        self.check_vt_budget(&mut g, rank)
     }
 
     pub(crate) fn op_fatal_check(&self) -> Result<()> {
-        let g = self.state.lock();
-        match Self::fatal_err(&g) {
+        let mut g = self.state.lock();
+        match self.guard(&mut g) {
             Some(f) => Err(f),
             None => Ok(()),
         }
@@ -311,7 +424,7 @@ impl World {
         data: Bytes,
     ) -> Result<Request> {
         let mut g = self.state.lock();
-        if let Some(f) = Self::fatal_err(&g) {
+        if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
         let (idx, crank) = Self::resolve(&g, comm, rank)?;
@@ -323,6 +436,7 @@ impl World {
             });
         }
         g.vt[rank] += self.cfg.vtime.send_overhead;
+        self.check_vt_budget(&mut g, rank)?;
         let eager = self
             .cfg
             .eager_limit
@@ -366,7 +480,7 @@ impl World {
 
     pub(crate) fn op_irecv(&self, rank: usize, comm: Comm, src: i32, tag: Tag) -> Result<Request> {
         let mut g = self.state.lock();
-        if let Some(f) = Self::fatal_err(&g) {
+        if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
         let (idx, crank) = Self::resolve(&g, comm, rank)?;
@@ -445,7 +559,7 @@ impl World {
 
     pub(crate) fn op_test(&self, rank: usize, req: Request) -> Result<Option<(Status, Bytes)>> {
         let mut g = self.state.lock();
-        if let Some(f) = Self::fatal_err(&g) {
+        if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
         let entry = g.requests.get(req)?;
@@ -491,7 +605,7 @@ impl World {
         reqs: &[Request],
     ) -> Result<Option<(usize, Status, Bytes)>> {
         let mut g = self.state.lock();
-        if let Some(f) = Self::fatal_err(&g) {
+        if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
         for (i, r) in reqs.iter().enumerate() {
@@ -569,7 +683,7 @@ impl World {
         tag: Tag,
     ) -> Result<Option<ProbeInfo>> {
         let mut g = self.state.lock();
-        if let Some(f) = Self::fatal_err(&g) {
+        if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
         let (idx, crank) = Self::resolve(&g, comm, rank)?;
@@ -589,11 +703,12 @@ impl World {
     ) -> Result<CollOutcome> {
         let gen = {
             let mut g = self.state.lock();
-            if let Some(f) = Self::fatal_err(&g) {
+            if let Some(f) = self.guard(&mut g) {
                 return Err(f);
             }
             let (idx, crank) = Self::resolve(&g, comm, rank)?;
             g.vt[rank] += self.cfg.vtime.send_overhead;
+            self.check_vt_budget(&mut g, rank)?;
             let vt = g.vt[rank];
             let (gen, last) = match g.comms[idx].coll.enter(crank, sig, contribution, vt) {
                 Ok(v) => v,
@@ -639,6 +754,7 @@ impl World {
             .block_on(rank, |s| s.comms[idx].coll.try_take(gen, crank).map(Ok))?;
         let mut g = self.state.lock();
         g.vt[rank] = g.vt[rank].max(vt);
+        self.check_vt_budget(&mut g, rank)?;
         outcome
     }
 
@@ -1019,8 +1135,11 @@ impl World {
 }
 
 /// Factory building each rank's interposition stack on top of the runtime
-/// handle — the analog of PnMPI loading a tool-module chain.
-pub type LayerFactory<'a> = dyn Fn(usize, Pmpi) -> Box<dyn Mpi> + Sync + 'a;
+/// handle — the analog of PnMPI loading a tool-module chain. Construction
+/// is fallible (tool setup may itself perform MPI calls, e.g. the shadow
+/// `comm_dup`); a failure is recorded as that rank's error instead of
+/// panicking the harness.
+pub type LayerFactory<'a> = dyn Fn(usize, Pmpi) -> Result<Box<dyn Mpi>> + Sync + 'a;
 
 use crate::proc_api::Mpi;
 
@@ -1044,11 +1163,20 @@ pub fn run_with_layers(
             let handle = builder
                 .spawn(move |_| {
                     let pmpi = Pmpi::new(Arc::clone(&world), rank);
-                    let mut stack = factory(rank, pmpi);
-                    let result =
-                        catch_unwind(AssertUnwindSafe(|| program.run(stack.as_mut())));
+                    // The unwind barrier covers the *whole* per-rank
+                    // lifecycle — tool-stack construction, the program
+                    // body, and finalize — so a panicking tool layer is
+                    // isolated exactly like a panicking application rank.
+                    // The stack is dropped inside the barrier too (during
+                    // unwind on panic), letting tool layers flush partial
+                    // state from `Drop`.
+                    let result = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+                        let mut stack = factory(rank, pmpi)?;
+                        program.run(stack.as_mut())?;
+                        stack.finalize()
+                    }));
                     let outcome: Option<MpiError> = match result {
-                        Ok(Ok(())) => stack.finalize().err(),
+                        Ok(Ok(())) => None,
                         Ok(Err(e)) => Some(e),
                         Err(panic) => Some(MpiError::Panicked {
                             message: panic_message(panic.as_ref()),
@@ -1083,7 +1211,7 @@ pub fn run_with_layers(
 /// Execute `program` with no tool layers (the "native MPI" baseline used
 /// for Table II slowdown denominators).
 pub fn run_native(cfg: &SimConfig, program: &dyn MpiProgram) -> RunOutcome {
-    run_with_layers(cfg, program, &|_, pmpi| Box::new(pmpi))
+    run_with_layers(cfg, program, &|_, pmpi| Ok(Box::new(pmpi)))
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {

@@ -361,7 +361,7 @@ mod tests {
         let collector = TraceCollector::new();
         let c2 = Arc::clone(&collector);
         let out = run_with_layers(&SimConfig::new(n), &FnProgram(prog), &move |_, pmpi| {
-            Box::new(TraceLayer::new(pmpi, Arc::clone(&c2)))
+            Ok(Box::new(TraceLayer::new(pmpi, Arc::clone(&c2))))
         });
         assert!(out.succeeded(), "{:?}", out.rank_errors);
         collector.take()
@@ -435,14 +435,14 @@ mod tests {
         let c2 = Arc::clone(&collector);
         let prog = FnProgram(|mpi: &mut dyn Mpi| mpi.barrier(Comm::WORLD));
         let out = run_with_layers(&SimConfig::new(2), &prog, &move |_, pmpi| {
-            Box::new(TraceLayer::new(pmpi, Arc::clone(&c2)))
+            Ok(Box::new(TraceLayer::new(pmpi, Arc::clone(&c2))))
         });
         assert!(out.succeeded());
         // take() drains; re-record via a fresh run for the export test.
         let collector2 = TraceCollector::new();
         let c3 = Arc::clone(&collector2);
         let out = run_with_layers(&SimConfig::new(2), &prog, &move |_, pmpi| {
-            Box::new(TraceLayer::new(pmpi, Arc::clone(&c3)))
+            Ok(Box::new(TraceLayer::new(pmpi, Arc::clone(&c3))))
         });
         assert!(out.succeeded());
         let jsonl = collector2.to_jsonl();

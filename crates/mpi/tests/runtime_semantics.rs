@@ -484,7 +484,7 @@ fn stats_layer_counts_application_ops() {
     });
     let c2 = std::sync::Arc::clone(&collector);
     let out = run_with_layers(&cfg(2), &prog, &move |_, pmpi| {
-        Box::new(StatsLayer::new(pmpi, std::sync::Arc::clone(&c2)))
+        Ok(Box::new(StatsLayer::new(pmpi, std::sync::Arc::clone(&c2))))
     });
     assert!(out.succeeded());
     let total = collector.total();
@@ -502,7 +502,7 @@ fn passthrough_layer_is_transparent() {
         Ok(())
     });
     let out = run_with_layers(&cfg(4), &prog, &|_, pmpi| {
-        Box::new(PassthroughLayer::new(PassthroughLayer::new(pmpi)))
+        Ok(Box::new(PassthroughLayer::new(PassthroughLayer::new(pmpi))))
     });
     assert!(out.succeeded());
 }

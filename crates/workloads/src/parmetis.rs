@@ -208,7 +208,7 @@ mod tests {
             let prog = Parmetis::new(ParmetisParams::nominal(np, 0.2));
             let c2 = Arc::clone(&collector);
             let out = run_with_layers(&SimConfig::new(np), &prog, &move |_, pmpi| {
-                Box::new(StatsLayer::new(pmpi, Arc::clone(&c2)))
+                Ok(Box::new(StatsLayer::new(pmpi, Arc::clone(&c2))))
             });
             assert!(out.succeeded());
             (collector.total().total(), collector.per_proc().total())
@@ -235,7 +235,7 @@ mod tests {
             let prog = Parmetis::new(ParmetisParams::nominal(np, 0.2));
             let c2 = Arc::clone(&collector);
             let out = run_with_layers(&SimConfig::new(np), &prog, &move |_, pmpi| {
-                Box::new(StatsLayer::new(pmpi, Arc::clone(&c2)))
+                Ok(Box::new(StatsLayer::new(pmpi, Arc::clone(&c2))))
             });
             assert!(out.succeeded());
             collector.per_proc().collective

@@ -68,6 +68,35 @@ pub fn fig4_cross_coupled() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + S
     })
 }
 
+/// Two symmetric wildcard consumers (ranks 1 and 3) each receive two
+/// messages, one from each producer (ranks 0 and 2). The producers finish
+/// sending before a global barrier, so — like [`fig3`] — every wildcard's
+/// candidate set is fixed and the exploration frontier is deterministic
+/// under `MatchPolicy::LowestRank`. By symmetry the two consumers record
+/// their epochs at *equal* Lamport clocks, so a guided replay that branches
+/// on one consumer's epoch necessarily leaves the other consumer's
+/// equal-clock epoch unprescribed: a deterministic prefix divergence of the
+/// §II-F imprecision kind, on every replay of that branch.
+#[must_use]
+pub fn symmetric_racers() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 | 2 => {
+                mpi.send(Comm::WORLD, 1, 7, Bytes::from_static(b"race"))?;
+                mpi.send(Comm::WORLD, 3, 7, Bytes::from_static(b"race"))?;
+                mpi.barrier(Comm::WORLD)?;
+            }
+            1 | 3 => {
+                mpi.barrier(Comm::WORLD)?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 7)?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 7)?;
+            }
+            _ => mpi.barrier(Comm::WORLD)?,
+        }
+        Ok(())
+    })
+}
+
 /// Paper Fig. 10 / §V: an `Irecv(*)` whose clock is transmitted (via a
 /// barrier) before its `Wait`, making P2's post-barrier send an undetected
 /// competitor. Crashes (application error) when that send wins.
@@ -173,6 +202,15 @@ mod tests {
     #[test]
     fn fig4_native_run_completes() {
         let out = run_native(&SimConfig::new(4), &fig4_cross_coupled());
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn symmetric_racers_native_run_completes() {
+        let out = run_native(
+            &SimConfig::new(4).with_policy(MatchPolicy::LowestRank),
+            &symmetric_racers(),
+        );
         assert!(out.succeeded(), "{:?}", out.rank_errors);
     }
 

@@ -4,14 +4,18 @@
 //! dampi-cli list
 //! dampi-cli verify <workload> [--np N] [--k K] [--max M] [--clock lamport|vector]
 //!                             [--isp] [--deferred-clock]
+//!                             [--journal PATH] [--resume PATH]
+//!                             [--replay-vt SECS] [--replay-wall SECS]
 //! dampi-cli overhead [--np N]           # Table II style slowdown census
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use dampi::core::{ClockMode, DampiConfig, DampiVerifier, DecisionSet, MixingBound};
 use dampi::isp::IspVerifier;
-use dampi::mpi::{run_native, MatchPolicy, MpiProgram, SimConfig};
+use dampi::mpi::{run_native, MatchPolicy, MpiProgram, ReplayBudget, SimConfig};
 use dampi::workloads::adlb::{Adlb, AdlbParams};
 use dampi::workloads::matmul::{Matmul, MatmulParams};
 use dampi::workloads::parmetis::{Parmetis, ParmetisParams};
@@ -55,6 +59,10 @@ struct Args {
     deferred: bool,
     biased: bool,
     json: bool,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    replay_vt: Option<f64>,
+    replay_wall: Option<f64>,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -67,6 +75,10 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         deferred: false,
         biased: true,
         json: false,
+        journal: None,
+        resume: None,
+        replay_vt: None,
+        replay_wall: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -90,6 +102,19 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             "--deferred-clock" => a.deferred = true,
             "--unbiased" => a.biased = false,
             "--json" => a.json = true,
+            "--journal" => a.journal = Some(PathBuf::from(val("--journal")?)),
+            "--resume" => a.resume = Some(PathBuf::from(val("--resume")?)),
+            "--replay-vt" => {
+                a.replay_vt =
+                    Some(val("--replay-vt")?.parse().map_err(|e| format!("--replay-vt: {e}"))?);
+            }
+            "--replay-wall" => {
+                a.replay_wall = Some(
+                    val("--replay-wall")?
+                        .parse()
+                        .map_err(|e| format!("--replay-wall: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -120,7 +145,21 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
     if args.biased {
         sim = sim.with_policy(MatchPolicy::LowestRank);
     }
+    if args.replay_vt.is_some() || args.replay_wall.is_some() {
+        let mut budget = ReplayBudget::default();
+        if let Some(vt) = args.replay_vt {
+            budget = budget.with_max_virtual_time(vt);
+        }
+        if let Some(wall) = args.replay_wall {
+            budget = budget.with_max_wall_clock(Duration::from_secs_f64(wall));
+        }
+        sim = sim.with_budget(budget);
+    }
     if args.isp {
+        if args.resume.is_some() || args.journal.is_some() {
+            eprintln!("error: --resume/--journal are DAMPI-only (checkpointing lives in the distributed scheduler, not the ISP baseline)");
+            return ExitCode::FAILURE;
+        }
         let mut v = IspVerifier::new(sim);
         v.cfg.max_interleavings = Some(args.max);
         let report = v.verify(prog.as_ref());
@@ -144,7 +183,20 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
     if args.deferred {
         cfg = cfg.with_deferred_clock_sync();
     }
-    let report = DampiVerifier::with_config(sim, cfg).verify(prog.as_ref());
+    if let Some(path) = &args.journal {
+        cfg = cfg.with_journal(path.clone());
+    }
+    let verifier = DampiVerifier::with_config(sim, cfg);
+    let report = match &args.resume {
+        Some(journal) => match verifier.verify_resumed(prog.as_ref(), journal) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: cannot resume from {}: {e}", journal.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => verifier.verify(prog.as_ref()),
+    };
     if args.json {
         println!("{}", report.to_json());
     } else {
@@ -196,7 +248,11 @@ fn cmd_overhead(rest: &[String]) -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dampi-cli list\n  dampi-cli verify <workload> [--np N] [--k K] [--max M] \
-         [--clock lamport|vector] [--isp] [--deferred-clock] [--unbiased] [--json]\n  \
+         [--clock lamport|vector] [--isp] [--deferred-clock] [--unbiased] [--json]\n    \
+         [--journal PATH]      checkpoint the exploration frontier after every run\n    \
+         [--resume PATH]       continue an interrupted campaign from its journal\n    \
+         [--replay-vt SECS]    kill any replay exceeding this virtual-time budget\n    \
+         [--replay-wall SECS]  kill any replay exceeding this wall-clock budget\n  \
          dampi-cli overhead [--np N]"
     );
     ExitCode::FAILURE

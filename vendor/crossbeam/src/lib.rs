@@ -1,0 +1,86 @@
+//! Vendored minimal stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` with the builder API is used by the
+//! runtime (named rank threads with bounded stacks). Implemented on top of
+//! `std::thread::scope` + `Builder::spawn_scoped`, which cover the same
+//! ground since Rust 1.63.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads with a builder API, like `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::io;
+
+    /// Handle to a spawn scope; passed to the closure of [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Start configuring a new scoped thread.
+        pub fn builder(&self) -> ScopedThreadBuilder<'_, 'scope, 'env> {
+            ScopedThreadBuilder {
+                scope: self,
+                builder: std::thread::Builder::new(),
+            }
+        }
+    }
+
+    /// Builder for a scoped thread (name, stack size).
+    pub struct ScopedThreadBuilder<'a, 'scope, 'env> {
+        scope: &'a Scope<'scope, 'env>,
+        builder: std::thread::Builder,
+    }
+
+    impl<'scope> ScopedThreadBuilder<'_, 'scope, '_> {
+        /// Name the thread.
+        #[must_use]
+        pub fn name(mut self, name: String) -> Self {
+            self.builder = self.builder.name(name);
+            self
+        }
+
+        /// Set the thread's stack size in bytes.
+        #[must_use]
+        pub fn stack_size(mut self, size: usize) -> Self {
+            self.builder = self.builder.stack_size(size);
+            self
+        }
+
+        /// Spawn the thread. The closure receives the scope handle (unused
+        /// by this workspace, but part of the crossbeam signature).
+        pub fn spawn<F, T>(self, f: F) -> io::Result<ScopedJoinHandle<'scope, T>>
+        where
+            F: FnOnce(&Scope<'scope, '_>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.scope.inner;
+            let handle = self
+                .builder
+                .spawn_scoped(inner, move || f(&Scope { inner }))?;
+            Ok(ScopedJoinHandle { inner: handle })
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, named scoped threads can
+    /// be spawned; joins any remaining threads before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|inner| f(&Scope { inner })))
+    }
+}

@@ -1,0 +1,363 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The real serde abstracts over data formats with visitor-based
+//! `Serializer`/`Deserializer` traits. This workspace only ever talks to
+//! one format (JSON, via the vendored `serde_json`), so the stand-in uses
+//! a much simpler model: every serializable value converts to and from a
+//! JSON-shaped [`Content`] tree. The derive macros (`serde_derive`,
+//! re-exported here) generate `to_content`/`from_content` impls matching
+//! serde's externally-tagged conventions:
+//!
+//! * named struct → map of fields (`#[serde(skip)]` fields omitted and
+//!   rebuilt with `Default` on deserialize)
+//! * newtype struct → the inner value
+//! * unit enum variant → the variant name as a string
+//! * newtype/tuple/struct enum variant → one-entry map
+//!   `{ "Variant": payload }`
+//!
+//! This matches real serde_json's wire format for the types this
+//! workspace derives, so persisted artifacts stay compatible if the real
+//! crates are ever restored.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::borrow::Cow;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A format-independent, JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object with insertion-ordered entries.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Content`] tree.
+pub trait Serialize {
+    /// Convert to the format-independent tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the format-independent tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from the serialized map.
+    /// Errors by default; `Option` fields yield `None`, matching serde.
+    #[doc(hidden)]
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{field}`")))
+    }
+}
+
+// ---- helpers used by derive-generated code --------------------------------
+
+/// Expect a map, or report what was found.
+#[doc(hidden)]
+pub fn expect_map<'c>(content: &'c Content, what: &str) -> Result<&'c [(String, Content)], DeError> {
+    match content {
+        Content::Map(m) => Ok(m),
+        other => Err(DeError(format!("{what}: expected a map, got {other:?}"))),
+    }
+}
+
+/// Expect a sequence, or report what was found.
+#[doc(hidden)]
+pub fn expect_seq<'c>(content: &'c Content, what: &str) -> Result<&'c [Content], DeError> {
+    match content {
+        Content::Seq(s) => Ok(s),
+        other => Err(DeError(format!("{what}: expected a sequence, got {other:?}"))),
+    }
+}
+
+/// Look up and deserialize a named struct field.
+#[doc(hidden)]
+pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => T::from_missing(name),
+    }
+}
+
+/// Deserialize the `i`-th element of a tuple payload.
+#[doc(hidden)]
+pub fn seq_field<T: Deserialize>(seq: &[Content], i: usize, what: &str) -> Result<T, DeError> {
+    match seq.get(i) {
+        Some(c) => T::from_content(c),
+        None => Err(DeError(format!("{what}: missing tuple field {i}"))),
+    }
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let err = || DeError(format!(
+                    "expected {}, got {content:?}", stringify!($t)
+                ));
+                match content {
+                    Content::U64(n) => <$t>::try_from(*n).map_err(|_| err()),
+                    Content::I64(n) => <$t>::try_from(*n).map_err(|_| err()),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                if *self >= 0 {
+                    Content::U64(*self as u64)
+                } else {
+                    Content::I64(i64::from(*self))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let err = || DeError(format!(
+                    "expected {}, got {content:?}", stringify!($t)
+                ));
+                match content {
+                    Content::U64(n) => <$t>::try_from(*n).map_err(|_| err()),
+                    Content::I64(n) => <$t>::try_from(*n).map_err(|_| err()),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        if *self >= 0 {
+            Content::U64(*self as u64)
+        } else {
+            Content::I64(*self as i64)
+        }
+    }
+}
+impl Deserialize for isize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        i64::from_content(content)
+            .and_then(|n| isize::try_from(n).map_err(|e| DeError(e.to_string())))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(n) => Ok(*n),
+            Content::U64(n) => Ok(*n as f64),
+            Content::I64(n) => Ok(*n as f64),
+            other => Err(DeError(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|n| n as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for Cow<'_, str> {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone().into_owned())
+    }
+}
+impl Deserialize for Cow<'static, str> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        String::from_content(content).map(Cow::Owned)
+    }
+}
+
+// ---- container impls ------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        expect_seq(content, "Vec")?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        expect_seq(content, "BTreeSet")?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = expect_seq(content, "2-tuple")?;
+        Ok((seq_field(s, 0, "2-tuple")?, seq_field(s, 1, "2-tuple")?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = expect_seq(content, "3-tuple")?;
+        Ok((
+            seq_field(s, 0, "3-tuple")?,
+            seq_field(s, 1, "3-tuple")?,
+            seq_field(s, 2, "3-tuple")?,
+        ))
+    }
+}

@@ -1,0 +1,452 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! A hand-rolled derive (no `syn`/`quote` available offline) that walks
+//! the raw token stream of a `struct`/`enum` definition and emits
+//! `serde::Serialize` / `serde::Deserialize` impls against the vendored
+//! serde's simplified `Content` model. Supports exactly what this
+//! workspace derives:
+//!
+//! * named-field structs, with `#[serde(skip)]`
+//! * tuple (newtype) structs
+//! * enums with unit, newtype, tuple, and struct variants
+//!
+//! Generics are not supported (none of the workspace's derived types are
+//! generic); deriving on a generic type is a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (vendored simplified model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derive `serde::Deserialize` (vendored simplified model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let code = match parse(input) {
+        Ok(item) => {
+            if ser {
+                gen_ser(&item)
+            } else {
+                gen_de(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive output is valid Rust")
+}
+
+// ---- model ----------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&toks, i).ok_or("expected a type name")?;
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    let kind = match (kw.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Named(parse_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream())?)
+        }
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past any `#[...]` attributes and a `pub`/`pub(...)` visibility.
+/// Returns whether a `#[serde(skip)]` attribute was among them.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Whether an attribute body (the tokens inside `#[...]`) is `serde(skip)`.
+fn attr_is_serde_skip(body: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip a type expression up to (and past) the next top-level comma.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs_and_vis(&toks, &mut i);
+        let name = ident_at(&toks, i).ok_or("expected a field name")?;
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&toks, &mut i);
+        out.push(Field { name, skip });
+    }
+    Ok(out)
+}
+
+/// Count the fields of a tuple struct / tuple variant payload.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_type(&toks, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = ident_at(&toks, i).ok_or("expected a variant name")?;
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        out.push(Variant { name, shape });
+    }
+    Ok(out)
+}
+
+// ---- codegen: Serialize ---------------------------------------------------
+
+const ALLOW: &str = "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all, clippy::pedantic)]\n";
+
+fn map_entries(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({:?}), ::serde::Serialize::to_content({})),",
+                f.name,
+                access(&f.name)
+            )
+        })
+        .collect();
+    if entries.is_empty() {
+        "::serde::Content::Map(::std::vec::Vec::new())".to_owned()
+    } else {
+        format!(
+            "::serde::Content::Map(::std::vec::Vec::from([{}]))",
+            entries.join("")
+        )
+    }
+}
+
+fn gen_ser(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => map_entries(fields, |f| format!("&self.{f}")),
+        Kind::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_owned(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            format!(
+                "::serde::Content::Seq(::std::vec::Vec::from([{}]))",
+                elems.join("")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\
+                             ::std::string::String::from({vname:?})),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_content(__f0)".to_owned()
+                            } else {
+                                let elems: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                                    .collect();
+                                format!(
+                                    "::serde::Content::Seq(::std::vec::Vec::from([{}]))",
+                                    elems.join("")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Content::Map(\
+                                 ::std::vec::Vec::from([(\
+                                 ::std::string::String::from({vname:?}), {payload})])),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: _", f.name)
+                                    } else {
+                                        f.name.clone()
+                                    }
+                                })
+                                .collect();
+                            let payload = map_entries(fields, |f| f.to_owned());
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(\
+                                 ::std::vec::Vec::from([(\
+                                 ::std::string::String::from({vname:?}), {payload})])),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "{ALLOW}impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n}}"
+    )
+}
+
+// ---- codegen: Deserialize -------------------------------------------------
+
+fn named_constructor(ty_path: &str, fields: &[Field], map_var: &str, what: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default(),", f.name)
+            } else {
+                format!(
+                    "{}: ::serde::field({map_var}, {:?}).map_err(|e| \
+                     ::serde::DeError(format!(\"{what}.{}: {{e}}\")))?,",
+                    f.name, f.name, f.name
+                )
+            }
+        })
+        .collect();
+    format!("{ty_path} {{ {} }}", inits.join(" "))
+}
+
+fn tuple_args(n: usize, seq_var: &str, what: &str) -> String {
+    (0..n)
+        .map(|i| format!("::serde::seq_field({seq_var}, {i}, {what:?})?,"))
+        .collect()
+}
+
+fn gen_de(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let ctor = named_constructor(name, fields, "__m", name);
+            format!(
+                "let __m = ::serde::expect_map(__c, {name:?})?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+        ),
+        Kind::Tuple(n) => {
+            let args = tuple_args(*n, "__s", name);
+            format!(
+                "let __s = ::serde::expect_seq(__c, {name:?})?;\n\
+                 ::std::result::Result::Ok({name}({args}))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let what = format!("{name}::{vname}");
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let args = tuple_args(*n, "__s", &what);
+                            Some(format!(
+                                "{vname:?} => {{\
+                                 let __s = ::serde::expect_seq(__v, {what:?})?;\
+                                 ::std::result::Result::Ok({name}::{vname}({args})) }}"
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let ctor = named_constructor(
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "__m",
+                                &what,
+                            );
+                            Some(format!(
+                                "{vname:?} => {{\
+                                 let __m = ::serde::expect_map(__v, {what:?})?;\
+                                 ::std::result::Result::Ok({ctor}) }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {tagged}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"invalid content for enum {name}: {{__other:?}}\"))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "{ALLOW}impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,732 @@
+//! Vendored minimal stand-in for the `serde_json` crate.
+//!
+//! Implements the JSON value model, a strict recursive-descent parser,
+//! compact/pretty printers, and the `json!` macro on top of the vendored
+//! serde's simplified `Content` tree. Output is valid JSON with the same
+//! shape real serde_json would produce for the types this workspace
+//! serializes (insertion-ordered object keys, externally tagged enums).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Error from parsing or printing JSON.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Specialized result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---- Number ---------------------------------------------------------------
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// Value as `u64` when representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(n) => Some(n),
+            N::I(n) => u64::try_from(n).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// Value as `i64` when representable.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::U(n) => i64::try_from(n).ok(),
+            N::I(n) => Some(n),
+            N::F(_) => None,
+        }
+    }
+
+    /// Value as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::U(n) => Some(n as f64),
+            N::I(n) => Some(n as f64),
+            N::F(n) => Some(n),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (N::U(a), N::U(b)) => a == b,
+            (N::I(a), N::I(b)) => a == b,
+            (N::F(a), N::F(b)) => a == b,
+            (N::U(a), N::I(b)) | (N::I(b), N::U(a)) => i64::try_from(a) == Ok(b),
+            (N::F(f), N::U(u)) | (N::U(u), N::F(f)) => f == u as f64,
+            (N::F(f), N::I(i)) | (N::I(i), N::F(f)) => f == i as f64,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(n) => write!(f, "{n}"),
+            N::I(n) => write!(f, "{n}"),
+            N::F(n) if n.is_finite() => write!(f, "{n:?}"),
+            N::F(_) => f.write_str("null"),
+        }
+    }
+}
+
+// ---- Map ------------------------------------------------------------------
+
+/// An insertion-ordered JSON object, like `serde_json::Map` with the
+/// `preserve_order` feature.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert, replacing and returning any previous value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl Serialize for Map<String, Value> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+// ---- Value ----------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number.
+    Number(Number),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// String content, when this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `u64` content, when this is a representable number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `i64` content, when this is a representable number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `f64` content, when this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean content.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array content.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object content.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    fn from_content_tree(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::U64(n) => Value::Number(Number(N::U(*n))),
+            Content::I64(n) => Value::Number(Number(N::I(*n))),
+            Content::F64(n) => Value::Number(Number(N::F(*n))),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(s) => Value::Array(s.iter().map(Self::from_content_tree).collect()),
+            Content::Map(m) => Value::Object(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), Self::from_content_tree(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number(N::U(n))) => Content::U64(*n),
+            Value::Number(Number(N::I(n))) => Content::I64(*n),
+            Value::Number(Number(N::F(n))) => Content::F64(*n),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(a) => Content::Seq(a.iter().map(Serialize::to_content).collect()),
+            Value::Object(m) => Content::Map(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> std::result::Result<Self, serde::DeError> {
+        Ok(Self::from_content_tree(content))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                *self == to_value(other)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+value_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f64, bool);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// ---- printing -------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, elem) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                write_value(elem, out, indent, depth + 1);
+            }
+            pad(out, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, elem)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(elem, out, indent, depth + 1);
+            }
+            pad(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+// ---- parsing --------------------------------------------------------------
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { s: s.as_bytes(), i: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.s.get(self.i) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<()> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{lit}` at byte {}", self.i)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null").map(|()| Value::Null),
+            Some(b't') => self.eat_lit("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {other:?} at byte {}",
+                self.i
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pair handling for completeness.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                let combined = 0x10000
+                                    + ((cp - 0xD800) << 10)
+                                    + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "bad escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = &self.s[self.i..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|e| Error::new(e.to_string()))?;
+                    let c = s.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .s
+            .get(self.i..self.i + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|e| Error::new(e.to_string()))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|e| Error::new(e.to_string()))?;
+        self.i += 4;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|e| Error::new(e.to_string()))?;
+        let n = if float {
+            N::F(text.parse().map_err(|e| Error::new(format!("{e}: `{text}`")))?)
+        } else if text.starts_with('-') {
+            N::I(text.parse().map_err(|e| Error::new(format!("{e}: `{text}`")))?)
+        } else {
+            N::U(text.parse().map_err(|e| Error::new(format!("{e}: `{text}`")))?)
+        };
+        Ok(Value::Number(Number(n)))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            out.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Array(out));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, got {other:?} at byte {}",
+                        self.i
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut out = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            out.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Object(out));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, got {other:?} at byte {}",
+                        self.i
+                    )))
+                }
+            }
+        }
+    }
+}
+
+// ---- public API -----------------------------------------------------------
+
+/// Convert any serializable value to a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    Value::from_content_tree(&value.to_content())
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&to_value(value), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&to_value(value), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into any deserializable value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser::new(s);
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(Error::new(format!("trailing garbage at byte {}", p.i)));
+    }
+    T::from_content(&value.to_content()).map_err(|e| Error::new(e.0))
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Supports one level of
+/// object/array literal syntax with expression values; nested structure
+/// comes from the expressions themselves (any `Serialize` type).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(::std::string::String::from($key), $crate::to_value(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $($crate::to_value(&$val)),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
