@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# CI gate: build, full test suite, lints-as-errors.
+# CI gate: format, build, full test suite, lints-as-errors, docs, bench smoke.
 # Tier-1 is the root-package `cargo test -q`; the workspace run covers
 # every crate. Pass --offline (default here) since the build is vendored.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+# Bench smoke: the newest harness must still run end to end (fast
+# parameters; the vendored criterion runs each closure once).
+DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench parallel_explore
 echo "ci: all green"

@@ -33,10 +33,8 @@ fn pb_mechanism_ablation() {
         ("separate message", PiggybackMechanism::SeparateMessage),
         ("payload packing", PiggybackMechanism::PayloadPacking),
     ] {
-        let v = DampiVerifier::with_config(
-            sim.clone(),
-            DampiConfig::default().with_piggyback(mech),
-        );
+        let v =
+            DampiVerifier::with_config(sim.clone(), DampiConfig::default().with_piggyback(mech));
         let m = v
             .instrumented_run(&prog, &DecisionSet::self_run())
             .outcome
@@ -53,7 +51,13 @@ fn pb_mechanism_ablation() {
 fn clock_mode_ablation() {
     let mut table = Table::new(
         "Ablation: clock mode — piggyback wire cost and overhead",
-        &["procs", "lamport B/msg", "vector B/msg", "lamport slowdown", "vector slowdown"],
+        &[
+            "procs",
+            "lamport B/msg",
+            "vector B/msg",
+            "lamport slowdown",
+            "vector slowdown",
+        ],
     );
     for np in [16usize, 64, 256] {
         let prog = dampi_workloads::spec::Milc::nominal();
@@ -94,7 +98,12 @@ fn policy_bias_ablation() {
         let out = run_native(&SimConfig::new(3).with_policy(policy), &patterns::fig3());
         table.row(vec![
             name.to_owned(),
-            if out.succeeded() { "no (masked)" } else { "yes" }.to_owned(),
+            if out.succeeded() {
+                "no (masked)"
+            } else {
+                "yes"
+            }
+            .to_owned(),
         ]);
     }
     let report = DampiVerifier::new(SimConfig::new(3).with_policy(MatchPolicy::LowestRank))
@@ -127,8 +136,14 @@ fn branch_on_guided_ablation() {
         "Ablation: branching on guided-epoch discoveries (matmul, np=5)",
         &["mode", "interleavings"],
     );
-    table.row(vec!["paper (no guided branching)".to_owned(), run(false).to_string()]);
-    table.row(vec!["DPOR-style (branch on guided)".to_owned(), run(true).to_string()]);
+    table.row(vec![
+        "paper (no guided branching)".to_owned(),
+        run(false).to_string(),
+    ]);
+    table.row(vec![
+        "DPOR-style (branch on guided)".to_owned(),
+        run(true).to_string(),
+    ]);
     table.print();
 }
 

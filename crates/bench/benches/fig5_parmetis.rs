@@ -46,7 +46,14 @@ fn measure(np: usize, with_isp: bool) -> (f64, f64, Option<f64>) {
 fn print_figure() {
     let mut table = Table::new(
         "Fig. 5: ParMETIS-3.1 verification time (simulated seconds), DAMPI vs ISP",
-        &["procs", "native", "DAMPI", "ISP", "DAMPI/native", "ISP/native"],
+        &[
+            "procs",
+            "native",
+            "DAMPI",
+            "ISP",
+            "DAMPI/native",
+            "ISP/native",
+        ],
     );
     for np in [4usize, 8, 12, 16, 20, 24, 28, 32] {
         let (native, dampi, isp) = measure(np, true);
@@ -84,8 +91,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("isp_parmetis_np16", |b| {
         b.iter(|| {
             let prog = Parmetis::new(ParmetisParams::nominal(16, scale()));
-            IspVerifier::new(SimConfig::new(16))
-                .instrumented_run(&prog, &DecisionSet::self_run())
+            IspVerifier::new(SimConfig::new(16)).instrumented_run(&prog, &DecisionSet::self_run())
         });
     });
     g.finish();

@@ -33,10 +33,7 @@ fn interleavings(np: usize, k: u32, cap: u64) -> (u64, bool) {
             .with_max_interleavings(cap),
     );
     let report = v.verify(&program());
-    assert!(
-        report.errors.is_empty(),
-        "ADLB must verify clean: {report}"
-    );
+    assert!(report.errors.is_empty(), "ADLB must verify clean: {report}");
     (report.interleavings, report.budget_exhausted)
 }
 

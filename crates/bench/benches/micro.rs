@@ -69,7 +69,7 @@ fn matching(c: &mut Criterion) {
         payload: Bytes::from_static(b"x"),
         arrival_seq: 0,
         send_vt: 0.0,
-            send_req: None,
+        send_req: None,
     };
     g.bench_function("deliver_match_posted", |b| {
         b.iter_batched(

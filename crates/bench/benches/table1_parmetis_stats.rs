@@ -87,11 +87,17 @@ fn print_table() {
         .collect();
     println!(
         "total-op growth per doubling: {:?} (paper ~2.5x)",
-        t_growth.iter().map(|g| format!("{g:.2}x")).collect::<Vec<_>>()
+        t_growth
+            .iter()
+            .map(|g| format!("{g:.2}x"))
+            .collect::<Vec<_>>()
     );
     println!(
         "per-proc growth per doubling: {:?} (paper ~1.3x)",
-        p_growth.iter().map(|g| format!("{g:.2}x")).collect::<Vec<_>>()
+        p_growth
+            .iter()
+            .map(|g| format!("{g:.2}x"))
+            .collect::<Vec<_>>()
     );
 }
 

@@ -48,10 +48,7 @@ fn main() {
         .iter()
         .find(|r| r.program.contains("milc"))
         .expect("milc row");
-    let worst = rows
-        .iter()
-        .map(|r| r.slowdown)
-        .fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|r| r.slowdown).fold(0.0f64, f64::max);
     println!(
         "worst slowdown: 104.milc at {:.2}x (paper: 15x){}",
         milc.slowdown,

@@ -1,5 +1,8 @@
 fn main() {
-    let np: usize = std::env::var("NP").ok().and_then(|s| s.parse().ok()).unwrap_or(128);
+    let np: usize = std::env::var("NP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
     let (table, _) = dampi_bench::table2::run_table2(np);
     table.print();
 }

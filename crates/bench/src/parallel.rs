@@ -1,0 +1,155 @@
+//! Parallel-exploration speedup measurement (the `--jobs` worker pool).
+//!
+//! A replay in a real DAMPI deployment is a full MPI job launch —
+//! milliseconds to seconds of latency per interleaving, most of it spent
+//! *waiting* (scheduler queues, process spawn, network). The worker pool's
+//! value is overlapping that latency; on a loaded or single-core driver
+//! node the CPU work itself cannot be sped up, and the simulation's
+//! replays are microseconds anyway. The harness therefore models the
+//! launch latency explicitly: every replay sleeps a fixed
+//! `replay_latency` on its worker thread before executing, and the
+//! measurement reports how much of that latency `jobs = N` hides.
+//!
+//! Parity is asserted on every point: any worker count must produce the
+//! same interleaving count and error set (the deterministic-merge
+//! contract), or the measurement panics rather than report a speedup for
+//! a wrong answer.
+
+use std::time::{Duration, Instant};
+
+use dampi_core::scheduler::{explore_parallel, ExploreOptions};
+use dampi_core::{DampiVerifier, DecisionSet};
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::matmul::{Matmul, MatmulParams};
+use dampi_workloads::parmetis::{Parmetis, ParmetisParams};
+use dampi_workloads::patterns;
+
+/// One measured `(workload, jobs)` point.
+#[derive(Debug, Clone)]
+pub struct ParallelPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Worker-pool size.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole exploration.
+    pub wall_s: f64,
+    /// Interleavings executed (must match across all `jobs` values).
+    pub interleavings: u64,
+    /// Distinct errors found (must match across all `jobs` values).
+    pub errors: usize,
+    /// Exploration throughput, interleavings per wall-clock second.
+    pub rate: f64,
+}
+
+fn verifier_for(workload: &str) -> (DampiVerifier, Box<dyn dampi_mpi::program::MpiProgram>) {
+    match workload {
+        "symmetric_racers" => (
+            DampiVerifier::new(SimConfig::new(4).with_policy(MatchPolicy::LowestRank)),
+            Box::new(patterns::symmetric_racers()),
+        ),
+        "matmul" => (
+            DampiVerifier::new(SimConfig::new(4)),
+            Box::new(Matmul::new(MatmulParams::default())),
+        ),
+        "parmetis" => (
+            DampiVerifier::new(SimConfig::new(8)),
+            Box::new(Parmetis::new(ParmetisParams::nominal(8, 0.1))),
+        ),
+        other => panic!("unknown speedup workload `{other}`"),
+    }
+}
+
+/// Measure one exploration of `workload` under `jobs` workers, each
+/// replay preceded by `replay_latency` of simulated launch latency.
+#[must_use]
+pub fn measure(workload: &str, jobs: usize, replay_latency: Duration) -> ParallelPoint {
+    let (verifier, prog) = verifier_for(workload);
+    let opts = ExploreOptions {
+        jobs,
+        // `symmetric_racers` diverges *deterministically* (equal-clock
+        // epochs, §II-F), so retrying a divergent replay only re-pays the
+        // launch latency for the same outcome — skip retries to measure
+        // the pool, not the retry policy.
+        divergence_retries: 0,
+        // Branch on guided epochs too: wider fork trees expose more of
+        // the frontier to the pool (and more coverage), which is what a
+        // speedup benchmark should be stressing.
+        branch_on_guided: true,
+        retry_backoff: Duration::from_millis(5),
+        ..ExploreOptions::default()
+    };
+    let run = |ds: &DecisionSet| {
+        std::thread::sleep(replay_latency);
+        verifier.instrumented_run(prog.as_ref(), ds)
+    };
+    let start = Instant::now();
+    let ex = explore_parallel(run, &opts);
+    let wall_s = start.elapsed().as_secs_f64();
+    ParallelPoint {
+        workload: workload.to_owned(),
+        jobs,
+        wall_s,
+        interleavings: ex.interleavings,
+        errors: ex.errors.len(),
+        rate: ex.interleavings as f64 / wall_s,
+    }
+}
+
+/// Measure `workload` at each worker count, asserting result parity
+/// across all of them.
+#[must_use]
+pub fn sweep(workload: &str, jobs: &[usize], replay_latency: Duration) -> Vec<ParallelPoint> {
+    let points: Vec<ParallelPoint> = jobs
+        .iter()
+        .map(|&j| measure(workload, j, replay_latency))
+        .collect();
+    let base = &points[0];
+    for p in &points[1..] {
+        assert_eq!(
+            p.interleavings, base.interleavings,
+            "{workload}: jobs={} diverged from jobs={} in interleavings",
+            p.jobs, base.jobs
+        );
+        assert_eq!(
+            p.errors, base.errors,
+            "{workload}: jobs={} diverged from jobs={} in error count",
+            p.jobs, base.jobs
+        );
+    }
+    points
+}
+
+/// Render a sweep as the `BENCH_parallel_explore.json` snapshot format.
+#[must_use]
+pub fn to_json(latency: Duration, sweeps: &[Vec<ParallelPoint>]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"replay_latency_ms\": {},\n  \"workloads\": {{\n",
+        latency.as_millis()
+    ));
+    for (wi, points) in sweeps.iter().enumerate() {
+        let base = &points[0];
+        out.push_str(&format!("    \"{}\": {{\n", base.workload));
+        out.push_str(&format!(
+            "      \"interleavings\": {},\n      \"errors\": {},\n      \"points\": [\n",
+            base.interleavings, base.errors
+        ));
+        for (i, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"jobs\": {}, \"wall_s\": {:.4}, \"interleavings_per_s\": {:.2}, \"speedup\": {:.2}}}{}\n",
+                p.jobs,
+                p.wall_s,
+                p.rate,
+                base.wall_s / p.wall_s,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}

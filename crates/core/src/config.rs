@@ -70,6 +70,11 @@ pub struct DampiConfig {
     /// When set, checkpoint the exploration frontier to this journal file
     /// after every run; `verify_resumed` continues from it.
     pub journal: Option<PathBuf>,
+    /// Worker threads replaying frontier forks concurrently. `1` (the
+    /// default) is the sequential walk; any `N` produces a bit-identical
+    /// exploration (speculative replay, deterministic in-order merge —
+    /// see [`crate::scheduler`]), only faster.
+    pub jobs: usize,
 }
 
 impl Default for DampiConfig {
@@ -87,6 +92,7 @@ impl Default for DampiConfig {
             divergence_retries: 2,
             retry_backoff: Duration::from_millis(5),
             journal: None,
+            jobs: 1,
         }
     }
 }
@@ -145,6 +151,14 @@ impl DampiConfig {
     #[must_use]
     pub fn with_journal(mut self, path: PathBuf) -> Self {
         self.journal = Some(path);
+        self
+    }
+
+    /// Builder-style: replay frontier forks on `jobs` worker threads
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 }

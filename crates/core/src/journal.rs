@@ -27,7 +27,18 @@ use crate::epoch::ToolRunStats;
 use crate::report::{FoundError, ReplayTimeoutRecord};
 
 /// Journal format version; bumped on incompatible shape changes.
-pub const JOURNAL_VERSION: u32 = 1;
+///
+/// History:
+/// - **1** — initial format (sequential exploration only).
+/// - **2** — adds the `in_flight` set: signatures of forks a parallel
+///   campaign had dispatched to workers but not yet committed when the
+///   checkpoint was written. Version-1 journals load via
+///   [`ExplorationJournal::load`]'s migration path (an empty in-flight
+///   set), so pre-parallel journals resume unchanged.
+pub const JOURNAL_VERSION: u32 = 2;
+
+/// Oldest journal version [`ExplorationJournal::load`] can migrate.
+pub const JOURNAL_MIN_VERSION: u32 = 1;
 
 /// One pending branch of the depth-first frontier, as persisted.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,6 +88,14 @@ pub struct ExplorationJournal {
     pub discovered: Vec<DiscoveredEntry>,
     /// Signatures of every decision prefix already scheduled.
     pub visited: Vec<u64>,
+    /// Signatures of frontier forks that were dispatched to replay workers
+    /// but not yet committed when this checkpoint was written (format v2;
+    /// empty for sequential campaigns and migrated v1 journals). Advisory:
+    /// these forks are still in `frontier`, so a resume — parallel or
+    /// sequential — simply re-runs them and lands on the same interleaving
+    /// count and error set as an uninterrupted campaign.
+    #[serde(default)]
+    pub in_flight: Vec<u64>,
     /// The pending frontier, bottom-of-stack first (resume pops from the
     /// back, exactly as the interrupted walk would have).
     pub frontier: Vec<JournalFork>,
@@ -91,16 +110,22 @@ impl ExplorationJournal {
         std::fs::rename(&tmp, path)
     }
 
-    /// Load a journal and rebuild every deserialized decision index.
+    /// Load a journal, migrating older supported formats, and rebuild
+    /// every deserialized decision index.
     pub fn load(path: &Path) -> io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
         let mut j: Self = serde_json::from_str(&json).map_err(io::Error::other)?;
-        if j.version != JOURNAL_VERSION {
+        if !(JOURNAL_MIN_VERSION..=JOURNAL_VERSION).contains(&j.version) {
             return Err(io::Error::other(format!(
-                "journal version {} unsupported (expected {JOURNAL_VERSION})",
+                "journal version {} unsupported (expected {JOURNAL_MIN_VERSION}..={JOURNAL_VERSION})",
                 j.version
             )));
         }
+        if j.version < 2 {
+            // v1 predates parallel exploration: nothing was ever in flight.
+            j.in_flight = Vec::new();
+        }
+        j.version = JOURNAL_VERSION;
         for f in &mut j.frontier {
             f.decisions.rebuild_index();
         }
@@ -171,6 +196,7 @@ mod tests {
                 sources: vec![0, 1],
             }],
             visited: vec![11, 22],
+            in_flight: vec![22],
             frontier: vec![JournalFork {
                 decisions: DecisionSet::guided(
                     4,
@@ -208,6 +234,30 @@ mod tests {
         j.version = JOURNAL_VERSION + 1;
         j.save(&path).unwrap();
         assert!(ExplorationJournal::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_journal_migrates_with_empty_in_flight() {
+        let dir = std::env::temp_dir().join("dampi-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1_migration.json");
+        // A pre-parallel journal: version 1, no `in_flight` key at all.
+        let mut v1 = sample();
+        v1.version = 1;
+        v1.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let start = text.find("\"in_flight\"").expect("field serialized");
+        let mut end = start + text[start..].find(']').expect("array closes") + 1;
+        if text[end..].starts_with(',') {
+            end += 1;
+        }
+        std::fs::write(&path, format!("{}{}", &text[..start], &text[end..])).unwrap();
+        let j = ExplorationJournal::load(&path).unwrap();
+        assert_eq!(j.version, JOURNAL_VERSION, "migrated to current format");
+        assert!(j.in_flight.is_empty(), "v1 never had work in flight");
+        assert_eq!(j.interleavings, 5);
+        assert_eq!(j.frontier[0].decisions.lookup(0, 4), Some(1));
         std::fs::remove_file(&path).ok();
     }
 

@@ -72,7 +72,7 @@ pub fn analyze_incoming(
 mod tests {
     use super::*;
     use crate::epoch::NdKind;
-    use dampi_mpi::{ANY_TAG, Comm};
+    use dampi_mpi::{Comm, ANY_TAG};
     use std::collections::BTreeSet;
 
     fn epoch(clock: u64, tag_spec: Tag, matched: Option<usize>) -> EpochRecord {

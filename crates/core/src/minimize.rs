@@ -57,12 +57,7 @@ where
         }
     }
     // Tighten the horizon of the final set too.
-    let horizon = current
-        .decisions
-        .iter()
-        .map(|d| d.clock)
-        .max()
-        .unwrap_or(0);
+    let horizon = current.decisions.iter().map(|d| d.clock).max().unwrap_or(0);
     if horizon < current.guided_epoch {
         let tightened = DecisionSet::guided(horizon, current.decisions.clone());
         runs += 1;

@@ -197,8 +197,16 @@ impl fmt::Display for VerificationReport {
         writeln!(
             f,
             "  C-leak: {}   R-leak: {}",
-            if self.leaks.has_comm_leak() { "Yes" } else { "No" },
-            if self.leaks.has_request_leak() { "Yes" } else { "No" },
+            if self.leaks.has_comm_leak() {
+                "Yes"
+            } else {
+                "No"
+            },
+            if self.leaks.has_request_leak() {
+                "Yes"
+            } else {
+                "No"
+            },
         )?;
         writeln!(
             f,

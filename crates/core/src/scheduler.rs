@@ -11,9 +11,26 @@
 //! [`DecisionSet`] to a [`RunResult`]. Both the DAMPI verifier
 //! (decentralized piggyback analysis) and the ISP baseline (centralized
 //! scheduler) drive their replays through this one implementation.
+//!
+//! # Parallel exploration
+//!
+//! Every fork on the frontier is an independent simulation, so replays can
+//! run concurrently ([`explore_parallel`], `--jobs` on the CLI). The
+//! design is *speculative execution with in-order commit*: a pool of
+//! worker threads replays frontier forks ahead of time, while the
+//! coordinator consumes results strictly in the order the sequential
+//! depth-first walk would have produced them. Because commit order — not
+//! completion order — drives every state change (interleaving numbering,
+//! error dedup, visited-set growth, fork pushes, virtual-time summation,
+//! budget and stop-on-first-error checks, checkpoints), a `jobs = N`
+//! exploration is **bit-identical** to `jobs = 1` for every option
+//! combination, including floating-point totals. Speculation past a
+//! budget/stop boundary is discarded, never committed, so at most
+//! `jobs − 1` replays of wasted work bound the overshoot.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use dampi_mpi::program::RunOutcome;
@@ -58,6 +75,11 @@ pub struct ExploreOptions {
     /// When set, journal the full frontier to this path after every run
     /// (atomic write-and-rename) so a killed campaign can resume.
     pub checkpoint: Option<PathBuf>,
+    /// Worker threads replaying frontier forks concurrently
+    /// ([`explore_parallel`]); `0` and `1` both mean sequential. The merge
+    /// is deterministic regardless of completion order, so any value
+    /// produces the same exploration.
+    pub jobs: usize,
 }
 
 impl Default for ExploreOptions {
@@ -71,6 +93,7 @@ impl Default for ExploreOptions {
             divergence_retries: 2,
             retry_backoff: Duration::from_millis(5),
             checkpoint: None,
+            jobs: 1,
         }
     }
 }
@@ -132,15 +155,227 @@ where
 /// Continue an interrupted exploration from a journal (see
 /// [`crate::journal`]). The journal's frontier is replayed in its exact
 /// stack order, so the completed campaign matches an uninterrupted one.
-pub fn explore_resumed<F>(
+pub fn explore_resumed<F>(run: F, opts: &ExploreOptions, journal: ExplorationJournal) -> Exploration
+where
+    F: FnMut(&DecisionSet) -> RunResult,
+{
+    explore_inner(run, opts, Some(journal))
+}
+
+/// Run the exploration with `opts.jobs` concurrent replay workers (see the
+/// module docs on speculative execution with in-order commit). With
+/// `jobs <= 1` this is exactly [`explore`]; with more, the result is still
+/// bit-identical — only wall-clock time changes.
+pub fn explore_parallel<F>(run: F, opts: &ExploreOptions) -> Exploration
+where
+    F: Fn(&DecisionSet) -> RunResult + Sync,
+{
+    explore_parallel_inner(&run, opts, None)
+}
+
+/// [`explore_parallel`] continuing from a checkpoint journal. A campaign
+/// journaled under `jobs = N` resumes to the same interleaving count and
+/// error set under any other worker count, including sequentially.
+pub fn explore_parallel_resumed<F>(
     run: F,
     opts: &ExploreOptions,
     journal: ExplorationJournal,
 ) -> Exploration
 where
-    F: FnMut(&DecisionSet) -> RunResult,
+    F: Fn(&DecisionSet) -> RunResult + Sync,
 {
-    explore_inner(run, opts, Some(journal))
+    explore_parallel_inner(&run, opts, Some(journal))
+}
+
+/// Mutable exploration state shared by the sequential and parallel
+/// drivers. Every state transition goes through [`Walk::commit`], which is
+/// what makes the parallel merge deterministic: the driver chooses *when*
+/// to execute a replay, the walk alone decides *in what order* results
+/// become part of the exploration.
+struct Walk<'a> {
+    opts: &'a ExploreOptions,
+    ex: Exploration,
+    visited: HashSet<u64>,
+    stack: Vec<Fork>,
+    seen_errors: HashSet<(usize, String)>,
+    /// Signatures dispatched to workers but not yet committed, snapshotted
+    /// into the journal (advisory: a resume simply re-runs them since
+    /// their forks are still on the frontier).
+    speculated: Vec<u64>,
+}
+
+impl<'a> Walk<'a> {
+    fn new(opts: &'a ExploreOptions) -> Self {
+        Self {
+            opts,
+            ex: Exploration::default(),
+            visited: HashSet::new(),
+            stack: Vec::new(),
+            seen_errors: HashSet::new(),
+            speculated: Vec::new(),
+        }
+    }
+
+    /// Should the walk stop before committing another replay? Checked
+    /// *before* the pop so a checkpointed frontier still holds every
+    /// unexplored fork — resuming with a larger budget loses nothing.
+    fn halted(&mut self) -> bool {
+        if let Some(max) = self.opts.max_interleavings {
+            if self.ex.interleavings >= max && !self.stack.is_empty() {
+                self.ex.budget_exhausted = true;
+                return true;
+            }
+        }
+        self.opts.stop_on_first_error && !self.ex.errors.is_empty()
+    }
+
+    /// Commit the initial `SELF_RUN`.
+    fn commit_root(&mut self, rep: AttemptReport) {
+        self.absorb_cost(&rep);
+        let first = rep.res;
+        self.ex.interleavings = 1;
+        self.ex.first_run_stats = first.stats;
+        self.ex.first_run_makespan = first.outcome.makespan;
+        // Leak checking happens at MPI_Finalize; a run that aborted or
+        // deadlocked never reached it, so its leftover resources are
+        // teardown debris, not application leaks.
+        if first.outcome.succeeded() {
+            self.ex.first_run_leaks = first.outcome.leaks.clone();
+        }
+        absorb_errors(
+            &mut self.ex,
+            &mut self.seen_errors,
+            &first.outcome,
+            1,
+            &DecisionSet::self_run(),
+        );
+        absorb_discoveries(&mut self.ex, &first.epochs);
+        if let Some(detail) = timeout_of(&first.outcome) {
+            self.ex.timeouts.push(ReplayTimeoutRecord {
+                interleaving: 1,
+                detail,
+                decisions: DecisionSet::self_run(),
+            });
+        } else {
+            push_forks(
+                &mut self.stack,
+                &mut self.visited,
+                &first.epochs,
+                Root,
+                self.opts,
+            );
+        }
+        self.checkpoint();
+    }
+
+    /// Commit one replay result in walk order.
+    fn commit(&mut self, fork: &Fork, rep: AttemptReport) {
+        self.absorb_cost(&rep);
+        let res = rep.res;
+        self.ex.interleavings += 1;
+        let interleaving = self.ex.interleavings;
+        absorb_errors(
+            &mut self.ex,
+            &mut self.seen_errors,
+            &res.outcome,
+            interleaving,
+            &fork.decisions,
+        );
+        absorb_discoveries(&mut self.ex, &res.epochs);
+        if let Some(detail) = timeout_of(&res.outcome) {
+            // A killed replay's epoch log is truncated; forking from it
+            // would schedule prefixes the run never confirmed. Record the
+            // partial coverage honestly and keep walking the rest of the
+            // frontier.
+            self.ex.timeouts.push(ReplayTimeoutRecord {
+                interleaving,
+                detail,
+                decisions: fork.decisions.clone(),
+            });
+        } else {
+            push_forks(
+                &mut self.stack,
+                &mut self.visited,
+                &res.epochs,
+                Child {
+                    fork_index: fork_index_of(fork),
+                    window_end: fork.window_end,
+                },
+                self.opts,
+            );
+        }
+        self.checkpoint();
+    }
+
+    /// Account a replay's execution cost. Makespans are added one attempt
+    /// at a time, in attempt order, so parallel totals are bitwise equal
+    /// to sequential ones.
+    fn absorb_cost(&mut self, rep: &AttemptReport) {
+        for m in &rep.attempt_makespans {
+            self.ex.total_virtual_time += m;
+        }
+        self.ex.divergences += rep.divergences;
+        self.ex.retries += rep.retries;
+    }
+
+    fn checkpoint(&self) {
+        let Some(path) = &self.opts.checkpoint else {
+            return;
+        };
+        let mut sigs: Vec<u64> = self.visited.iter().copied().collect();
+        sigs.sort_unstable();
+        let journal = ExplorationJournal {
+            version: JOURNAL_VERSION,
+            interleavings: self.ex.interleavings,
+            retries: self.ex.retries,
+            divergences: self.ex.divergences,
+            total_virtual_time: self.ex.total_virtual_time,
+            first_run_stats: self.ex.first_run_stats,
+            first_run_makespan: self.ex.first_run_makespan,
+            first_run_leaks: self.ex.first_run_leaks.clone(),
+            errors: self.ex.errors.clone(),
+            timeouts: self.ex.timeouts.clone(),
+            discovered: ExplorationJournal::flatten_discovered(&self.ex.discovered),
+            visited: sigs,
+            in_flight: self.speculated.clone(),
+            frontier: self
+                .stack
+                .iter()
+                .map(|f| JournalFork {
+                    decisions: f.decisions.clone(),
+                    window_end: f.window_end,
+                })
+                .collect(),
+        };
+        if let Err(e) = journal.save(path) {
+            // A failed checkpoint must not kill a healthy campaign; the
+            // previous journal (if any) is still intact thanks to the
+            // atomic rename.
+            eprintln!("dampi: checkpoint to {} failed: {e}", path.display());
+        }
+    }
+
+    fn restore(&mut self, journal: ExplorationJournal) {
+        self.ex.interleavings = journal.interleavings;
+        self.ex.retries = journal.retries;
+        self.ex.divergences = journal.divergences;
+        self.ex.total_virtual_time = journal.total_virtual_time;
+        self.ex.first_run_stats = journal.first_run_stats;
+        self.ex.first_run_makespan = journal.first_run_makespan;
+        self.ex.discovered = journal.discovered_map();
+        self.ex.first_run_leaks = journal.first_run_leaks;
+        for e in &journal.errors {
+            self.seen_errors.insert((e.rank, e.error.to_string()));
+        }
+        self.ex.errors = journal.errors;
+        self.ex.timeouts = journal.timeouts;
+        self.visited.extend(journal.visited);
+        self.stack
+            .extend(journal.frontier.into_iter().map(|f| Fork {
+                decisions: f.decisions,
+                window_end: f.window_end,
+            }));
+    }
 }
 
 fn explore_inner<F>(
@@ -151,109 +386,198 @@ fn explore_inner<F>(
 where
     F: FnMut(&DecisionSet) -> RunResult,
 {
-    let mut ex = Exploration::default();
-    let mut visited: HashSet<u64> = HashSet::new();
-    let mut stack: Vec<Fork> = Vec::new();
-    let mut seen_errors: HashSet<(usize, String)> = HashSet::new();
-
+    let mut w = Walk::new(opts);
     match resume {
-        Some(journal) => restore(journal, &mut ex, &mut visited, &mut stack, &mut seen_errors),
+        Some(journal) => w.restore(journal),
         None => {
-            let first = run_with_retry(&mut run, &DecisionSet::self_run(), opts, &mut ex);
-            ex.interleavings = 1;
-            ex.first_run_stats = first.stats;
-            ex.first_run_makespan = first.outcome.makespan;
-            // Leak checking happens at MPI_Finalize; a run that aborted or
-            // deadlocked never reached it, so its leftover resources are
-            // teardown debris, not application leaks.
-            if first.outcome.succeeded() {
-                ex.first_run_leaks = first.outcome.leaks.clone();
-            }
-            absorb_errors(&mut ex, &mut seen_errors, &first.outcome, 1, &DecisionSet::self_run());
-            absorb_discoveries(&mut ex, &first.epochs);
-            if let Some(detail) = timeout_of(&first.outcome) {
-                ex.timeouts.push(ReplayTimeoutRecord {
-                    interleaving: 1,
-                    detail,
-                    decisions: DecisionSet::self_run(),
-                });
-            } else {
-                push_forks(&mut stack, &mut visited, &first.epochs, Root, opts);
-            }
-            checkpoint_now(opts, &ex, &visited, &stack);
+            let rep = execute_with_retry(&mut run, &DecisionSet::self_run(), opts);
+            w.commit_root(rep);
         }
     }
-
     loop {
-        // Budget and stop checks happen *before* the pop so a checkpointed
-        // frontier still holds every unexplored fork — resuming with a
-        // larger budget loses nothing.
-        if let Some(max) = opts.max_interleavings {
-            if ex.interleavings >= max && !stack.is_empty() {
-                ex.budget_exhausted = true;
-                break;
-            }
-        }
-        if opts.stop_on_first_error && !ex.errors.is_empty() {
+        if w.halted() {
             break;
         }
-        let Some(fork) = stack.pop() else { break };
-        let res = run_with_retry(&mut run, &fork.decisions, opts, &mut ex);
-        ex.interleavings += 1;
-        let interleaving = ex.interleavings;
-        absorb_errors(
-            &mut ex,
-            &mut seen_errors,
-            &res.outcome,
-            interleaving,
-            &fork.decisions,
-        );
-        absorb_discoveries(&mut ex, &res.epochs);
-        if let Some(detail) = timeout_of(&res.outcome) {
-            // A killed replay's epoch log is truncated; forking from it
-            // would schedule prefixes the run never confirmed. Record the
-            // partial coverage honestly and keep walking the rest of the
-            // frontier.
-            ex.timeouts.push(ReplayTimeoutRecord {
-                interleaving,
-                detail,
-                decisions: fork.decisions.clone(),
-            });
-        } else {
-            push_forks(
-                &mut stack,
-                &mut visited,
-                &res.epochs,
-                Child {
-                    fork_index: fork_index_of(&fork),
-                    window_end: fork.window_end,
-                },
-                opts,
-            );
-        }
-        checkpoint_now(opts, &ex, &visited, &stack);
+        let Some(fork) = w.stack.pop() else { break };
+        let rep = execute_with_retry(&mut run, &fork.decisions, opts);
+        w.commit(&fork, rep);
     }
-    ex
+    w.ex
+}
+
+/// One schedule dispatched to a replay worker.
+struct Job {
+    sig: u64,
+    decisions: DecisionSet,
+}
+
+fn explore_parallel_inner<F>(
+    run: &F,
+    opts: &ExploreOptions,
+    resume: Option<ExplorationJournal>,
+) -> Exploration
+where
+    F: Fn(&DecisionSet) -> RunResult + Sync,
+{
+    let jobs = opts.jobs.max(1);
+    if jobs == 1 {
+        return explore_inner(|ds| run(ds), opts, resume);
+    }
+
+    let mut w = Walk::new(opts);
+    match resume {
+        Some(journal) => w.restore(journal),
+        None => {
+            // The initial SELF_RUN has nothing to overlap with; run it
+            // inline before the pool starts.
+            let rep = execute_with_retry(&mut |ds| run(ds), &DecisionSet::self_run(), opts);
+            w.commit_root(rep);
+        }
+    }
+
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(u64, AttemptReport)>();
+    // Drain-and-cancel: once the coordinator stops (first error under
+    // `stop_on_first_error`, exhausted budget), workers skip execution of
+    // anything still queued and exit on channel disconnect.
+    let cancel = AtomicBool::new(false);
+
+    crossbeam::thread::scope(|scope| {
+        for wid in 0..jobs {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let cancel = &cancel;
+            scope
+                .builder()
+                .name(format!("dampi-explore-{wid}"))
+                .spawn(move |_| {
+                    while let Ok(job) = job_rx.recv() {
+                        if cancel.load(Ordering::Relaxed) {
+                            continue; // drain without running
+                        }
+                        let rep = execute_with_retry(&mut |ds| run(ds), &job.decisions, opts);
+                        if res_tx.send((job.sig, rep)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn exploration worker");
+        }
+        drop(job_rx);
+        drop(res_tx);
+
+        // Results completed ahead of their commit turn, by signature. A
+        // signature identifies its fork uniquely: the visited set admits
+        // each decision prefix onto the stack exactly once.
+        let mut cache: HashMap<u64, AttemptReport> = HashMap::new();
+        let mut in_flight: HashSet<u64> = HashSet::new();
+
+        loop {
+            if w.halted() || w.stack.is_empty() {
+                break;
+            }
+            // Progress guarantee: the next fork to commit is always cached
+            // or in flight before the coordinator blocks.
+            let top_sig = w.stack.last().expect("non-empty").decisions.signature();
+            if !cache.contains_key(&top_sig) && !in_flight.contains(&top_sig) {
+                let fork = w.stack.last().expect("non-empty");
+                if job_tx
+                    .send(Job {
+                        sig: top_sig,
+                        decisions: fork.decisions.clone(),
+                    })
+                    .is_ok()
+                {
+                    in_flight.insert(top_sig);
+                }
+            }
+            // Speculate deeper frontier entries onto idle workers. Every
+            // stack entry is eventually popped by the depth-first walk, so
+            // speculation is only wasted past a budget/stop boundary —
+            // which the dispatch window below caps at the remaining
+            // interleaving budget.
+            let budget_room = opts
+                .max_interleavings
+                .map_or(usize::MAX, |max| (max - w.ex.interleavings) as usize);
+            for fork in w.stack.iter().rev().skip(1) {
+                if in_flight.len() >= jobs || in_flight.len() + cache.len() >= budget_room {
+                    break;
+                }
+                let sig = fork.decisions.signature();
+                if in_flight.contains(&sig) || cache.contains_key(&sig) {
+                    continue;
+                }
+                if job_tx
+                    .send(Job {
+                        sig,
+                        decisions: fork.decisions.clone(),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                in_flight.insert(sig);
+            }
+            // Commit in walk order when the top's result is ready;
+            // otherwise block for the next completion, whoever it is.
+            if let Some(rep) = cache.remove(&top_sig) {
+                let fork = w.stack.pop().expect("non-empty");
+                w.speculated = in_flight.iter().copied().collect();
+                w.speculated.sort_unstable();
+                w.commit(&fork, rep);
+            } else {
+                match res_rx.recv() {
+                    Ok((sig, rep)) => {
+                        in_flight.remove(&sig);
+                        cache.insert(sig, rep);
+                    }
+                    Err(_) => break, // every worker exited
+                }
+            }
+        }
+        cancel.store(true, Ordering::Relaxed);
+        drop(job_tx);
+        // In-flight replays finish (bounded by the per-replay watchdog);
+        // their results land in a channel nobody reads and are dropped
+        // with it when the scope joins the workers.
+    })
+    .expect("exploration worker scope");
+    w.ex
+}
+
+/// One schedule's execution including divergence retries: the final
+/// attempt's result (the one the walk uses) plus the cost of every
+/// attempt, in order.
+struct AttemptReport {
+    res: RunResult,
+    /// Simulated makespan of each attempt, first to last.
+    attempt_makespans: Vec<f64>,
+    /// Guided-lookup misses summed over all attempts.
+    divergences: u64,
+    /// Number of re-executions after a divergence.
+    retries: u64,
 }
 
 /// Execute one schedule, retrying (with exponential backoff) when a guided
-/// replay diverges from its decisions. The final attempt's result is the
-/// one the walk uses; every attempt's cost and divergences are accounted.
-fn run_with_retry<F>(
+/// replay diverges from its decisions.
+fn execute_with_retry<F>(
     run: &mut F,
     decisions: &DecisionSet,
     opts: &ExploreOptions,
-    ex: &mut Exploration,
-) -> RunResult
+) -> AttemptReport
 where
     F: FnMut(&DecisionSet) -> RunResult,
 {
     let mut res = run(decisions);
-    ex.total_virtual_time += res.outcome.makespan;
-    ex.divergences += res.stats.divergences;
+    let mut rep = AttemptReport {
+        attempt_makespans: vec![res.outcome.makespan],
+        divergences: res.stats.divergences,
+        retries: 0,
+        res,
+    };
     let mut attempt: u32 = 0;
     while !decisions.is_self_run()
-        && res.stats.divergences > 0
+        && rep.res.stats.divergences > 0
         && attempt < opts.divergence_retries
     {
         let backoff = opts.retry_backoff * 2u32.saturating_pow(attempt);
@@ -261,12 +585,13 @@ where
             std::thread::sleep(backoff);
         }
         attempt += 1;
-        ex.retries += 1;
+        rep.retries += 1;
         res = run(decisions);
-        ex.total_virtual_time += res.outcome.makespan;
-        ex.divergences += res.stats.divergences;
+        rep.attempt_makespans.push(res.outcome.makespan);
+        rep.divergences += res.stats.divergences;
+        rep.res = res;
     }
-    res
+    rep
 }
 
 /// The watchdog detail when this run was killed over budget.
@@ -275,71 +600,6 @@ fn timeout_of(outcome: &RunOutcome) -> Option<String> {
         Some(MpiError::ReplayTimeout { detail }) => Some(detail.clone()),
         _ => None,
     }
-}
-
-fn checkpoint_now(
-    opts: &ExploreOptions,
-    ex: &Exploration,
-    visited: &HashSet<u64>,
-    stack: &[Fork],
-) {
-    let Some(path) = &opts.checkpoint else { return };
-    let mut sigs: Vec<u64> = visited.iter().copied().collect();
-    sigs.sort_unstable();
-    let journal = ExplorationJournal {
-        version: JOURNAL_VERSION,
-        interleavings: ex.interleavings,
-        retries: ex.retries,
-        divergences: ex.divergences,
-        total_virtual_time: ex.total_virtual_time,
-        first_run_stats: ex.first_run_stats,
-        first_run_makespan: ex.first_run_makespan,
-        first_run_leaks: ex.first_run_leaks.clone(),
-        errors: ex.errors.clone(),
-        timeouts: ex.timeouts.clone(),
-        discovered: ExplorationJournal::flatten_discovered(&ex.discovered),
-        visited: sigs,
-        frontier: stack
-            .iter()
-            .map(|f| JournalFork {
-                decisions: f.decisions.clone(),
-                window_end: f.window_end,
-            })
-            .collect(),
-    };
-    if let Err(e) = journal.save(path) {
-        // A failed checkpoint must not kill a healthy campaign; the
-        // previous journal (if any) is still intact thanks to the atomic
-        // rename.
-        eprintln!("dampi: checkpoint to {} failed: {e}", path.display());
-    }
-}
-
-fn restore(
-    journal: ExplorationJournal,
-    ex: &mut Exploration,
-    visited: &mut HashSet<u64>,
-    stack: &mut Vec<Fork>,
-    seen_errors: &mut HashSet<(usize, String)>,
-) {
-    ex.interleavings = journal.interleavings;
-    ex.retries = journal.retries;
-    ex.divergences = journal.divergences;
-    ex.total_virtual_time = journal.total_virtual_time;
-    ex.first_run_stats = journal.first_run_stats;
-    ex.first_run_makespan = journal.first_run_makespan;
-    ex.discovered = journal.discovered_map();
-    ex.first_run_leaks = journal.first_run_leaks;
-    for e in &journal.errors {
-        seen_errors.insert((e.rank, e.error.to_string()));
-    }
-    ex.errors = journal.errors;
-    ex.timeouts = journal.timeouts;
-    visited.extend(journal.visited);
-    stack.extend(journal.frontier.into_iter().map(|f| Fork {
-        decisions: f.decisions,
-        window_end: f.window_end,
-    }));
 }
 
 fn fork_index_of(fork: &Fork) -> usize {
@@ -464,7 +724,9 @@ mod tests {
     /// A synthetic "program": `n_epochs` wildcard receives on rank 0, each
     /// with sources `0..n_srcs`. The run function honors forced decisions
     /// and reports all alternates, mimicking what DampiLayer produces.
-    fn synthetic_run(n_epochs: u64, n_srcs: usize) -> impl FnMut(&DecisionSet) -> RunResult {
+    /// `Fn + Sync` so the same harness drives both [`explore`] and
+    /// [`explore_parallel`].
+    fn synthetic_run(n_epochs: u64, n_srcs: usize) -> impl Fn(&DecisionSet) -> RunResult + Sync {
         move |ds: &DecisionSet| {
             let epochs: Vec<EpochRecord> = (0..n_epochs)
                 .map(|clock| {
@@ -561,7 +823,7 @@ mod tests {
 
     #[test]
     fn regions_suppress_branching() {
-        let mut base = synthetic_run(2, 3);
+        let base = synthetic_run(2, 3);
         let run = move |ds: &DecisionSet| {
             let mut r = base(ds);
             for e in &mut r.epochs {
@@ -575,7 +837,7 @@ mod tests {
 
     #[test]
     fn errors_deduplicate_and_keep_repro() {
-        let mut inner = synthetic_run(1, 2);
+        let inner = synthetic_run(1, 2);
         let run = move |ds: &DecisionSet| {
             let mut r = inner(ds);
             // The bug manifests only when source 1 is forced.
@@ -596,7 +858,7 @@ mod tests {
 
     #[test]
     fn stop_on_first_error_halts() {
-        let mut inner = synthetic_run(2, 3);
+        let inner = synthetic_run(2, 3);
         let run = move |ds: &DecisionSet| {
             let mut r = inner(ds);
             if !ds.is_self_run() {
@@ -621,5 +883,111 @@ mod tests {
     fn total_virtual_time_accumulates() {
         let ex = explore(synthetic_run(1, 3), &opts(MixingBound::Unbounded));
         assert!((ex.total_virtual_time - 3.0).abs() < 1e-12);
+    }
+
+    /// Field-by-field identity of two explorations, including bitwise
+    /// float totals — the contract `explore_parallel` promises.
+    fn assert_equiv(seq: &Exploration, par: &Exploration) {
+        assert_eq!(par.interleavings, seq.interleavings);
+        assert_eq!(par.discovered, seq.discovered);
+        assert_eq!(par.budget_exhausted, seq.budget_exhausted);
+        assert_eq!(par.divergences, seq.divergences);
+        assert_eq!(par.retries, seq.retries);
+        assert_eq!(
+            par.total_virtual_time.to_bits(),
+            seq.total_virtual_time.to_bits(),
+            "virtual-time totals must be bitwise equal"
+        );
+        assert_eq!(par.errors.len(), seq.errors.len());
+        for (p, s) in par.errors.iter().zip(&seq.errors) {
+            assert_eq!(p.interleaving, s.interleaving);
+            assert_eq!(p.rank, s.rank);
+            assert_eq!(p.error.to_string(), s.error.to_string());
+            assert_eq!(p.decisions.signature(), s.decisions.signature());
+        }
+        assert_eq!(par.timeouts.len(), seq.timeouts.len());
+        for (p, s) in par.timeouts.iter().zip(&seq.timeouts) {
+            assert_eq!(p.interleaving, s.interleaving);
+            assert_eq!(p.decisions.signature(), s.decisions.signature());
+        }
+    }
+
+    fn with_jobs(base: ExploreOptions, jobs: usize) -> ExploreOptions {
+        ExploreOptions { jobs, ..base }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_unbounded() {
+        let seq = explore(synthetic_run(3, 3), &opts(MixingBound::Unbounded));
+        for jobs in [2, 4, 8] {
+            let par = explore_parallel(
+                synthetic_run(3, 3),
+                &with_jobs(opts(MixingBound::Unbounded), jobs),
+            );
+            assert_equiv(&seq, &par);
+        }
+        assert_eq!(seq.interleavings, 27);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bounded_mixing() {
+        for k in 0..3u32 {
+            let seq = explore(synthetic_run(4, 3), &opts(MixingBound::K(k)));
+            let par = explore_parallel(synthetic_run(4, 3), &with_jobs(opts(MixingBound::K(k)), 4));
+            assert_equiv(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_respects_budget_exactly() {
+        let budgeted = ExploreOptions {
+            max_interleavings: Some(50),
+            ..opts(MixingBound::Unbounded)
+        };
+        let seq = explore(synthetic_run(10, 4), &budgeted);
+        let par = explore_parallel(synthetic_run(10, 4), &with_jobs(budgeted, 4));
+        assert_equiv(&seq, &par);
+        assert_eq!(par.interleavings, 50);
+        assert!(par.budget_exhausted);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_errors_and_stop() {
+        let make_run = || {
+            let inner = synthetic_run(2, 3);
+            move |ds: &DecisionSet| {
+                let mut r = inner(ds);
+                // Bug on one specific leaf schedule: both epochs forced
+                // to source 2. Workers may execute it speculatively out of
+                // order; the committed interleaving number must not care.
+                if ds.lookup(0, 0) == Some(2) && ds.lookup(0, 1) == Some(2) {
+                    r.outcome.rank_errors[0] = Some(MpiError::UserAssert {
+                        message: "x==33".into(),
+                    });
+                }
+                r
+            }
+        };
+        for stop in [false, true] {
+            let o = ExploreOptions {
+                stop_on_first_error: stop,
+                ..opts(MixingBound::Unbounded)
+            };
+            let seq = explore(make_run(), &o);
+            let par = explore_parallel(make_run(), &with_jobs(o, 4));
+            assert_equiv(&seq, &par);
+            assert_eq!(par.errors.len(), 1, "stop={stop}");
+        }
+    }
+
+    #[test]
+    fn parallel_with_zero_or_one_jobs_is_sequential_path() {
+        for jobs in [0, 1] {
+            let par = explore_parallel(
+                synthetic_run(3, 3),
+                &with_jobs(opts(MixingBound::Unbounded), jobs),
+            );
+            assert_eq!(par.interleavings, 27);
+        }
     }
 }

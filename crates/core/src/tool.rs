@@ -76,9 +76,15 @@ enum ReqMeta {
     RecvNamed { pb: Request, comm: Comm },
     /// Receive whose piggyback is deferred until the source is known
     /// (wildcard, possibly rewritten under guidance).
-    RecvDeferred { comm: Comm, epoch_idx: Option<usize> },
+    RecvDeferred {
+        comm: Comm,
+        epoch_idx: Option<usize>,
+    },
     /// Packing-mode receive: stamp arrives inside the payload.
-    RecvPacked { comm: Comm, epoch_idx: Option<usize> },
+    RecvPacked {
+        comm: Comm,
+        epoch_idx: Option<usize>,
+    },
 }
 
 /// The DAMPI tool layer for one rank.
@@ -282,8 +288,7 @@ impl<M: Mpi> DampiLayer<M> {
                 ClockMode::Vector => self.nprocs as f64,
             };
             let per_compare = self.ctx.analysis_cost * (1.0 + words / 16.0);
-            self.inner
-                .compute(per_compare * self.epochs.len() as f64)?;
+            self.inner.compute(per_compare * self.epochs.len() as f64)?;
         }
         self.clock.merge(stamp);
         if self.ctx.deferred_clock {
@@ -516,7 +521,9 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
             self.sync_clocks();
             return Ok(self.adjust_probe(info));
         }
-        self.inner.probe(comm, src, tag).map(|i| self.adjust_probe(i))
+        self.inner
+            .probe(comm, src, tag)
+            .map(|i| self.adjust_probe(i))
     }
 
     fn iprobe(&mut self, comm: Comm, src: i32, tag: Tag) -> Result<Option<ProbeInfo>> {
@@ -532,7 +539,10 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
                 None => Ok(None),
             };
         }
-        Ok(self.inner.iprobe(comm, src, tag)?.map(|i| self.adjust_probe(i)))
+        Ok(self
+            .inner
+            .iprobe(comm, src, tag)?
+            .map(|i| self.adjust_probe(i)))
     }
 
     fn barrier(&mut self, comm: Comm) -> Result<()> {

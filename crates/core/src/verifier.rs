@@ -79,11 +79,7 @@ impl DampiVerifier {
     /// Execute one run of `program` under the DAMPI tool stack with the
     /// given decisions. Public so overhead experiments (Table II) can time
     /// a single instrumented run.
-    pub fn instrumented_run(
-        &self,
-        program: &dyn MpiProgram,
-        decisions: &DecisionSet,
-    ) -> RunResult {
+    pub fn instrumented_run(&self, program: &dyn MpiProgram, decisions: &DecisionSet) -> RunResult {
         let (ctx, collector) = self.make_ctx(decisions);
         let plan = self.fault_plan.clone();
         let outcome = run_with_layers(&self.sim, program, &|_rank, pmpi| {
@@ -160,14 +156,17 @@ impl DampiVerifier {
             divergence_retries: self.cfg.divergence_retries,
             retry_backoff: self.cfg.retry_backoff,
             checkpoint: self.cfg.journal.clone(),
+            jobs: self.cfg.jobs,
         }
     }
 
     /// Full verification: explore the space of non-deterministic matches.
+    /// With `cfg.jobs > 1`, replays run on a worker pool; the merge is
+    /// deterministic, so the report is identical to a sequential run.
     #[must_use]
     pub fn verify(&self, program: &dyn MpiProgram) -> VerificationReport {
         let opts = self.explore_options();
-        let ex = scheduler::explore(|ds| self.instrumented_run(program, ds), &opts);
+        let ex = scheduler::explore_parallel(|ds| self.instrumented_run(program, ds), &opts);
         self.report_from(program.name(), ex)
     }
 
@@ -185,15 +184,15 @@ impl DampiVerifier {
         if opts.checkpoint.is_none() {
             opts.checkpoint = Some(journal_path.to_path_buf());
         }
-        let ex = scheduler::explore_resumed(|ds| self.instrumented_run(program, ds), &opts, journal);
+        let ex = scheduler::explore_parallel_resumed(
+            |ds| self.instrumented_run(program, ds),
+            &opts,
+            journal,
+        );
         Ok(self.report_from(program.name(), ex))
     }
 
-    fn report_from(
-        &self,
-        program: &str,
-        ex: scheduler::Exploration,
-    ) -> VerificationReport {
+    fn report_from(&self, program: &str, ex: scheduler::Exploration) -> VerificationReport {
         let ToolRunStats {
             wildcards,
             pb_messages,

@@ -52,8 +52,8 @@ fn fig3_bug_found_under_every_configuration() {
 fn schedule_deadlock_found_under_every_configuration() {
     for (name, cfg) in configs() {
         let sim = SimConfig::new(3).with_policy(MatchPolicy::LowestRank);
-        let report =
-            DampiVerifier::with_config(sim, cfg).verify(&patterns::deadlock_on_alternate_schedule());
+        let report = DampiVerifier::with_config(sim, cfg)
+            .verify(&patterns::deadlock_on_alternate_schedule());
         assert!(
             report.deadlocks() >= 1,
             "[{name}] must find the schedule deadlock: {report}"

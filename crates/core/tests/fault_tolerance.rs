@@ -270,3 +270,68 @@ fn self_run_timeout_is_reported_not_fatal() {
     assert_eq!(report.timeouts[0].interleaving, 1);
     assert!(report.errors.is_empty());
 }
+
+#[test]
+fn parallel_campaign_killed_mid_flight_resumes_to_sequential_result() {
+    // The parallel satellite of the checkpoint/resume invariant: a
+    // `jobs = 4` campaign is killed mid-flight (budget interrupt — same
+    // on-disk journal state as a SIGKILL right after a commit, including
+    // the v2 `in_flight` speculation snapshot), then resumed in parallel.
+    // The completed campaign must match an uninterrupted *sequential* one
+    // exactly: worker count is a wall-clock knob, never a coverage knob.
+    let prog = Matmul::new(MatmulParams {
+        n: 6,
+        rounds_per_slave: 1,
+        task_cost: 0.0,
+    });
+    let sim = SimConfig::new(4);
+
+    let sequential = DampiVerifier::new(sim.clone()).verify(&prog);
+    assert!(
+        sequential.interleavings > 4,
+        "need a campaign long enough to interrupt: {sequential}"
+    );
+
+    let path = journal_path("resume-parallel-matmul");
+    let cfg = DampiConfig::default()
+        .with_jobs(4)
+        .with_max_interleavings(3)
+        .with_journal(path.clone());
+    let partial = DampiVerifier::with_config(sim.clone(), cfg).verify(&prog);
+    assert!(partial.budget_exhausted);
+    assert_eq!(partial.interleavings, 3, "parallel budget is exact");
+    let journal = ExplorationJournal::load(&path).expect("journal written");
+    assert_eq!(journal.interleavings, 3);
+    assert!(!journal.frontier.is_empty(), "work must remain");
+
+    let resumed = DampiVerifier::with_config(sim, DampiConfig::default().with_jobs(4))
+        .verify_resumed(&prog, &path)
+        .expect("resume");
+    assert_eq!(resumed.interleavings, sequential.interleavings);
+    assert_eq!(error_set(&resumed), error_set(&sequential));
+    assert_eq!(
+        resumed.total_discovered_matches(),
+        sequential.total_discovered_matches()
+    );
+    let done = ExplorationJournal::load(&path).expect("final journal");
+    assert!(done.frontier.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn parallel_verify_matches_sequential_on_symmetric_racers() {
+    // The acceptance benchmark's parity check at the library level:
+    // `jobs = 4` on `symmetric_racers` reports the same interleaving
+    // count, error set, and coverage as `jobs = 1`.
+    let sim = SimConfig::new(4).with_policy(MatchPolicy::LowestRank);
+    let prog = patterns::symmetric_racers();
+    let seq = DampiVerifier::new(sim.clone()).verify(&prog);
+    let par = DampiVerifier::with_config(sim, DampiConfig::default().with_jobs(4)).verify(&prog);
+    assert_eq!(par.interleavings, seq.interleavings);
+    assert_eq!(error_set(&par), error_set(&seq));
+    assert_eq!(
+        par.total_discovered_matches(),
+        seq.total_discovered_matches()
+    );
+    assert_eq!(par.timeouts.len(), seq.timeouts.len());
+}

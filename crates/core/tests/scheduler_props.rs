@@ -7,7 +7,7 @@ use dampi_clocks::ClockStamp;
 use dampi_core::bounds::MixingBound;
 use dampi_core::decisions::DecisionSet;
 use dampi_core::epoch::{EpochRecord, NdKind, ToolRunStats};
-use dampi_core::scheduler::{explore, ExploreOptions, RunResult};
+use dampi_core::scheduler::{explore, explore_parallel, ExploreOptions, RunResult};
 use dampi_mpi::program::RunOutcome;
 use dampi_mpi::{Comm, LeakReport};
 use proptest::prelude::*;
@@ -16,7 +16,8 @@ use proptest::prelude::*;
 /// `alt_counts[i]` possible sources (0..alt_counts[i]). The run function
 /// honors forced decisions and defaults to source 0, exactly like a
 /// confluent master/slave program whose matches don't enable new epochs.
-fn model_run(alt_counts: Vec<usize>) -> impl FnMut(&DecisionSet) -> RunResult {
+/// `Fn + Sync` so it also drives `explore_parallel`'s worker pool.
+fn model_run(alt_counts: Vec<usize>) -> impl Fn(&DecisionSet) -> RunResult + Sync {
     move |ds: &DecisionSet| {
         let epochs: Vec<EpochRecord> = alt_counts
             .iter()
@@ -120,7 +121,7 @@ proptest! {
     ) {
         let mut seen: HashSet<u64> = HashSet::new();
         let mut dup = false;
-        let mut inner = model_run(alt_counts);
+        let inner = model_run(alt_counts);
         let run = |ds: &DecisionSet| {
             if !seen.insert(ds.signature()) {
                 dup = true;
@@ -153,5 +154,37 @@ proptest! {
         let a = explore(model_run(alt_counts.clone()), &opts(MixingBound::K(0)));
         let b = explore(model_run(alt_counts), &opts(MixingBound::Unbounded));
         prop_assert_eq!(a.discovered, b.discovered);
+    }
+
+    /// The parallel driver's contract, as a property over random epoch
+    /// structures, mixing bounds, and budgets: `jobs = 4` commits exactly
+    /// the exploration `jobs = 1` produces — same interleaving count, same
+    /// coverage map, same budget verdict, bitwise-equal virtual time.
+    #[test]
+    fn parallel_exploration_is_bit_identical_to_sequential(
+        alt_counts in prop::collection::vec(1usize..4, 1..6),
+        k in 0u32..4,
+        budget in prop::collection::vec(1u64..40, 0..2),
+    ) {
+        let bound = if k == 3 { MixingBound::Unbounded } else { MixingBound::K(k) };
+        let o = ExploreOptions {
+            // An empty `budget` vec means unbounded (well, the test cap).
+            max_interleavings: Some(budget.first().copied().unwrap_or(2_000_000)),
+            ..opts(bound)
+        };
+        let seq = explore(model_run(alt_counts.clone()), &o);
+        let par = explore_parallel(
+            model_run(alt_counts),
+            &ExploreOptions { jobs: 4, ..o },
+        );
+        prop_assert_eq!(par.interleavings, seq.interleavings);
+        prop_assert_eq!(par.discovered, seq.discovered);
+        prop_assert_eq!(par.budget_exhausted, seq.budget_exhausted);
+        prop_assert_eq!(par.errors.len(), seq.errors.len());
+        prop_assert_eq!(par.timeouts.len(), seq.timeouts.len());
+        prop_assert_eq!(
+            par.total_virtual_time.to_bits(),
+            seq.total_virtual_time.to_bits()
+        );
     }
 }

@@ -54,7 +54,10 @@ fn biased_verifier(n: usize) -> DampiVerifier {
 #[test]
 fn fig3_bug_found_by_replay() {
     let report = biased_verifier(3).verify(&fig3_program());
-    assert!(report.interleavings >= 2, "must explore the alternate match");
+    assert!(
+        report.interleavings >= 2,
+        "must explore the alternate match"
+    );
     assert_eq!(report.assertion_failures(), 1, "{report}");
     // The reproduction recipe must force P2's message.
     let err = &report.errors[0];
@@ -111,7 +114,12 @@ fn master_slave_covers_all_match_orders() {
                 let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 1)?;
             }
         } else {
-            mpi.send(Comm::WORLD, 0, 1, codec::encode_u64(mpi.world_rank() as u64))?;
+            mpi.send(
+                Comm::WORLD,
+                0,
+                1,
+                codec::encode_u64(mpi.world_rank() as u64),
+            )?;
         }
         Ok(())
     });
@@ -369,22 +377,18 @@ fn leaks_reported_through_verifier() {
 #[test]
 fn payload_packing_mechanism_works() {
     let cfg = DampiConfig::default().with_piggyback(PiggybackMechanism::PayloadPacking);
-    let report = DampiVerifier::with_config(
-        SimConfig::new(3).with_policy(MatchPolicy::LowestRank),
-        cfg,
-    )
-    .verify(&fig3_program());
+    let report =
+        DampiVerifier::with_config(SimConfig::new(3).with_policy(MatchPolicy::LowestRank), cfg)
+            .verify(&fig3_program());
     assert_eq!(report.assertion_failures(), 1, "{report}");
 }
 
 #[test]
 fn vector_mode_full_session() {
     let cfg = DampiConfig::default().with_clock_mode(ClockMode::Vector);
-    let report = DampiVerifier::with_config(
-        SimConfig::new(3).with_policy(MatchPolicy::LowestRank),
-        cfg,
-    )
-    .verify(&fig3_program());
+    let report =
+        DampiVerifier::with_config(SimConfig::new(3).with_policy(MatchPolicy::LowestRank), cfg)
+            .verify(&fig3_program());
     assert_eq!(report.assertion_failures(), 1, "{report}");
 }
 
@@ -397,7 +401,12 @@ fn wildcard_probe_is_an_epoch() {
             let info = mpi.probe(Comm::WORLD, ANY_SOURCE, ANY_TAG)?;
             let _ = mpi.recv(Comm::WORLD, info.src as i32, info.tag)?;
         } else {
-            mpi.send(Comm::WORLD, 0, mpi.world_rank() as i32, codec::encode_u64(7))?;
+            mpi.send(
+                Comm::WORLD,
+                0,
+                mpi.world_rank() as i32,
+                codec::encode_u64(7),
+            )?;
         }
         Ok(())
     });
@@ -452,11 +461,9 @@ fn max_interleavings_budget_respected() {
 #[test]
 fn stop_on_first_error_short_circuits() {
     let cfg = DampiConfig::default().stop_at_first_error();
-    let report = DampiVerifier::with_config(
-        SimConfig::new(3).with_policy(MatchPolicy::LowestRank),
-        cfg,
-    )
-    .verify(&fig3_program());
+    let report =
+        DampiVerifier::with_config(SimConfig::new(3).with_policy(MatchPolicy::LowestRank), cfg)
+            .verify(&fig3_program());
     assert_eq!(report.errors.len(), 1);
 }
 
@@ -479,7 +486,10 @@ fn overhead_run_reports_slowdown() {
     let (slowdown, native, inst) = v.slowdown(&prog);
     assert!(native.succeeded());
     assert!(inst.outcome.succeeded(), "{:?}", inst.outcome.fatal);
-    assert!(slowdown >= 1.0, "instrumentation cannot be free: {slowdown}");
+    assert!(
+        slowdown >= 1.0,
+        "instrumentation cannot be free: {slowdown}"
+    );
     assert!(slowdown < 20.0, "overhead should be bounded: {slowdown}");
     assert_eq!(inst.stats.wildcards, 7);
 }
@@ -545,11 +555,8 @@ fn fig10_bug_found_with_deferred_clock_sync() {
     );
     assert!(plain.unsafe_alerts > 0, "but the monitor warns: {plain}");
     // With the paired-clock fix, the competitor is discovered and forced.
-    let fixed = DampiVerifier::with_config(
-        sim,
-        DampiConfig::default().with_deferred_clock_sync(),
-    )
-    .verify(&prog());
+    let fixed = DampiVerifier::with_config(sim, DampiConfig::default().with_deferred_clock_sync())
+        .verify(&prog());
     assert_eq!(
         fixed.assertion_failures(),
         1,
@@ -604,7 +611,11 @@ fn guided_mode_reverts_past_the_horizon() {
     assert_eq!(phase2.len(), 2);
     let all: std::collections::BTreeSet<usize> = phase2
         .iter()
-        .flat_map(|e| e.matched_src.into_iter().chain(e.alternates.iter().copied()))
+        .flat_map(|e| {
+            e.matched_src
+                .into_iter()
+                .chain(e.alternates.iter().copied())
+        })
         .collect();
     assert_eq!(all, std::collections::BTreeSet::from([1, 2]));
 }

@@ -30,7 +30,12 @@ fn master_slave(
             )?;
         } else {
             for _ in 0..msgs_per_slave {
-                mpi.send(Comm::WORLD, 0, 1, codec::encode_u64(mpi.world_rank() as u64))?;
+                mpi.send(
+                    Comm::WORLD,
+                    0,
+                    1,
+                    codec::encode_u64(mpi.world_rank() as u64),
+                )?;
             }
         }
         Ok(())

@@ -199,10 +199,8 @@ impl IspScheduler {
         let mut late_hit = false;
         {
             // Analyze only this destination's epochs.
-            let mut view: Vec<EpochRecord> = dst_epochs
-                .iter()
-                .map(|&i| epochs[i].clone())
-                .collect();
+            let mut view: Vec<EpochRecord> =
+                dst_epochs.iter().map(|&i| epochs[i].clone()).collect();
             late_hit = late::analyze_incoming(
                 &mut view,
                 ClockMode::Vector,

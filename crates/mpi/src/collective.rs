@@ -472,10 +472,7 @@ mod tests {
                 root: 0,
                 op: ReduceOp::Sum,
             },
-            &[
-                Contribution::F64s(vec![1.5]),
-                Contribution::F64s(vec![2.5]),
-            ],
+            &[Contribution::F64s(vec![1.5]), Contribution::F64s(vec![2.5])],
         )
         .unwrap();
         match &out[0] {
@@ -594,10 +591,20 @@ mod tests {
     #[test]
     fn slot_detects_mismatched_roots() {
         let mut slot = CollSlot::new(2);
-        slot.enter(0, CollSig::Bcast { root: 0 }, Contribution::Bytes(bytes("x")), 0.0)
-            .unwrap();
+        slot.enter(
+            0,
+            CollSig::Bcast { root: 0 },
+            Contribution::Bytes(bytes("x")),
+            0.0,
+        )
+        .unwrap();
         let err = slot
-            .enter(1, CollSig::Bcast { root: 1 }, Contribution::Bytes(bytes("y")), 0.0)
+            .enter(
+                1,
+                CollSig::Bcast { root: 1 },
+                Contribution::Bytes(bytes("y")),
+                0.0,
+            )
             .unwrap_err();
         assert!(matches!(err, MpiError::CollectiveMismatch { .. }));
     }
@@ -606,10 +613,20 @@ mod tests {
     fn finish_with_error_propagates_to_all() {
         let mut slot = CollSlot::new(2);
         let (gen, _) = slot
-            .enter(0, CollSig::AllreduceU64 { op: ReduceOp::Sum }, Contribution::U64s(vec![1]), 0.0)
+            .enter(
+                0,
+                CollSig::AllreduceU64 { op: ReduceOp::Sum },
+                Contribution::U64s(vec![1]),
+                0.0,
+            )
             .unwrap();
-        slot.enter(1, CollSig::AllreduceU64 { op: ReduceOp::Sum }, Contribution::U64s(vec![1, 2]), 0.0)
-            .unwrap();
+        slot.enter(
+            1,
+            CollSig::AllreduceU64 { op: ReduceOp::Sum },
+            Contribution::U64s(vec![1, 2]),
+            0.0,
+        )
+        .unwrap();
         let (sig, contribs, vt) = slot.take_contributions();
         slot.finish(gen, combine(sig, &contribs), vt);
         let (out0, _) = slot.try_take(gen, 0).unwrap();

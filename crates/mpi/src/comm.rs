@@ -2,7 +2,9 @@
 
 /// A communicator handle (the analog of `MPI_Comm`). Cheap to copy; resolves
 /// through the runtime's communicator table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Comm(pub u32);
 
 impl Comm {

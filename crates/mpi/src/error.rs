@@ -75,7 +75,10 @@ impl fmt::Display for MpiError {
             }
             MpiError::Aborted { by_rank } => write!(f, "job aborted by rank {by_rank}"),
             MpiError::InvalidRank { rank, comm_size } => {
-                write!(f, "invalid rank {rank} for communicator of size {comm_size}")
+                write!(
+                    f,
+                    "invalid rank {rank} for communicator of size {comm_size}"
+                )
             }
             MpiError::InvalidComm => write!(f, "invalid or freed communicator"),
             MpiError::InvalidRequest => write!(f, "invalid or consumed request"),

@@ -7,7 +7,8 @@
 //! *survive* these — record what happened, report partial coverage
 //! honestly, and keep exploring the remaining frontier. [`FaultLayer`]
 //! makes such failures reproducible in-process: it sits *below* the DAMPI
-//! tool layer (closest to [`Pmpi`]), so an injected fault hits both
+//! tool layer (closest to [`Pmpi`](crate::proc_api::Pmpi)), so an
+//! injected fault hits both
 //! application traffic and the tool's own piggyback messages on the shadow
 //! communicator.
 //!
@@ -22,12 +23,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+use crate::collective::ReduceOp;
 use crate::comm::Comm;
 use crate::error::Result;
 use crate::matching::ProbeInfo;
 use crate::proc_api::{Mpi, Status};
 use crate::request::Request;
-use crate::collective::ReduceOp;
 use crate::types::Tag;
 
 /// Tag offset used by [`FaultAction::DropSend`]: the message is diverted to
@@ -251,7 +252,9 @@ impl<M: Mpi> Mpi for FaultLayer<M> {
             self.fired += 1;
             match &rule.action {
                 FaultAction::DropSend => {
-                    return self.inner.isend(comm, dest, tag + BLACK_HOLE_TAG_OFFSET, data);
+                    return self
+                        .inner
+                        .isend(comm, dest, tag + BLACK_HOLE_TAG_OFFSET, data);
                 }
                 FaultAction::DuplicateSend => {
                     let dup = self.inner.isend(comm, dest, tag, data.clone())?;
@@ -448,7 +451,9 @@ mod tests {
         assert!(
             matches!(
                 fatal,
-                MpiError::Deadlock { .. } | MpiError::ReplayTimeout { .. } | MpiError::Aborted { .. }
+                MpiError::Deadlock { .. }
+                    | MpiError::ReplayTimeout { .. }
+                    | MpiError::Aborted { .. }
             ),
             "unexpected fatal: {fatal:?}"
         );
@@ -532,8 +537,8 @@ mod tests {
             nth: 0,
             action: FaultAction::Livelock { step: 0.5 },
         });
-        let cfg = SimConfig::new(2)
-            .with_budget(ReplayBudget::default().with_max_virtual_time(10.0));
+        let cfg =
+            SimConfig::new(2).with_budget(ReplayBudget::default().with_max_virtual_time(10.0));
         let out = faulted(plan, cfg, |mpi| {
             if mpi.world_rank() == 0 {
                 mpi.send(Comm::WORLD, 1, 7, bts(b"x"))?;

@@ -38,8 +38,8 @@ pub mod fault;
 pub mod interpose;
 pub mod leak;
 pub mod matching;
-pub mod program;
 pub mod proc_api;
+pub mod program;
 pub mod request;
 pub mod runtime;
 pub mod stats;
@@ -55,8 +55,8 @@ pub use fault::{FaultAction, FaultLayer, FaultPlan, FaultRule};
 pub use interpose::{LayerFactory, PassthroughLayer};
 pub use leak::LeakReport;
 pub use matching::MatchPolicy;
-pub use program::{FnProgram, MpiProgram, RankError, RunOutcome};
 pub use proc_api::{Mpi, Pmpi, Status};
+pub use program::{FnProgram, MpiProgram, RankError, RunOutcome};
 pub use request::Request;
 pub use runtime::{run_native, run_with_layers, ReplayBudget, SimConfig, World};
 pub use stats::{OpClass, OpStats};

@@ -28,8 +28,7 @@ use crate::types::{source_matches, tag_matches, Tag};
 /// sources. Real MPI implementations have a fixed internal policy; making it
 /// explicit (and seedable) lets tests demonstrate that *testing under one
 /// policy misses bugs another policy exposes* — DAMPI's motivation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MatchPolicy {
     /// Earliest-arrived message wins (typical eager-protocol behavior).
     #[default]
@@ -40,7 +39,6 @@ pub enum MatchPolicy {
     /// match counter; deterministic for a fixed seed.
     Seeded(u64),
 }
-
 
 /// A receive posted to the engine and not yet matched.
 #[derive(Debug, Clone)]
@@ -241,7 +239,9 @@ impl MatchEngine {
                 .min_by_key(|&&i| q[i].src)
                 .expect("nonempty"),
             MatchPolicy::Seeded(seed) => {
-                let mut rng = SmallRng::seed_from_u64(seed ^ self.match_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ self.match_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 candidates[rng.gen_range(0..candidates.len())]
             }
         };
@@ -408,7 +408,13 @@ mod tests {
     #[test]
     fn incoming_matches_earliest_posted() {
         let mut m = MatchEngine::new(2);
-        m.post(1, 10, crate::types::ANY_SOURCE, crate::types::ANY_TAG, MatchPolicy::ArrivalOrder);
+        m.post(
+            1,
+            10,
+            crate::types::ANY_SOURCE,
+            crate::types::ANY_TAG,
+            MatchPolicy::ArrivalOrder,
+        );
         m.post(1, 11, 0, 5, MatchPolicy::ArrivalOrder);
         match m.deliver(env(0, 1, 5)) {
             Delivery::Matched { req, .. } => assert_eq!(req, 10),
@@ -426,7 +432,12 @@ mod tests {
         let mut m = MatchEngine::new(2);
         m.deliver(env(0, 1, 9));
         let info = m
-            .probe(1, crate::types::ANY_SOURCE, crate::types::ANY_TAG, MatchPolicy::ArrivalOrder)
+            .probe(
+                1,
+                crate::types::ANY_SOURCE,
+                crate::types::ANY_TAG,
+                MatchPolicy::ArrivalOrder,
+            )
             .unwrap();
         assert_eq!(info.src, 0);
         assert_eq!(info.tag, 9);
@@ -455,7 +466,9 @@ mod tests {
         let mut m = MatchEngine::new(3);
         m.deliver(env(2, 0, 3));
         m.deliver(env(1, 0, 4));
-        let got = m.post(0, 1, 1, crate::types::ANY_TAG, MatchPolicy::ArrivalOrder).unwrap();
+        let got = m
+            .post(0, 1, 1, crate::types::ANY_TAG, MatchPolicy::ArrivalOrder)
+            .unwrap();
         assert_eq!(got.src, 1);
         assert_eq!(got.tag, 4);
     }

@@ -149,10 +149,7 @@ mod tests {
         let dl = MpiError::Deadlock {
             blocked_ranks: vec![0, 1],
         };
-        let o = outcome_with(
-            vec![Some(dl.clone()), Some(dl.clone())],
-            Some(dl),
-        );
+        let o = outcome_with(vec![Some(dl.clone()), Some(dl.clone())], Some(dl));
         assert!(o.deadlocked());
         assert_eq!(o.program_bugs().len(), 1);
     }

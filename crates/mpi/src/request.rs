@@ -102,7 +102,10 @@ impl RequestTable {
 
     /// Consume a completed request, removing it from the table.
     pub fn consume(&mut self, req: Request) -> Result<RequestEntry> {
-        let entry = self.entries.remove(&req.0).ok_or(MpiError::InvalidRequest)?;
+        let entry = self
+            .entries
+            .remove(&req.0)
+            .ok_or(MpiError::InvalidRequest)?;
         debug_assert!(entry.is_done(), "consumed an incomplete request");
         Ok(entry)
     }
@@ -204,15 +207,18 @@ mod tests {
         let mut t = RequestTable::new();
         let r = t.create(recv_entry(1));
         assert!(!t.get(r).unwrap().is_done());
-        t.complete_recv(r.0, Envelope {
-            src: 0,
-            dst: 1,
-            tag: 0,
-            payload: Bytes::from_static(b"x"),
-            arrival_seq: 0,
-            send_vt: 0.0,
-            send_req: None,
-        });
+        t.complete_recv(
+            r.0,
+            Envelope {
+                src: 0,
+                dst: 1,
+                tag: 0,
+                payload: Bytes::from_static(b"x"),
+                arrival_seq: 0,
+                send_vt: 0.0,
+                send_req: None,
+            },
+        );
         assert!(t.get(r).unwrap().is_done());
     }
 

@@ -19,11 +19,11 @@ use crate::collective::{combine, CollOutcome, CollSig, CollSlot, Contribution, R
 use crate::comm::{Comm, CommInfo};
 use crate::envelope::Envelope;
 use crate::error::{MpiError, Result};
-use crate::matching::{Delivery, MatchEngine, MatchPolicy, ProbeInfo};
-use crate::program::{MpiProgram, RunOutcome};
-use crate::proc_api::{Pmpi, Status};
-use crate::request::{ReqKind, ReqState, Request, RequestEntry, RequestTable};
 use crate::leak::{CommLeak, LeakReport};
+use crate::matching::{Delivery, MatchEngine, MatchPolicy, ProbeInfo};
+use crate::proc_api::{Pmpi, Status};
+use crate::program::{MpiProgram, RunOutcome};
+use crate::request::{ReqKind, ReqState, Request, RequestEntry, RequestTable};
 use crate::types::{Tag, ANY_SOURCE};
 use crate::vtime::VTimeParams;
 
@@ -273,9 +273,7 @@ impl World {
                 let vt = s.vt[rank];
                 return Err(self.trip_timeout(
                     s,
-                    format!(
-                        "virtual-time budget of {limit}s exceeded (rank {rank} at {vt:.6}s)"
-                    ),
+                    format!("virtual-time budget of {limit}s exceeded (rank {rank} at {vt:.6}s)"),
                 ));
             }
         }
@@ -437,10 +435,7 @@ impl World {
         }
         g.vt[rank] += self.cfg.vtime.send_overhead;
         self.check_vt_budget(&mut g, rank)?;
-        let eager = self
-            .cfg
-            .eager_limit
-            .is_none_or(|limit| data.len() <= limit);
+        let eager = self.cfg.eager_limit.is_none_or(|limit| data.len() <= limit);
         let req = g.requests.create(RequestEntry {
             owner: rank,
             comm,
@@ -467,7 +462,10 @@ impl World {
             .world_rank_of(dest as usize)
             .expect("validated dest");
         match g.comms[idx].engine.deliver(env) {
-            Delivery::Matched { req: rreq, envelope } => {
+            Delivery::Matched {
+                req: rreq,
+                envelope,
+            } => {
                 self.complete_recv_locked(&mut g, rreq, envelope);
             }
             Delivery::Queued => {
@@ -506,12 +504,7 @@ impl World {
         Ok(req)
     }
 
-    fn finish_wait(
-        &self,
-        s: &mut Shared,
-        rank: usize,
-        req: Request,
-    ) -> Result<(Status, Bytes)> {
+    fn finish_wait(&self, s: &mut Shared, rank: usize, req: Request) -> Result<(Status, Bytes)> {
         let entry = s.requests.consume(req)?;
         match entry.state {
             ReqState::SendDone => Ok((
@@ -668,10 +661,7 @@ impl World {
                 Ok(v) => v,
                 Err(e) => return Some(Err(e)),
             };
-            s.comms[idx]
-                .engine
-                .probe(crank, src, tag, policy)
-                .map(Ok)
+            s.comms[idx].engine.probe(crank, src, tag, policy).map(Ok)
         })
     }
 
@@ -750,8 +740,8 @@ impl World {
                 .comm_rank_of(rank)
                 .ok_or(MpiError::InvalidComm)?
         };
-        let (outcome, vt) = self
-            .block_on(rank, |s| s.comms[idx].coll.try_take(gen, crank).map(Ok))?;
+        let (outcome, vt) =
+            self.block_on(rank, |s| s.comms[idx].coll.try_take(gen, crank).map(Ok))?;
         let mut g = self.state.lock();
         g.vt[rank] = g.vt[rank].max(vt);
         self.check_vt_budget(&mut g, rank)?;
@@ -795,11 +785,8 @@ impl World {
                         }
                     }
                 }
-                let mut colors: Vec<i64> = triples
-                    .iter()
-                    .map(|t| t.0)
-                    .filter(|&c| c >= 0)
-                    .collect();
+                let mut colors: Vec<i64> =
+                    triples.iter().map(|t| t.0).filter(|&c| c >= 0).collect();
                 colors.sort_unstable();
                 colors.dedup();
                 let mut outcomes = vec![CollOutcome::NoComm; n];
@@ -810,8 +797,10 @@ impl World {
                         .map(|t| (t.1, t.2))
                         .collect();
                     members.sort_unstable();
-                    let group: Vec<usize> =
-                        members.iter().map(|&(_, crank)| parent_group[crank]).collect();
+                    let group: Vec<usize> = members
+                        .iter()
+                        .map(|&(_, crank)| parent_group[crank])
+                        .collect();
                     let id = Comm(s.comms.len() as u32);
                     let info = CommInfo::derived(
                         id,
@@ -971,12 +960,7 @@ impl World {
         }
     }
 
-    pub(crate) fn op_allgather(
-        &self,
-        rank: usize,
-        comm: Comm,
-        data: Bytes,
-    ) -> Result<Vec<Bytes>> {
+    pub(crate) fn op_allgather(&self, rank: usize, comm: Comm, data: Bytes) -> Result<Vec<Bytes>> {
         match self.collective(rank, comm, CollSig::Allgather, Contribution::Bytes(data))? {
             CollOutcome::BytesVec(v) => Ok(v),
             other => Err(MpiError::ToolProtocol {
@@ -1159,7 +1143,10 @@ pub fn run_with_layers(
         let mut handles = Vec::with_capacity(n);
         for rank in 0..n {
             let world = Arc::clone(&world);
-            let builder = scope.builder().stack_size(cfg.stack_size).name(format!("rank-{rank}"));
+            let builder = scope
+                .builder()
+                .stack_size(cfg.stack_size)
+                .name(format!("rank-{rank}"));
             let handle = builder
                 .spawn(move |_| {
                     let pmpi = Pmpi::new(Arc::clone(&world), rank);
@@ -1221,5 +1208,31 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod thread_safety {
+    //! The isolation contract parallel exploration rests on, checked at
+    //! compile time: every replay builds a *fresh* [`World`] inside
+    //! [`run_with_layers`], so concurrent replays on a scheduler worker
+    //! pool share no mutable runtime state — only `Sync` configuration
+    //! ([`SimConfig`], an `Arc<FaultPlan>`, the program itself). If a
+    //! process-global ever sneaks into these types (a `Cell`, an `Rc`, a
+    //! raw pointer), these assertions stop compiling before any test can
+    //! race.
+
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    fn sync_send<T: Send + Sync + ?Sized>() {}
+
+    #[test]
+    fn replay_state_is_per_world_and_configuration_is_sync() {
+        sync_send::<World>();
+        sync_send::<SimConfig>();
+        sync_send::<FaultPlan>();
+        sync_send::<dyn MpiProgram>();
+        sync_send::<Pmpi>();
     }
 }

@@ -38,20 +38,55 @@ pub struct TraceEvent {
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 #[allow(missing_docs)]
 pub enum TraceOp {
-    Isend { comm: u32, dest: i32, tag: Tag, bytes: usize },
-    Irecv { comm: u32, src: i32, tag: Tag },
-    Wait { completed_source: usize, tag: Tag },
-    Test { completed: bool },
-    Probe { comm: u32, src: i32, tag: Tag, hit_source: usize },
-    Iprobe { comm: u32, src: i32, tag: Tag, hit: bool },
+    Isend {
+        comm: u32,
+        dest: i32,
+        tag: Tag,
+        bytes: usize,
+    },
+    Irecv {
+        comm: u32,
+        src: i32,
+        tag: Tag,
+    },
+    Wait {
+        completed_source: usize,
+        tag: Tag,
+    },
+    Test {
+        completed: bool,
+    },
+    Probe {
+        comm: u32,
+        src: i32,
+        tag: Tag,
+        hit_source: usize,
+    },
+    Iprobe {
+        comm: u32,
+        src: i32,
+        tag: Tag,
+        hit: bool,
+    },
     Collective {
         comm: u32,
         name: std::borrow::Cow<'static, str>,
     },
-    CommDup { parent: u32, result: u32 },
-    CommSplit { parent: u32, color: i64, member: bool },
-    CommFree { comm: u32 },
-    Pcontrol { code: i32 },
+    CommDup {
+        parent: u32,
+        result: u32,
+    },
+    CommSplit {
+        parent: u32,
+        color: i64,
+        member: bool,
+    },
+    CommFree {
+        comm: u32,
+    },
+    Pcontrol {
+        code: i32,
+    },
     Finalize,
 }
 
@@ -403,9 +438,7 @@ mod tests {
         assert_eq!(
             events
                 .iter()
-                .filter(
-                    |e| matches!(&e.op, TraceOp::Collective { name, .. } if name == "barrier")
-                )
+                .filter(|e| matches!(&e.op, TraceOp::Collective { name, .. } if name == "barrier"))
                 .count(),
             2,
             "one barrier record per rank"

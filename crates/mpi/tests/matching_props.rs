@@ -35,7 +35,7 @@ fn run_ops(nprocs: usize, ops: &[Op], policy: MatchPolicy) -> TestState {
                     payload: Bytes::from(seq.to_le_bytes().to_vec()),
                     arrival_seq: 0,
                     send_vt: 0.0,
-            send_req: None,
+                    send_req: None,
                 };
                 *seq += 1;
                 st.sent += 1;

@@ -5,8 +5,8 @@
 use bytes::Bytes;
 use dampi_mpi::envelope::codec;
 use dampi_mpi::{
-    run_native, run_with_layers, FnProgram, MatchPolicy, MpiError, MpiProgram, ReduceOp,
-    SimConfig, Comm, ANY_SOURCE, ANY_TAG,
+    run_native, run_with_layers, Comm, FnProgram, MatchPolicy, MpiError, MpiProgram, ReduceOp,
+    SimConfig, ANY_SOURCE, ANY_TAG,
 };
 
 fn cfg(n: usize) -> SimConfig {
@@ -58,7 +58,12 @@ fn wildcard_receive_gets_all_messages() {
                 seen[val] = true;
             }
         } else {
-            mpi.send(Comm::WORLD, 0, 1, codec::encode_u64(mpi.world_rank() as u64))?;
+            mpi.send(
+                Comm::WORLD,
+                0,
+                1,
+                codec::encode_u64(mpi.world_rank() as u64),
+            )?;
         }
         Ok(())
     });
@@ -115,7 +120,11 @@ fn collectives_roundtrip() {
         let me = mpi.world_rank();
         mpi.barrier(Comm::WORLD)?;
         // Bcast from root 1.
-        let data = if me == 1 { Some(bts(b"root-data")) } else { None };
+        let data = if me == 1 {
+            Some(bts(b"root-data"))
+        } else {
+            None
+        };
         let got = mpi.bcast(Comm::WORLD, 1, data)?;
         assert_eq!(&got[..], b"root-data");
         // Allreduce sum of ranks.
@@ -233,14 +242,7 @@ fn comm_split_partitions_traffic() {
         assert_eq!(sub_size, 2);
         // Ring exchange inside the subcomm.
         let peer = ((sub_rank + 1) % sub_size) as i32;
-        let (st, data) = mpi.sendrecv(
-            sub,
-            peer,
-            1,
-            codec::encode_u64(me as u64),
-            ANY_SOURCE,
-            1,
-        )?;
+        let (st, data) = mpi.sendrecv(sub, peer, 1, codec::encode_u64(me as u64), ANY_SOURCE, 1)?;
         let from_world = codec::decode_u64(&data) as usize;
         // The message must come from the same parity group.
         assert_eq!(from_world % 2, me % 2);

@@ -159,10 +159,7 @@ mod tests {
         assert_eq!(payload(9, 0).len(), 16);
     }
 
-    fn run_idiom(
-        n: usize,
-        f: impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync + 'static,
-    ) {
+    fn run_idiom(n: usize, f: impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync + 'static) {
         let out = run_native(&SimConfig::new(n), &FnProgram(f));
         assert!(out.succeeded(), "{:?}", out.rank_errors);
         assert!(out.leaks.is_clean(), "{:?}", out.leaks);

@@ -143,10 +143,7 @@ impl Matmul {
         }
         // Verify the assembled product against the serial reference.
         let reference = self.reference();
-        let ok = c
-            .iter()
-            .zip(&reference)
-            .all(|(x, y)| (x - y).abs() < 1e-9);
+        let ok = c.iter().zip(&reference).all(|(x, y)| (x - y).abs() < 1e-9);
         user_assert(ok, "matmul result mismatch: a schedule corrupted routing")
     }
 

@@ -44,12 +44,7 @@ impl Mg {
     }
 
     /// Halo exchange with partners at `stride` in both directions.
-    fn strided_halo(
-        &self,
-        mpi: &mut dyn Mpi,
-        stride: usize,
-        bytes: usize,
-    ) -> Result<()> {
+    fn strided_halo(&self, mpi: &mut dyn Mpi, stride: usize, bytes: usize) -> Result<()> {
         let np = mpi.world_size();
         let me = mpi.world_rank();
         let words = bytes.div_ceil(8).max(1);

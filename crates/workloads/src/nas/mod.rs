@@ -68,7 +68,10 @@ mod tests {
                 "{name} C-leak mismatch: {:?}",
                 out.leaks
             );
-            assert!(!out.leaks.has_request_leak(), "{name} must not leak requests");
+            assert!(
+                !out.leaks.has_request_leak(),
+                "{name} must not leak requests"
+            );
         }
     }
 }

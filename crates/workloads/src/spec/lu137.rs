@@ -69,8 +69,8 @@ impl MpiProgram for Lu137 {
                     )?;
                 }
             } else {
-                let use_wildcard = self.params.wildcard_stride > 0
-                    && panel % self.params.wildcard_stride == 0;
+                let use_wildcard =
+                    self.params.wildcard_stride > 0 && panel % self.params.wildcard_stride == 0;
                 let (_, data) = if use_wildcard {
                     // Lookahead path: accept the panel from whoever
                     // forwards it first.

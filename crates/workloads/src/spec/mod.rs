@@ -59,7 +59,10 @@ mod tests {
                 expect_leak,
                 "{name} C-leak mismatch"
             );
-            assert!(!out.leaks.has_request_leak(), "{name} must not leak requests");
+            assert!(
+                !out.leaks.has_request_leak(),
+                "{name} must not leak requests"
+            );
         }
     }
 }

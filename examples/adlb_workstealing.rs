@@ -36,7 +36,11 @@ fn main() {
         println!(
             "  k={k}: {:>6} interleavings{}, {} errors, {} wildcard receives in the first run",
             report.interleavings,
-            if report.budget_exhausted { " (capped)" } else { "" },
+            if report.budget_exhausted {
+                " (capped)"
+            } else {
+                ""
+            },
             report.errors.len(),
             report.wildcards_analyzed,
         );

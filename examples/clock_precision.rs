@@ -19,8 +19,16 @@ fn main() {
     let initial = DecisionSet::guided(
         0,
         vec![
-            EpochDecision { rank: 1, clock: 0, src: 0 },
-            EpochDecision { rank: 2, clock: 0, src: 3 },
+            EpochDecision {
+                rank: 1,
+                clock: 0,
+                src: 0,
+            },
+            EpochDecision {
+                rank: 2,
+                clock: 0,
+                src: 3,
+            },
         ],
     );
     println!("cross-coupled pattern (Fig. 4), initial matching P0->P1, P3->P2\n");

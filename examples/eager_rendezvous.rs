@@ -33,7 +33,11 @@ fn main() {
     let out = run_native(&dev, &head_to_head(128));
     println!(
         "  eager limit 64 KiB:  {}",
-        if out.succeeded() { "completes (messages buffered)" } else { "deadlock" }
+        if out.succeeded() {
+            "completes (messages buffered)"
+        } else {
+            "deadlock"
+        }
     );
 
     // Production cluster: small eager limit — the same program hangs.
@@ -41,7 +45,11 @@ fn main() {
     let out = run_native(&prod, &head_to_head(128));
     println!(
         "  eager limit 512 B:   {}",
-        if out.deadlocked() { "DEADLOCK (rendezvous: sends block)" } else { "completes" }
+        if out.deadlocked() {
+            "DEADLOCK (rendezvous: sends block)"
+        } else {
+            "completes"
+        }
     );
 
     // And the verifier reports it with a diagnosis.

@@ -29,11 +29,10 @@ fn main() {
             action: FaultAction::Livelock { step: 0.5 },
         })
         .guided_only();
-    let report = DampiVerifier::new(
-        sim().with_budget(ReplayBudget::default().with_max_virtual_time(30.0)),
-    )
-    .with_fault_plan(livelock)
-    .verify(&patterns::fig3());
+    let report =
+        DampiVerifier::new(sim().with_budget(ReplayBudget::default().with_max_virtual_time(30.0)))
+            .with_fault_plan(livelock)
+            .verify(&patterns::fig3());
     println!("=== watchdog: livelocked replay ===\n{report}\n");
 
     // 2. Panic isolation: the tool stack blows up during replays, but the

@@ -3,7 +3,7 @@
 //! ```text
 //! dampi-cli list
 //! dampi-cli verify <workload> [--np N] [--k K] [--max M] [--clock lamport|vector]
-//!                             [--isp] [--deferred-clock]
+//!                             [--jobs N] [--isp] [--deferred-clock]
 //!                             [--journal PATH] [--resume PATH]
 //!                             [--replay-vt SECS] [--replay-wall SECS]
 //! dampi-cli overhead [--np N]           # Table II style slowdown census
@@ -33,6 +33,7 @@ fn registry(np: usize) -> Vec<(String, Box<dyn MpiProgram>)> {
         ),
         ("adlb".into(), Box::new(Adlb::new(AdlbParams::default()))),
         ("fig3".into(), Box::new(patterns::fig3())),
+        ("racers".into(), Box::new(patterns::symmetric_racers())),
         ("fig4".into(), Box::new(patterns::fig4_cross_coupled())),
         ("fig10".into(), Box::new(patterns::fig10_unsafe())),
         (
@@ -63,6 +64,7 @@ struct Args {
     resume: Option<PathBuf>,
     replay_vt: Option<f64>,
     replay_wall: Option<f64>,
+    jobs: Option<usize>,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -79,6 +81,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         resume: None,
         replay_vt: None,
         replay_wall: None,
+        jobs: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -102,11 +105,21 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             "--deferred-clock" => a.deferred = true,
             "--unbiased" => a.biased = false,
             "--json" => a.json = true,
+            "--jobs" => {
+                let jobs: usize = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                a.jobs = Some(jobs);
+            }
             "--journal" => a.journal = Some(PathBuf::from(val("--journal")?)),
             "--resume" => a.resume = Some(PathBuf::from(val("--resume")?)),
             "--replay-vt" => {
-                a.replay_vt =
-                    Some(val("--replay-vt")?.parse().map_err(|e| format!("--replay-vt: {e}"))?);
+                a.replay_vt = Some(
+                    val("--replay-vt")?
+                        .parse()
+                        .map_err(|e| format!("--replay-vt: {e}"))?,
+                );
             }
             "--replay-wall" => {
                 a.replay_wall = Some(
@@ -160,6 +173,10 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
             eprintln!("error: --resume/--journal are DAMPI-only (checkpointing lives in the distributed scheduler, not the ISP baseline)");
             return ExitCode::FAILURE;
         }
+        if args.jobs.is_some() {
+            eprintln!("error: --jobs is DAMPI-only (the ISP baseline is the centralized scheduler whose sequential-replay cost DAMPI avoids)");
+            return ExitCode::FAILURE;
+        }
         let mut v = IspVerifier::new(sim);
         v.cfg.max_interleavings = Some(args.max);
         let report = v.verify(prog.as_ref());
@@ -174,9 +191,15 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
             ExitCode::from(2)
         };
     }
+    // Default to every available core: each frontier fork is an
+    // independent simulation and the merge is deterministic either way.
+    let jobs = args.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
     let mut cfg = DampiConfig::default()
         .with_clock_mode(args.clock)
-        .with_max_interleavings(args.max);
+        .with_max_interleavings(args.max)
+        .with_jobs(jobs);
     if let Some(k) = args.k {
         cfg = cfg.with_bound(MixingBound::K(k));
     }
@@ -238,8 +261,16 @@ fn cmd_overhead(rest: &[String]) -> ExitCode {
             "{name:<14} {:>8.2}x {:>9} {:>7} {:>7}",
             inst.outcome.makespan / native.makespan.max(1e-12),
             inst.stats.wildcards,
-            if inst.outcome.leaks.has_comm_leak() { "Yes" } else { "No" },
-            if inst.outcome.leaks.has_request_leak() { "Yes" } else { "No" },
+            if inst.outcome.leaks.has_comm_leak() {
+                "Yes"
+            } else {
+                "No"
+            },
+            if inst.outcome.leaks.has_request_leak() {
+                "Yes"
+            } else {
+                "No"
+            },
         );
     }
     ExitCode::SUCCESS
@@ -249,6 +280,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dampi-cli list\n  dampi-cli verify <workload> [--np N] [--k K] [--max M] \
          [--clock lamport|vector] [--isp] [--deferred-clock] [--unbiased] [--json]\n    \
+         [--jobs N]            parallel replay workers (default: all cores; result is\n    \
+                               identical to --jobs 1, only faster)\n    \
          [--journal PATH]      checkpoint the exploration frontier after every run\n    \
          [--resume PATH]       continue an interrupted campaign from its journal\n    \
          [--replay-vt SECS]    kill any replay exceeding this virtual-time budget\n    \

@@ -90,3 +90,38 @@ fn k_bound_flag_parses() {
         .expect("run dampi-cli");
     assert!(out.status.success(), "{out:?}");
 }
+
+#[test]
+fn verify_jobs_parity_on_symmetric_racers() {
+    // The parallel acceptance check at the CLI boundary: `--jobs 4` must
+    // report the identical interleaving count, error set, and coverage as
+    // `--jobs 1` on the wildcard-racing pattern.
+    let run = |jobs: &str| {
+        let out = cli()
+            .args(["verify", "racers", "--np", "4", "--jobs", jobs, "--json"])
+            .output()
+            .expect("run dampi-cli");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let seq = run("1");
+    let par = run("4");
+    assert_eq!(seq, par, "parallel JSON report must be byte-identical");
+    assert!(seq.contains("\"interleavings\""), "{seq}");
+}
+
+#[test]
+fn verify_rejects_zero_jobs_and_isp_with_jobs() {
+    let out = cli()
+        .args(["verify", "racers", "--np", "4", "--jobs", "0"])
+        .output()
+        .expect("run dampi-cli");
+    assert!(!out.status.success(), "{out:?}");
+    let out = cli()
+        .args(["verify", "fig3", "--np", "3", "--isp", "--jobs", "2"])
+        .output()
+        .expect("run dampi-cli");
+    assert!(!out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ISP"), "{err}");
+}

@@ -127,7 +127,10 @@ fn native_bias_masks_what_verifiers_find() {
         .verify(&patterns::fig3())
         .errors
         .is_empty());
-    assert!(!IspVerifier::new(sim).verify(&patterns::fig3()).errors.is_empty());
+    assert!(!IspVerifier::new(sim)
+        .verify(&patterns::fig3())
+        .errors
+        .is_empty());
 }
 
 #[test]

@@ -43,9 +43,19 @@ fn split_with_wildcards() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Sen
 fn dampi_verifies_wildcards_inside_split_comms() {
     let report = DampiVerifier::new(SimConfig::new(6)).verify(&split_with_wildcards());
     assert!(report.errors.is_empty(), "{report}");
-    assert_eq!(report.wildcards_analyzed, 2, "two wildcard receives in the even group");
-    assert!(report.interleavings >= 2, "both match orders explored: {report}");
-    assert!(report.leaks.is_clean(), "tool shadows must not leak: {:?}", report.leaks);
+    assert_eq!(
+        report.wildcards_analyzed, 2,
+        "two wildcard receives in the even group"
+    );
+    assert!(
+        report.interleavings >= 2,
+        "both match orders explored: {report}"
+    );
+    assert!(
+        report.leaks.is_clean(),
+        "tool shadows must not leak: {:?}",
+        report.leaks
+    );
 }
 
 #[test]

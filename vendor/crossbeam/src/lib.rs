@@ -1,9 +1,15 @@
 //! Vendored minimal stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` with the builder API is used by the
-//! runtime (named rank threads with bounded stacks). Implemented on top of
-//! `std::thread::scope` + `Builder::spawn_scoped`, which cover the same
-//! ground since Rust 1.63.
+//! Two pieces of the real crate are used by this workspace:
+//!
+//! - `crossbeam::thread::scope` with the builder API (named rank threads
+//!   with bounded stacks), implemented on top of `std::thread::scope` +
+//!   `Builder::spawn_scoped`, which cover the same ground since Rust 1.63;
+//! - `crossbeam::channel` MPMC channels (the parallel exploration worker
+//!   pool), implemented as a `Mutex<VecDeque>` + `Condvar` queue with
+//!   disconnect semantics matching the real crate: `recv` errors once every
+//!   sender is gone *and* the queue is drained, `send` errors once every
+//!   receiver is gone.
 
 #![forbid(unsafe_code)]
 
@@ -82,5 +88,225 @@ pub mod thread {
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
         Ok(std::thread::scope(|inner| f(&Scope { inner })))
+    }
+}
+
+/// Multi-producer multi-consumer FIFO channels, like `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        /// Signalled when a message arrives or the last sender disconnects.
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders still connected).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel. Clonable (multi-producer).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of an unbounded channel. Clonable
+    /// (multi-consumer); each message is delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Create an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; errors when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut g = self.inner.queue.lock().expect("channel lock");
+            if g.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            g.queue.push_back(msg);
+            drop(g);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().expect("channel lock").senders += 1;
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut g = self.inner.queue.lock().expect("channel lock");
+            g.senders -= 1;
+            if g.senders == 0 {
+                drop(g);
+                // Wake every blocked receiver so it can observe disconnect.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; errors when the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut g = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = g.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if g.senders == 0 {
+                    return Err(RecvError);
+                }
+                g = self.inner.ready.wait(g).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut g = self.inner.queue.lock().expect("channel lock");
+            match g.queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if g.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().expect("channel lock").receivers += 1;
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.queue.lock().expect("channel lock").receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_one_producer() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_errors_after_last_sender_drops() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(7).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_last_receiver_drops() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn mpmc_delivers_each_message_once() {
+            let (tx, rx) = unbounded::<u64>();
+            let n: u64 = 1000;
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            drop(rx);
+            for v in 1..=n {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            let total: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, n * (n + 1) / 2);
+        }
     }
 }

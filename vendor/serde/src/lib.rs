@@ -108,6 +108,19 @@ pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T,
     }
 }
 
+/// Look up and deserialize a `#[serde(default)]` struct field: a missing
+/// key yields `Default::default()` instead of an error.
+#[doc(hidden)]
+pub fn field_or_default<T: Deserialize + Default>(
+    map: &[(String, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => Ok(T::default()),
+    }
+}
+
 /// Deserialize the `i`-th element of a tuple payload.
 #[doc(hidden)]
 pub fn seq_field<T: Deserialize>(seq: &[Content], i: usize, what: &str) -> Result<T, DeError> {

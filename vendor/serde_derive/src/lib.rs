@@ -57,6 +57,9 @@ enum Kind {
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing key deserializes to
+    /// `Default::default()` (serialization is unaffected).
+    default: bool,
 }
 
 struct Variant {
@@ -107,17 +110,24 @@ fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
     }
 }
 
+/// Field-level serde attributes this stand-in understands.
+#[derive(Default, Clone, Copy)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+}
+
 /// Advance past any `#[...]` attributes and a `pub`/`pub(...)` visibility.
-/// Returns whether a `#[serde(skip)]` attribute was among them.
-fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
-    let mut skip = false;
+/// Returns the `#[serde(...)]` attributes found among them.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
     loop {
         match toks.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
-                    if attr_is_serde_skip(g.stream()) {
-                        skip = true;
-                    }
+                    let found = parse_serde_attr(g.stream());
+                    attrs.skip |= found.skip;
+                    attrs.default |= found.default;
                 }
                 *i += 2;
             }
@@ -129,24 +139,29 @@ fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
                     *i += 1;
                 }
             }
-            _ => return skip,
+            _ => return attrs,
         }
     }
 }
 
-/// Whether an attribute body (the tokens inside `#[...]`) is `serde(skip)`.
-fn attr_is_serde_skip(body: TokenStream) -> bool {
+/// Parse an attribute body (the tokens inside `#[...]`) as `serde(...)`.
+fn parse_serde_attr(body: TokenStream) -> SerdeAttrs {
     let toks: Vec<TokenTree> = body.into_iter().collect();
-    match (toks.first(), toks.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
-            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
-        {
-            g.stream()
-                .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+    let mut attrs = SerdeAttrs::default();
+    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) = (toks.first(), toks.get(1)) {
+        if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis {
+            for t in g.stream() {
+                if let TokenTree::Ident(i) = &t {
+                    match i.to_string().as_str() {
+                        "skip" => attrs.skip = true,
+                        "default" => attrs.default = true,
+                        _ => {}
+                    }
+                }
+            }
         }
-        _ => false,
     }
+    attrs
 }
 
 /// Skip a type expression up to (and past) the next top-level comma.
@@ -171,7 +186,7 @@ fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut i = 0;
     let mut out = Vec::new();
     while i < toks.len() {
-        let skip = skip_attrs_and_vis(&toks, &mut i);
+        let attrs = skip_attrs_and_vis(&toks, &mut i);
         let name = ident_at(&toks, i).ok_or("expected a field name")?;
         i += 1;
         match toks.get(i) {
@@ -179,7 +194,11 @@ fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
             _ => return Err(format!("expected `:` after field `{name}`")),
         }
         skip_type(&toks, &mut i);
-        out.push(Field { name, skip });
+        out.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
     }
     Ok(out)
 }
@@ -338,8 +357,9 @@ fn named_constructor(ty_path: &str, fields: &[Field], map_var: &str, what: &str)
             if f.skip {
                 format!("{}: ::std::default::Default::default(),", f.name)
             } else {
+                let lookup = if f.default { "field_or_default" } else { "field" };
                 format!(
-                    "{}: ::serde::field({map_var}, {:?}).map_err(|e| \
+                    "{}: ::serde::{lookup}({map_var}, {:?}).map_err(|e| \
                      ::serde::DeError(format!(\"{what}.{}: {{e}}\")))?,",
                     f.name, f.name, f.name
                 )
