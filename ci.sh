@@ -11,7 +11,17 @@ cargo test -q --offline
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
-# Bench smoke: the newest harness must still run end to end (fast
+# Bench smoke: the newest harnesses must still run end to end (fast
 # parameters; the vendored criterion runs each closure once).
 DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench parallel_explore
+DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench metrics_overhead
+# Metrics smoke: snapshot the racers campaign at two worker counts, then
+# lint schema + invariants and assert the semantic sections are
+# byte-identical (the cross---jobs determinism contract, end to end).
+MDIR="$(mktemp -d)"
+trap 'rm -rf "$MDIR"' EXIT
+./target/release/dampi-cli verify racers --np 4 --jobs 1 --metrics "$MDIR/m1.json" > /dev/null
+./target/release/dampi-cli verify racers --np 4 --jobs 4 --metrics "$MDIR/m4.json" \
+    --trace "$MDIR/m4.trace.jsonl" > /dev/null
+./target/release/metrics-lint "$MDIR/m1.json" "$MDIR/m4.json" --expect-semantic-match
 echo "ci: all green"

@@ -1,0 +1,71 @@
+//! **Observability overhead — metrics/tracing on vs off.**
+//!
+//! Explores `symmetric_racers` and matmul with the campaign metrics and
+//! JSONL trace fully enabled (trace sunk to `io::sink()`) and compares
+//! against the bare scheduler. The acceptance bar from the design: the
+//! metrics-*off* path is the default and must be untouched; the
+//! metrics-*on* path should stay within a few percent on these
+//! microsecond-replay workloads (the adversarial case — real campaigns
+//! amortize the counters over process launches).
+//!
+//! `DAMPI_BENCH_FAST=1` shrinks the repetition count for CI smoke runs.
+
+use criterion::{criterion_group, Criterion};
+use dampi_bench::overhead::{explore_once, measure};
+use dampi_bench::Table;
+
+fn reps() -> u32 {
+    if std::env::var("DAMPI_BENCH_FAST").is_ok() {
+        3
+    } else {
+        20
+    }
+}
+
+fn print_figure() {
+    let reps = reps();
+    let mut table = Table::new(
+        "Observability overhead: mean exploration wall-clock, metrics+trace on vs off",
+        &[
+            "workload",
+            "jobs",
+            "interleavings",
+            "off (ms)",
+            "on (ms)",
+            "overhead",
+        ],
+    );
+    for workload in ["symmetric_racers", "matmul"] {
+        for jobs in [1usize, 4] {
+            let p = measure(workload, jobs, reps);
+            table.row(vec![
+                p.workload.clone(),
+                jobs.to_string(),
+                p.interleavings.to_string(),
+                format!("{:.3}", p.off_s * 1e3),
+                format!("{:.3}", p.on_s * 1e3),
+                format!("{:+.1}%", p.overhead_pct()),
+            ]);
+        }
+    }
+    table.print();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_overhead");
+    g.sample_size(10);
+    for (name, instrumented) in [("racers_metrics_off", false), ("racers_metrics_on", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| explore_once("symmetric_racers", 1, instrumented));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,105 @@
+//! Metrics/tracing overhead measurement (the observability layer's cost).
+//!
+//! The observability contract is that a campaign run *without*
+//! `--metrics`/`--trace` pays nothing: every hook in the scheduler is
+//! behind an `Option` that defaults to `None`. This harness quantifies
+//! the other side — what a fully instrumented campaign (atomic counters,
+//! histograms, semantic aggregation, and a JSONL trace written to an
+//! in-memory sink) costs relative to the bare exploration — by exploring
+//! the same workload repeatedly in both configurations and comparing
+//! wall-clock means.
+//!
+//! The replays here are microsecond-scale simulations, the worst case for
+//! relative overhead; a real deployment's process-launch latency dwarfs
+//! the counters by orders of magnitude.
+
+use std::io;
+use std::time::Instant;
+
+use dampi_core::scheduler::{explore_parallel, ExploreOptions};
+use dampi_core::{CampaignMetrics, CampaignTrace, DampiVerifier, DecisionSet};
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::matmul::{Matmul, MatmulParams};
+use dampi_workloads::patterns;
+
+/// One measured workload: bare vs instrumented exploration.
+#[derive(Debug, Clone)]
+pub struct OverheadPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Explorations averaged per configuration.
+    pub reps: u32,
+    /// Interleavings per exploration (identical in both configurations).
+    pub interleavings: u64,
+    /// Mean seconds per exploration, metrics off.
+    pub off_s: f64,
+    /// Mean seconds per exploration, metrics + trace on.
+    pub on_s: f64,
+}
+
+impl OverheadPoint {
+    /// Instrumented-over-bare overhead in percent (negative = noise).
+    #[must_use]
+    pub fn overhead_pct(&self) -> f64 {
+        (self.on_s / self.off_s - 1.0) * 100.0
+    }
+}
+
+fn verifier_for(workload: &str) -> (DampiVerifier, Box<dyn dampi_mpi::program::MpiProgram>) {
+    match workload {
+        "symmetric_racers" => (
+            DampiVerifier::new(SimConfig::new(4).with_policy(MatchPolicy::LowestRank)),
+            Box::new(patterns::symmetric_racers()),
+        ),
+        "matmul" => (
+            DampiVerifier::new(SimConfig::new(4)),
+            Box::new(Matmul::new(MatmulParams::default())),
+        ),
+        other => panic!("unknown overhead workload `{other}`"),
+    }
+}
+
+/// Run one exploration; instrumented iff `instrumented`. Returns
+/// `(wall_seconds, interleavings)`.
+#[must_use]
+pub fn explore_once(workload: &str, jobs: usize, instrumented: bool) -> (f64, u64) {
+    let (verifier, prog) = verifier_for(workload);
+    let mut opts = ExploreOptions {
+        jobs,
+        ..ExploreOptions::default()
+    };
+    if instrumented {
+        opts.metrics = Some(CampaignMetrics::new());
+        opts.trace = Some(CampaignTrace::to_writer(Box::new(io::sink())));
+    }
+    let run = |ds: &DecisionSet| verifier.instrumented_run(prog.as_ref(), ds);
+    let start = Instant::now();
+    let ex = explore_parallel(run, &opts);
+    (start.elapsed().as_secs_f64(), ex.interleavings)
+}
+
+/// Measure `workload` bare and instrumented, `reps` explorations each,
+/// interleaved A/B to cancel thermal and cache drift.
+#[must_use]
+pub fn measure(workload: &str, jobs: usize, reps: u32) -> OverheadPoint {
+    // Warm-up: touch both code paths before timing.
+    let (_, il_off) = explore_once(workload, jobs, false);
+    let (_, il_on) = explore_once(workload, jobs, true);
+    assert_eq!(
+        il_off, il_on,
+        "{workload}: instrumentation changed the interleaving count"
+    );
+    let mut off_total = 0.0;
+    let mut on_total = 0.0;
+    for _ in 0..reps {
+        off_total += explore_once(workload, jobs, false).0;
+        on_total += explore_once(workload, jobs, true).0;
+    }
+    OverheadPoint {
+        workload: workload.to_owned(),
+        reps,
+        interleavings: il_off,
+        off_s: off_total / f64::from(reps),
+        on_s: on_total / f64::from(reps),
+    }
+}

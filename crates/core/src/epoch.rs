@@ -73,8 +73,17 @@ pub struct ToolRunStats {
     pub wildcards: u64,
     /// Incoming messages classified late and analyzed for matches.
     pub late_messages: u64,
+    /// Incoming messages run through `FindPotentialMatches` (the
+    /// late-classification denominator). `#[serde(default)]` so journals
+    /// written before this counter existed still load.
+    #[serde(default)]
+    pub messages_analyzed: u64,
     /// Piggyback messages generated.
     pub pb_messages: u64,
+    /// Piggyback bytes put on the wire (stamp frames; grows with world
+    /// size under vector clocks — the §II-C scalability measurement).
+    #[serde(default)]
+    pub pb_wire_bytes: u64,
     /// §V unsafe-pattern monitor alerts.
     pub unsafe_alerts: u64,
     /// Guided-mode lookups that found no decision entry (replay
@@ -91,7 +100,9 @@ impl ToolRunStats {
     pub fn merge(&mut self, other: &ToolRunStats) {
         self.wildcards += other.wildcards;
         self.late_messages += other.late_messages;
+        self.messages_analyzed += other.messages_analyzed;
         self.pb_messages += other.pb_messages;
+        self.pb_wire_bytes += other.pb_wire_bytes;
         self.unsafe_alerts += other.unsafe_alerts;
         self.divergences += other.divergences;
         self.drained_messages += other.drained_messages;

@@ -237,6 +237,20 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Apply a structured edit to a saved journal's JSON. Editing the
+    /// parsed [`serde_json::Value`] (instead of string surgery on the
+    /// serialized text) keeps the corruption tests correct under any serde
+    /// field order or formatting.
+    fn rewrite_json(
+        path: &Path,
+        edit: impl FnOnce(&mut serde_json::Map<String, serde_json::Value>),
+    ) {
+        let text = std::fs::read_to_string(path).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        edit(v.as_object_mut().expect("journal serializes as an object"));
+        std::fs::write(path, serde_json::to_string_pretty(&v).unwrap()).unwrap();
+    }
+
     #[test]
     fn v1_journal_migrates_with_empty_in_flight() {
         let dir = std::env::temp_dir().join("dampi-journal-test");
@@ -246,18 +260,27 @@ mod tests {
         let mut v1 = sample();
         v1.version = 1;
         v1.save(&path).unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
-        let start = text.find("\"in_flight\"").expect("field serialized");
-        let mut end = start + text[start..].find(']').expect("array closes") + 1;
-        if text[end..].starts_with(',') {
-            end += 1;
-        }
-        std::fs::write(&path, format!("{}{}", &text[..start], &text[end..])).unwrap();
+        rewrite_json(&path, |obj| {
+            assert!(obj.remove("in_flight").is_some(), "field serialized");
+        });
         let j = ExplorationJournal::load(&path).unwrap();
         assert_eq!(j.version, JOURNAL_VERSION, "migrated to current format");
         assert!(j.in_flight.is_empty(), "v1 never had work in flight");
         assert_eq!(j.interleavings, 5);
         assert_eq!(j.frontier[0].decisions.lookup(0, 4), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_in_file_is_rejected() {
+        let dir = std::env::temp_dir().join("dampi-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("future_version.json");
+        sample().save(&path).unwrap();
+        rewrite_json(&path, |obj| {
+            obj.insert("version".to_owned(), serde_json::json!(JOURNAL_VERSION + 1));
+        });
+        assert!(ExplorationJournal::load(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 

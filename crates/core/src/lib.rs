@@ -72,6 +72,7 @@ pub mod decisions;
 pub mod epoch;
 pub mod journal;
 pub mod late;
+pub mod metrics;
 pub mod minimize;
 pub mod monitor;
 pub mod pb;
@@ -85,6 +86,7 @@ pub use config::{DampiConfig, PiggybackMechanism};
 pub use decisions::{DecisionSet, EpochDecision};
 pub use epoch::{EpochRecord, NdKind};
 pub use journal::ExplorationJournal;
+pub use metrics::{CampaignMetrics, CampaignTrace, METRICS_SCHEMA_VERSION, TRACE_SCHEMA_VERSION};
 pub use report::{FoundError, ReplayTimeoutRecord, VerificationReport};
 pub use verifier::DampiVerifier;
 

@@ -34,9 +34,20 @@ pub fn encode_stamp(stamp: &ClockStamp) -> Bytes {
 pub fn decode_stamp(data: &[u8]) -> (ClockStamp, usize) {
     assert!(data.len() >= 16, "stamp frame too short");
     let mode = u64::from_le_bytes(data[0..8].try_into().expect("8 bytes"));
-    let n = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
-    let end = 16 + n * 8;
-    assert!(data.len() >= end, "stamp frame truncated");
+    let nwords = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+    // `nwords` is untrusted wire data: a corrupt frame can carry a count
+    // whose byte length overflows `usize`. Checked arithmetic keeps the
+    // failure on the intended "truncated" diagnostic instead of a wrapped
+    // bound (release) or an arithmetic-overflow panic (debug).
+    let end = usize::try_from(nwords)
+        .ok()
+        .and_then(|n| n.checked_mul(8))
+        .and_then(|bytes| bytes.checked_add(16));
+    let end = match end {
+        Some(end) if data.len() >= end => end,
+        _ => panic!("stamp frame truncated"),
+    };
+    let n = usize::try_from(nwords).expect("bounded by frame length");
     let words: Vec<u64> = (0..n)
         .map(|i| {
             let off = 16 + i * 8;
@@ -124,6 +135,33 @@ mod tests {
     #[should_panic(expected = "too short")]
     fn truncated_frame_panics() {
         let _ = decode_stamp(&[0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stamp frame truncated")]
+    fn huge_nwords_is_truncated_not_overflow() {
+        // nwords = u64::MAX: `16 + n * 8` wraps in release and overflows
+        // in debug; either way the failure must be the codec's own
+        // "truncated" verdict, not an arithmetic artifact.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MODE_VECTOR.to_le_bytes());
+        frame.extend_from_slice(&u64::MAX.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 32]);
+        let _ = decode_stamp(&frame);
+    }
+
+    #[test]
+    #[should_panic(expected = "stamp frame truncated")]
+    fn wrapping_nwords_is_truncated_not_index_panic() {
+        // A count crafted so `16 + n * 8` wraps to a small value in
+        // release builds: the old guard passed and the word loop then hit
+        // an index panic. usize::MAX/8 + 1 makes n*8 wrap to 8 exactly.
+        let n = (usize::MAX / 8 + 1) as u64;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MODE_VECTOR.to_le_bytes());
+        frame.extend_from_slice(&n.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 64]);
+        let _ = decode_stamp(&frame);
     }
 
     #[test]

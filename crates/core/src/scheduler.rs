@@ -31,7 +31,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dampi_mpi::program::RunOutcome;
 use dampi_mpi::MpiError;
@@ -40,6 +41,7 @@ use crate::bounds::MixingBound;
 use crate::decisions::{DecisionSet, EpochDecision};
 use crate::epoch::{EpochRecord, ToolRunStats};
 use crate::journal::{ExplorationJournal, JournalFork, JOURNAL_VERSION};
+use crate::metrics::{CampaignEvent, CampaignMetrics, CampaignTrace, ObservedCommit};
 use crate::report::{FoundError, ReplayTimeoutRecord};
 
 /// What one execution produced, as the scheduler sees it.
@@ -80,6 +82,12 @@ pub struct ExploreOptions {
     /// is deterministic regardless of completion order, so any value
     /// produces the same exploration.
     pub jobs: usize,
+    /// Campaign metrics sink (see [`crate::metrics`]). Semantic counters
+    /// are updated only on the commit path, so they are identical for any
+    /// `jobs` value; `None` costs the walk nothing.
+    pub metrics: Option<Arc<CampaignMetrics>>,
+    /// Span-style campaign trace (JSONL events, wall-clock ordered).
+    pub trace: Option<Arc<CampaignTrace>>,
 }
 
 impl Default for ExploreOptions {
@@ -94,6 +102,8 @@ impl Default for ExploreOptions {
             retry_backoff: Duration::from_millis(5),
             checkpoint: None,
             jobs: 1,
+            metrics: None,
+            trace: None,
         }
     }
 }
@@ -231,6 +241,7 @@ impl<'a> Walk<'a> {
 
     /// Commit the initial `SELF_RUN`.
     fn commit_root(&mut self, rep: AttemptReport) {
+        let attempts = rep.retries + 1;
         self.absorb_cost(&rep);
         let first = rep.res;
         self.ex.interleavings = 1;
@@ -250,12 +261,13 @@ impl<'a> Walk<'a> {
             &DecisionSet::self_run(),
         );
         absorb_discoveries(&mut self.ex, &first.epochs);
-        if let Some(detail) = timeout_of(&first.outcome) {
+        let timed_out = if let Some(detail) = timeout_of(&first.outcome) {
             self.ex.timeouts.push(ReplayTimeoutRecord {
                 interleaving: 1,
                 detail,
                 decisions: DecisionSet::self_run(),
             });
+            true
         } else {
             push_forks(
                 &mut self.stack,
@@ -264,16 +276,32 @@ impl<'a> Walk<'a> {
                 Root,
                 self.opts,
             );
-        }
+            false
+        };
+        self.observe(ObservedCommit {
+            interleaving: 1,
+            depth: 0,
+            forks_pushed: self.stack.len(),
+            new_errors: self.ex.errors.len(),
+            makespan: self.ex.first_run_makespan,
+            attempts,
+            stats: self.ex.first_run_stats,
+            timed_out,
+        });
         self.checkpoint();
     }
 
     /// Commit one replay result in walk order.
     fn commit(&mut self, fork: &Fork, rep: AttemptReport) {
+        let attempts = rep.retries + 1;
         self.absorb_cost(&rep);
         let res = rep.res;
         self.ex.interleavings += 1;
         let interleaving = self.ex.interleavings;
+        let errors_before = self.ex.errors.len();
+        let stack_before = self.stack.len();
+        let makespan = res.outcome.makespan;
+        let stats = res.stats;
         absorb_errors(
             &mut self.ex,
             &mut self.seen_errors,
@@ -282,7 +310,7 @@ impl<'a> Walk<'a> {
             &fork.decisions,
         );
         absorb_discoveries(&mut self.ex, &res.epochs);
-        if let Some(detail) = timeout_of(&res.outcome) {
+        let timed_out = if let Some(detail) = timeout_of(&res.outcome) {
             // A killed replay's epoch log is truncated; forking from it
             // would schedule prefixes the run never confirmed. Record the
             // partial coverage honestly and keep walking the rest of the
@@ -292,6 +320,7 @@ impl<'a> Walk<'a> {
                 detail,
                 decisions: fork.decisions.clone(),
             });
+            true
         } else {
             push_forks(
                 &mut self.stack,
@@ -303,8 +332,66 @@ impl<'a> Walk<'a> {
                 },
                 self.opts,
             );
-        }
+            false
+        };
+        self.observe(ObservedCommit {
+            interleaving,
+            depth: fork.decisions.decisions.len(),
+            forks_pushed: self.stack.len() - stack_before,
+            new_errors: self.ex.errors.len() - errors_before,
+            makespan,
+            attempts,
+            stats,
+            timed_out,
+        });
         self.checkpoint();
+    }
+
+    /// Report one committed replay to the observability sinks. No-ops (two
+    /// `Option` checks) when no sink is installed.
+    fn observe(&self, oc: ObservedCommit) {
+        if let Some(m) = &self.opts.metrics {
+            m.on_commit(&oc, self.stack.len());
+        }
+        if let Some(t) = &self.opts.trace {
+            t.emit(CampaignEvent::ReplayCommit {
+                interleaving: oc.interleaving,
+                depth: oc.depth,
+                forks_pushed: oc.forks_pushed,
+                frontier: self.stack.len(),
+                new_errors: oc.new_errors,
+                makespan_s: oc.makespan,
+                attempts: oc.attempts,
+                timed_out: oc.timed_out,
+            });
+        }
+    }
+
+    /// Announce the campaign to the sinks.
+    fn begin(&self, jobs: usize, resumed: bool) {
+        if let Some(m) = &self.opts.metrics {
+            m.on_pool(jobs);
+        }
+        if let Some(t) = &self.opts.trace {
+            t.emit(CampaignEvent::CampaignStart { jobs, resumed });
+        }
+    }
+
+    /// Close out the walk: final sink updates, then surrender the
+    /// exploration.
+    fn finish(self) -> Exploration {
+        if let Some(m) = &self.opts.metrics {
+            m.on_finish(&self.ex);
+        }
+        if let Some(t) = &self.opts.trace {
+            t.emit(CampaignEvent::CampaignEnd {
+                interleavings: self.ex.interleavings,
+                errors: self.ex.errors.len(),
+                budget_exhausted: self.ex.budget_exhausted,
+            });
+            t.flush();
+        }
+        self.ex
     }
 
     /// Account a replay's execution cost. Makespans are added one attempt
@@ -347,11 +434,22 @@ impl<'a> Walk<'a> {
                 })
                 .collect(),
         };
+        let t0 = Instant::now();
         if let Err(e) = journal.save(path) {
             // A failed checkpoint must not kill a healthy campaign; the
             // previous journal (if any) is still intact thanks to the
             // atomic rename.
             eprintln!("dampi: checkpoint to {} failed: {e}", path.display());
+        }
+        let latency = t0.elapsed();
+        if let Some(m) = &self.opts.metrics {
+            m.on_checkpoint(latency);
+        }
+        if let Some(t) = &self.opts.trace {
+            t.emit(CampaignEvent::Checkpoint {
+                latency_us: u64::try_from(latency.as_micros()).unwrap_or(u64::MAX),
+                frontier: self.stack.len(),
+            });
         }
     }
 
@@ -387,10 +485,11 @@ where
     F: FnMut(&DecisionSet) -> RunResult,
 {
     let mut w = Walk::new(opts);
+    w.begin(1, resume.is_some());
     match resume {
         Some(journal) => w.restore(journal),
         None => {
-            let rep = execute_with_retry(&mut run, &DecisionSet::self_run(), opts);
+            let rep = execute_observed(&mut run, &DecisionSet::self_run(), opts);
             w.commit_root(rep);
         }
     }
@@ -399,10 +498,10 @@ where
             break;
         }
         let Some(fork) = w.stack.pop() else { break };
-        let rep = execute_with_retry(&mut run, &fork.decisions, opts);
+        let rep = execute_observed(&mut run, &fork.decisions, opts);
         w.commit(&fork, rep);
     }
-    w.ex
+    w.finish()
 }
 
 /// One schedule dispatched to a replay worker.
@@ -425,12 +524,13 @@ where
     }
 
     let mut w = Walk::new(opts);
+    w.begin(jobs, resume.is_some());
     match resume {
         Some(journal) => w.restore(journal),
         None => {
             // The initial SELF_RUN has nothing to overlap with; run it
             // inline before the pool starts.
-            let rep = execute_with_retry(&mut |ds| run(ds), &DecisionSet::self_run(), opts);
+            let rep = execute_observed(&mut |ds| run(ds), &DecisionSet::self_run(), opts);
             w.commit_root(rep);
         }
     }
@@ -450,15 +550,25 @@ where
             scope
                 .builder()
                 .name(format!("dampi-explore-{wid}"))
-                .spawn(move |_| {
-                    while let Ok(job) = job_rx.recv() {
-                        if cancel.load(Ordering::Relaxed) {
-                            continue; // drain without running
-                        }
-                        let rep = execute_with_retry(&mut |ds| run(ds), &job.decisions, opts);
-                        if res_tx.send((job.sig, rep)).is_err() {
-                            break;
-                        }
+                .spawn(move |_| loop {
+                    let idle0 = opts.metrics.as_ref().map(|_| Instant::now());
+                    let Ok(job) = job_rx.recv() else { break };
+                    if let (Some(m), Some(t0)) = (&opts.metrics, idle0) {
+                        m.on_worker_idle(t0.elapsed());
+                    }
+                    if cancel.load(Ordering::Relaxed) {
+                        continue; // drain without running
+                    }
+                    if let Some(t) = &opts.trace {
+                        t.emit(CampaignEvent::ReplayStart { signature: job.sig });
+                    }
+                    let busy0 = opts.metrics.as_ref().map(|_| Instant::now());
+                    let rep = execute_with_retry(&mut |ds| run(ds), &job.decisions, opts);
+                    if let (Some(m), Some(t0)) = (&opts.metrics, busy0) {
+                        m.on_executed(t0.elapsed());
+                    }
+                    if res_tx.send((job.sig, rep)).is_err() {
+                        break;
                     }
                 })
                 .expect("spawn exploration worker");
@@ -471,6 +581,10 @@ where
         // each decision prefix onto the stack exactly once.
         let mut cache: HashMap<u64, AttemptReport> = HashMap::new();
         let mut in_flight: HashSet<u64> = HashSet::new();
+        // The top signature the coordinator last had to block for — when a
+        // commit's result was already cached by the time its fork surfaced,
+        // speculation hid the whole replay latency (a "hit").
+        let mut waited: Option<u64> = None;
 
         loop {
             if w.halted() || w.stack.is_empty() {
@@ -489,6 +603,9 @@ where
                     .is_ok()
                 {
                     in_flight.insert(top_sig);
+                    if let Some(m) = &opts.metrics {
+                        m.on_started();
+                    }
                 }
             }
             // Speculate deeper frontier entries onto idle workers. Every
@@ -517,15 +634,25 @@ where
                     break;
                 }
                 in_flight.insert(sig);
+                if let Some(m) = &opts.metrics {
+                    m.on_started();
+                }
             }
             // Commit in walk order when the top's result is ready;
             // otherwise block for the next completion, whoever it is.
             if let Some(rep) = cache.remove(&top_sig) {
+                if let Some(m) = &opts.metrics {
+                    if waited != Some(top_sig) {
+                        m.on_speculation_hit();
+                    }
+                }
+                waited = None;
                 let fork = w.stack.pop().expect("non-empty");
                 w.speculated = in_flight.iter().copied().collect();
                 w.speculated.sort_unstable();
                 w.commit(&fork, rep);
             } else {
+                waited = Some(top_sig);
                 match res_rx.recv() {
                     Ok((sig, rep)) => {
                         in_flight.remove(&sig);
@@ -536,13 +663,19 @@ where
             }
         }
         cancel.store(true, Ordering::Relaxed);
+        // Every dispatched schedule is, at this point, exactly one of:
+        // committed, completed-but-uncommitted (cache), or still in flight.
+        // The latter two were started and will never commit.
+        if let Some(m) = &opts.metrics {
+            m.on_aborted((in_flight.len() + cache.len()) as u64);
+        }
         drop(job_tx);
         // In-flight replays finish (bounded by the per-replay watchdog);
         // their results land in a channel nobody reads and are dropped
         // with it when the scope joins the workers.
     })
     .expect("exploration worker scope");
-    w.ex
+    w.finish()
 }
 
 /// One schedule's execution including divergence retries: the final
@@ -556,6 +689,30 @@ struct AttemptReport {
     divergences: u64,
     /// Number of re-executions after a divergence.
     retries: u64,
+}
+
+/// [`execute_with_retry`] plus observability: the dispatch count, the
+/// wall-clock replay span, and the trace `ReplayStart` event. Used by the
+/// sequential walk and the inline root run; pool workers are instrumented
+/// in place (their dispatch is counted by the coordinator).
+fn execute_observed<F>(run: &mut F, decisions: &DecisionSet, opts: &ExploreOptions) -> AttemptReport
+where
+    F: FnMut(&DecisionSet) -> RunResult,
+{
+    if let Some(m) = &opts.metrics {
+        m.on_started();
+    }
+    if let Some(t) = &opts.trace {
+        t.emit(CampaignEvent::ReplayStart {
+            signature: decisions.signature(),
+        });
+    }
+    let t0 = opts.metrics.as_ref().map(|_| Instant::now());
+    let rep = execute_with_retry(run, decisions, opts);
+    if let (Some(m), Some(t0)) = (&opts.metrics, t0) {
+        m.on_executed(t0.elapsed());
+    }
+    rep
 }
 
 /// Execute one schedule, retrying (with exponential backoff) when a guided
@@ -753,6 +910,7 @@ mod tests {
                     leaks: LeakReport::default(),
                     fatal: None,
                     per_rank_vt: vec![1.0],
+                    wall_elapsed: Duration::ZERO,
                     makespan: 1.0,
                 },
                 epochs,

@@ -273,6 +273,7 @@ impl<M: Mpi> DampiLayer<M> {
             comm,
             matched_epoch_clock,
         );
+        self.stats.messages_analyzed += 1;
         if was_late {
             self.stats.late_messages += 1;
         }
@@ -440,6 +441,7 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
             PiggybackMechanism::SeparateMessage => {
                 let req = self.inner.isend(comm, dest, tag, data)?;
                 let stamp = pb::encode_stamp(&self.xmit_stamp());
+                self.stats.pb_wire_bytes += stamp.len() as u64;
                 let shadow = self.shadow_of(comm)?;
                 let pbr = self.inner.isend(shadow, dest, tag, stamp)?;
                 self.meta.insert(req, ReqMeta::SendPb(pbr));
@@ -447,6 +449,8 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
             }
             PiggybackMechanism::PayloadPacking => {
                 let packed = pb::pack(&self.xmit_stamp(), &data);
+                // The stamp frame is the packing overhead on the wire.
+                self.stats.pb_wire_bytes += (packed.len() - data.len()) as u64;
                 let req = self.inner.isend(comm, dest, tag, packed)?;
                 self.meta.insert(req, ReqMeta::SendPacked);
                 Ok(req)

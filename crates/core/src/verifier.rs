@@ -18,6 +18,7 @@ use crate::config::DampiConfig;
 use crate::decisions::DecisionSet;
 use crate::epoch::{ToolRunStats, TraceCollector};
 use crate::journal::ExplorationJournal;
+use crate::metrics::{CampaignMetrics, CampaignTrace};
 use crate::report::VerificationReport;
 use crate::scheduler::{self, ExploreOptions, RunResult};
 use crate::tool::{DampiCtx, DampiLayer};
@@ -32,6 +33,11 @@ pub struct DampiVerifier {
     /// Substrate fault-injection plan, layered below the DAMPI tool when
     /// set (testing the verifier's own fault tolerance).
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Campaign metrics sink observing [`Self::verify`] /
+    /// [`Self::verify_resumed`] (see [`crate::metrics`]).
+    pub metrics: Option<Arc<CampaignMetrics>>,
+    /// Campaign trace (JSONL event stream) observing explorations.
+    pub trace: Option<Arc<CampaignTrace>>,
 }
 
 impl DampiVerifier {
@@ -42,6 +48,8 @@ impl DampiVerifier {
             sim,
             cfg: DampiConfig::default(),
             fault_plan: None,
+            metrics: None,
+            trace: None,
         }
     }
 
@@ -52,6 +60,8 @@ impl DampiVerifier {
             sim,
             cfg,
             fault_plan: None,
+            metrics: None,
+            trace: None,
         }
     }
 
@@ -59,6 +69,21 @@ impl DampiVerifier {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Builder-style: observe explorations with a campaign metrics sink.
+    /// Snapshot it after `verify` returns (see [`CampaignMetrics`]).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<CampaignMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Builder-style: stream campaign events to a JSONL trace.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<CampaignTrace>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -157,6 +182,8 @@ impl DampiVerifier {
             retry_backoff: self.cfg.retry_backoff,
             checkpoint: self.cfg.journal.clone(),
             jobs: self.cfg.jobs,
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
         }
     }
 

@@ -1,0 +1,151 @@
+//! Property tests of the piggyback codec (`dampi_core::pb`).
+//!
+//! Two families of properties:
+//!
+//! * **Roundtrips** — `encode_stamp`/`decode_stamp` and `pack`/`unpack`
+//!   are inverses for arbitrary stamps and payloads, and the codec is
+//!   canonical (re-encoding a decoded stamp reproduces the consumed
+//!   bytes).
+//! * **Malformed-input containment** — the codec's failure mode on
+//!   corrupt frames is *always* one of its own diagnostics ("too short",
+//!   "truncated", "unknown stamp mode", "Lamport stamp must be one
+//!   word"), never an index-out-of-range or arithmetic-overflow panic.
+//!   This pins the `decode_stamp` checked-arithmetic fix: an adversarial
+//!   `nwords` must not wrap the bounds check.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bytes::Bytes;
+use dampi_clocks::ClockStamp;
+use dampi_core::pb::{decode_stamp, encode_stamp, pack, unpack};
+use proptest::prelude::*;
+
+/// The complete set of intended codec diagnostics.
+const CODEC_PANICS: &[&str] = &[
+    "stamp frame too short",
+    "stamp frame truncated",
+    "unknown stamp mode",
+    "Lamport stamp must be one word",
+];
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Run the decoder; `Err` carries the panic message of a rejected frame.
+fn try_decode(data: &[u8]) -> Result<(ClockStamp, usize), String> {
+    catch_unwind(AssertUnwindSafe(|| decode_stamp(data))).map_err(|p| panic_text(p.as_ref()))
+}
+
+fn is_codec_diagnostic(msg: &str) -> bool {
+    CODEC_PANICS.iter().any(|m| msg.contains(m))
+}
+
+/// Build a stamp from sampled raw material: `mode_sel` picks Lamport or
+/// Vector, `words` feeds the clock values.
+fn stamp_from(mode_sel: usize, words: &[u64]) -> ClockStamp {
+    if mode_sel == 0 {
+        ClockStamp::Lamport(words.first().copied().unwrap_or(7))
+    } else {
+        ClockStamp::Vector(words.to_vec())
+    }
+}
+
+proptest! {
+    /// Stamps survive the wire: decode(encode(s)) == s, consuming the
+    /// whole frame.
+    #[test]
+    fn stamp_roundtrip(
+        mode_sel in 0usize..2,
+        words in prop::collection::vec(0u64..u64::MAX, 0..17),
+    ) {
+        let s = stamp_from(mode_sel, &words);
+        let enc = encode_stamp(&s);
+        let (dec, used) = decode_stamp(&enc);
+        prop_assert_eq!(&dec, &s);
+        prop_assert_eq!(used, enc.len());
+    }
+
+    /// Packing prepends exactly the stamp frame: unpack returns the stamp
+    /// and the untouched payload for arbitrary payload bytes.
+    #[test]
+    fn pack_unpack_roundtrip(
+        mode_sel in 0usize..2,
+        words in prop::collection::vec(0u64..u64::MAX, 0..9),
+        payload_raw in prop::collection::vec(0usize..256, 0..64),
+    ) {
+        let s = stamp_from(mode_sel, &words);
+        let payload: Vec<u8> = payload_raw.iter().map(|b| *b as u8).collect();
+        let packed = pack(&s, &Bytes::from(payload.clone()));
+        prop_assert_eq!(packed.len(), encode_stamp(&s).len() + payload.len());
+        let (dec, rest) = unpack(&packed);
+        prop_assert_eq!(&dec, &s);
+        prop_assert_eq!(&rest[..], &payload[..]);
+    }
+
+    /// Every strict prefix of a valid frame is rejected with a codec
+    /// diagnostic — never an index or overflow panic.
+    #[test]
+    fn truncated_frames_fail_with_codec_diagnostic(
+        mode_sel in 0usize..2,
+        words in prop::collection::vec(0u64..u64::MAX, 1..9),
+        cut_raw in 0usize..4096,
+    ) {
+        let enc = encode_stamp(&stamp_from(mode_sel, &words));
+        let cut = cut_raw % enc.len();
+        let msg = try_decode(&enc[..cut]).expect_err("strict prefix must be rejected");
+        prop_assert!(is_codec_diagnostic(&msg), "unexpected panic: {}", msg);
+    }
+
+    /// Semi-structured corrupt frames — arbitrary mode and word-count
+    /// headers (including counts whose byte size overflows `usize`) over
+    /// an arbitrary tail — either decode canonically or fail with a codec
+    /// diagnostic.
+    #[test]
+    fn corrupt_headers_are_contained(
+        mode in 0u64..4,
+        nwords_sel in 0usize..3,
+        nwords_small in 0u64..9,
+        tail in prop::collection::vec(0usize..256, 0..80),
+    ) {
+        // Three regimes: plausible counts, the usize-wrapping count that
+        // defeated the unchecked `16 + n * 8` bound, and u64::MAX.
+        let nwords = match nwords_sel {
+            0 => nwords_small,
+            1 => u64::try_from(usize::MAX / 8 + 1).unwrap_or(u64::MAX),
+            _ => u64::MAX,
+        };
+        let mut frame = Vec::with_capacity(16 + tail.len());
+        frame.extend_from_slice(&mode.to_le_bytes());
+        frame.extend_from_slice(&nwords.to_le_bytes());
+        frame.extend(tail.iter().map(|b| *b as u8));
+        match try_decode(&frame) {
+            Ok((stamp, used)) => {
+                prop_assert!(used <= frame.len());
+                // The codec is canonical: a decoded stamp re-encodes to
+                // exactly the bytes it consumed.
+                prop_assert_eq!(&encode_stamp(&stamp)[..], &frame[..used]);
+            }
+            Err(msg) => {
+                prop_assert!(is_codec_diagnostic(&msg), "unexpected panic: {}", msg);
+            }
+        }
+    }
+
+    /// Pure byte soup never escapes the codec's own diagnostics.
+    #[test]
+    fn arbitrary_bytes_are_contained(
+        soup in prop::collection::vec(0usize..256, 0..120),
+    ) {
+        let data: Vec<u8> = soup.iter().map(|b| *b as u8).collect();
+        if let Err(msg) = try_decode(&data) {
+            prop_assert!(is_codec_diagnostic(&msg), "unexpected panic: {}", msg);
+        }
+    }
+}

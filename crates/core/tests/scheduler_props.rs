@@ -46,6 +46,7 @@ fn model_run(alt_counts: Vec<usize>) -> impl Fn(&DecisionSet) -> RunResult + Syn
                 leaks: LeakReport::default(),
                 fatal: None,
                 per_rank_vt: vec![1.0],
+                wall_elapsed: std::time::Duration::ZERO,
                 makespan: 1.0,
             },
             epochs,

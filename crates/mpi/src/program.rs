@@ -50,6 +50,10 @@ pub struct RunOutcome {
     pub fatal: Option<MpiError>,
     /// Final virtual time of each rank.
     pub per_rank_vt: Vec<f64>,
+    /// Wall-clock time the harness spent executing this run (thread spawn
+    /// to join). Unlike everything else here it is *not* deterministic —
+    /// observability only, never part of verification semantics.
+    pub wall_elapsed: std::time::Duration,
     /// Simulated makespan: max over ranks of final virtual time.
     pub makespan: f64,
 }
@@ -115,6 +119,7 @@ mod tests {
             leaks: LeakReport::default(),
             fatal,
             per_rank_vt: vec![0.0],
+            wall_elapsed: std::time::Duration::ZERO,
             makespan: 0.0,
         }
     }

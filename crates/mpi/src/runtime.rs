@@ -1138,6 +1138,7 @@ pub fn run_with_layers(
     let world = World::new(cfg.clone());
     let n = cfg.nprocs;
     let mut rank_errors: Vec<Option<MpiError>> = vec![None; n];
+    let wall_start = std::time::Instant::now();
 
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
@@ -1191,6 +1192,7 @@ pub fn run_with_layers(
         leaks: world.leak_report(),
         fatal: world.fatal(),
         per_rank_vt,
+        wall_elapsed: wall_start.elapsed(),
         makespan,
     }
 }

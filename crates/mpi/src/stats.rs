@@ -78,11 +78,19 @@ impl StatsCollector {
         Arc::new(Self::default())
     }
 
-    /// Fold one rank's census in (called by the layer at finalize).
+    /// Fold one rank's census in (called by the layer at finalize). A rank
+    /// finalizing more than once (a layer rebuilt across replays of one
+    /// campaign) merges into its existing entry — pushing blindly would
+    /// double-count `total` and skew the per-proc means with duplicate
+    /// `per_rank` rows.
     pub fn submit(&self, rank: usize, stats: OpStats) {
         let mut g = self.inner.lock();
         g.total.merge(&stats);
-        g.per_rank.push((rank, stats));
+        if let Some((_, existing)) = g.per_rank.iter_mut().find(|(r, _)| *r == rank) {
+            existing.merge(&stats);
+        } else {
+            g.per_rank.push((rank, stats));
+        }
     }
 
     /// Aggregated census across all submitted ranks.
@@ -165,5 +173,37 @@ mod tests {
         assert_eq!(c.total().total(), 20);
         assert_eq!(c.per_proc().send_recv, 5);
         assert_eq!(c.per_rank().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_submit_merges_by_rank() {
+        let c = StatsCollector::new();
+        let census = OpStats {
+            send_recv: 4,
+            collective: 2,
+            wait: 2,
+        };
+        // Rank 0 finalizes twice (layer rebuilt across replays); rank 1
+        // once. The duplicate must merge, not append.
+        c.submit(0, census);
+        c.submit(0, census);
+        c.submit(1, census);
+        let per_rank = c.per_rank();
+        assert_eq!(per_rank.len(), 2, "no duplicate per_rank rows");
+        assert_eq!(
+            per_rank[0],
+            (
+                0,
+                OpStats {
+                    send_recv: 8,
+                    collective: 4,
+                    wait: 4
+                }
+            )
+        );
+        assert_eq!(per_rank[1], (1, census));
+        assert_eq!(c.total().total(), 24);
+        // Means divide by distinct ranks, not submissions.
+        assert_eq!(c.per_proc().send_recv, 6);
     }
 }

@@ -6,6 +6,7 @@
 //!                             [--jobs N] [--isp] [--deferred-clock]
 //!                             [--journal PATH] [--resume PATH]
 //!                             [--replay-vt SECS] [--replay-wall SECS]
+//!                             [--metrics PATH] [--trace PATH] [--progress]
 //! dampi-cli overhead [--np N]           # Table II style slowdown census
 //! ```
 
@@ -13,7 +14,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dampi::core::{ClockMode, DampiConfig, DampiVerifier, DecisionSet, MixingBound};
+use dampi::core::{
+    CampaignMetrics, CampaignTrace, ClockMode, DampiConfig, DampiVerifier, DecisionSet, MixingBound,
+};
 use dampi::isp::IspVerifier;
 use dampi::mpi::{run_native, MatchPolicy, MpiProgram, ReplayBudget, SimConfig};
 use dampi::workloads::adlb::{Adlb, AdlbParams};
@@ -65,6 +68,9 @@ struct Args {
     replay_vt: Option<f64>,
     replay_wall: Option<f64>,
     jobs: Option<usize>,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    progress: bool,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -82,6 +88,9 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         replay_vt: None,
         replay_wall: None,
         jobs: None,
+        metrics: None,
+        trace: None,
+        progress: false,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -114,6 +123,9 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             }
             "--journal" => a.journal = Some(PathBuf::from(val("--journal")?)),
             "--resume" => a.resume = Some(PathBuf::from(val("--resume")?)),
+            "--metrics" => a.metrics = Some(PathBuf::from(val("--metrics")?)),
+            "--trace" => a.trace = Some(PathBuf::from(val("--trace")?)),
+            "--progress" => a.progress = true,
             "--replay-vt" => {
                 a.replay_vt = Some(
                     val("--replay-vt")?
@@ -177,6 +189,10 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
             eprintln!("error: --jobs is DAMPI-only (the ISP baseline is the centralized scheduler whose sequential-replay cost DAMPI avoids)");
             return ExitCode::FAILURE;
         }
+        if args.metrics.is_some() || args.trace.is_some() || args.progress {
+            eprintln!("error: --metrics/--trace/--progress are DAMPI-only (campaign observability instruments the distributed scheduler)");
+            return ExitCode::FAILURE;
+        }
         let mut v = IspVerifier::new(sim);
         v.cfg.max_interleavings = Some(args.max);
         let report = v.verify(prog.as_ref());
@@ -209,7 +225,46 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
     if let Some(path) = &args.journal {
         cfg = cfg.with_journal(path.clone());
     }
-    let verifier = DampiVerifier::with_config(sim, cfg);
+    let mut verifier = DampiVerifier::with_config(sim, cfg);
+    // Observability is opt-in: the metrics arc exists iff a snapshot file
+    // or live progress was requested, so the default path stays untouched.
+    let metrics = if args.metrics.is_some() || args.progress {
+        let m = CampaignMetrics::new();
+        verifier = verifier.with_metrics(m.clone());
+        Some(m)
+    } else {
+        None
+    };
+    if let Some(path) = &args.trace {
+        match CampaignTrace::to_file(path) {
+            Ok(t) => verifier = verifier.with_trace(t),
+            Err(e) => {
+                eprintln!("error: cannot open trace file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let progress_reporter = args.progress.then(|| {
+        let m = metrics.clone().expect("progress implies metrics");
+        let max = args.max;
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            // One line every 500ms until the campaign signals completion.
+            while stop_rx.recv_timeout(Duration::from_millis(500)).is_err() {
+                let p = m.progress();
+                let eta = p
+                    .eta_s(Some(max))
+                    .map_or_else(|| "?".to_owned(), |s| format!("{s:.0}s"));
+                eprintln!(
+                    "progress: {} replays committed ({:.1}/s), frontier {}, eta {eta}",
+                    p.committed,
+                    p.rate(),
+                    p.frontier
+                );
+            }
+        });
+        (stop_tx, handle)
+    });
     let report = match &args.resume {
         Some(journal) => match verifier.verify_resumed(prog.as_ref(), journal) {
             Ok(report) => report,
@@ -220,6 +275,22 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
         },
         None => verifier.verify(prog.as_ref()),
     };
+    if let Some((stop_tx, handle)) = progress_reporter {
+        let _ = stop_tx.send(());
+        let _ = handle.join();
+    }
+    if let (Some(m), Some(path)) = (&metrics, &args.metrics) {
+        let clock = match args.clock {
+            ClockMode::Lamport => "lamport",
+            ClockMode::Vector => "vector",
+        };
+        let snap = m.snapshot(name, args.np, clock, jobs);
+        let json = serde_json::to_string_pretty(&snap).expect("metrics snapshot serializes");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: cannot write metrics file {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if args.json {
         println!("{}", report.to_json());
     } else {
@@ -285,7 +356,10 @@ fn usage() -> ExitCode {
          [--journal PATH]      checkpoint the exploration frontier after every run\n    \
          [--resume PATH]       continue an interrupted campaign from its journal\n    \
          [--replay-vt SECS]    kill any replay exceeding this virtual-time budget\n    \
-         [--replay-wall SECS]  kill any replay exceeding this wall-clock budget\n  \
+         [--replay-wall SECS]  kill any replay exceeding this wall-clock budget\n    \
+         [--metrics PATH]      write a campaign metrics snapshot (JSON) after the run\n    \
+         [--trace PATH]        stream a schema-versioned JSONL campaign trace\n    \
+         [--progress]          print a live progress line (replays/sec, frontier, ETA)\n  \
          dampi-cli overhead [--np N]"
     );
     ExitCode::FAILURE

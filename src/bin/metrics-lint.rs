@@ -1,0 +1,167 @@
+//! `metrics-lint` — validate `dampi-cli verify --metrics` snapshots.
+//!
+//! ```text
+//! metrics-lint <snapshot.json>... [--expect-semantic-match]
+//! ```
+//!
+//! Checks every file against the schema and its internal invariants:
+//!
+//! * `schema` equals the supported version and the `semantic` and
+//!   `wall_clock` sections are present;
+//! * `replays_started == replays_committed + replays_aborted` (every
+//!   dispatched replay is accounted for exactly once);
+//! * every histogram's `count` equals the sum of its bucket counts plus
+//!   `overflow`;
+//! * `wall_clock.deterministic` is `false` (the section is honestly
+//!   labelled).
+//!
+//! With `--expect-semantic-match`, additionally requires the `semantic`
+//! section of every file to be byte-identical once serialized — the
+//! determinism contract for snapshots of the same campaign taken at
+//! different `--jobs` levels.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dampi::core::METRICS_SCHEMA_VERSION;
+use serde_json::Value;
+
+fn fail(file: &str, msg: &str) -> String {
+    format!("{file}: {msg}")
+}
+
+fn require_u64(obj: &Value, key: &str, file: &str, errs: &mut Vec<String>) -> u64 {
+    match obj.get(key).and_then(Value::as_u64) {
+        Some(v) => v,
+        None => {
+            errs.push(fail(file, &format!("missing or non-integer `{key}`")));
+            0
+        }
+    }
+}
+
+fn check_histogram(h: &Value, name: &str, file: &str, errs: &mut Vec<String>) {
+    let Some(buckets) = h.get("buckets").and_then(Value::as_array) else {
+        errs.push(fail(file, &format!("histogram `{name}` has no buckets")));
+        return;
+    };
+    let in_buckets: u64 = buckets
+        .iter()
+        .filter_map(|b| b.get("n").and_then(Value::as_u64))
+        .sum();
+    let overflow = require_u64(h, "overflow", file, errs);
+    let count = require_u64(h, "count", file, errs);
+    if in_buckets + overflow != count {
+        errs.push(fail(
+            file,
+            &format!(
+                "histogram `{name}`: bucket sum {in_buckets} + overflow {overflow} != count {count}"
+            ),
+        ));
+    }
+}
+
+fn check_file(path: &PathBuf, errs: &mut Vec<String>) -> Option<String> {
+    let file = path.display().to_string();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            errs.push(fail(&file, &format!("unreadable: {e}")));
+            return None;
+        }
+    };
+    let v: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            errs.push(fail(&file, &format!("invalid JSON: {e}")));
+            return None;
+        }
+    };
+    match v.get("schema").and_then(Value::as_u64) {
+        Some(s) if s == u64::from(METRICS_SCHEMA_VERSION) => {}
+        Some(s) => {
+            errs.push(fail(
+                &file,
+                &format!("schema {s} unsupported (expected {METRICS_SCHEMA_VERSION})"),
+            ));
+            return None;
+        }
+        None => {
+            errs.push(fail(&file, "missing `schema`"));
+            return None;
+        }
+    }
+    let Some(semantic) = v.get("semantic") else {
+        errs.push(fail(&file, "missing `semantic` section"));
+        return None;
+    };
+    let Some(wall) = v.get("wall_clock") else {
+        errs.push(fail(&file, "missing `wall_clock` section"));
+        return None;
+    };
+    if wall.get("deterministic").and_then(Value::as_bool) != Some(false) {
+        errs.push(fail(&file, "`wall_clock.deterministic` must be false"));
+    }
+    let started = require_u64(wall, "replays_started", &file, errs);
+    let committed = require_u64(wall, "replays_committed", &file, errs);
+    let aborted = require_u64(wall, "replays_aborted", &file, errs);
+    if started != committed + aborted {
+        errs.push(fail(
+            &file,
+            &format!("replays_started {started} != committed {committed} + aborted {aborted}"),
+        ));
+    }
+    for name in ["replay_wall_us", "journal_write_us"] {
+        match wall.get(name) {
+            Some(h) => check_histogram(h, name, &file, errs),
+            None => errs.push(fail(&file, &format!("missing histogram `{name}`"))),
+        }
+    }
+    // Canonical serialization for the cross-file determinism comparison.
+    Some(serde_json::to_string(semantic).expect("reserializes"))
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut expect_match = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--expect-semantic-match" => expect_match = true,
+            "--help" | "-h" => {
+                eprintln!("usage: metrics-lint <snapshot.json>... [--expect-semantic-match]");
+                return ExitCode::FAILURE;
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: metrics-lint <snapshot.json>... [--expect-semantic-match]");
+        return ExitCode::FAILURE;
+    }
+    let mut errs: Vec<String> = Vec::new();
+    let semantics: Vec<(String, Option<String>)> = files
+        .iter()
+        .map(|p| (p.display().to_string(), check_file(p, &mut errs)))
+        .collect();
+    if expect_match {
+        let mut valid = semantics.iter().filter_map(|(f, s)| Some((f, s.as_ref()?)));
+        if let Some((first_file, first)) = valid.next() {
+            for (file, s) in valid {
+                if s != first {
+                    errs.push(format!(
+                        "{file}: semantic section differs from {first_file} (determinism contract violated)"
+                    ));
+                }
+            }
+        }
+    }
+    if errs.is_empty() {
+        println!("metrics-lint: {} file(s) ok", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for e in &errs {
+            eprintln!("metrics-lint: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -110,6 +110,128 @@ fn verify_jobs_parity_on_symmetric_racers() {
     assert!(seq.contains("\"interleavings\""), "{seq}");
 }
 
+fn lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_metrics-lint"))
+}
+
+#[test]
+fn verify_metrics_snapshot_is_deterministic_across_jobs() {
+    // The observability acceptance check: the `semantic` section of the
+    // `--metrics` snapshot must be byte-identical at any worker count;
+    // only `wall_clock` may differ.
+    let dir = std::env::temp_dir().join("dampi-cli-metrics-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |jobs: &str, file: &str| {
+        let path = dir.join(file);
+        let out = cli()
+            .args(["verify", "racers", "--np", "4", "--jobs", jobs, "--metrics"])
+            .arg(&path)
+            .output()
+            .expect("run dampi-cli");
+        assert!(out.status.success(), "{out:?}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v.get("schema").and_then(serde_json::Value::as_u64), Some(1));
+        (
+            path,
+            serde_json::to_string(v.get("semantic").unwrap()).unwrap(),
+        )
+    };
+    let (p1, sem1) = run("1", "m1.json");
+    let (p4, sem4) = run("4", "m4.json");
+    assert_eq!(sem1, sem4, "semantic metrics must not depend on --jobs");
+    // The lint binary agrees, including the cross-file determinism check.
+    let out = lint()
+        .args([
+            p1.to_str().unwrap(),
+            p4.to_str().unwrap(),
+            "--expect-semantic-match",
+        ])
+        .output()
+        .expect("run metrics-lint");
+    assert!(out.status.success(), "{out:?}");
+    // And it rejects a snapshot whose ledger doesn't balance.
+    let broken = dir.join("broken.json");
+    let text = std::fs::read_to_string(&p1).unwrap();
+    let mut v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let wall = v
+        .as_object_mut()
+        .unwrap()
+        .get_mut("wall_clock")
+        .unwrap()
+        .as_object_mut()
+        .unwrap();
+    wall.insert("replays_started".into(), serde_json::json!(999));
+    std::fs::write(&broken, serde_json::to_string(&v).unwrap()).unwrap();
+    let out = lint().arg(&broken).output().expect("run metrics-lint");
+    assert!(!out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("replays_started"), "{err}");
+    for p in [p1, p4, broken] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn verify_trace_streams_schema_versioned_jsonl() {
+    let dir = std::env::temp_dir().join("dampi-cli-metrics-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let out = cli()
+        .args([
+            "verify",
+            "racers",
+            "--np",
+            "4",
+            "--jobs",
+            "2",
+            "--progress",
+            "--trace",
+        ])
+        .arg(&path)
+        .output()
+        .expect("run dampi-cli");
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("trace line is JSON"))
+        .collect();
+    assert!(!lines.is_empty());
+    for l in &lines {
+        assert_eq!(
+            l.get("v").and_then(serde_json::Value::as_u64),
+            Some(1),
+            "{l:?}"
+        );
+    }
+    let last = lines.last().unwrap();
+    assert!(
+        last.get("event").unwrap().get("CampaignEnd").is_some(),
+        "trace must close with CampaignEnd: {last:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn verify_rejects_observability_flags_with_isp() {
+    let out = cli()
+        .args([
+            "verify",
+            "fig3",
+            "--np",
+            "3",
+            "--isp",
+            "--metrics",
+            "/dev/null",
+        ])
+        .output()
+        .expect("run dampi-cli");
+    assert!(!out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("DAMPI-only"), "{err}");
+}
+
 #[test]
 fn verify_rejects_zero_jobs_and_isp_with_jobs() {
     let out = cli()

@@ -149,6 +149,22 @@ impl Map<String, Value> {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Mutable lookup of a key.
+    #[must_use]
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Remove a key, returning its value if it was present. Later entries
+    /// shift down, preserving insertion order.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
     /// Whether the key is present.
     #[must_use]
     pub fn contains_key(&self, key: &str) -> bool {
@@ -266,6 +282,21 @@ impl Value {
             Value::Object(m) => Some(m),
             _ => None,
         }
+    }
+
+    /// Mutable object content.
+    #[must_use]
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object member lookup.
+    #[must_use]
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
     }
 
     /// Whether this is `null`.
