@@ -24,4 +24,57 @@ trap 'rm -rf "$MDIR"' EXIT
 ./target/release/dampi-cli verify racers --np 4 --jobs 4 --metrics "$MDIR/m4.json" \
     --trace "$MDIR/m4.trace.jsonl" > /dev/null
 ./target/release/metrics-lint "$MDIR/m1.json" "$MDIR/m4.json" --expect-semantic-match
+# Static-analysis smoke: schema-valid analyzer JSON on two workloads, the
+# seeded bug firing exactly its lint (and exit 2), then the pruning
+# contract at the CLI boundary — matmul checks error-set equality (holds
+# whether or not its nondeterministic task-pool trace exposes the orbit),
+# racers checks the actual replay reduction (its trace is deterministic).
+./target/release/dampi-cli analyze racers --np 4 --json > "$MDIR/racers.analysis.json"
+if ./target/release/dampi-cli analyze collective_mismatch --np 4 --json \
+    > "$MDIR/cm.analysis.json"; then
+  echo "ci: analyze collective_mismatch must exit non-zero (L001 is an error)" >&2
+  exit 1
+fi
+python3 - "$MDIR/racers.analysis.json" "$MDIR/cm.analysis.json" <<'PY'
+import json, sys
+for path in sys.argv[1:3]:
+    r = json.load(open(path))
+    for key in ("schema_version", "program", "nprocs", "epochs", "epochs_mapped",
+                "alternates_recorded", "match_set_sizes", "deterministic_wildcards",
+                "infeasible_alternates", "orbits", "lints", "error_lints", "notes"):
+        assert key in r, f"{path}: missing `{key}`"
+    for lint in r["lints"]:
+        assert set(lint) == {"id", "kind", "severity", "ranks", "message"}, lint
+        assert lint["id"].startswith("L") and lint["severity"] in ("error", "warning")
+racers, cm = (json.load(open(p)) for p in sys.argv[1:3])
+assert racers["orbits"] == [[0, 2], [1, 3]], racers["orbits"]
+assert [l["id"] for l in cm["lints"]] == ["L001"], cm["lints"]
+assert cm["error_lints"] == 1
+print("ci: analyzer JSON schema ok")
+PY
+./target/release/dampi-cli verify matmul --json > "$MDIR/mm.base.json"
+./target/release/dampi-cli verify matmul --prune-static --json > "$MDIR/mm.pruned.json"
+./target/release/dampi-cli verify racers --np 4 --json > "$MDIR/rc.base.json"
+./target/release/dampi-cli verify racers --np 4 --prune-static --json > "$MDIR/rc.pruned.json"
+# fig3 exits 2 (bugs found) — that is the point: the strongest prune
+# check is error-set equality on a workload whose error set is non-empty.
+./target/release/dampi-cli verify fig3 --np 3 --json > "$MDIR/f3.base.json" && exit 1 || [ $? -eq 2 ]
+./target/release/dampi-cli verify fig3 --np 3 --prune-static --json > "$MDIR/f3.pruned.json" && exit 1 || [ $? -eq 2 ]
+python3 - "$MDIR" <<'PY'
+import json, sys
+d = sys.argv[1]
+load = lambda n: json.load(open(f"{d}/{n}"))
+mb, mp = load("mm.base.json"), load("mm.pruned.json")
+assert mp["errors"] == mb["errors"], (mb["errors"], mp["errors"])
+assert mp["interleavings"] <= mb["interleavings"]
+rb, rp = load("rc.base.json"), load("rc.pruned.json")
+assert rp["errors"] == rb["errors"], (rb["errors"], rp["errors"])
+assert rp["interleavings"] < rb["interleavings"], (rb["interleavings"], rp["interleavings"])
+assert rp["alternates_pruned"] > 0
+fb, fp = load("f3.base.json"), load("f3.pruned.json")
+assert fb["errors"], "fig3 plain campaign must find the x==33 bug"
+assert fp["errors"] == fb["errors"], (fb["errors"], fp["errors"])
+print(f"ci: prune contract ok (racers {rb['interleavings']} -> {rp['interleavings']}, fig3 errors kept)")
+PY
+DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench prune_static
 echo "ci: all green"

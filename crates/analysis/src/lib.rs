@@ -1,0 +1,86 @@
+//! **dampi-analysis** — static pre-replay analysis for DAMPI.
+//!
+//! DAMPI's schedule generator branches on every alternate match the free
+//! run records. That frontier is *dynamic* and over-eager: late-message
+//! analysis checks clocks, not channel order, so it can record alternates
+//! that MPI non-overtaking makes unmatchable; and it branches per epoch
+//! even when the program treats whole groups of ranks interchangeably.
+//! This crate re-examines the free run *before any replay is dispatched*:
+//! from the application-level event trace plus the epoch log it builds a
+//! per-rank operation model with over-approximated match sets, then runs
+//! three pruning passes and four definite-bug lints.
+//!
+//! - [`passes::deterministic_wildcards`] — singleton feasible sender set:
+//!   the wildcard can never branch (reported, counted, nothing to prune).
+//! - [`passes::infeasible_alternates`] — message-counting under
+//!   non-overtaking refutes a recorded alternate; it is dropped from the
+//!   root frontier before dispatch.
+//! - [`passes::rank_orbits`] — ranks with indistinguishable traced
+//!   behavior are interchangeable; the scheduler explores one
+//!   representative per orbit among a fork's untried alternates.
+//! - [`lints`] — collective-sequence mismatch (L001), request leak
+//!   (L002), send/receive count imbalance (L003), unbuffered self-send
+//!   deadlock (L004).
+//!
+//! The output is an [`AnalysisReport`] carrying a
+//! [`dampi_core::prune::PrunePlan`] that `dampi-cli verify
+//! --prune-static` feeds to the scheduler. Soundness: with pruning on,
+//! the reported error set is identical to the unpruned run (up to rank
+//! renaming within an orbit) — see DESIGN.md §11.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lints;
+pub mod model;
+pub mod passes;
+pub mod report;
+
+pub use lints::{Lint, Severity};
+pub use model::TraceModel;
+pub use report::{AnalysisReport, ANALYSIS_SCHEMA_VERSION};
+
+use dampi_core::scheduler::RunResult;
+use dampi_core::verifier::DampiVerifier;
+use dampi_mpi::program::MpiProgram;
+use dampi_mpi::trace::TraceEvent;
+
+/// Analyze a traced free run (event trace + epoch log) of `program`.
+#[must_use]
+pub fn analyze(
+    program: &str,
+    nprocs: usize,
+    events: &[TraceEvent],
+    run: &RunResult,
+) -> AnalysisReport {
+    let model = TraceModel::build(nprocs, events, &run.epochs);
+    let sets = passes::match_sets(&model);
+    let plan = passes::build_plan(&model);
+    let lints = lints::run_lints(&model);
+    AnalysisReport {
+        program: program.to_owned(),
+        nprocs,
+        epochs: model.epochs.len(),
+        epochs_mapped: model.epoch_pos.iter().filter(|p| p.is_some()).count(),
+        alternates_recorded: model
+            .epochs
+            .iter()
+            .map(|e| e.unexplored_alternates().len())
+            .sum(),
+        match_set_sizes: sets
+            .iter()
+            .map(|((r, c), s)| (format!("{r}:{c}"), s.as_ref().map(|s| s.len())))
+            .collect(),
+        plan,
+        lints,
+        notes: model.notes,
+    }
+}
+
+/// Run `program` once under the tool stack with event tracing and analyze
+/// the result — the one-call entry `dampi-cli analyze` uses.
+#[must_use]
+pub fn analyze_program(verifier: &DampiVerifier, program: &dyn MpiProgram) -> AnalysisReport {
+    let (events, run) = verifier.traced_run(program);
+    analyze(program.name(), verifier.sim.nprocs, &events, &run)
+}

@@ -1,0 +1,615 @@
+//! Definite-bug lints over the traced free run.
+//!
+//! Each lint has a stable ID (`L001`..`L004`) and fires only on evidence
+//! that is conclusive *from the trace alone* — no lint depends on which
+//! schedule the free run happened to take, so a lint that fires on one
+//! interleaving fires on all of them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dampi_mpi::trace::TraceOp;
+use dampi_mpi::types::{source_matches, tag_matches};
+use dampi_mpi::{Tag, ANY_TAG};
+
+use crate::model::{TraceModel, WORLD};
+
+/// Lint severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The program is definitely broken (deadlock or standard violation).
+    Error,
+    /// Resource hygiene / likely-bug finding.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase label used in JSON output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable lint ID (e.g. `"L001"`), safe to grep for in CI.
+    pub id: &'static str,
+    /// Stable kind slug (e.g. `"collective-mismatch"`).
+    pub kind: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// World ranks implicated.
+    pub ranks: Vec<usize>,
+    /// Human-readable evidence.
+    pub message: String,
+}
+
+impl Lint {
+    /// Machine-readable form, embedded in the analysis JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "id": self.id,
+            "kind": self.kind,
+            "severity": self.severity.as_str(),
+            "ranks": self.ranks,
+            "message": self.message,
+        })
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} (ranks {:?}): {}",
+            self.id,
+            self.severity.as_str(),
+            self.kind,
+            self.ranks,
+            self.message
+        )
+    }
+}
+
+/// `L001`: ranks disagree on the sequence of collective operations on a
+/// communicator — a guaranteed runtime mismatch (MPI requires all members
+/// to call the same collectives in the same order).
+const L001: &str = "L001";
+/// `L002`: nonblocking requests completed fewer times than posted — the
+/// program dropped request handles without waiting (R-leak).
+const L002: &str = "L002";
+/// `L003`: more sends toward a rank than that rank can ever receive on a
+/// `(comm, tag)` envelope — messages are sent but provably never consumed.
+const L003: &str = "L003";
+/// `L004`: a blocking-style send to self with no receive posted first —
+/// deadlocks the rank under synchronous (unbuffered) send semantics.
+const L004: &str = "L004";
+
+/// Run every lint over the model.
+#[must_use]
+pub fn run_lints(model: &TraceModel) -> Vec<Lint> {
+    let mut out = Vec::new();
+    collective_mismatch(model, &mut out);
+    request_leak(model, &mut out);
+    send_recv_imbalance(model, &mut out);
+    self_send_deadlock(model, &mut out);
+    out
+}
+
+fn collective_name(op: &TraceOp) -> Option<(u32, &str)> {
+    match op {
+        TraceOp::Collective { comm, name } => Some((*comm, name.as_ref())),
+        _ => None,
+    }
+}
+
+/// L001 — collective-sequence mismatch across ranks, per communicator.
+/// Two definite shapes: ranks differ at a position both reached, or a
+/// rank *finalized* having called fewer collectives than a peer (it will
+/// never show up for the missing ones).
+fn collective_mismatch(model: &TraceModel, out: &mut Vec<Lint>) {
+    let mut per_comm: BTreeMap<u32, Vec<(usize, Vec<&str>)>> = BTreeMap::new();
+    for (rank, ops) in model.ops.iter().enumerate() {
+        let mut seqs: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for op in ops {
+            if let Some((comm, name)) = collective_name(op) {
+                seqs.entry(comm).or_default().push(name);
+            }
+        }
+        for (comm, seq) in seqs {
+            per_comm.entry(comm).or_default().push((rank, seq));
+        }
+    }
+    let finalized: Vec<bool> = model
+        .ops
+        .iter()
+        .map(|ops| ops.iter().any(|op| matches!(op, TraceOp::Finalize)))
+        .collect();
+    for (comm, ranks) in &per_comm {
+        if ranks.len() < 2 {
+            continue;
+        }
+        let (r0, base) = &ranks[0];
+        // One lint per communicator per shape, with every offending rank
+        // grouped in — a 64-rank mismatch is one finding, not 63.
+        let mut diverged: Vec<usize> = Vec::new();
+        let mut witness: Option<(usize, &str, &str, usize)> = None;
+        let mut short_finalized: Vec<usize> = Vec::new();
+        let mut long_peer: Option<usize> = None;
+        for (r, seq) in &ranks[1..] {
+            let diverge = base
+                .iter()
+                .zip(seq.iter())
+                .position(|(a, b)| a != b)
+                .map(|i| (i, base[i], seq[i]));
+            if let Some((i, a, b)) = diverge {
+                diverged.push(*r);
+                if witness.is_none_or(|(wi, ..)| i < wi) {
+                    witness = Some((i, a, b, *r));
+                }
+            } else if base.len() != seq.len() {
+                let (short, long, _sr) = if base.len() < seq.len() {
+                    (*r0, *r, base.len())
+                } else {
+                    (*r, *r0, seq.len())
+                };
+                if finalized[short] {
+                    if !short_finalized.contains(&short) {
+                        short_finalized.push(short);
+                    }
+                    long_peer = Some(long);
+                }
+            }
+        }
+        if let Some((i, a, b, rw)) = witness {
+            let mut involved = vec![*r0];
+            involved.extend(diverged);
+            out.push(Lint {
+                id: L001,
+                kind: "collective-mismatch",
+                severity: Severity::Error,
+                ranks: involved,
+                message: format!(
+                    "comm {comm}: collective #{i} is `{a}` on rank {r0} but `{b}` on rank {rw}"
+                ),
+            });
+        }
+        if let Some(long) = long_peer {
+            let shorts = short_finalized.clone();
+            out.push(Lint {
+                id: L001,
+                kind: "collective-mismatch",
+                severity: Severity::Error,
+                ranks: shorts.iter().copied().chain([long]).collect(),
+                message: format!(
+                    "comm {comm}: rank(s) {shorts:?} finalized having called fewer \
+                     collectives than rank {long} — the extra calls can never complete"
+                ),
+            });
+        }
+    }
+}
+
+/// L002 — requests posted minus completions observed, per rank.
+fn request_leak(model: &TraceModel, out: &mut Vec<Lint>) {
+    for (rank, ops) in model.ops.iter().enumerate() {
+        let mut posted = 0usize;
+        let mut completed = 0usize;
+        for op in ops {
+            match op {
+                TraceOp::Isend { .. } | TraceOp::Irecv { .. } => posted += 1,
+                TraceOp::Wait { .. } => completed += 1,
+                TraceOp::Test { completed: true } => completed += 1,
+                _ => {}
+            }
+        }
+        if posted > completed {
+            out.push(Lint {
+                id: L002,
+                kind: "request-leak",
+                severity: Severity::Warning,
+                ranks: vec![rank],
+                message: format!(
+                    "{posted} request(s) posted but only {completed} completion(s) \
+                     (wait/test) observed — {} request handle(s) leaked",
+                    posted - completed
+                ),
+            });
+        }
+    }
+}
+
+/// L003 — per-destination `(WORLD, tag)` send/receive count imbalance.
+/// Receives posted with `ANY_TAG` are flexible capacity; whatever surplus
+/// they cannot absorb is provably undeliverable.
+fn send_recv_imbalance(model: &TraceModel, out: &mut Vec<Lint>) {
+    for dest in 0..model.nprocs {
+        let mut sends: BTreeMap<Tag, usize> = BTreeMap::new();
+        for ops in &model.ops {
+            for op in ops {
+                if let TraceOp::Isend {
+                    comm, dest: d, tag, ..
+                } = op
+                {
+                    if TraceModel::world_peer(*comm, *d) == Some(dest) {
+                        *sends.entry(*tag).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        if sends.is_empty() {
+            continue;
+        }
+        let mut recvs: BTreeMap<Tag, usize> = BTreeMap::new();
+        let mut any = 0usize;
+        for op in &model.ops[dest] {
+            if let TraceOp::Irecv {
+                comm: WORLD, tag, ..
+            } = op
+            {
+                if *tag == ANY_TAG {
+                    any += 1;
+                } else {
+                    *recvs.entry(*tag).or_insert(0) += 1;
+                }
+            }
+        }
+        let surplus: usize = sends
+            .iter()
+            .map(|(t, n)| n.saturating_sub(recvs.get(t).copied().unwrap_or(0)))
+            .sum();
+        if surplus > any {
+            out.push(Lint {
+                id: L003,
+                kind: "send-recv-imbalance",
+                severity: Severity::Warning,
+                ranks: vec![dest],
+                message: format!(
+                    "{} message(s) sent to rank {dest} can never be received \
+                     ({surplus} surplus vs {any} wildcard-tag receive(s))",
+                    surplus - any
+                ),
+            });
+        }
+    }
+}
+
+/// L004 — blocking-style send to self (`Isend` to own rank immediately
+/// followed by its `Wait`) with no matching receive posted beforehand:
+/// under synchronous/unbuffered semantics the rank blocks forever.
+fn self_send_deadlock(model: &TraceModel, out: &mut Vec<Lint>) {
+    for (rank, ops) in model.ops.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            let TraceOp::Isend {
+                comm, dest, tag, ..
+            } = op
+            else {
+                continue;
+            };
+            if TraceModel::world_peer(*comm, *dest) != Some(rank) {
+                continue;
+            }
+            let blocking = matches!(ops.get(i + 1), Some(TraceOp::Wait { .. }));
+            let receive_posted = ops[..i].iter().any(|p| {
+                matches!(p, TraceOp::Irecv { comm: WORLD, src, tag: rt }
+                    if source_matches(*src, rank) && tag_matches(*rt, *tag))
+            });
+            if blocking && !receive_posted {
+                out.push(Lint {
+                    id: L004,
+                    kind: "self-send-deadlock",
+                    severity: Severity::Error,
+                    ranks: vec![rank],
+                    message: format!(
+                        "rank {rank} blocking-sends to itself (tag {tag}) with no \
+                         receive posted first — deadlocks without eager buffering"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_mpi::trace::TraceEvent;
+    use dampi_mpi::ANY_SOURCE;
+
+    fn ev(rank: usize, seq: u64, op: TraceOp) -> TraceEvent {
+        TraceEvent {
+            rank,
+            seq,
+            vt: 0.0,
+            op,
+        }
+    }
+
+    fn coll(comm: u32, name: &'static str) -> TraceOp {
+        TraceOp::Collective {
+            comm,
+            name: name.into(),
+        }
+    }
+
+    fn lint_ids(model: &TraceModel) -> Vec<&'static str> {
+        run_lints(model).iter().map(|l| l.id).collect()
+    }
+
+    #[test]
+    fn mismatched_collective_names_fire_l001() {
+        let events = vec![ev(0, 0, coll(0, "barrier")), ev(1, 0, coll(0, "bcast"))];
+        let m = TraceModel::build(2, &events, &[]);
+        assert_eq!(lint_ids(&m), vec![L001]);
+    }
+
+    #[test]
+    fn shorter_finalized_rank_fires_l001() {
+        let events = vec![
+            ev(0, 0, coll(0, "barrier")),
+            ev(0, 1, coll(0, "barrier")),
+            ev(1, 0, coll(0, "barrier")),
+            ev(1, 1, TraceOp::Finalize),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        assert_eq!(lint_ids(&m), vec![L001]);
+    }
+
+    #[test]
+    fn equal_collective_sequences_are_clean() {
+        let events = vec![
+            ev(0, 0, coll(0, "barrier")),
+            ev(0, 1, coll(0, "bcast")),
+            ev(1, 0, coll(0, "barrier")),
+            ev(1, 1, coll(0, "bcast")),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        assert!(run_lints(&m).is_empty());
+    }
+
+    #[test]
+    fn unwaited_request_fires_l002_only() {
+        // Rank 0 sends-and-waits; rank 1 posts the receive but never
+        // waits: the message is consumed (no imbalance), the handle leaks.
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 1,
+                    tag: 4,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            ),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 4,
+                },
+            ),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        assert_eq!(lint_ids(&m), vec![L002]);
+    }
+
+    #[test]
+    fn incomplete_test_does_not_count_as_completion() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 0,
+                    tag: 4,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(0, 1, TraceOp::Test { completed: false }),
+        ];
+        let m = TraceModel::build(1, &events, &[]);
+        assert!(lint_ids(&m).contains(&L002));
+    }
+
+    #[test]
+    fn unreceivable_sends_fire_l003() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 1,
+                    tag: 4,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            ),
+            ev(
+                0,
+                2,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 1,
+                    tag: 4,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                0,
+                3,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            ),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 4,
+                },
+            ),
+            ev(
+                1,
+                1,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            ),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        assert_eq!(lint_ids(&m), vec![L003]);
+    }
+
+    #[test]
+    fn any_tag_receives_absorb_surplus() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 1,
+                    tag: 4,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            ),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG,
+                },
+            ),
+            ev(
+                1,
+                1,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            ),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        assert!(run_lints(&m).is_empty());
+    }
+
+    #[test]
+    fn blocking_self_send_fires_l004() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 0,
+                    tag: 9,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 9,
+                },
+            ),
+        ];
+        let m = TraceModel::build(1, &events, &[]);
+        let lints = run_lints(&m);
+        assert!(lints.iter().any(|l| l.id == L004), "{lints:?}");
+        assert!(lints
+            .iter()
+            .all(|l| l.id != L004 || l.severity == Severity::Error));
+    }
+
+    #[test]
+    fn self_send_with_receive_posted_first_is_clean_of_l004() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 9,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 0,
+                    tag: 9,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                0,
+                2,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 9,
+                },
+            ),
+            ev(
+                0,
+                3,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 9,
+                },
+            ),
+        ];
+        let m = TraceModel::build(1, &events, &[]);
+        assert!(!lint_ids(&m).contains(&L004));
+    }
+}

@@ -1,0 +1,259 @@
+//! The per-rank operation model the analysis passes walk.
+//!
+//! Built from one free run's application-level event trace
+//! ([`dampi_mpi::trace::TraceEvent`], recorded *above* the DAMPI layer)
+//! plus the epoch log the tool collected from the same run. The model
+//! aligns the two: the *k*-th wildcard receive/probe event in a rank's
+//! trace is the *k*-th epoch of that rank (epochs are keyed by a per-rank
+//! strictly increasing clock). When a rank's wildcard-event count and
+//! epoch count disagree — which can only happen on a truncated trace
+//! (fatal error mid-run) — the rank's epochs are left *unmapped* and the
+//! match-set passes skip them instead of guessing.
+
+use std::collections::BTreeMap;
+
+use dampi_core::epoch::{EpochRecord, NdKind};
+use dampi_mpi::trace::{TraceEvent, TraceOp};
+use dampi_mpi::ANY_SOURCE;
+
+/// Communicator id of `Comm::WORLD` in the trace encoding.
+pub const WORLD: u32 = 0;
+
+/// The aligned trace + epoch model for one free run.
+#[derive(Debug)]
+pub struct TraceModel {
+    /// World size.
+    pub nprocs: usize,
+    /// Per-rank operations in program (seq) order.
+    pub ops: Vec<Vec<TraceOp>>,
+    /// All epochs, sorted by `(rank, clock)`.
+    pub epochs: Vec<EpochRecord>,
+    /// For each epoch (index into [`Self::epochs`]), the op index within
+    /// its rank's trace — `None` when the rank could not be aligned.
+    pub epoch_pos: Vec<Option<usize>>,
+    /// Per-rank map from trace op index back to the epoch index, for the
+    /// wildcard ops that opened an epoch.
+    pub epoch_at: Vec<BTreeMap<usize, usize>>,
+    /// Analysis caveats worth surfacing (alignment failures etc.).
+    pub notes: Vec<String>,
+}
+
+/// True when this op is a wildcard (`ANY_SOURCE`) receive — the event
+/// kind that opens an [`NdKind::Recv`] epoch.
+fn is_wild_recv(op: &TraceOp) -> bool {
+    matches!(
+        op,
+        TraceOp::Irecv {
+            src: ANY_SOURCE,
+            ..
+        }
+    )
+}
+
+/// True when this op opened a probe epoch: a wildcard `Probe`, or a
+/// wildcard `Iprobe` that *hit* (the tool records an epoch for `Iprobe`
+/// only when the flag came back true, per paper §II-E).
+fn is_wild_probe(op: &TraceOp) -> bool {
+    matches!(
+        op,
+        TraceOp::Probe {
+            src: ANY_SOURCE,
+            ..
+        }
+    ) || matches!(
+        op,
+        TraceOp::Iprobe {
+            src: ANY_SOURCE,
+            hit: true,
+            ..
+        }
+    )
+}
+
+impl TraceModel {
+    /// Build the model from a traced free run.
+    #[must_use]
+    pub fn build(nprocs: usize, events: &[TraceEvent], epochs: &[EpochRecord]) -> Self {
+        let mut ops: Vec<Vec<TraceOp>> = vec![Vec::new(); nprocs];
+        for ev in events {
+            if ev.rank < nprocs {
+                ops[ev.rank].push(ev.op.clone());
+            }
+        }
+        let mut epochs: Vec<EpochRecord> = epochs.to_vec();
+        epochs.sort_by_key(|e| (e.rank, e.clock));
+
+        let mut notes = Vec::new();
+        let mut epoch_pos = vec![None; epochs.len()];
+        let mut epoch_at = vec![BTreeMap::new(); nprocs];
+        for rank in 0..nprocs {
+            // Wildcard-op positions in trace order, split by kind so a
+            // recv epoch can never be matched to a probe event.
+            let nd: Vec<(usize, NdKind)> = ops[rank]
+                .iter()
+                .enumerate()
+                .filter_map(|(i, op)| {
+                    if is_wild_recv(op) {
+                        Some((i, NdKind::Recv))
+                    } else if is_wild_probe(op) {
+                        Some((i, NdKind::Probe))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let eps: Vec<usize> = epochs
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.rank == rank)
+                .map(|(i, _)| i)
+                .collect();
+            let aligned = nd.len() == eps.len()
+                && nd
+                    .iter()
+                    .zip(&eps)
+                    .all(|(&(_, kind), &ei)| epochs[ei].kind == kind);
+            if aligned {
+                for (&(pos, _), &ei) in nd.iter().zip(&eps) {
+                    epoch_pos[ei] = Some(pos);
+                    epoch_at[rank].insert(pos, ei);
+                }
+            } else if !nd.is_empty() || !eps.is_empty() {
+                notes.push(format!(
+                    "rank {rank}: {} wildcard trace op(s) vs {} epoch(s) — left unmapped",
+                    nd.len(),
+                    eps.len()
+                ));
+            }
+        }
+        Self {
+            nprocs,
+            ops,
+            epochs,
+            epoch_pos,
+            epoch_at,
+            notes,
+        }
+    }
+
+    /// World-rank destinations are only decodable on `WORLD`: derived
+    /// communicators use comm-relative numbering the offline trace cannot
+    /// translate. Returns the world rank for WORLD-comm peers.
+    #[must_use]
+    pub fn world_peer(comm: u32, peer: i32) -> Option<usize> {
+        (comm == WORLD && peer >= 0).then_some(peer as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_clocks::ClockStamp;
+    use dampi_mpi::{Comm, ANY_TAG};
+    use std::collections::BTreeSet;
+
+    fn ev(rank: usize, seq: u64, op: TraceOp) -> TraceEvent {
+        TraceEvent {
+            rank,
+            seq,
+            vt: 0.0,
+            op,
+        }
+    }
+
+    fn epoch(rank: usize, clock: u64, kind: NdKind) -> EpochRecord {
+        EpochRecord {
+            rank,
+            clock,
+            stamp: ClockStamp::Lamport(clock),
+            comm: Comm::WORLD,
+            tag_spec: ANY_TAG,
+            kind,
+            in_region: false,
+            guided: false,
+            matched_src: Some(0),
+            alternates: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn aligns_wildcard_recvs_to_epochs_in_order() {
+        let events = vec![
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 5,
+                },
+            ),
+            ev(
+                1,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 5,
+                },
+            ),
+            ev(
+                1,
+                2,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 6,
+                },
+            ),
+        ];
+        let epochs = vec![epoch(1, 3, NdKind::Recv), epoch(1, 1, NdKind::Recv)];
+        let m = TraceModel::build(2, &events, &epochs);
+        // Sorted by clock: epoch clock 1 ↔ op 1, epoch clock 3 ↔ op 2.
+        assert_eq!(m.epochs[0].clock, 1);
+        assert_eq!(m.epoch_pos, vec![Some(1), Some(2)]);
+        assert_eq!(m.epoch_at[1].get(&1), Some(&0));
+        assert!(m.notes.is_empty());
+    }
+
+    #[test]
+    fn count_mismatch_leaves_rank_unmapped() {
+        let events = vec![ev(
+            0,
+            0,
+            TraceOp::Irecv {
+                comm: 0,
+                src: ANY_SOURCE,
+                tag: ANY_TAG,
+            },
+        )];
+        let epochs = vec![epoch(0, 1, NdKind::Recv), epoch(0, 2, NdKind::Recv)];
+        let m = TraceModel::build(1, &events, &epochs);
+        assert_eq!(m.epoch_pos, vec![None, None]);
+        assert_eq!(m.notes.len(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_leaves_rank_unmapped() {
+        let events = vec![ev(
+            0,
+            0,
+            TraceOp::Probe {
+                comm: 0,
+                src: ANY_SOURCE,
+                tag: ANY_TAG,
+                hit_source: 1,
+            },
+        )];
+        let epochs = vec![epoch(0, 1, NdKind::Recv)];
+        let m = TraceModel::build(1, &events, &epochs);
+        assert_eq!(m.epoch_pos, vec![None]);
+    }
+
+    #[test]
+    fn world_peer_decodes_only_world() {
+        assert_eq!(TraceModel::world_peer(0, 3), Some(3));
+        assert_eq!(TraceModel::world_peer(0, ANY_SOURCE), None);
+        assert_eq!(TraceModel::world_peer(7, 3), None);
+    }
+}

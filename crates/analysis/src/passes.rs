@@ -1,0 +1,823 @@
+//! The three pre-replay analysis passes.
+//!
+//! 1. **Deterministic wildcards** — an epoch whose over-approximated
+//!    feasible sender set is a singleton can never branch; the scheduler
+//!    counts (but need not visit) it.
+//! 2. **Infeasible alternates** — a recorded alternate `(epoch, src)` that
+//!    message-counting under MPI non-overtaking refutes is dropped from
+//!    the root frontier before any replay is dispatched.
+//! 3. **Rank symmetry orbits** — ranks whose traced behavior is
+//!    indistinguishable (identical own op sequences, never named by each
+//!    other, identical posted envelopes toward them from every third rank)
+//!    are interchangeable; the scheduler keeps one representative per
+//!    orbit among a fork's untried alternates.
+//!
+//! Every pass *over*-approximates feasibility (or proves symmetry), so
+//! pruning can only drop replays whose outcome is already covered — see
+//! DESIGN.md §11 for the soundness argument.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dampi_core::epoch::NdKind;
+use dampi_core::prune::PrunePlan;
+use dampi_mpi::trace::TraceOp;
+use dampi_mpi::types::tag_matches;
+use dampi_mpi::{Tag, ANY_SOURCE, ANY_TAG};
+
+use crate::model::{TraceModel, WORLD};
+
+/// Over-approximated feasible sender set per epoch, keyed `(rank, clock)`.
+/// `None` means the set could not be bounded (non-WORLD communicator or
+/// unmapped epoch) — such epochs are never declared deterministic.
+pub type MatchSets = BTreeMap<(usize, u64), Option<BTreeSet<usize>>>;
+
+/// Compute the over-approximated match set of every epoch: all world
+/// ranks with at least one `WORLD` send toward the epoch's rank whose tag
+/// the epoch's tag specifier accepts. Sound because the runtime can only
+/// ever match (or record as alternate) a sender that actually sent a
+/// compatible message.
+#[must_use]
+pub fn match_sets(model: &TraceModel) -> MatchSets {
+    // senders[r] = tags sent to world rank r, per source rank.
+    let mut senders: Vec<BTreeMap<usize, Vec<Tag>>> = vec![BTreeMap::new(); model.nprocs];
+    for (src, ops) in model.ops.iter().enumerate() {
+        for op in ops {
+            if let TraceOp::Isend {
+                comm, dest, tag, ..
+            } = op
+            {
+                if let Some(d) = TraceModel::world_peer(*comm, *dest) {
+                    if d < model.nprocs {
+                        senders[d].entry(src).or_default().push(*tag);
+                    }
+                }
+            }
+        }
+    }
+    model
+        .epochs
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let key = (e.rank, e.clock);
+            if e.comm.0 != WORLD || model.epoch_pos[i].is_none() || e.rank >= model.nprocs {
+                return (key, None);
+            }
+            let set: BTreeSet<usize> = senders[e.rank]
+                .iter()
+                .filter(|(_, tags)| tags.iter().any(|t| tag_matches(e.tag_spec, *t)))
+                .map(|(&s, _)| s)
+                .collect();
+            // Guard: the over-approximation must cover everything the
+            // runtime observed; a violation means the model is misaligned
+            // and the epoch must stay unknown.
+            let observed: BTreeSet<usize> = e
+                .matched_src
+                .iter()
+                .chain(e.alternates.iter())
+                .copied()
+                .collect();
+            if observed.is_subset(&set) {
+                (key, Some(set))
+            } else {
+                (key, None)
+            }
+        })
+        .collect()
+}
+
+/// Epochs whose feasible sender set is a singleton: the wildcard is
+/// deterministic and can never open a branch.
+#[must_use]
+pub fn deterministic_wildcards(sets: &MatchSets) -> BTreeSet<(usize, u64)> {
+    sets.iter()
+        .filter(|(_, s)| s.as_ref().is_some_and(|s| s.len() == 1))
+        .map(|(&k, _)| k)
+        .collect()
+}
+
+/// Necessarily-compatible claim test: does a receive posted with tag
+/// specifier `spec` (consuming from sender `s`) always consume a message
+/// the epoch's tag specifier `epoch_spec` also accepts? `s_tags` are the
+/// tags of every `s → epoch.rank` WORLD send.
+fn claims_compatible(spec: Tag, epoch_spec: Tag, s_tags: &[Tag]) -> bool {
+    if spec == ANY_TAG {
+        !s_tags.is_empty() && s_tags.iter().all(|t| tag_matches(epoch_spec, *t))
+    } else {
+        s_tags.contains(&spec) && tag_matches(epoch_spec, spec)
+    }
+}
+
+/// Refute recorded alternates by message counting under non-overtaking:
+/// alternate `(e, s)` is infeasible when the receives rank `e.rank` posts
+/// *before* `e` — named receives from `s` and earlier wildcard epochs
+/// whose observed (prefix-forced) match was `s` — necessarily consume
+/// every `e`-compatible send `s` made. The free run records a late send
+/// as an alternate without checking channel order, so forcing such an
+/// alternate can only diverge or deadlock; dropping it loses nothing.
+///
+/// Only `WORLD`-comm epochs of aligned ranks are considered; everything
+/// else is conservatively kept.
+#[must_use]
+pub fn infeasible_alternates(model: &TraceModel) -> BTreeSet<(usize, u64, usize)> {
+    let mut out = BTreeSet::new();
+    for (i, e) in model.epochs.iter().enumerate() {
+        let (Some(pos), true) = (model.epoch_pos[i], e.comm.0 == WORLD) else {
+            continue;
+        };
+        for s in e.unexplored_alternates() {
+            if s >= model.nprocs {
+                continue;
+            }
+            // Tags of every WORLD send s → e.rank, and the subset e accepts.
+            let s_tags: Vec<Tag> = model.ops[s]
+                .iter()
+                .filter_map(|op| match op {
+                    TraceOp::Isend {
+                        comm, dest, tag, ..
+                    } if TraceModel::world_peer(*comm, *dest) == Some(e.rank) => Some(*tag),
+                    _ => None,
+                })
+                .collect();
+            let mut compat: BTreeMap<Tag, usize> = BTreeMap::new();
+            for &t in &s_tags {
+                if tag_matches(e.tag_spec, t) {
+                    *compat.entry(t).or_insert(0) += 1;
+                }
+            }
+            let n_compat: usize = compat.values().sum();
+
+            // Earlier-posted receives at e.rank that *necessarily* consume
+            // an e-compatible s-send: per concrete tag (capped by the
+            // sends that exist) plus flexible ANY_TAG claims when every
+            // s-send is e-compatible.
+            let mut concrete: BTreeMap<Tag, usize> = BTreeMap::new();
+            let mut flexible = 0usize;
+            let all_compat = !s_tags.is_empty() && compat.values().sum::<usize>() == s_tags.len();
+            let mut claim = |spec: Tag| {
+                if spec == ANY_TAG {
+                    if all_compat {
+                        flexible += 1;
+                    }
+                } else if claims_compatible(spec, e.tag_spec, &s_tags) {
+                    *concrete.entry(spec).or_insert(0) += 1;
+                }
+            };
+            for (p, op) in model.ops[e.rank].iter().enumerate().take(pos) {
+                match op {
+                    TraceOp::Irecv { comm, src, tag } if *comm == WORLD => {
+                        if *src == s as i32 {
+                            claim(*tag);
+                        } else if *src == ANY_SOURCE {
+                            // An earlier epoch: under the forced prefix it
+                            // consumes from its observed matched source.
+                            let consumed_s = model.epoch_at[e.rank]
+                                .get(&p)
+                                .map(|&ei| &model.epochs[ei])
+                                .is_some_and(|prev| {
+                                    prev.kind == NdKind::Recv && prev.matched_src == Some(s)
+                                });
+                            if consumed_s {
+                                claim(*tag);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let claimed: usize = concrete
+                .iter()
+                .map(|(t, c)| (*c).min(compat.get(t).copied().unwrap_or(0)))
+                .sum::<usize>()
+                + flexible;
+            if claimed >= n_compat {
+                out.insert((e.rank, e.clock, s));
+            }
+        }
+    }
+    out
+}
+
+/// Normalized per-op signature used for symmetry detection. Fields that
+/// are *schedule artifacts* (which source a wait completed with, whether
+/// a test/iprobe hit) are dropped; everything the program *posted* is
+/// kept verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OpSig {
+    Send {
+        comm: u32,
+        dest: i32,
+        tag: Tag,
+        bytes: usize,
+        digest: u64,
+    },
+    Recv {
+        comm: u32,
+        src: i32,
+        tag: Tag,
+    },
+    Wait,
+    Test,
+    Probe {
+        comm: u32,
+        src: i32,
+        tag: Tag,
+    },
+    Collective {
+        comm: u32,
+        name: String,
+    },
+    CommDup {
+        parent: u32,
+        result: u32,
+    },
+    CommSplit {
+        parent: u32,
+        color: i64,
+        member: bool,
+    },
+    CommFree {
+        comm: u32,
+    },
+    Pcontrol {
+        code: i32,
+    },
+    Finalize,
+}
+
+fn op_sig(op: &TraceOp) -> OpSig {
+    match op {
+        TraceOp::Isend {
+            comm,
+            dest,
+            tag,
+            bytes,
+            digest,
+        } => OpSig::Send {
+            comm: *comm,
+            dest: *dest,
+            tag: *tag,
+            bytes: *bytes,
+            digest: *digest,
+        },
+        TraceOp::Irecv { comm, src, tag } => OpSig::Recv {
+            comm: *comm,
+            src: *src,
+            tag: *tag,
+        },
+        TraceOp::Wait { .. } => OpSig::Wait,
+        TraceOp::Test { .. } => OpSig::Test,
+        TraceOp::Probe { comm, src, tag, .. } | TraceOp::Iprobe { comm, src, tag, .. } => {
+            OpSig::Probe {
+                comm: *comm,
+                src: *src,
+                tag: *tag,
+            }
+        }
+        TraceOp::Collective { comm, name } => OpSig::Collective {
+            comm: *comm,
+            name: name.to_string(),
+        },
+        TraceOp::CommDup { parent, result } => OpSig::CommDup {
+            parent: *parent,
+            result: *result,
+        },
+        TraceOp::CommSplit {
+            parent,
+            color,
+            member,
+        } => OpSig::CommSplit {
+            parent: *parent,
+            color: *color,
+            member: *member,
+        },
+        TraceOp::CommFree { comm } => OpSig::CommFree { comm: *comm },
+        TraceOp::Pcontrol { code } => OpSig::Pcontrol { code: *code },
+        TraceOp::Finalize => OpSig::Finalize,
+    }
+}
+
+/// Posted envelope of rank `r`'s ops that name world rank `x` — the
+/// "projection" every third rank must agree on for `x` to sit in an orbit.
+fn projection(ops: &[TraceOp], x: usize) -> Vec<(u8, Tag, usize, u64)> {
+    let xi = x as i32;
+    ops.iter()
+        .filter_map(|op| match op {
+            TraceOp::Isend {
+                comm: WORLD,
+                dest,
+                tag,
+                bytes,
+                digest,
+            } if *dest == xi => Some((0, *tag, *bytes, *digest)),
+            TraceOp::Irecv {
+                comm: WORLD,
+                src,
+                tag,
+            } if *src == xi => Some((1, *tag, 0, 0)),
+            TraceOp::Probe {
+                comm: WORLD,
+                src,
+                tag,
+                ..
+            }
+            | TraceOp::Iprobe {
+                comm: WORLD,
+                src,
+                tag,
+                ..
+            } if *src == xi => Some((2, *tag, 0, 0)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// True when `ops` name world rank `x` as a peer of any WORLD p2p op.
+fn names(ops: &[TraceOp], x: usize) -> bool {
+    !projection(ops, x).is_empty()
+}
+
+/// True when a rank posts a *named* p2p op on a derived communicator —
+/// those peers use comm-relative numbering the trace cannot translate, so
+/// the rank (and the whole pass, if any rank could be naming an orbit
+/// candidate through such a comm) must stay conservative.
+fn has_opaque_p2p(ops: &[TraceOp]) -> bool {
+    ops.iter().any(|op| {
+        matches!(op,
+            TraceOp::Isend { comm, .. } if *comm != WORLD)
+            || matches!(op,
+                TraceOp::Irecv { comm, src, .. } if *comm != WORLD && *src != ANY_SOURCE)
+            || matches!(op,
+                TraceOp::Probe { comm, src, .. } if *comm != WORLD && *src != ANY_SOURCE)
+            || matches!(op,
+                TraceOp::Iprobe { comm, src, .. } if *comm != WORLD && *src != ANY_SOURCE)
+    })
+}
+
+/// Partition ranks into symmetry orbits (groups of ≥2 interchangeable
+/// ranks). Two ranks are interchangeable when their own traced op
+/// sequences are identical, they never name each other, and every third
+/// rank posts the same envelope sequence toward both. If *any* rank uses
+/// named p2p on a derived communicator the pass returns no orbits — a
+/// hidden reference to a candidate could not be seen.
+#[must_use]
+pub fn rank_orbits(model: &TraceModel) -> Vec<BTreeSet<usize>> {
+    let n = model.nprocs;
+    if n < 2 || model.ops.iter().any(|ops| has_opaque_p2p(ops)) {
+        return Vec::new();
+    }
+    let sigs: Vec<Vec<OpSig>> = model
+        .ops
+        .iter()
+        .map(|ops| ops.iter().map(op_sig).collect())
+        .collect();
+    let interchangeable = |a: usize, b: usize| -> bool {
+        sigs[a] == sigs[b]
+            && !names(&model.ops[a], a)
+            && !names(&model.ops[a], b)
+            && !names(&model.ops[b], a)
+            && !names(&model.ops[b], b)
+            && (0..n)
+                .filter(|&r| r != a && r != b)
+                .all(|r| projection(&model.ops[r], a) == projection(&model.ops[r], b))
+    };
+    let mut orbit = vec![usize::MAX; n];
+    let mut orbits: Vec<BTreeSet<usize>> = Vec::new();
+    for a in 0..n {
+        if orbit[a] != usize::MAX {
+            continue;
+        }
+        let mut group = BTreeSet::from([a]);
+        for (b, &ob) in orbit.iter().enumerate().skip(a + 1) {
+            if ob == usize::MAX && interchangeable(a, b) {
+                group.insert(b);
+            }
+        }
+        let id = orbits.len();
+        for &r in &group {
+            orbit[r] = id;
+        }
+        orbits.push(group);
+    }
+    orbits.retain(|g| g.len() >= 2);
+    orbits
+}
+
+/// Assemble the three passes into the plan the scheduler consumes.
+#[must_use]
+pub fn build_plan(model: &TraceModel) -> PrunePlan {
+    let sets = match_sets(model);
+    PrunePlan {
+        infeasible: infeasible_alternates(model),
+        deterministic: deterministic_wildcards(&sets),
+        // Orbits are only ever consumed at wildcard forks; for a
+        // wildcard-free trace they could never prune anything, so don't
+        // report phantom symmetry.
+        orbits: if model.epochs.is_empty() {
+            Vec::new()
+        } else {
+            rank_orbits(model)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_clocks::ClockStamp;
+    use dampi_core::epoch::EpochRecord;
+    use dampi_mpi::trace::TraceEvent;
+    use dampi_mpi::Comm;
+
+    fn ev(rank: usize, seq: u64, op: TraceOp) -> TraceEvent {
+        TraceEvent {
+            rank,
+            seq,
+            vt: 0.0,
+            op,
+        }
+    }
+
+    fn send(comm: u32, dest: i32, tag: Tag) -> TraceOp {
+        TraceOp::Isend {
+            comm,
+            dest,
+            tag,
+            bytes: 8,
+            digest: 0,
+        }
+    }
+
+    fn epoch(
+        rank: usize,
+        clock: u64,
+        tag_spec: Tag,
+        matched: Option<usize>,
+        alts: &[usize],
+    ) -> EpochRecord {
+        EpochRecord {
+            rank,
+            clock,
+            stamp: ClockStamp::Lamport(clock),
+            comm: Comm::WORLD,
+            tag_spec,
+            kind: NdKind::Recv,
+            in_region: false,
+            guided: false,
+            matched_src: matched,
+            alternates: alts.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn singleton_match_set_is_deterministic() {
+        // Only rank 0 sends to rank 1; the wildcard cannot branch.
+        let events = vec![
+            ev(0, 0, send(0, 1, 7)),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+        ];
+        let eps = vec![epoch(1, 1, 7, Some(0), &[])];
+        let m = TraceModel::build(2, &events, &eps);
+        let sets = match_sets(&m);
+        assert_eq!(
+            sets.get(&(1, 1)),
+            Some(&Some(BTreeSet::from([0]))),
+            "{sets:?}"
+        );
+        assert_eq!(deterministic_wildcards(&sets), BTreeSet::from([(1, 1)]));
+    }
+
+    #[test]
+    fn tag_filter_excludes_incompatible_senders() {
+        let events = vec![
+            ev(0, 0, send(0, 2, 7)),
+            ev(1, 0, send(0, 2, 9)),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+        ];
+        let eps = vec![epoch(2, 1, 7, Some(0), &[])];
+        let m = TraceModel::build(3, &events, &eps);
+        let sets = match_sets(&m);
+        assert_eq!(sets.get(&(2, 1)), Some(&Some(BTreeSet::from([0]))));
+    }
+
+    #[test]
+    fn observed_superset_violation_marks_unknown() {
+        // Epoch claims alternate 1 but the trace shows no send from 1:
+        // the model must refuse to bound this epoch rather than prune it.
+        let events = vec![
+            ev(0, 0, send(0, 2, 7)),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+        ];
+        let eps = vec![epoch(2, 1, 7, Some(0), &[1])];
+        let m = TraceModel::build(3, &events, &eps);
+        let sets = match_sets(&m);
+        assert_eq!(sets.get(&(2, 1)), Some(&None));
+        assert!(deterministic_wildcards(&sets).is_empty());
+    }
+
+    #[test]
+    fn named_receive_claim_refutes_alternate() {
+        // Rank 1 sends one tagged message to rank 2; rank 2 posts a named
+        // receive from 1 *before* the wildcard. Non-overtaking means the
+        // wildcard can never see rank 1's send, yet the free run records
+        // it as a late alternate.
+        let events = vec![
+            ev(0, 0, send(0, 2, 7)),
+            ev(1, 0, send(0, 2, 7)),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 1,
+                    tag: 7,
+                },
+            ),
+            ev(
+                2,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+        ];
+        let eps = vec![epoch(2, 1, 7, Some(0), &[1])];
+        let m = TraceModel::build(3, &events, &eps);
+        let inf = infeasible_alternates(&m);
+        assert_eq!(inf, BTreeSet::from([(2, 1, 1)]));
+    }
+
+    #[test]
+    fn second_send_keeps_alternate_feasible() {
+        // Same as above but rank 1 sends twice: the named receive claims
+        // one, the wildcard can still take the other.
+        let events = vec![
+            ev(0, 0, send(0, 2, 7)),
+            ev(1, 0, send(0, 2, 7)),
+            ev(1, 1, send(0, 2, 7)),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 1,
+                    tag: 7,
+                },
+            ),
+            ev(
+                2,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+        ];
+        let eps = vec![epoch(2, 1, 7, Some(0), &[1])];
+        let m = TraceModel::build(3, &events, &eps);
+        assert!(infeasible_alternates(&m).is_empty());
+    }
+
+    #[test]
+    fn cross_tag_claims_do_not_refute() {
+        // Rank 1 sends tags 5 and 6; the earlier named receive takes only
+        // tag 5, so an ANY_TAG wildcard can still take the tag-6 send.
+        let events = vec![
+            ev(1, 0, send(0, 2, 5)),
+            ev(1, 1, send(0, 2, 6)),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 1,
+                    tag: 5,
+                },
+            ),
+            ev(
+                2,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG,
+                },
+            ),
+            ev(0, 0, send(0, 2, 6)),
+        ];
+        let eps = vec![epoch(2, 1, ANY_TAG, Some(0), &[1])];
+        let m = TraceModel::build(3, &events, &eps);
+        assert!(infeasible_alternates(&m).is_empty());
+    }
+
+    #[test]
+    fn earlier_epoch_match_counts_as_claim() {
+        // Two wildcards at rank 2; the first observedly matched rank 1,
+        // whose only send is thereby spoken for in any forced replay of
+        // the second epoch.
+        let wild = TraceOp::Irecv {
+            comm: 0,
+            src: ANY_SOURCE,
+            tag: 7,
+        };
+        let events = vec![
+            ev(0, 0, send(0, 2, 7)),
+            ev(1, 0, send(0, 2, 7)),
+            ev(2, 0, wild.clone()),
+            ev(2, 1, wild),
+        ];
+        let eps = vec![epoch(2, 1, 7, Some(1), &[0]), epoch(2, 2, 7, Some(0), &[1])];
+        let m = TraceModel::build(3, &events, &eps);
+        let inf = infeasible_alternates(&m);
+        assert_eq!(inf, BTreeSet::from([(2, 2, 1)]));
+    }
+
+    #[test]
+    fn symmetric_senders_form_an_orbit() {
+        // Ranks 1 and 2 each send one identical message to rank 0 and
+        // never talk to each other; rank 0 treats them via wildcards only.
+        let wild = TraceOp::Irecv {
+            comm: 0,
+            src: ANY_SOURCE,
+            tag: 7,
+        };
+        let events = vec![
+            ev(0, 0, wild.clone()),
+            ev(0, 1, wild),
+            ev(1, 0, send(0, 0, 7)),
+            ev(2, 0, send(0, 0, 7)),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert_eq!(rank_orbits(&m), vec![BTreeSet::from([1, 2])]);
+    }
+
+    #[test]
+    fn differing_payload_sizes_break_the_orbit() {
+        let wild = TraceOp::Irecv {
+            comm: 0,
+            src: ANY_SOURCE,
+            tag: 7,
+        };
+        let events = vec![
+            ev(0, 0, wild.clone()),
+            ev(0, 1, wild),
+            ev(1, 0, send(0, 0, 7)),
+            ev(
+                2,
+                0,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 0,
+                    tag: 7,
+                    bytes: 16,
+                    digest: 0,
+                },
+            ),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert!(rank_orbits(&m).is_empty());
+    }
+
+    #[test]
+    fn differing_payload_contents_break_the_orbit() {
+        // The Fig. 3 shape: ranks 0 and 2 each send one equal-length
+        // message to rank 1's wildcards, but the payloads *differ* (22
+        // vs. 33) and the receiver asserts on the value. Grouping them
+        // by length alone would prune the bug-revealing fork; the
+        // content digest must keep them distinct.
+        let wild = TraceOp::Irecv {
+            comm: 0,
+            src: ANY_SOURCE,
+            tag: 7,
+        };
+        let payload = |digest| TraceOp::Isend {
+            comm: 0,
+            dest: 1,
+            tag: 7,
+            bytes: 8,
+            digest,
+        };
+        let events = vec![
+            ev(0, 0, payload(22)),
+            ev(1, 0, wild.clone()),
+            ev(1, 1, wild),
+            ev(2, 0, payload(33)),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert!(rank_orbits(&m).is_empty());
+    }
+
+    #[test]
+    fn third_rank_distinguishing_peers_breaks_the_orbit() {
+        // Ranks 1 and 2 behave identically, but rank 0 sends to rank 1
+        // only — the projections toward 1 and 2 differ.
+        let events = vec![
+            ev(0, 0, send(0, 1, 3)),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG,
+                },
+            ),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG,
+                },
+            ),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert!(rank_orbits(&m).is_empty());
+    }
+
+    #[test]
+    fn ranks_naming_each_other_break_the_orbit() {
+        let events = vec![
+            ev(1, 0, send(0, 2, 3)),
+            ev(2, 0, send(0, 1, 3)),
+            ev(
+                1,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 2,
+                    tag: 3,
+                },
+            ),
+            ev(
+                2,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 1,
+                    tag: 3,
+                },
+            ),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        // Mirror-image sequences are not even equal (dest differs), and
+        // they name each other; no orbit.
+        assert!(rank_orbits(&m).is_empty());
+    }
+
+    #[test]
+    fn opaque_derived_comm_p2p_disables_orbits() {
+        let wild = TraceOp::Irecv {
+            comm: 0,
+            src: ANY_SOURCE,
+            tag: 7,
+        };
+        let events = vec![
+            ev(0, 0, wild.clone()),
+            ev(0, 1, wild),
+            ev(
+                0,
+                2,
+                TraceOp::Isend {
+                    comm: 3,
+                    dest: 0,
+                    tag: 1,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(1, 0, send(0, 0, 7)),
+            ev(2, 0, send(0, 0, 7)),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert!(rank_orbits(&m).is_empty());
+    }
+}

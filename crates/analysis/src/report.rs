@@ -1,0 +1,193 @@
+//! The analysis report: everything the pre-replay passes concluded.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dampi_core::prune::PrunePlan;
+use serde_json::json;
+
+use crate::lints::{Lint, Severity};
+
+/// Version stamp of the `analyze --json` document layout.
+pub const ANALYSIS_SCHEMA_VERSION: u32 = 1;
+
+/// Result of running the static pre-analysis over one traced free run.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Program name analyzed.
+    pub program: String,
+    /// World size.
+    pub nprocs: usize,
+    /// Epochs (wildcard receive/probe instances) in the free run.
+    pub epochs: usize,
+    /// Epochs successfully aligned with the event trace.
+    pub epochs_mapped: usize,
+    /// Recorded alternates across all epochs (the unpruned frontier mass).
+    pub alternates_recorded: usize,
+    /// Over-approximated match-set size per epoch, keyed `"rank:clock"`;
+    /// `None` where the set could not be bounded.
+    pub match_set_sizes: BTreeMap<String, Option<usize>>,
+    /// The assembled prune plan (deterministic wildcards, infeasible
+    /// alternates, symmetry orbits).
+    pub plan: PrunePlan,
+    /// Definite-bug lints.
+    pub lints: Vec<Lint>,
+    /// Analysis caveats (alignment failures and the like).
+    pub notes: Vec<String>,
+}
+
+impl AnalysisReport {
+    /// The plan the scheduler consumes (`verify --prune-static`).
+    #[must_use]
+    pub fn prune_plan(&self) -> PrunePlan {
+        self.plan.clone()
+    }
+
+    /// Number of error-severity lints — the CLI's exit-status signal.
+    #[must_use]
+    pub fn error_lints(&self) -> usize {
+        self.lints
+            .iter()
+            .filter(|l| l.severity == Severity::Error)
+            .count()
+    }
+
+    /// Machine-readable export (CI integration, `analyze --json`).
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "schema_version": ANALYSIS_SCHEMA_VERSION,
+            "program": self.program,
+            "nprocs": self.nprocs,
+            "epochs": self.epochs,
+            "epochs_mapped": self.epochs_mapped,
+            "alternates_recorded": self.alternates_recorded,
+            "match_set_sizes": self.match_set_sizes,
+            "deterministic_wildcards": self.plan.deterministic.iter()
+                .map(|(r, c)| json!({"rank": r, "clock": c}))
+                .collect::<Vec<_>>(),
+            "infeasible_alternates": self.plan.infeasible.iter()
+                .map(|(r, c, s)| json!({"rank": r, "clock": c, "src": s}))
+                .collect::<Vec<_>>(),
+            "orbits": self.plan.orbits.iter()
+                .map(|o| o.iter().collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+            "lints": self.lints.iter().map(Lint::to_json).collect::<Vec<_>>(),
+            "error_lints": self.error_lints(),
+            "notes": self.notes,
+        })
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DAMPI static pre-analysis of `{}` ({} procs)",
+            self.program, self.nprocs
+        )?;
+        writeln!(
+            f,
+            "  epochs: {} ({} aligned with the trace), {} recorded alternate(s)",
+            self.epochs, self.epochs_mapped, self.alternates_recorded
+        )?;
+        writeln!(
+            f,
+            "  deterministic wildcards: {}   infeasible alternates: {}",
+            self.plan.deterministic.len(),
+            self.plan.infeasible.len()
+        )?;
+        if self.plan.orbits.is_empty() {
+            writeln!(f, "  symmetry orbits: none")?;
+        } else {
+            let groups: Vec<String> = self
+                .plan
+                .orbits
+                .iter()
+                .map(|o| format!("{:?}", o.iter().collect::<Vec<_>>()))
+                .collect();
+            writeln!(f, "  symmetry orbits: {}", groups.join(" "))?;
+        }
+        if self.lints.is_empty() {
+            writeln!(f, "  lints: none")?;
+        } else {
+            writeln!(f, "  lints ({}):", self.lints.len())?;
+            for l in &self.lints {
+                writeln!(f, "    {l}")?;
+            }
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn report() -> AnalysisReport {
+        AnalysisReport {
+            program: "demo".into(),
+            nprocs: 4,
+            epochs: 3,
+            epochs_mapped: 3,
+            alternates_recorded: 5,
+            match_set_sizes: BTreeMap::from([
+                ("1:1".to_string(), Some(2)),
+                ("1:2".to_string(), None),
+            ]),
+            plan: PrunePlan {
+                infeasible: BTreeSet::from([(1, 2, 3)]),
+                deterministic: BTreeSet::from([(2, 1)]),
+                orbits: vec![BTreeSet::from([1, 2])],
+            },
+            lints: vec![Lint {
+                id: "L001",
+                kind: "collective-mismatch",
+                severity: Severity::Error,
+                ranks: vec![0, 1],
+                message: "demo".into(),
+            }],
+            notes: vec!["rank 3: unmapped".into()],
+        }
+    }
+
+    #[test]
+    fn json_exposes_every_section() {
+        let j = report().to_json();
+        assert_eq!(j["schema_version"], ANALYSIS_SCHEMA_VERSION);
+        assert_eq!(j["infeasible_alternates"][0]["src"], 3);
+        assert_eq!(j["deterministic_wildcards"][0]["rank"], 2);
+        assert_eq!(j["orbits"][0], serde_json::json!([1, 2]));
+        assert_eq!(j["lints"][0]["id"], "L001");
+        assert_eq!(j["lints"][0]["severity"], "error");
+        assert_eq!(j["error_lints"], 1);
+        assert_eq!(j["match_set_sizes"]["1:1"], 2);
+        assert!(j["match_set_sizes"]["1:2"].is_null());
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let s = report().to_string();
+        assert!(s.contains("deterministic wildcards: 1"), "{s}");
+        assert!(s.contains("infeasible alternates: 1"), "{s}");
+        assert!(s.contains("L001"), "{s}");
+        assert!(s.contains("note: rank 3"), "{s}");
+    }
+
+    #[test]
+    fn error_lint_count_ignores_warnings() {
+        let mut r = report();
+        r.lints.push(Lint {
+            id: "L002",
+            kind: "request-leak",
+            severity: Severity::Warning,
+            ranks: vec![2],
+            message: "demo".into(),
+        });
+        assert_eq!(r.error_lints(), 1);
+    }
+}

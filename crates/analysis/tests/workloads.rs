@@ -1,0 +1,124 @@
+//! End-to-end analyzer checks against the real workload crate: seeded-bug
+//! patterns must fire exactly their intended lint, clean kernels must fire
+//! none, and the symmetry pass must find the racers orbits it prunes with.
+
+use dampi_analysis::{analyze, analyze_program};
+use dampi_core::DampiVerifier;
+use dampi_mpi::program::MpiProgram;
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::{nas, patterns};
+
+fn verifier(np: usize) -> DampiVerifier {
+    DampiVerifier::new(SimConfig::new(np).with_policy(MatchPolicy::LowestRank))
+}
+
+/// Error set of one campaign as comparable `(rank, message)` keys.
+type ErrorKeys = Vec<(usize, String)>;
+
+/// The coverage invariant, end to end: grow the plain and the pruned
+/// campaign from the same traced free run (exactly the CLI's
+/// `--prune-static` path) and return both error sets as comparable keys.
+fn error_sets(np: usize, prog: &dyn MpiProgram) -> (ErrorKeys, ErrorKeys) {
+    let v = verifier(np);
+    let (events, run) = v.traced_run(prog);
+    let base = v.verify_with_first_run(prog, run.clone());
+    let analysis = analyze(prog.name(), np, &events, &run);
+    let pruned = v
+        .clone()
+        .with_prune_plan(analysis.prune_plan())
+        .verify_with_first_run(prog, run);
+    let keys = |r: &dampi_core::report::VerificationReport| {
+        let mut k: ErrorKeys = r
+            .errors
+            .iter()
+            .map(|e| (e.rank, e.error.to_string()))
+            .collect();
+        k.sort();
+        k
+    };
+    (keys(&base), keys(&pruned))
+}
+
+#[test]
+fn collective_mismatch_fires_exactly_l001() {
+    let report = analyze_program(&verifier(4), &patterns::collective_mismatch());
+    let ids: Vec<&str> = report.lints.iter().map(|l| l.id).collect();
+    assert_eq!(ids, ["L001"], "lints: {:?}", report.lints);
+    assert_eq!(report.error_lints(), 1);
+}
+
+#[test]
+fn request_leak_fires_exactly_l002() {
+    let report = analyze_program(&verifier(4), &patterns::request_leak());
+    let ids: Vec<&str> = report.lints.iter().map(|l| l.id).collect();
+    assert_eq!(ids, ["L002"], "lints: {:?}", report.lints);
+    // A warning, not an error: the CLI must not exit non-zero for it.
+    assert_eq!(report.error_lints(), 0);
+}
+
+#[test]
+fn clean_nas_kernels_fire_no_lints() {
+    for (name, prog) in nas::all_nominal() {
+        let report = analyze_program(&verifier(4), prog.as_ref());
+        assert!(
+            report.lints.is_empty(),
+            "{name}: unexpected lints {:?}",
+            report.lints
+        );
+    }
+}
+
+#[test]
+fn racers_orbits_are_stable() {
+    // The racers trace is deterministic (all payloads are constant), so the
+    // symmetry pass must find the producer and consumer orbits every run.
+    let report = analyze_program(&verifier(4), &patterns::symmetric_racers());
+    let orbits: Vec<Vec<usize>> = report
+        .plan
+        .orbits
+        .iter()
+        .map(|o| o.iter().copied().collect())
+        .collect();
+    assert_eq!(orbits, vec![vec![0, 2], vec![1, 3]]);
+}
+
+#[test]
+fn fig3_keeps_its_bug_under_pruning() {
+    // Fig. 3's ranks 0 and 2 send *equal-length* payloads (22 vs. 33) to
+    // rank 1's wildcards; the bug lives on the x==33 match only. The
+    // payload digest must keep the two senders out of a common orbit, and
+    // the pruned campaign must still report the assertion failure.
+    let prog = patterns::fig3();
+    let report = analyze_program(&verifier(3), &prog);
+    assert!(
+        report.plan.orbits.is_empty(),
+        "content-distinct senders must not form an orbit: {:?}",
+        report.plan.orbits
+    );
+    let (base, pruned) = error_sets(3, &prog);
+    assert!(!base.is_empty(), "fig3 plain campaign must find the bug");
+    assert_eq!(base, pruned, "pruning changed fig3's error set");
+}
+
+#[test]
+fn alternate_schedule_deadlock_survives_pruning() {
+    // The deadlock only manifests on a forced alternate match — exactly
+    // the kind of fork an unsound prune plan would drop.
+    let prog = patterns::deadlock_on_alternate_schedule();
+    let (base, pruned) = error_sets(3, &prog);
+    assert!(!base.is_empty(), "plain campaign must find the deadlock");
+    assert_eq!(base, pruned, "pruning changed the deadlock error set");
+}
+
+#[test]
+fn seeded_bugs_prune_nothing_by_accident() {
+    // The lint patterns are asymmetric and wildcard-free: the prune plan
+    // must stay empty so `analyze` never masks the bug it is reporting.
+    for prog in [
+        Box::new(patterns::collective_mismatch()) as Box<dyn dampi_mpi::MpiProgram>,
+        Box::new(patterns::request_leak()),
+    ] {
+        let report = analyze_program(&verifier(4), prog.as_ref());
+        assert!(report.plan.is_empty(), "plan: {:?}", report.plan);
+    }
+}

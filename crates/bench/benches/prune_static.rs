@@ -1,0 +1,80 @@
+//! **Static pruning — replay count and wall-clock with/without the plan.**
+//!
+//! Plain vs. `--prune-static` campaigns on `symmetric_racers`, matmul,
+//! and ADLB (np 16, bounded k=1). Both arms grow from the *same* traced
+//! free run (task-pool frontiers differ run to run), so the replay-count
+//! delta is exactly what the `dampi-analysis` plan removed.
+//!
+//! Expected shape: racers halves deterministically (4 → 2, orbits
+//! `[0,2]` and `[1,3]` on every run); matmul is a pinned **no-op**
+//! (162 → 162, zero orbits — send signatures digest payload *content*,
+//! and every slave returns task-specific rows, so no two slaves are
+//! interchangeable; grouping them by length alone is exactly the
+//! unsoundness the fig3 regression test guards against); ADLB at np 16
+//! reduces ~5–6× (≈7000 → ≈1300): 15 workers contend for 12 work items,
+//! so at least three retire with digest-identical zero-item traces and
+//! form a guaranteed orbit. On every point the error set is asserted
+//! byte-identical — a wrong answer aborts the bench.
+//!
+//! Set `DAMPI_BENCH_JSON=<path>` to also write the
+//! `BENCH_prune_static.json` snapshot. `DAMPI_BENCH_FAST=1` skips the
+//! Criterion timing loop (CI smoke runs the figure + assertions only).
+
+use criterion::{criterion_group, Criterion};
+use dampi_bench::prune::{measure, to_json};
+use dampi_bench::Table;
+
+fn print_figure() {
+    let mut table = Table::new(
+        "Static pruning: replays and wall-clock, plain vs. --prune-static",
+        &[
+            "workload",
+            "plain il",
+            "pruned il",
+            "dropped",
+            "det wc",
+            "orbits",
+            "plain (s)",
+            "pruned (s)",
+        ],
+    );
+    let mut points = Vec::new();
+    for workload in ["symmetric_racers", "matmul", "adlb"] {
+        let p = measure(workload);
+        table.row(vec![
+            p.workload.clone(),
+            p.base_interleavings.to_string(),
+            p.pruned_interleavings.to_string(),
+            p.alternates_pruned.to_string(),
+            p.wildcards_deterministic.to_string(),
+            p.orbits.to_string(),
+            format!("{:.4}", p.base_wall_s),
+            format!("{:.4}", p.pruned_wall_s),
+        ]);
+        points.push(p);
+    }
+    table.print();
+    if let Ok(path) = std::env::var("DAMPI_BENCH_JSON") {
+        std::fs::write(&path, to_json(&points)).expect("write snapshot");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prune_static");
+    g.sample_size(10);
+    g.bench_function("racers_plain_vs_pruned", |b| {
+        b.iter(|| measure("symmetric_racers"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    if std::env::var("DAMPI_BENCH_FAST").is_err() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
+}

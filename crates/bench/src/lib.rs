@@ -9,6 +9,7 @@
 
 pub mod overhead;
 pub mod parallel;
+pub mod prune;
 pub mod table;
 pub mod table2;
 

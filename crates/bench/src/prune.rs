@@ -1,0 +1,161 @@
+//! Static-pruning measurement (`verify --prune-static` vs. plain verify).
+//!
+//! For each workload, run the campaign twice: once plain, once with the
+//! prune plan derived by `dampi-analysis` from a traced free run (the
+//! pruned campaign reuses that run as its `SELF_RUN`, exactly like the
+//! CLI's `--prune-static` path). The honest metric is the replay count —
+//! wall-clock follows it, since the simulator's replays are microseconds
+//! while a real deployment's are full MPI job launches.
+//!
+//! The soundness contract is asserted on every point, not sampled: the
+//! pruned campaign's error set must be byte-identical to the plain one's
+//! and its interleaving count must never exceed it, or the measurement
+//! panics rather than report a reduction over a wrong answer.
+
+use std::time::Instant;
+
+use dampi_analysis::analyze;
+use dampi_core::bounds::MixingBound;
+use dampi_core::report::VerificationReport;
+use dampi_core::{DampiConfig, DampiVerifier};
+use dampi_mpi::program::MpiProgram;
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::adlb::{Adlb, AdlbParams};
+use dampi_workloads::matmul::{Matmul, MatmulParams};
+use dampi_workloads::patterns;
+
+/// One measured workload: plain vs. pruned campaign.
+#[derive(Debug, Clone)]
+pub struct PrunePoint {
+    /// Workload name.
+    pub workload: String,
+    /// Interleavings the plain campaign replayed.
+    pub base_interleavings: u64,
+    /// Interleavings the pruned campaign replayed.
+    pub pruned_interleavings: u64,
+    /// Frontier forks the plan dropped (from the pruned report).
+    pub alternates_pruned: u64,
+    /// Wildcards the analysis proved deterministic.
+    pub wildcards_deterministic: u64,
+    /// Rank-symmetry orbits the analysis found on this run's trace.
+    pub orbits: usize,
+    /// Wall-clock seconds of the plain campaign.
+    pub base_wall_s: f64,
+    /// Wall-clock seconds of the pruned campaign, including the analysis
+    /// passes (the shared traced free run is outside both timings).
+    pub pruned_wall_s: f64,
+    /// Errors found (identical across the two campaigns by assertion).
+    pub errors: usize,
+}
+
+fn verifier_for(workload: &str) -> (DampiVerifier, Box<dyn MpiProgram>) {
+    match workload {
+        "symmetric_racers" => (
+            DampiVerifier::new(SimConfig::new(4).with_policy(MatchPolicy::LowestRank)),
+            Box::new(patterns::symmetric_racers()),
+        ),
+        "matmul" => (
+            DampiVerifier::new(SimConfig::new(4)),
+            Box::new(Matmul::new(MatmulParams::default())),
+        ),
+        // ADLB's unbounded space is enormous; the paper explores it under
+        // bounded mixing (Fig. 9), and so does this measurement — both
+        // arms share the bound, so the comparison stays apples-to-apples.
+        // np 16 over-provisions the worker pool: default params queue 12
+        // work items for 15 workers, so at least three workers retire
+        // without ever receiving a task. Those zero-item workers have
+        // digest-identical traces (one empty GET, one DONE) and form a
+        // guaranteed symmetry orbit — the sound reduction the digested
+        // signatures still license on a task-pool workload.
+        "adlb" => (
+            DampiVerifier::with_config(
+                SimConfig::new(16),
+                DampiConfig::default().with_bound(MixingBound::K(1)),
+            ),
+            Box::new(Adlb::new(AdlbParams::default())),
+        ),
+        other => panic!("unknown pruning workload `{other}`"),
+    }
+}
+
+fn error_keys(report: &VerificationReport) -> Vec<(usize, String)> {
+    let mut keys: Vec<(usize, String)> = report
+        .errors
+        .iter()
+        .map(|e| (e.rank, e.error.to_string()))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Run `workload` plain and pruned, asserting the soundness contract.
+///
+/// Both campaigns grow from the *same* traced free run: task-pool
+/// workloads (matmul, ADLB) schedule nondeterministically across free
+/// runs, so two independent runs would compare two different frontiers
+/// and the interleaving counts would not be comparable at all.
+#[must_use]
+pub fn measure(workload: &str) -> PrunePoint {
+    let (verifier, prog) = verifier_for(workload);
+    let (events, run) = verifier.traced_run(prog.as_ref());
+
+    let start = Instant::now();
+    let base = verifier.verify_with_first_run(prog.as_ref(), run.clone());
+    let base_wall_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let analysis = analyze(prog.name(), verifier.sim.nprocs, &events, &run);
+    let orbits = analysis.plan.orbits.len();
+    let pruned_verifier = verifier.clone().with_prune_plan(analysis.prune_plan());
+    let pruned = pruned_verifier.verify_with_first_run(prog.as_ref(), run);
+    let pruned_wall_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        error_keys(&base),
+        error_keys(&pruned),
+        "{workload}: pruned campaign changed the error set"
+    );
+    assert!(
+        pruned.interleavings <= base.interleavings,
+        "{workload}: pruning grew the campaign ({} -> {})",
+        base.interleavings,
+        pruned.interleavings
+    );
+
+    PrunePoint {
+        workload: workload.to_owned(),
+        base_interleavings: base.interleavings,
+        pruned_interleavings: pruned.interleavings,
+        alternates_pruned: pruned.alternates_pruned,
+        wildcards_deterministic: pruned.wildcards_deterministic,
+        orbits,
+        base_wall_s,
+        pruned_wall_s,
+        errors: base.errors.len(),
+    }
+}
+
+/// JSON snapshot (`BENCH_prune_static.json`).
+#[must_use]
+pub fn to_json(points: &[PrunePoint]) -> String {
+    let mut out = String::from("{\n  \"workloads\": {\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"base_interleavings\": {}, \"pruned_interleavings\": {}, \
+             \"alternates_pruned\": {}, \"wildcards_deterministic\": {}, \"orbits\": {}, \
+             \"base_wall_s\": {:.4}, \"pruned_wall_s\": {:.4}, \"errors\": {}}}{}\n",
+            p.workload,
+            p.base_interleavings,
+            p.pruned_interleavings,
+            p.alternates_pruned,
+            p.wildcards_deterministic,
+            p.orbits,
+            p.base_wall_s,
+            p.pruned_wall_s,
+            p.errors,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}

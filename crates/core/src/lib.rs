@@ -76,6 +76,7 @@ pub mod metrics;
 pub mod minimize;
 pub mod monitor;
 pub mod pb;
+pub mod prune;
 pub mod report;
 pub mod scheduler;
 pub mod tool;
@@ -87,6 +88,7 @@ pub use decisions::{DecisionSet, EpochDecision};
 pub use epoch::{EpochRecord, NdKind};
 pub use journal::ExplorationJournal;
 pub use metrics::{CampaignMetrics, CampaignTrace, METRICS_SCHEMA_VERSION, TRACE_SCHEMA_VERSION};
+pub use prune::PrunePlan;
 pub use report::{FoundError, ReplayTimeoutRecord, VerificationReport};
 pub use verifier::DampiVerifier;
 

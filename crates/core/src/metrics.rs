@@ -171,6 +171,12 @@ pub struct SemanticMetrics {
     pub drained_messages: u64,
     /// §V unsafe-pattern monitor alerts across committed runs.
     pub unsafe_alerts: u64,
+    /// Frontier alternates dropped by the static prune plan across
+    /// committed runs (see `dampi_core::prune`).
+    pub alternates_pruned: u64,
+    /// Committed epoch instances the static analysis proved deterministic
+    /// (singleton feasible sender set — no branching possible).
+    pub wildcards_deterministic: u64,
 }
 
 impl SemanticMetrics {
@@ -187,6 +193,8 @@ impl SemanticMetrics {
         self.pb_wire_bytes += oc.stats.pb_wire_bytes;
         self.drained_messages += oc.stats.drained_messages;
         self.unsafe_alerts += oc.stats.unsafe_alerts;
+        self.alternates_pruned += oc.alternates_pruned;
+        self.wildcards_deterministic += oc.wildcards_deterministic;
     }
 }
 
@@ -209,6 +217,10 @@ pub struct ObservedCommit {
     pub stats: ToolRunStats,
     /// Watchdog detail when the replay was killed over budget.
     pub timed_out: bool,
+    /// Frontier alternates the static prune plan dropped at this commit.
+    pub alternates_pruned: u64,
+    /// Epoch instances in this commit the plan proved deterministic.
+    pub wildcards_deterministic: u64,
 }
 
 // ---- Campaign metrics ------------------------------------------------------
@@ -445,6 +457,8 @@ impl CampaignMetrics {
             "pb_wire_bytes": s.pb_wire_bytes,
             "drained_messages": s.drained_messages,
             "unsafe_alerts": s.unsafe_alerts,
+            "alternates_pruned": s.alternates_pruned,
+            "wildcards_deterministic": s.wildcards_deterministic,
         });
         let wall_clock = serde_json::json!({
             "deterministic": false,
@@ -706,6 +720,8 @@ mod tests {
                 attempts: 1,
                 stats,
                 timed_out: false,
+                alternates_pruned: 2,
+                wildcards_deterministic: 1,
             },
             4,
         );
@@ -719,6 +735,8 @@ mod tests {
                 attempts: 1,
                 stats,
                 timed_out: false,
+                alternates_pruned: 0,
+                wildcards_deterministic: 1,
             },
             3,
         );
@@ -731,6 +749,8 @@ mod tests {
         assert_eq!(s.replays_by_depth[&1], 1);
         assert_eq!(s.wildcards, 6);
         assert_eq!(s.pb_wire_bytes, 336);
+        assert_eq!(s.alternates_pruned, 2);
+        assert_eq!(s.wildcards_deterministic, 2);
         assert_eq!(m.committed(), 2);
     }
 

@@ -1,0 +1,119 @@
+//! Static pre-analysis prune plans consumed by the scheduler.
+//!
+//! `crates/analysis` inspects the initial free run's event trace and epoch
+//! log *before* any replay is dispatched and condenses its conclusions into
+//! a [`PrunePlan`] — a plain data value, so the core scheduler does not
+//! depend on the analysis crate. The plan carries three kinds of facts:
+//!
+//! 1. **Infeasible alternates** — recorded `(rank, clock, src)` alternates
+//!    that envelope counting plus MPI non-overtaking prove unmatchable (the
+//!    forced source's compatible sends are all necessarily consumed by
+//!    receives posted earlier at the epoch's rank). Forcing such an
+//!    alternate can only produce a spurious deadlock, never a feasible
+//!    schedule, so the fork is dropped from the root frontier.
+//! 2. **Deterministic wildcards** — `(rank, clock)` epochs whose
+//!    over-approximated feasible sender set is a singleton. These never
+//!    branch anyway (the dynamic analysis records no alternates for them);
+//!    the plan lists them so the scheduler can report how much of the
+//!    wildcard population is *effectively deterministic* (the paper's §IV
+//!    observation motivating pruning).
+//! 3. **Rank orbits** — groups of interchangeable ranks (identical traced
+//!    operation sequences, indistinguishable to every third rank). Within a
+//!    frontier push, an alternate whose swap with an already-covered
+//!    sibling source fixes the entire forced prefix explores a subtree
+//!    isomorphic to one already scheduled; it is pruned (classic symmetry
+//!    reduction — errors are preserved up to renaming of orbit members).
+//!
+//! Every decision the scheduler takes from a plan happens on the
+//! deterministic commit path, so `--jobs N` explorations remain
+//! byte-identical for any worker count.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// The distilled output of the static pre-analysis, consumed by
+/// `scheduler::push_forks` when pruning is enabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrunePlan {
+    /// Alternates `(rank, clock, src)` proven unmatchable for the initial
+    /// run's epochs; dropped from the root frontier only (replay epoch
+    /// logs may legitimately differ from the analyzed trace).
+    pub infeasible: BTreeSet<(usize, u64, usize)>,
+    /// Epochs `(rank, clock)` whose over-approximated feasible sender set
+    /// is a singleton — statically deterministic wildcards.
+    pub deterministic: BTreeSet<(usize, u64)>,
+    /// Disjoint groups of interchangeable ranks. Ranks not listed in any
+    /// orbit are fixed points (never swapped).
+    pub orbits: Vec<BTreeSet<usize>>,
+}
+
+impl PrunePlan {
+    /// True when the plan prescribes nothing — the scheduler then behaves
+    /// exactly as if no plan were installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.infeasible.is_empty()
+            && self.deterministic.is_empty()
+            && self.orbits.iter().all(|o| o.len() < 2)
+    }
+
+    /// The orbit containing `rank`, if it belongs to one with at least two
+    /// members.
+    #[must_use]
+    pub fn orbit_of(&self, rank: usize) -> Option<&BTreeSet<usize>> {
+        self.orbits
+            .iter()
+            .find(|o| o.len() >= 2 && o.contains(&rank))
+    }
+
+    /// True when `a` and `b` are distinct members of the same orbit —
+    /// i.e. the program cannot tell them apart and swapping them maps the
+    /// reachable schedule space onto itself.
+    #[must_use]
+    pub fn interchangeable(&self, a: usize, b: usize) -> bool {
+        a != b && self.orbit_of(a).is_some_and(|o| o.contains(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(PrunePlan::default().is_empty());
+        let trivial = PrunePlan {
+            orbits: vec![BTreeSet::from([3])],
+            ..PrunePlan::default()
+        };
+        assert!(trivial.is_empty(), "singleton orbits prescribe nothing");
+    }
+
+    #[test]
+    fn orbit_membership() {
+        let plan = PrunePlan {
+            orbits: vec![BTreeSet::from([1, 2, 3]), BTreeSet::from([5, 6])],
+            ..PrunePlan::default()
+        };
+        assert!(!plan.is_empty());
+        assert!(plan.interchangeable(1, 3));
+        assert!(plan.interchangeable(6, 5));
+        assert!(!plan.interchangeable(1, 5));
+        assert!(!plan.interchangeable(2, 2));
+        assert!(!plan.interchangeable(0, 4));
+        assert_eq!(plan.orbit_of(4), None);
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = PrunePlan {
+            infeasible: BTreeSet::from([(0, 3, 2)]),
+            deterministic: BTreeSet::from([(1, 0)]),
+            orbits: vec![BTreeSet::from([1, 2])],
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: PrunePlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -74,6 +74,12 @@ pub struct VerificationReport {
     pub total_virtual_time: f64,
     /// True when `max_interleavings` cut the walk short.
     pub budget_exhausted: bool,
+    /// Frontier alternates dropped by the static prune plan
+    /// (`--prune-static`); zero when pruning was off.
+    pub alternates_pruned: u64,
+    /// Committed epoch instances the static analysis proved deterministic
+    /// (singleton feasible sender set).
+    pub wildcards_deterministic: u64,
     /// Per-epoch `(rank, clock)` union of every discovered match (matched
     /// source and alternates, over all runs) — the verifier's coverage.
     pub discovered: BTreeMap<(usize, u64), BTreeSet<usize>>,
@@ -166,6 +172,8 @@ impl VerificationReport {
                 })
                 .collect::<Vec<_>>(),
             "pb_messages": self.pb_messages,
+            "alternates_pruned": self.alternates_pruned,
+            "wildcards_deterministic": self.wildcards_deterministic,
             "first_run_makespan_s": self.first_run_makespan,
             "total_virtual_time_s": self.total_virtual_time,
             "discovered": discovered,
@@ -194,6 +202,13 @@ impl fmt::Display for VerificationReport {
             }
         )?;
         writeln!(f, "  wildcards analyzed (R*): {}", self.wildcards_analyzed)?;
+        if self.alternates_pruned > 0 || self.wildcards_deterministic > 0 {
+            writeln!(
+                f,
+                "  static pruning: {} alternate(s) dropped, {} deterministic wildcard instance(s)",
+                self.alternates_pruned, self.wildcards_deterministic
+            )?;
+        }
         writeln!(
             f,
             "  C-leak: {}   R-leak: {}",
@@ -296,6 +311,8 @@ mod tests {
             first_run_makespan: 0.001,
             total_virtual_time: 0.01,
             budget_exhausted: false,
+            alternates_pruned: 0,
+            wildcards_deterministic: 0,
             discovered: BTreeMap::new(),
         }
     }

@@ -42,9 +42,11 @@ use crate::decisions::{DecisionSet, EpochDecision};
 use crate::epoch::{EpochRecord, ToolRunStats};
 use crate::journal::{ExplorationJournal, JournalFork, JOURNAL_VERSION};
 use crate::metrics::{CampaignEvent, CampaignMetrics, CampaignTrace, ObservedCommit};
+use crate::prune::PrunePlan;
 use crate::report::{FoundError, ReplayTimeoutRecord};
 
 /// What one execution produced, as the scheduler sees it.
+#[derive(Clone)]
 pub struct RunResult {
     /// Runtime outcome (errors, leaks, virtual times).
     pub outcome: RunOutcome,
@@ -88,6 +90,10 @@ pub struct ExploreOptions {
     pub metrics: Option<Arc<CampaignMetrics>>,
     /// Span-style campaign trace (JSONL events, wall-clock ordered).
     pub trace: Option<Arc<CampaignTrace>>,
+    /// Static pre-analysis prune plan (see [`crate::prune`]). Applied on
+    /// the deterministic commit path only, so any `jobs` value still
+    /// produces the same (pruned) exploration. `None` disables pruning.
+    pub prune: Option<Arc<PrunePlan>>,
 }
 
 impl Default for ExploreOptions {
@@ -104,6 +110,7 @@ impl Default for ExploreOptions {
             jobs: 1,
             metrics: None,
             trace: None,
+            prune: None,
         }
     }
 }
@@ -141,6 +148,12 @@ pub struct Exploration {
     /// verifier's *coverage*: the set of non-deterministic outcomes it
     /// knows about (used by the §II-F completeness comparisons).
     pub discovered: BTreeMap<(usize, u64), BTreeSet<usize>>,
+    /// Frontier forks dropped by the static prune plan (infeasible or
+    /// symmetry-redundant alternates). Zero when no plan is installed.
+    pub alternates_pruned: u64,
+    /// Epoch instances committed whose wildcard the static analysis proved
+    /// deterministic (singleton feasible sender set).
+    pub wildcards_deterministic: u64,
 }
 
 struct Fork {
@@ -261,6 +274,7 @@ impl<'a> Walk<'a> {
             &DecisionSet::self_run(),
         );
         absorb_discoveries(&mut self.ex, &first.epochs);
+        let mut pruned = (0, 0);
         let timed_out = if let Some(detail) = timeout_of(&first.outcome) {
             self.ex.timeouts.push(ReplayTimeoutRecord {
                 interleaving: 1,
@@ -269,7 +283,7 @@ impl<'a> Walk<'a> {
             });
             true
         } else {
-            push_forks(
+            pruned = push_forks(
                 &mut self.stack,
                 &mut self.visited,
                 &first.epochs,
@@ -278,6 +292,8 @@ impl<'a> Walk<'a> {
             );
             false
         };
+        self.ex.alternates_pruned += pruned.0;
+        self.ex.wildcards_deterministic += pruned.1;
         self.observe(ObservedCommit {
             interleaving: 1,
             depth: 0,
@@ -287,6 +303,8 @@ impl<'a> Walk<'a> {
             attempts,
             stats: self.ex.first_run_stats,
             timed_out,
+            alternates_pruned: pruned.0,
+            wildcards_deterministic: pruned.1,
         });
         self.checkpoint();
     }
@@ -310,6 +328,7 @@ impl<'a> Walk<'a> {
             &fork.decisions,
         );
         absorb_discoveries(&mut self.ex, &res.epochs);
+        let mut pruned = (0, 0);
         let timed_out = if let Some(detail) = timeout_of(&res.outcome) {
             // A killed replay's epoch log is truncated; forking from it
             // would schedule prefixes the run never confirmed. Record the
@@ -322,7 +341,7 @@ impl<'a> Walk<'a> {
             });
             true
         } else {
-            push_forks(
+            pruned = push_forks(
                 &mut self.stack,
                 &mut self.visited,
                 &res.epochs,
@@ -334,6 +353,8 @@ impl<'a> Walk<'a> {
             );
             false
         };
+        self.ex.alternates_pruned += pruned.0;
+        self.ex.wildcards_deterministic += pruned.1;
         self.observe(ObservedCommit {
             interleaving,
             depth: fork.decisions.decisions.len(),
@@ -343,6 +364,8 @@ impl<'a> Walk<'a> {
             attempts,
             stats,
             timed_out,
+            alternates_pruned: pruned.0,
+            wildcards_deterministic: pruned.1,
         });
         self.checkpoint();
     }
@@ -811,17 +834,29 @@ fn absorb_discoveries(ex: &mut Exploration, epochs: &[EpochRecord]) {
 }
 
 /// Sort this run's epochs canonically and push a fork for every unexplored
-/// alternate inside the mixing window.
+/// alternate inside the mixing window. Returns the number of alternates the
+/// static prune plan dropped and the number of committed epoch instances
+/// the plan proved deterministic — both fold into the semantic metrics on
+/// the commit path, so they are identical for any `jobs` value.
 fn push_forks(
     stack: &mut Vec<Fork>,
     visited: &mut HashSet<u64>,
     epochs: &[EpochRecord],
     provenance: Provenance,
     opts: &ExploreOptions,
-) {
+) -> (u64, u64) {
+    let plan = opts.prune.as_deref();
+    let at_root = matches!(provenance, Root);
+    let mut pruned = 0u64;
+    let mut deterministic = 0u64;
     let mut eps: Vec<&EpochRecord> = epochs.iter().collect();
     eps.sort_by_key(|e| (e.clock, e.rank));
     for (i, e) in eps.iter().enumerate() {
+        if let Some(p) = plan {
+            if !e.guided && p.deterministic.contains(&(e.rank, e.clock)) {
+                deterministic += 1;
+            }
+        }
         if e.guided && !opts.branch_on_guided {
             continue;
         }
@@ -842,7 +877,46 @@ fn push_forks(
                 }
             }
         };
+        // Ranks a symmetry swap must leave untouched: every rank the forced
+        // prefix names (as branching epoch or forced source) plus the
+        // receiving rank itself. The prefix is every epoch ordered before
+        // the branch point *and* every guided epoch regardless of order —
+        // a guided epoch with the same clock as the branch point sorts
+        // after it yet its source is still forced by the decision set.
+        // Swapping two sources outside this set maps the forced prefix —
+        // and hence the whole subtree — onto an isomorphic image.
+        let fixed: BTreeSet<usize> = plan
+            .filter(|p| !p.orbits.is_empty())
+            .map(|_| {
+                let mut f: BTreeSet<usize> = eps
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, p)| j < i || (j > i && p.guided))
+                    .flat_map(|(_, p)| [p.rank, p.matched_src.unwrap_or(p.rank)])
+                    .collect();
+                f.insert(e.rank);
+                f
+            })
+            .unwrap_or_default();
+        // Sources whose subtree is already scheduled from this epoch: the
+        // observed match (covered by not branching) plus kept alternates.
+        let mut covered: Vec<usize> = e.matched_src.into_iter().collect();
         for alt in e.unexplored_alternates() {
+            if let Some(p) = plan {
+                if at_root && p.infeasible.contains(&(e.rank, e.clock, alt)) {
+                    pruned += 1;
+                    continue;
+                }
+                let symmetric = !fixed.contains(&alt)
+                    && covered
+                        .iter()
+                        .any(|&b| !fixed.contains(&b) && p.interchangeable(alt, b));
+                if symmetric {
+                    pruned += 1;
+                    continue;
+                }
+            }
+            covered.push(alt);
             // The forced prefix: every earlier epoch keeps the match it had
             // in this run; the branch point takes the alternate.
             let mut decisions: Vec<EpochDecision> = eps[..i]
@@ -869,6 +943,7 @@ fn push_forks(
             }
         }
     }
+    (pruned, deterministic)
 }
 
 #[cfg(test)]
@@ -1048,6 +1123,8 @@ mod tests {
     fn assert_equiv(seq: &Exploration, par: &Exploration) {
         assert_eq!(par.interleavings, seq.interleavings);
         assert_eq!(par.discovered, seq.discovered);
+        assert_eq!(par.alternates_pruned, seq.alternates_pruned);
+        assert_eq!(par.wildcards_deterministic, seq.wildcards_deterministic);
         assert_eq!(par.budget_exhausted, seq.budget_exhausted);
         assert_eq!(par.divergences, seq.divergences);
         assert_eq!(par.retries, seq.retries);
@@ -1147,5 +1224,122 @@ mod tests {
             );
             assert_eq!(par.interleavings, 27);
         }
+    }
+
+    fn with_plan(base: ExploreOptions, plan: PrunePlan) -> ExploreOptions {
+        ExploreOptions {
+            prune: Some(Arc::new(plan)),
+            ..base
+        }
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let bare = explore(synthetic_run(3, 3), &opts(MixingBound::Unbounded));
+        let planned = explore(
+            synthetic_run(3, 3),
+            &with_plan(opts(MixingBound::Unbounded), PrunePlan::default()),
+        );
+        assert_equiv(&bare, &planned);
+        assert_eq!(planned.alternates_pruned, 0);
+    }
+
+    #[test]
+    fn infeasible_alternates_dropped_at_root_only() {
+        // 2 epochs x sources {0,1}: unpruned tree is 4 interleavings. Mark
+        // (rank 0, clock 1, src 1) infeasible: the root fork at clock 1 is
+        // dropped, but the replay of {e0 -> 1} still pushes its own clock-1
+        // fork (child provenance — its epoch log is not the analyzed trace).
+        let plan = PrunePlan {
+            infeasible: BTreeSet::from([(0, 1, 1)]),
+            ..PrunePlan::default()
+        };
+        let ex = explore(
+            synthetic_run(2, 2),
+            &with_plan(opts(MixingBound::Unbounded), plan),
+        );
+        assert_eq!(ex.interleavings, 3);
+        assert_eq!(ex.alternates_pruned, 1);
+    }
+
+    #[test]
+    fn symmetric_alternates_collapse_to_one_representative() {
+        // 1 epoch, sources {0,1,2}, observed match 0. With sources 1 and 2
+        // interchangeable, branching to 2 is the mirror image of branching
+        // to 1: only one representative replay runs.
+        let plan = PrunePlan {
+            orbits: vec![BTreeSet::from([1, 2])],
+            ..PrunePlan::default()
+        };
+        let ex = explore(
+            synthetic_run(1, 3),
+            &with_plan(opts(MixingBound::Unbounded), plan),
+        );
+        assert_eq!(ex.interleavings, 2);
+        assert_eq!(ex.alternates_pruned, 1);
+    }
+
+    #[test]
+    fn symmetry_respects_prefix_fixed_ranks() {
+        // 2 epochs, sources {0,1,2}, orbit {1,2}. Forks at clock 1 carry
+        // the forced prefix {e0 -> 0}; source 0 is fixed but 1 and 2 are
+        // not, so the clock-1 branch to 2 is pruned wherever a branch to 1
+        // is already covered — including inside replay subtrees.
+        let plan = PrunePlan {
+            orbits: vec![BTreeSet::from([1, 2])],
+            ..PrunePlan::default()
+        };
+        let bare = explore(synthetic_run(2, 3), &opts(MixingBound::Unbounded));
+        let pruned = explore(
+            synthetic_run(2, 3),
+            &with_plan(opts(MixingBound::Unbounded), plan),
+        );
+        assert_eq!(bare.interleavings, 9);
+        assert!(pruned.interleavings < bare.interleavings);
+        assert!(pruned.alternates_pruned > 0);
+        // Coverage up to symmetry: the pruned walk still found no errors,
+        // and every epoch it committed matches the unpruned campaign.
+        assert!(pruned.errors.is_empty() && bare.errors.is_empty());
+    }
+
+    #[test]
+    fn deterministic_wildcards_counted_not_branched() {
+        // The plan marks clock 0 deterministic; the synthetic run still
+        // reports alternates for it, but the counter tracks instances on
+        // the commit path without altering exploration.
+        let plan = PrunePlan {
+            deterministic: BTreeSet::from([(0, 0)]),
+            ..PrunePlan::default()
+        };
+        let bare = explore(synthetic_run(1, 2), &opts(MixingBound::Unbounded));
+        let planned = explore(
+            synthetic_run(1, 2),
+            &with_plan(opts(MixingBound::Unbounded), plan),
+        );
+        assert_eq!(planned.interleavings, bare.interleavings);
+        // Root commit counts it once; the guided replay's epoch is skipped.
+        assert_eq!(planned.wildcards_deterministic, 1);
+    }
+
+    #[test]
+    fn pruned_exploration_is_jobs_invariant() {
+        let plan = PrunePlan {
+            infeasible: BTreeSet::from([(0, 2, 1)]),
+            orbits: vec![BTreeSet::from([1, 2, 3])],
+            ..PrunePlan::default()
+        };
+        let seq = explore(
+            synthetic_run(3, 4),
+            &with_plan(opts(MixingBound::Unbounded), plan.clone()),
+        );
+        for jobs in [2, 4, 8] {
+            let par = explore_parallel(
+                synthetic_run(3, 4),
+                &with_jobs(with_plan(opts(MixingBound::Unbounded), plan.clone()), jobs),
+            );
+            assert_equiv(&seq, &par);
+        }
+        assert!(seq.alternates_pruned > 0);
+        assert!(seq.interleavings < 64, "plan must actually prune");
     }
 }

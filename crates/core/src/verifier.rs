@@ -12,6 +12,7 @@ use std::sync::Arc;
 use dampi_mpi::fault::{FaultLayer, FaultPlan};
 use dampi_mpi::program::{MpiProgram, RunOutcome};
 use dampi_mpi::runtime::{run_with_layers, SimConfig};
+use dampi_mpi::trace::{TraceCollector as EventTraceCollector, TraceEvent, TraceLayer};
 use dampi_mpi::Mpi;
 
 use crate::config::DampiConfig;
@@ -19,6 +20,7 @@ use crate::decisions::DecisionSet;
 use crate::epoch::{ToolRunStats, TraceCollector};
 use crate::journal::ExplorationJournal;
 use crate::metrics::{CampaignMetrics, CampaignTrace};
+use crate::prune::PrunePlan;
 use crate::report::VerificationReport;
 use crate::scheduler::{self, ExploreOptions, RunResult};
 use crate::tool::{DampiCtx, DampiLayer};
@@ -38,6 +40,9 @@ pub struct DampiVerifier {
     pub metrics: Option<Arc<CampaignMetrics>>,
     /// Campaign trace (JSONL event stream) observing explorations.
     pub trace: Option<Arc<CampaignTrace>>,
+    /// Static pre-analysis prune plan applied to the frontier (see
+    /// [`crate::prune`]); produced by the `dampi-analysis` crate.
+    pub prune: Option<Arc<PrunePlan>>,
 }
 
 impl DampiVerifier {
@@ -50,6 +55,7 @@ impl DampiVerifier {
             fault_plan: None,
             metrics: None,
             trace: None,
+            prune: None,
         }
     }
 
@@ -62,6 +68,7 @@ impl DampiVerifier {
             fault_plan: None,
             metrics: None,
             trace: None,
+            prune: None,
         }
     }
 
@@ -84,6 +91,15 @@ impl DampiVerifier {
     #[must_use]
     pub fn with_trace(mut self, trace: Arc<CampaignTrace>) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Builder-style: prune the frontier with a static pre-analysis plan
+    /// (`dampi-cli verify --prune-static`). An empty plan is dropped so
+    /// exploration stays literally identical to the unpruned walk.
+    #[must_use]
+    pub fn with_prune_plan(mut self, plan: PrunePlan) -> Self {
+        self.prune = (!plan.is_empty()).then(|| Arc::new(plan));
         self
     }
 
@@ -129,6 +145,35 @@ impl DampiVerifier {
             epochs,
             stats,
         }
+    }
+
+    /// Execute one free (`SELF_RUN`) execution with an application-level
+    /// event trace recorded *above* the DAMPI layer: the trace sees exactly
+    /// the MPI calls the program made (piggyback traffic stays invisible,
+    /// since it is issued below the trace layer), while the tool still
+    /// collects epochs and alternates from the same run. This is the input
+    /// the static pre-analysis (`dampi-analysis`) consumes.
+    pub fn traced_run(&self, program: &dyn MpiProgram) -> (Vec<TraceEvent>, RunResult) {
+        let (ctx, collector) = self.make_ctx(&DecisionSet::self_run());
+        let events = EventTraceCollector::new();
+        let ev2 = Arc::clone(&events);
+        let outcome = run_with_layers(&self.sim, program, &|_rank, pmpi| {
+            let ctx = Arc::clone(&ctx);
+            let layer: Box<dyn Mpi> = Box::new(TraceLayer::new(
+                DampiLayer::new(pmpi, ctx)?,
+                Arc::clone(&ev2),
+            ));
+            Ok(layer)
+        });
+        let (epochs, stats) = collector.take();
+        (
+            events.take(),
+            RunResult {
+                outcome,
+                epochs,
+                stats,
+            },
+        )
     }
 
     /// Execute `program` without instrumentation (the "native MPI"
@@ -184,6 +229,7 @@ impl DampiVerifier {
             jobs: self.cfg.jobs,
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
+            prune: self.prune.clone(),
         }
     }
 
@@ -194,6 +240,33 @@ impl DampiVerifier {
     pub fn verify(&self, program: &dyn MpiProgram) -> VerificationReport {
         let opts = self.explore_options();
         let ex = scheduler::explore_parallel(|ds| self.instrumented_run(program, ds), &opts);
+        self.report_from(program.name(), ex)
+    }
+
+    /// Full verification that reuses an already-executed free run as the
+    /// campaign's `SELF_RUN` — the `--prune-static` path: the prune plan
+    /// was derived from exactly that run (via [`Self::traced_run`]), so
+    /// the root frontier being pruned is the frontier that run produced,
+    /// not a re-execution that might have scheduled differently.
+    #[must_use]
+    pub fn verify_with_first_run(
+        &self,
+        program: &dyn MpiProgram,
+        first: RunResult,
+    ) -> VerificationReport {
+        let opts = self.explore_options();
+        let cached = parking_lot::Mutex::new(Some(first));
+        let ex = scheduler::explore_parallel(
+            |ds| {
+                if ds.is_self_run() {
+                    if let Some(run) = cached.lock().take() {
+                        return run;
+                    }
+                }
+                self.instrumented_run(program, ds)
+            },
+            &opts,
+        );
         self.report_from(program.name(), ex)
     }
 
@@ -243,6 +316,8 @@ impl DampiVerifier {
             first_run_makespan: ex.first_run_makespan,
             total_virtual_time: ex.total_virtual_time,
             budget_exhausted: ex.budget_exhausted,
+            alternates_pruned: ex.alternates_pruned,
+            wildcards_deterministic: ex.wildcards_deterministic,
             discovered: ex.discovered,
         }
     }

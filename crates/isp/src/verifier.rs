@@ -108,6 +108,10 @@ impl IspVerifier {
             first_run_makespan: ex.first_run_makespan,
             total_virtual_time: ex.total_virtual_time,
             budget_exhausted: ex.budget_exhausted,
+            // Static pruning is a DAMPI-side feature; the centralized
+            // baseline never consumes a plan.
+            alternates_pruned: 0,
+            wildcards_deterministic: 0,
             discovered: ex.discovered,
         }
     }

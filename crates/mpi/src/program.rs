@@ -85,14 +85,21 @@ impl RunOutcome {
                 _ => None,
             })
             .collect();
-        // Every blocked rank reports the same deadlock; keep one.
-        if bugs
-            .iter()
-            .all(|b| matches!(b.error, MpiError::Deadlock { .. }))
-            && bugs.len() > 1
-        {
-            bugs.truncate(1);
-        }
+        // Every rank blocked in the same cycle reports the same deadlock:
+        // keep one representative *per distinct blocked-rank set*. Two
+        // independent cycles (disjoint blocked sets) are two bugs, not one.
+        let mut seen_cycles: Vec<Vec<usize>> = Vec::new();
+        bugs.retain(|b| match &b.error {
+            MpiError::Deadlock { blocked_ranks } => {
+                if seen_cycles.contains(blocked_ranks) {
+                    false
+                } else {
+                    seen_cycles.push(blocked_ranks.clone());
+                    true
+                }
+            }
+            _ => true,
+        });
         bugs
     }
 
@@ -157,5 +164,51 @@ mod tests {
         let o = outcome_with(vec![Some(dl.clone()), Some(dl.clone())], Some(dl));
         assert!(o.deadlocked());
         assert_eq!(o.program_bugs().len(), 1);
+    }
+
+    #[test]
+    fn distinct_deadlock_cycles_stay_separate() {
+        // Ranks {0,1} block on each other while {2,3} block independently:
+        // two cycles, two root causes — dedup must not collapse them.
+        let ab = MpiError::Deadlock {
+            blocked_ranks: vec![0, 1],
+        };
+        let cd = MpiError::Deadlock {
+            blocked_ranks: vec![2, 3],
+        };
+        let o = outcome_with(
+            vec![
+                Some(ab.clone()),
+                Some(ab.clone()),
+                Some(cd.clone()),
+                Some(cd),
+            ],
+            Some(ab),
+        );
+        let bugs = o.program_bugs();
+        assert_eq!(bugs.len(), 2, "{bugs:?}");
+        assert_eq!(bugs[0].rank, 0);
+        assert_eq!(bugs[1].rank, 2);
+    }
+
+    #[test]
+    fn deadlock_dedup_keeps_non_deadlock_bugs() {
+        let dl = MpiError::Deadlock {
+            blocked_ranks: vec![1, 2],
+        };
+        let o = outcome_with(
+            vec![
+                Some(MpiError::UserAssert {
+                    message: "boom".into(),
+                }),
+                Some(dl.clone()),
+                Some(dl.clone()),
+            ],
+            Some(dl),
+        );
+        let bugs = o.program_bugs();
+        assert_eq!(bugs.len(), 2, "{bugs:?}");
+        assert!(matches!(bugs[0].error, MpiError::UserAssert { .. }));
+        assert!(matches!(bugs[1].error, MpiError::Deadlock { .. }));
     }
 }

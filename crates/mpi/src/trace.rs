@@ -34,6 +34,23 @@ pub struct TraceEvent {
     pub op: TraceOp,
 }
 
+/// Content identity of a message payload (FNV-1a over the bytes).
+///
+/// Recorded alongside the length on every traced send: any analysis that
+/// treats two sends as interchangeable must compare what was *sent*, not
+/// just how much — two equal-length payloads with different contents can
+/// steer the receiver into different behavior (the Fig. 3 bug is exactly
+/// a payload-value assert).
+#[must_use]
+pub fn payload_digest(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 /// Operation variants captured by the trace.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 #[allow(missing_docs)]
@@ -43,6 +60,7 @@ pub enum TraceOp {
         dest: i32,
         tag: Tag,
         bytes: usize,
+        digest: u64,
     },
     Irecv {
         comm: u32,
@@ -195,6 +213,7 @@ impl<M: Mpi> Mpi for TraceLayer<M> {
             dest,
             tag,
             bytes: data.len(),
+            digest: payload_digest(&data),
         });
         self.inner.isend(comm, dest, tag, data)
     }

@@ -170,6 +170,42 @@ pub fn deadlock_on_alternate_schedule(
     })
 }
 
+/// Seeded bug for the static analyzer's L001 lint: rank 0 enters a
+/// barrier while every other rank enters a broadcast. The runtime reports
+/// this dynamically as a collective mismatch; the pre-replay lint pass
+/// flags it from the free run's trace without spending a single replay.
+#[must_use]
+pub fn collective_mismatch() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        if mpi.world_rank() == 0 {
+            mpi.barrier(Comm::WORLD)?;
+        } else if mpi.world_rank() == 1 {
+            let _ = mpi.bcast(Comm::WORLD, 1, Some(Bytes::from_static(b"cfg")))?;
+        } else {
+            let _ = mpi.bcast(Comm::WORLD, 1, None)?;
+        }
+        Ok(())
+    })
+}
+
+/// Seeded bug for the static analyzer's L002 lint: rank 0 posts a receive
+/// for the message rank 1 sends, then abandons the request without ever
+/// completing it. The named receive keeps the send/recv counts balanced,
+/// so exactly the request-leak lint fires and nothing else.
+#[must_use]
+pub fn request_leak() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                let _abandoned = mpi.irecv(Comm::WORLD, 1, 5)?;
+            }
+            1 => mpi.send(Comm::WORLD, 0, 5, Bytes::from_static(b"orphaned"))?,
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
 /// Leaks one duplicated communicator and one request per run (Table II's
 /// C-leak and R-leak detectors).
 #[must_use]

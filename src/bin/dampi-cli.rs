@@ -7,6 +7,8 @@
 //!                             [--journal PATH] [--resume PATH]
 //!                             [--replay-vt SECS] [--replay-wall SECS]
 //!                             [--metrics PATH] [--trace PATH] [--progress]
+//!                             [--prune-static]
+//! dampi-cli analyze <workload> [--np N] [--json]   # static pre-replay analysis
 //! dampi-cli overhead [--np N]           # Table II style slowdown census
 //! ```
 
@@ -44,6 +46,11 @@ fn registry(np: usize) -> Vec<(String, Box<dyn MpiProgram>)> {
             Box::new(patterns::deadlock_on_alternate_schedule()),
         ),
         ("leaky".into(), Box::new(patterns::leaky_program())),
+        (
+            "collective_mismatch".into(),
+            Box::new(patterns::collective_mismatch()),
+        ),
+        ("request_leak".into(), Box::new(patterns::request_leak())),
     ];
     for (name, prog) in nas::all_nominal() {
         v.push((name.to_lowercase(), prog));
@@ -71,6 +78,7 @@ struct Args {
     metrics: Option<PathBuf>,
     trace: Option<PathBuf>,
     progress: bool,
+    prune_static: bool,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -91,6 +99,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         metrics: None,
         trace: None,
         progress: false,
+        prune_static: false,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -126,6 +135,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             "--metrics" => a.metrics = Some(PathBuf::from(val("--metrics")?)),
             "--trace" => a.trace = Some(PathBuf::from(val("--trace")?)),
             "--progress" => a.progress = true,
+            "--prune-static" => a.prune_static = true,
             "--replay-vt" => {
                 a.replay_vt = Some(
                     val("--replay-vt")?
@@ -193,6 +203,10 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
             eprintln!("error: --metrics/--trace/--progress are DAMPI-only (campaign observability instruments the distributed scheduler)");
             return ExitCode::FAILURE;
         }
+        if args.prune_static {
+            eprintln!("error: --prune-static is DAMPI-only (the prune plan feeds the distributed scheduler's frontier, which the ISP baseline does not have)");
+            return ExitCode::FAILURE;
+        }
         let mut v = IspVerifier::new(sim);
         v.cfg.max_interleavings = Some(args.max);
         let report = v.verify(prog.as_ref());
@@ -244,6 +258,27 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
             }
         }
     }
+    let mut prune_run = None;
+    if args.prune_static {
+        if args.resume.is_some() {
+            eprintln!("error: --prune-static cannot join a resumed campaign (the plan is keyed to a fresh free run, not the journaled one)");
+            return ExitCode::FAILURE;
+        }
+        // The traced free run feeds the static analysis *and* becomes the
+        // campaign's SELF_RUN, so the plan prunes exactly the frontier
+        // that run produced.
+        let (events, run) = verifier.traced_run(prog.as_ref());
+        let analysis = dampi::analysis::analyze(prog.name(), args.np, &events, &run);
+        let plan = analysis.prune_plan();
+        eprintln!(
+            "prune-static: {} infeasible alternate(s), {} deterministic wildcard(s), {} symmetry orbit(s)",
+            plan.infeasible.len(),
+            plan.deterministic.len(),
+            plan.orbits.len()
+        );
+        verifier = verifier.with_prune_plan(plan);
+        prune_run = Some(run);
+    }
     let progress_reporter = args.progress.then(|| {
         let m = metrics.clone().expect("progress implies metrics");
         let max = args.max;
@@ -265,15 +300,16 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
         });
         (stop_tx, handle)
     });
-    let report = match &args.resume {
-        Some(journal) => match verifier.verify_resumed(prog.as_ref(), journal) {
+    let report = match (&args.resume, prune_run) {
+        (Some(journal), _) => match verifier.verify_resumed(prog.as_ref(), journal) {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("error: cannot resume from {}: {e}", journal.display());
                 return ExitCode::FAILURE;
             }
         },
-        None => verifier.verify(prog.as_ref()),
+        (None, Some(run)) => verifier.verify_with_first_run(prog.as_ref(), run),
+        (None, None) => verifier.verify(prog.as_ref()),
     };
     if let Some((stop_tx, handle)) = progress_reporter {
         let _ = stop_tx.send(());
@@ -297,6 +333,37 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
         println!("{report}");
     }
     if report.errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_analyze(name: &str, rest: &[String]) -> ExitCode {
+    let args = match parse_flags(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some((_, prog)) = registry(args.np).into_iter().find(|(n, _)| n == name) else {
+        eprintln!("unknown workload `{name}` — try `dampi-cli list`");
+        return ExitCode::FAILURE;
+    };
+    let mut sim = SimConfig::new(args.np);
+    if args.biased {
+        sim = sim.with_policy(MatchPolicy::LowestRank);
+    }
+    let cfg = DampiConfig::default().with_clock_mode(args.clock);
+    let verifier = DampiVerifier::with_config(sim, cfg);
+    let report = dampi::analysis::analyze_program(&verifier, prog.as_ref());
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if report.error_lints() == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
@@ -359,7 +426,13 @@ fn usage() -> ExitCode {
          [--replay-wall SECS]  kill any replay exceeding this wall-clock budget\n    \
          [--metrics PATH]      write a campaign metrics snapshot (JSON) after the run\n    \
          [--trace PATH]        stream a schema-versioned JSONL campaign trace\n    \
-         [--progress]          print a live progress line (replays/sec, frontier, ETA)\n  \
+         [--progress]          print a live progress line (replays/sec, frontier, ETA)\n    \
+         [--prune-static]      run the static pre-analysis first and prune the frontier\n    \
+                               (same error set, fewer replays)\n  \
+         dampi-cli analyze <workload> [--np N] [--json]\n    \
+                               static pre-replay analysis: match sets, prunable\n    \
+                               alternates, symmetry orbits, definite-bug lints\n    \
+                               (exit 2 when an error-severity lint fires)\n  \
          dampi-cli overhead [--np N]"
     );
     ExitCode::FAILURE
@@ -372,6 +445,10 @@ fn main() -> ExitCode {
             "list" => cmd_list(),
             "verify" => match rest.split_first() {
                 Some((name, flags)) => cmd_verify(name, flags),
+                None => usage(),
+            },
+            "analyze" => match rest.split_first() {
+                Some((name, flags)) => cmd_analyze(name, flags),
                 None => usage(),
             },
             "overhead" => cmd_overhead(rest),

@@ -8,6 +8,7 @@
 //! * [`mpi`] — the MPI runtime simulator and PnMPI-style interposition.
 //! * [`clocks`] — Lamport and vector logical clocks.
 //! * [`core`] — the DAMPI verifier (epochs, piggybacks, replay, bounds).
+//! * [`analysis`] — static pre-replay analysis (match-set pruning, lints).
 //! * [`isp`] — the ISP centralized baseline.
 //! * [`workloads`] — matmul, ParMETIS-like, NAS-like, SpecMPI-like, ADLB.
 //!
@@ -34,6 +35,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use dampi_analysis as analysis;
 pub use dampi_clocks as clocks;
 pub use dampi_core as core;
 pub use dampi_isp as isp;
