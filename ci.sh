@@ -41,8 +41,12 @@ for path in sys.argv[1:3]:
     r = json.load(open(path))
     for key in ("schema_version", "program", "nprocs", "epochs", "epochs_mapped",
                 "alternates_recorded", "match_set_sizes", "deterministic_wildcards",
-                "infeasible_alternates", "orbits", "lints", "error_lints", "notes"):
+                "infeasible_alternates", "orbits", "lints", "error_lints", "notes",
+                "plan_version", "refined_match_set_sizes", "refinement_iterations",
+                "refined_deterministic_wildcards", "refined_infeasible_alternates",
+                "oblivious_receives"):
         assert key in r, f"{path}: missing `{key}`"
+    assert r["plan_version"] == 2, r["plan_version"]
     for lint in r["lints"]:
         assert set(lint) == {"id", "kind", "severity", "ranks", "message"}, lint
         assert lint["id"].startswith("L") and lint["severity"] in ("error", "warning")
@@ -52,8 +56,29 @@ assert [l["id"] for l in cm["lints"]] == ["L001"], cm["lints"]
 assert cm["error_lints"] == 1
 print("ci: analyzer JSON schema ok")
 PY
+# L005 smoke: the seeded stuck-wildcard reproducer must exit 2 with the
+# refinement-backed definite-stuck lint (plus the request-leak warning).
+if ./target/release/dampi-cli analyze stuck_wildcard --np 3 --json \
+    > "$MDIR/sw.analysis.json"; then
+  echo "ci: analyze stuck_wildcard must exit non-zero (L005 is an error)" >&2
+  exit 1
+fi
+python3 - "$MDIR/sw.analysis.json" <<'PY'
+import json, sys
+sw = json.load(open(sys.argv[1]))
+assert [l["id"] for l in sw["lints"]] == ["L002", "L005"], sw["lints"]
+assert sw["error_lints"] == 1
+empty = [k for k, v in sw["refined_match_set_sizes"].items() if v == 0]
+assert empty, sw["refined_match_set_sizes"]
+print("ci: L005 stuck-wildcard smoke ok")
+PY
+# Version-1 prune plans (no version field, no refined sets) must keep
+# loading and steering campaigns — the committed fixture is the contract.
+cargo test -q --offline -p dampi-core --test prune_plan_compat
 ./target/release/dampi-cli verify matmul --json > "$MDIR/mm.base.json"
 ./target/release/dampi-cli verify matmul --prune-static --json > "$MDIR/mm.pruned.json"
+./target/release/dampi-cli verify matmul_ack --json > "$MDIR/ma.base.json"
+./target/release/dampi-cli verify matmul_ack --prune-static --json > "$MDIR/ma.pruned.json"
 ./target/release/dampi-cli verify racers --np 4 --json > "$MDIR/rc.base.json"
 ./target/release/dampi-cli verify racers --np 4 --prune-static --json > "$MDIR/rc.pruned.json"
 # fig3 exits 2 (bugs found) — that is the point: the strongest prune
@@ -67,6 +92,12 @@ load = lambda n: json.load(open(f"{d}/{n}"))
 mb, mp = load("mm.base.json"), load("mm.pruned.json")
 assert mp["errors"] == mb["errors"], (mb["errors"], mp["errors"])
 assert mp["interleavings"] <= mb["interleavings"]
+# Ack-mode matmul: the payload-oblivious orbit must actually collapse the
+# campaign (its trace is deterministic — 162 -> 27 on every run), while
+# content mode above stays a guaranteed no-op.
+ab, ap = load("ma.base.json"), load("ma.pruned.json")
+assert ap["errors"] == ab["errors"], (ab["errors"], ap["errors"])
+assert ap["interleavings"] < ab["interleavings"], (ab["interleavings"], ap["interleavings"])
 rb, rp = load("rc.base.json"), load("rc.pruned.json")
 assert rp["errors"] == rb["errors"], (rb["errors"], rp["errors"])
 assert rp["interleavings"] < rb["interleavings"], (rb["interleavings"], rp["interleavings"])
@@ -77,4 +108,37 @@ assert fp["errors"] == fb["errors"], (fb["errors"], fp["errors"])
 print(f"ci: prune contract ok (racers {rb['interleavings']} -> {rp['interleavings']}, fig3 errors kept)")
 PY
 DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench prune_static
+# Bench-history gate: the committed snapshot must agree with the newest
+# BENCH_HISTORY.jsonl row for each workload, and rows are only compared
+# when their explicit `params` strings match — a config change starts a
+# fresh series instead of masquerading as a speedup (or a regression).
+# Across two params-matched rows, >20% more replays or >20% more pruned
+# wall-clock (beyond 50 ms of noise floor) fails the gate.
+python3 - <<'PY'
+import json
+history = [json.loads(l) for l in open("BENCH_HISTORY.jsonl") if l.strip()]
+snapshot = json.load(open("BENCH_prune_static.json"))["workloads"]
+series = {}
+for row in history:
+    series.setdefault((row["workload"], row["params"]), []).append(row)
+for workload, point in snapshot.items():
+    rows = series.get((workload, point["params"]))
+    assert rows, f"{workload}: no history row with params `{point['params']}`"
+    last = rows[-1]
+    for key in ("base_interleavings", "pruned_interleavings", "alternates_pruned",
+                "orbits", "errors"):
+        assert last[key] == point[key], (workload, key, last[key], point[key])
+for (workload, params), rows in series.items():
+    if len(rows) < 2:
+        continue
+    prev, last = rows[-2], rows[-1]
+    assert last["pruned_interleavings"] <= prev["pruned_interleavings"] * 1.2, (
+        f"{workload}: replay regression {prev['pruned_interleavings']} -> "
+        f"{last['pruned_interleavings']} under identical params `{params}`")
+    wall_prev, wall_last = prev["pruned_wall_s"], last["pruned_wall_s"]
+    assert wall_last <= wall_prev * 1.2 or wall_last - wall_prev <= 0.05, (
+        f"{workload}: wall regression {wall_prev} -> {wall_last}s "
+        f"under identical params `{params}`")
+print("ci: bench history consistent, no params-matched regressions")
+PY
 echo "ci: all green"

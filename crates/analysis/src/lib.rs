@@ -15,12 +15,17 @@
 //! - [`passes::infeasible_alternates`] — message-counting under
 //!   non-overtaking refutes a recorded alternate; it is dropped from the
 //!   root frontier before dispatch.
-//! - [`passes::rank_orbits`] — ranks with indistinguishable traced
-//!   behavior are interchangeable; the scheduler explores one
+//! - [`passes::refine_match_sets`] — cross-epoch fixed-point refinement:
+//!   a positional per-channel simulation sharpens every match set, each
+//!   newly-deterministic wildcard feeding the next round's claims.
+//! - [`passes::rank_orbits_oblivious`] — ranks with indistinguishable
+//!   traced behavior are interchangeable; payload-oblivious twins (same
+//!   behavior, different delivered contents, no wildcard receives) merge
+//!   with content digests masked. The scheduler explores one
 //!   representative per orbit among a fork's untried alternates.
 //! - [`lints`] — collective-sequence mismatch (L001), request leak
 //!   (L002), send/receive count imbalance (L003), unbuffered self-send
-//!   deadlock (L004).
+//!   deadlock (L004), stuck wildcard receive (L005).
 //!
 //! The output is an [`AnalysisReport`] carrying a
 //! [`dampi_core::prune::PrunePlan`] that `dampi-cli verify
@@ -55,8 +60,14 @@ pub fn analyze(
 ) -> AnalysisReport {
     let model = TraceModel::build(nprocs, events, &run.epochs);
     let sets = passes::match_sets(&model);
-    let plan = passes::build_plan(&model);
+    let refinement = passes::refine_match_sets(&model, &sets);
+    let plan = passes::assemble_plan(&model, &sets, &refinement);
     let lints = lints::run_lints(&model);
+    let set_sizes = |sets: &passes::MatchSets| {
+        sets.iter()
+            .map(|((r, c), s)| (format!("{r}:{c}"), s.as_ref().map(|s| s.len())))
+            .collect()
+    };
     AnalysisReport {
         program: program.to_owned(),
         nprocs,
@@ -67,10 +78,9 @@ pub fn analyze(
             .iter()
             .map(|e| e.unexplored_alternates().len())
             .sum(),
-        match_set_sizes: sets
-            .iter()
-            .map(|((r, c), s)| (format!("{r}:{c}"), s.as_ref().map(|s| s.len())))
-            .collect(),
+        match_set_sizes: set_sizes(&sets),
+        refined_match_set_sizes: set_sizes(&refinement.sets),
+        refinement_iterations: refinement.iterations,
         plan,
         lints,
         notes: model.notes,

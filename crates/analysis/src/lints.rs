@@ -1,9 +1,12 @@
 //! Definite-bug lints over the traced free run.
 //!
-//! Each lint has a stable ID (`L001`..`L004`) and fires only on evidence
+//! Each lint has a stable ID (`L001`..`L005`) and fires only on evidence
 //! that is conclusive *from the trace alone* — no lint depends on which
 //! schedule the free run happened to take, so a lint that fires on one
-//! interleaving fires on all of them.
+//! interleaving fires on all of them. (That is why L005 consumes the
+//! *op-level* refinement fixed point, [`passes::wildcard_op_candidates`],
+//! whose claims are all structural, rather than the epoch-level one,
+//! whose claims may lean on the analyzed schedule's observed matches.)
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -13,6 +16,7 @@ use dampi_mpi::types::{source_matches, tag_matches};
 use dampi_mpi::{Tag, ANY_TAG};
 
 use crate::model::{TraceModel, WORLD};
+use crate::passes;
 
 /// Lint severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +94,10 @@ const L003: &str = "L003";
 /// `L004`: a blocking-style send to self with no receive posted first —
 /// deadlocks the rank under synchronous (unbuffered) send semantics.
 const L004: &str = "L004";
+/// `L005`: a wildcard receive whose refined match set is empty at the
+/// fixed point — no rank ever posts a compatible send that earlier
+/// receives don't necessarily consume, so the receive is definitely stuck.
+const L005: &str = "L005";
 
 /// Run every lint over the model.
 #[must_use]
@@ -99,6 +107,7 @@ pub fn run_lints(model: &TraceModel) -> Vec<Lint> {
     request_leak(model, &mut out);
     send_recv_imbalance(model, &mut out);
     self_send_deadlock(model, &mut out);
+    stuck_wildcard_receive(model, &mut out);
     out
 }
 
@@ -313,6 +322,42 @@ fn self_send_deadlock(model: &TraceModel, out: &mut Vec<Lint>) {
                 });
             }
         }
+    }
+}
+
+/// L005 — wildcard receive with an empty refined match set. The op-level
+/// fixed point ([`passes::wildcard_op_candidates`]) starts from "every
+/// rank with at least one tag-compatible send toward me" and removes only
+/// candidates whose compatible sends are *necessarily* consumed by
+/// receives posted earlier at the same rank (positional, per channel).
+/// An empty set is therefore a proof: in no schedule can this receive
+/// ever match — the rank is stuck. A wildcard that *matched* in the free
+/// run can never reach the empty set (its observed sender's send survives
+/// the sound simulation), so the lint is structurally free of false
+/// positives on clean programs.
+fn stuck_wildcard_receive(model: &TraceModel, out: &mut Vec<Lint>) {
+    for ((rank, pos), set) in passes::wildcard_op_candidates(model) {
+        if !set.is_empty() {
+            continue;
+        }
+        let TraceOp::Irecv { tag, .. } = model.ops[rank][pos] else {
+            continue;
+        };
+        let spec = if tag == ANY_TAG {
+            "ANY_TAG".to_string()
+        } else {
+            format!("tag {tag}")
+        };
+        out.push(Lint {
+            id: L005,
+            kind: "stuck-wildcard-receive",
+            severity: Severity::Error,
+            ranks: vec![rank],
+            message: format!(
+                "wildcard receive (op #{pos}, {spec}) on rank {rank} has an empty \
+                 refined match set — no compatible send can ever reach it"
+            ),
+        });
     }
 }
 
@@ -611,5 +656,77 @@ mod tests {
         ];
         let m = TraceModel::build(1, &events, &[]);
         assert!(!lint_ids(&m).contains(&L004));
+    }
+
+    #[test]
+    fn stuck_wildcard_fires_l005() {
+        // Nobody ever sends tag 9 to rank 0: the wildcard's refined
+        // candidate set is empty on every schedule.
+        let events = vec![
+            ev(
+                1,
+                0,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 2,
+                    tag: 8,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 1,
+                    tag: 8,
+                },
+            ),
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 9,
+                },
+            ),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        let lints = run_lints(&m);
+        let l5: Vec<_> = lints.iter().filter(|l| l.id == L005).collect();
+        assert_eq!(l5.len(), 1, "{lints:?}");
+        assert_eq!(l5[0].severity, Severity::Error);
+        assert_eq!(l5[0].ranks, vec![0]);
+        assert!(l5[0].message.contains("tag 9"), "{}", l5[0].message);
+    }
+
+    #[test]
+    fn matchable_wildcard_is_clean_of_l005() {
+        let events = vec![
+            ev(
+                1,
+                0,
+                TraceOp::Isend {
+                    comm: 0,
+                    dest: 0,
+                    tag: 9,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 9,
+                },
+            ),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        assert!(!lint_ids(&m).contains(&L005));
     }
 }

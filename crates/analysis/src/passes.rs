@@ -1,4 +1,4 @@
-//! The three pre-replay analysis passes.
+//! The pre-replay analysis passes.
 //!
 //! 1. **Deterministic wildcards** — an epoch whose over-approximated
 //!    feasible sender set is a singleton can never branch; the scheduler
@@ -11,15 +11,29 @@
 //!    other, identical posted envelopes toward them from every third rank)
 //!    are interchangeable; the scheduler keeps one representative per
 //!    orbit among a fork's untried alternates.
+//! 4. **Cross-epoch fixed-point refinement** ([`refine_match_sets`]) —
+//!    iterates match sets to a fixed point with a *positional* per-channel
+//!    simulation: each definite earlier consumer (a named receive or a
+//!    deterministic/observed wildcard) takes the forced source's earliest
+//!    unconsumed tag-compatible send, so refutations survive mixed-tag
+//!    channels the count-based pass 2 must give up on, and each
+//!    newly-deterministic wildcard's consumption propagates to later
+//!    epochs on the next round.
+//! 5. **Payload-oblivious symmetry** ([`rank_orbits_oblivious`]) — a
+//!    conservative continuation-equivalence check licensing pass 3 to
+//!    drop payload *content* digests from the envelopes third ranks post
+//!    toward twin receivers, unlocking orbits on task-pool workers that
+//!    receive distinct task payloads but provably never let the content
+//!    steer their traced behavior.
 //!
 //! Every pass *over*-approximates feasibility (or proves symmetry), so
 //! pruning can only drop replays whose outcome is already covered — see
-//! DESIGN.md §11 for the soundness argument.
+//! DESIGN.md §11 and §12 for the soundness arguments.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dampi_core::epoch::NdKind;
-use dampi_core::prune::PrunePlan;
+use dampi_core::epoch::{EpochRecord, NdKind};
+use dampi_core::prune::{PrunePlan, PRUNE_PLAN_VERSION};
 use dampi_mpi::trace::TraceOp;
 use dampi_mpi::types::tag_matches;
 use dampi_mpi::{Tag, ANY_SOURCE, ANY_TAG};
@@ -196,6 +210,264 @@ pub fn infeasible_alternates(model: &TraceModel) -> BTreeSet<(usize, u64, usize)
         }
     }
     out
+}
+
+/// Output of the cross-epoch fixed-point refinement
+/// ([`refine_match_sets`]).
+#[derive(Debug)]
+pub struct Refinement {
+    /// Refined feasible sender set per epoch — pointwise a subset of the
+    /// input sets (the pass only ever removes candidates).
+    pub sets: MatchSets,
+    /// Epochs whose set became a singleton only at the fixed point —
+    /// disjoint from [`deterministic_wildcards`] of the input sets.
+    pub newly_deterministic: BTreeSet<(usize, u64)>,
+    /// Recorded alternates `(rank, clock, src)` the refinement refuted
+    /// (superset of what pass 2 refutes on the same epochs; the plan
+    /// assembler keeps only the delta).
+    pub refuted_alternates: BTreeSet<(usize, u64, usize)>,
+    /// Rounds until the fixed point, including the final no-change round.
+    /// Bounded by `epochs + 2`: a round can only enable new refutations
+    /// by making some set newly singleton, which happens at most once per
+    /// epoch.
+    pub iterations: usize,
+}
+
+/// Tags of every `WORLD` send `src → dest`, in `src`'s program order —
+/// the channel stream MPI non-overtaking matches in order per compatible
+/// tag.
+fn channel_tags(model: &TraceModel, src: usize, dest: usize) -> Vec<Tag> {
+    model.ops[src]
+        .iter()
+        .filter_map(|op| match op {
+            TraceOp::Isend {
+                comm, dest: d, tag, ..
+            } if TraceModel::world_peer(*comm, *d) == Some(dest) => Some(*tag),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Positional channel simulation for one `(epoch, candidate)` pair: walk
+/// the receives rank `e.rank` posts before `pos` in post order; every
+/// *definite* consumer of `s`'s sends — a named receive from `s`, or an
+/// earlier wildcard epoch whose observed match is `s` or whose current
+/// refined set is the singleton `{s}` — takes `s`'s earliest unconsumed
+/// tag-compatible send (MPI matches each channel in order). The candidate
+/// survives iff an `e`-compatible send is left unconsumed.
+///
+/// Sound to *remove* on failure: every claim walked is one the runtime
+/// must satisfy before `e` can match (non-overtaking gives earlier-posted
+/// compatible receives priority), and the positional walk consumes
+/// exactly the sends those receives are forced to take.
+fn epoch_candidate_survives(
+    model: &TraceModel,
+    sets: &MatchSets,
+    pos: usize,
+    e: &EpochRecord,
+    s: usize,
+) -> bool {
+    let sends = channel_tags(model, s, e.rank);
+    let mut consumed = vec![false; sends.len()];
+    let mut claim = |spec: Tag| {
+        if let Some(j) = (0..sends.len()).find(|&j| !consumed[j] && tag_matches(spec, sends[j])) {
+            consumed[j] = true;
+        }
+    };
+    for (p, op) in model.ops[e.rank].iter().enumerate().take(pos) {
+        let TraceOp::Irecv {
+            comm: WORLD,
+            src,
+            tag,
+        } = op
+        else {
+            continue;
+        };
+        if *src == s as i32 {
+            claim(*tag);
+        } else if *src == ANY_SOURCE {
+            let definite = model.epoch_at[e.rank]
+                .get(&p)
+                .map(|&ei| &model.epochs[ei])
+                .is_some_and(|prev| {
+                    prev.kind == NdKind::Recv
+                        && (prev.matched_src == Some(s)
+                            || sets
+                                .get(&(prev.rank, prev.clock))
+                                .and_then(|x| x.as_ref())
+                                .is_some_and(|set| set.len() == 1 && set.contains(&s)))
+                });
+            if definite {
+                claim(*tag);
+            }
+        }
+    }
+    sends
+        .iter()
+        .zip(&consumed)
+        .any(|(t, c)| !c && tag_matches(e.tag_spec, *t))
+}
+
+/// Iterate the match sets to a fixed point (pass 4). Each round filters
+/// every bounded epoch's candidate set through the positional channel
+/// simulation; a set shrinking to a singleton makes that epoch a definite
+/// consumer for *later* epochs of its rank, which is what the next round
+/// picks up. The observed match is never dropped — the free run proved it
+/// feasible. Sets only ever shrink (monotone on the subset lattice), so
+/// the iteration terminates; see the module docs for the `epochs + 2`
+/// round bound.
+#[must_use]
+pub fn refine_match_sets(model: &TraceModel, base: &MatchSets) -> Refinement {
+    let mut sets = base.clone();
+    let cap = model.epochs.len() + 2;
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for (i, e) in model.epochs.iter().enumerate() {
+            let (Some(pos), true) = (model.epoch_pos[i], e.comm.0 == WORLD) else {
+                continue;
+            };
+            let key = (e.rank, e.clock);
+            let Some(Some(cur)) = sets.get(&key).cloned() else {
+                continue;
+            };
+            let kept: BTreeSet<usize> = cur
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    e.matched_src == Some(s)
+                        || (s < model.nprocs && epoch_candidate_survives(model, &sets, pos, e, s))
+                })
+                .collect();
+            if kept.len() != cur.len() {
+                sets.insert(key, Some(kept));
+                changed = true;
+            }
+        }
+        if !changed || iterations >= cap {
+            break;
+        }
+    }
+    let base_det = deterministic_wildcards(base);
+    let newly_deterministic: BTreeSet<(usize, u64)> = deterministic_wildcards(&sets)
+        .into_iter()
+        .filter(|k| !base_det.contains(k))
+        .collect();
+    let mut refuted_alternates = BTreeSet::new();
+    for e in &model.epochs {
+        if let Some(Some(set)) = sets.get(&(e.rank, e.clock)) {
+            for s in e.unexplored_alternates() {
+                if !set.contains(&s) {
+                    refuted_alternates.insert((e.rank, e.clock, s));
+                }
+            }
+        }
+    }
+    Refinement {
+        sets,
+        newly_deterministic,
+        refuted_alternates,
+        iterations,
+    }
+}
+
+/// Schedule-independent refined candidate sets for every wildcard receive
+/// *op*, keyed `(rank, op index)` — the L005 lint's evidence base.
+///
+/// Unlike [`refine_match_sets`], which may use an epoch's *observed*
+/// match (valid only for the root frontier of the analyzed schedule),
+/// this fixed point admits only structural claims — named receives and
+/// earlier wildcard ops whose candidate set is already a singleton — so
+/// an empty result holds on *every* schedule, which is the standard the
+/// lints promise.
+#[must_use]
+pub fn wildcard_op_candidates(model: &TraceModel) -> BTreeMap<(usize, usize), BTreeSet<usize>> {
+    let mut cands: BTreeMap<(usize, usize), BTreeSet<usize>> = BTreeMap::new();
+    for (rank, ops) in model.ops.iter().enumerate() {
+        for (p, op) in ops.iter().enumerate() {
+            let TraceOp::Irecv {
+                comm: WORLD,
+                src: ANY_SOURCE,
+                tag,
+            } = op
+            else {
+                continue;
+            };
+            let set: BTreeSet<usize> = (0..model.nprocs)
+                .filter(|&s| {
+                    channel_tags(model, s, rank)
+                        .iter()
+                        .any(|t| tag_matches(*tag, *t))
+                })
+                .collect();
+            cands.insert((rank, p), set);
+        }
+    }
+    let survives = |cands: &BTreeMap<(usize, usize), BTreeSet<usize>>,
+                    rank: usize,
+                    pos: usize,
+                    spec: Tag,
+                    s: usize|
+     -> bool {
+        let sends = channel_tags(model, s, rank);
+        let mut consumed = vec![false; sends.len()];
+        let mut claim = |claim_spec: Tag| {
+            if let Some(j) =
+                (0..sends.len()).find(|&j| !consumed[j] && tag_matches(claim_spec, sends[j]))
+            {
+                consumed[j] = true;
+            }
+        };
+        for (p, op) in model.ops[rank].iter().enumerate().take(pos) {
+            let TraceOp::Irecv {
+                comm: WORLD,
+                src,
+                tag,
+            } = op
+            else {
+                continue;
+            };
+            // A definite consumer of s's sends: a named receive from s, or
+            // a wildcard whose current refined set is the singleton {s}.
+            let named_from_s = *src == s as i32;
+            let singleton_s = *src == ANY_SOURCE
+                && cands
+                    .get(&(rank, p))
+                    .is_some_and(|set| set.len() == 1 && set.contains(&s));
+            if named_from_s || singleton_s {
+                claim(*tag);
+            }
+        }
+        sends
+            .iter()
+            .zip(&consumed)
+            .any(|(t, c)| !c && tag_matches(spec, *t))
+    };
+    let cap = cands.len() + 2;
+    for _ in 0..cap {
+        let mut changed = false;
+        let keys: Vec<(usize, usize)> = cands.keys().copied().collect();
+        for (rank, pos) in keys {
+            let TraceOp::Irecv { tag, .. } = model.ops[rank][pos] else {
+                continue;
+            };
+            let cur = cands[&(rank, pos)].clone();
+            let kept: BTreeSet<usize> = cur
+                .iter()
+                .copied()
+                .filter(|&s| survives(&cands, rank, pos, tag, s))
+                .collect();
+            if kept.len() != cur.len() {
+                cands.insert((rank, pos), kept);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    cands
 }
 
 /// Normalized per-op signature used for symmetry detection. Fields that
@@ -403,21 +675,204 @@ pub fn rank_orbits(model: &TraceModel) -> Vec<BTreeSet<usize>> {
     orbits
 }
 
-/// Assemble the three passes into the plan the scheduler consumes.
+/// A projection entry with the payload digest dropped — the most a masked
+/// receiver is allowed to observe about an incoming send: op kind, tag,
+/// byte length.
+fn masked(entries: &[(u8, Tag, usize, u64)]) -> Vec<(u8, Tag, usize)> {
+    entries.iter().map(|&(k, t, b, _)| (k, t, b)).collect()
+}
+
+/// Guards licensing digest-masking toward a receiver: every receive and
+/// probe is source-named (delivered content can never steer which message
+/// *matches* next), and the trace runs to `Finalize` (a truncated trace
+/// could hide content-dependent divergence past the cut).
+fn maskable_receiver(ops: &[TraceOp]) -> bool {
+    matches!(ops.last(), Some(TraceOp::Finalize))
+        && !ops.iter().any(|op| {
+            matches!(
+                op,
+                TraceOp::Irecv {
+                    src: ANY_SOURCE,
+                    ..
+                }
+            ) || matches!(
+                op,
+                TraceOp::Probe {
+                    src: ANY_SOURCE,
+                    ..
+                }
+            ) || matches!(
+                op,
+                TraceOp::Iprobe {
+                    src: ANY_SOURCE,
+                    ..
+                }
+            )
+        })
+}
+
+/// For each `WORLD` send `src → dest` (channel order), the op index of
+/// the named receive at `dest` that consumes it — positional matching
+/// per non-overtaking. `None` for unconsumed sends. Only meaningful for
+/// [`maskable_receiver`] destinations, whose receives are all named.
+fn send_consumers(model: &TraceModel, src: usize, dest: usize) -> Vec<Option<usize>> {
+    let sends = channel_tags(model, src, dest);
+    let mut consumer = vec![None; sends.len()];
+    for (p, op) in model.ops[dest].iter().enumerate() {
+        if let TraceOp::Irecv {
+            comm: WORLD,
+            src: r,
+            tag,
+        } = op
+        {
+            if *r == src as i32 {
+                if let Some(j) =
+                    (0..sends.len()).find(|&j| consumer[j].is_none() && tag_matches(*tag, sends[j]))
+                {
+                    consumer[j] = Some(p);
+                }
+            }
+        }
+    }
+    consumer
+}
+
+/// Pass 5: symmetry orbits with payload-oblivious relaxation, plus the
+/// receive points `(rank, op index)` the relaxation was spent on.
+///
+/// Two ranks are grouped exactly as in [`rank_orbits`], except that when
+/// a third rank's projections toward the pair differ *only in send
+/// digests*, the pair still merges provided both are *maskable
+/// receivers* (trace runs to finalize, no wildcard receive or probe
+/// anywhere) — cross-rank twin evidence: the two ranks
+/// received different contents yet posted byte-identical op sequences of
+/// their own, so the delivered content provably did not steer their
+/// traced behavior, and no wildcard or truncation lets it steer anything
+/// the trace cannot see. The twins' *own* sends are never masked — fig3's
+/// 22-vs-33 senders keep distinct signatures and stay unmerged.
+#[must_use]
+pub fn rank_orbits_oblivious(
+    model: &TraceModel,
+) -> (Vec<BTreeSet<usize>>, BTreeSet<(usize, usize)>) {
+    let n = model.nprocs;
+    if n < 2 || model.ops.iter().any(|ops| has_opaque_p2p(ops)) {
+        return (Vec::new(), BTreeSet::new());
+    }
+    let sigs: Vec<Vec<OpSig>> = model
+        .ops
+        .iter()
+        .map(|ops| ops.iter().map(op_sig).collect())
+        .collect();
+    // `Some(diffs)` when interchangeable; `diffs` lists `(third rank,
+    // channel send index)` positions whose digests had to be masked.
+    let check = |a: usize, b: usize| -> Option<Vec<(usize, usize)>> {
+        if sigs[a] != sigs[b]
+            || names(&model.ops[a], a)
+            || names(&model.ops[a], b)
+            || names(&model.ops[b], a)
+            || names(&model.ops[b], b)
+        {
+            return None;
+        }
+        let mut diffs = Vec::new();
+        for r in (0..n).filter(|&r| r != a && r != b) {
+            let pa = projection(&model.ops[r], a);
+            let pb = projection(&model.ops[r], b);
+            if pa == pb {
+                continue;
+            }
+            if masked(&pa) != masked(&pb) {
+                return None;
+            }
+            let mut send_idx = 0usize;
+            for (ea, eb) in pa.iter().zip(&pb) {
+                if ea.0 == 0 {
+                    if ea.3 != eb.3 {
+                        diffs.push((r, send_idx));
+                    }
+                    send_idx += 1;
+                }
+            }
+        }
+        let masking_licensed = maskable_receiver(&model.ops[a]) && maskable_receiver(&model.ops[b]);
+        if !diffs.is_empty() && !masking_licensed {
+            return None;
+        }
+        Some(diffs)
+    };
+    let mut orbit = vec![usize::MAX; n];
+    let mut orbits: Vec<BTreeSet<usize>> = Vec::new();
+    let mut oblivious: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for a in 0..n {
+        if orbit[a] != usize::MAX {
+            continue;
+        }
+        let mut group = BTreeSet::from([a]);
+        for (b, &ob) in orbit.iter().enumerate().skip(a + 1) {
+            if ob != usize::MAX {
+                continue;
+            }
+            let Some(diffs) = check(a, b) else {
+                continue;
+            };
+            group.insert(b);
+            for (r, si) in diffs {
+                for x in [a, b] {
+                    if let Some(p) = send_consumers(model, r, x).get(si).copied().flatten() {
+                        oblivious.insert((x, p));
+                    }
+                }
+            }
+        }
+        let id = orbits.len();
+        for &r in &group {
+            orbit[r] = id;
+        }
+        orbits.push(group);
+    }
+    orbits.retain(|g| g.len() >= 2);
+    (orbits, oblivious)
+}
+
+/// Assemble every pass into the plan the scheduler consumes. The one-call
+/// entry; `analyze` computes the intermediate results itself (to share
+/// them with the report) and calls [`assemble_plan`].
 #[must_use]
 pub fn build_plan(model: &TraceModel) -> PrunePlan {
     let sets = match_sets(model);
+    let refinement = refine_match_sets(model, &sets);
+    assemble_plan(model, &sets, &refinement)
+}
+
+/// Assemble a version-2 [`PrunePlan`] from precomputed pass outputs.
+/// The refined sets are split so the scheduler's counters stay disjoint:
+/// `refined_infeasible` / `refined_deterministic` carry only what the
+/// fixed point proves *beyond* the single-pass facts.
+#[must_use]
+pub fn assemble_plan(model: &TraceModel, sets: &MatchSets, refinement: &Refinement) -> PrunePlan {
+    let infeasible = infeasible_alternates(model);
+    let refined_infeasible: BTreeSet<(usize, u64, usize)> = refinement
+        .refuted_alternates
+        .iter()
+        .copied()
+        .filter(|k| !infeasible.contains(k))
+        .collect();
+    // Orbits are only ever consumed at wildcard forks; for a
+    // wildcard-free trace they could never prune anything, so don't
+    // report phantom symmetry.
+    let (orbits, oblivious_receives) = if model.epochs.is_empty() {
+        (Vec::new(), BTreeSet::new())
+    } else {
+        rank_orbits_oblivious(model)
+    };
     PrunePlan {
-        infeasible: infeasible_alternates(model),
-        deterministic: deterministic_wildcards(&sets),
-        // Orbits are only ever consumed at wildcard forks; for a
-        // wildcard-free trace they could never prune anything, so don't
-        // report phantom symmetry.
-        orbits: if model.epochs.is_empty() {
-            Vec::new()
-        } else {
-            rank_orbits(model)
-        },
+        version: PRUNE_PLAN_VERSION,
+        infeasible,
+        deterministic: deterministic_wildcards(sets),
+        orbits,
+        refined_infeasible,
+        refined_deterministic: refinement.newly_deterministic.clone(),
+        oblivious_receives,
     }
 }
 
@@ -791,6 +1246,348 @@ mod tests {
         // Mirror-image sequences are not even equal (dest differs), and
         // they name each other; no orbit.
         assert!(rank_orbits(&m).is_empty());
+    }
+
+    #[test]
+    fn refinement_refutes_what_counting_cannot() {
+        // Rank 1 sends [tag 9, tag 7] to rank 0; rank 3 sends [tag 9].
+        // Epoch 0 (ANY_TAG) observedly matched rank 1, consuming rank 1's
+        // *first* send (tag 9) positionally. Epoch 1 (tag 9) then records
+        // rank 1 as an alternate — but rank 1's only remaining send is
+        // tag 7. Count-based pass 2 can't see this (mixed-tag channel);
+        // the positional fixed point can.
+        let events = vec![
+            ev(1, 0, send(0, 0, 9)),
+            ev(1, 1, send(0, 0, 7)),
+            ev(3, 0, send(0, 0, 9)),
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 9,
+                },
+            ),
+        ];
+        let eps = vec![
+            epoch(0, 1, ANY_TAG, Some(1), &[3]),
+            epoch(0, 2, 9, Some(3), &[1]),
+        ];
+        let m = TraceModel::build(4, &events, &eps);
+        assert!(infeasible_alternates(&m).is_empty(), "counting must fail");
+        let sets = match_sets(&m);
+        let r = refine_match_sets(&m, &sets);
+        assert_eq!(r.sets.get(&(0, 2)), Some(&Some(BTreeSet::from([3]))));
+        assert_eq!(r.newly_deterministic, BTreeSet::from([(0, 2)]));
+        assert_eq!(r.refuted_alternates, BTreeSet::from([(0, 2, 1)]));
+        assert_eq!(r.iterations, 2);
+        let plan = assemble_plan(&m, &sets, &r);
+        assert!(plan.infeasible.is_empty());
+        assert_eq!(plan.refined_infeasible, BTreeSet::from([(0, 2, 1)]));
+        assert_eq!(plan.refined_deterministic, BTreeSet::from([(0, 2)]));
+    }
+
+    #[test]
+    fn singleton_rule_propagates_through_unmatched_epoch() {
+        // Epoch 0 never completed (matched None — deadlocked free run),
+        // but a named receive pins its set to {1}; that singleton claim
+        // then refutes epoch 1's alternate 1 — the rule the
+        // observed-match-only pass 2 cannot apply.
+        let events = vec![
+            ev(1, 0, send(0, 0, 7)),
+            ev(2, 0, send(0, 0, 7)),
+            ev(3, 0, send(0, 0, 9)),
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 2,
+                    tag: 7,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+            ev(
+                0,
+                2,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG,
+                },
+            ),
+        ];
+        let eps = vec![
+            epoch(0, 1, 7, None, &[]),
+            epoch(0, 2, ANY_TAG, Some(3), &[1]),
+        ];
+        let m = TraceModel::build(4, &events, &eps);
+        assert!(infeasible_alternates(&m).is_empty());
+        let sets = match_sets(&m);
+        let r = refine_match_sets(&m, &sets);
+        assert_eq!(r.sets.get(&(0, 1)), Some(&Some(BTreeSet::from([1]))));
+        assert_eq!(r.sets.get(&(0, 2)), Some(&Some(BTreeSet::from([3]))));
+        assert_eq!(r.refuted_alternates, BTreeSet::from([(0, 2, 1)]));
+        assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn refined_sets_are_subsets_of_base() {
+        let events = vec![
+            ev(1, 0, send(0, 0, 9)),
+            ev(1, 1, send(0, 0, 7)),
+            ev(3, 0, send(0, 0, 9)),
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 9,
+                },
+            ),
+        ];
+        let eps = vec![
+            epoch(0, 1, ANY_TAG, Some(1), &[3]),
+            epoch(0, 2, 9, Some(3), &[1]),
+        ];
+        let m = TraceModel::build(4, &events, &eps);
+        let sets = match_sets(&m);
+        let r = refine_match_sets(&m, &sets);
+        for (k, base) in &sets {
+            match (base, r.sets.get(k).unwrap()) {
+                (Some(b), Some(refined)) => assert!(refined.is_subset(b), "{k:?}"),
+                (None, refined) => assert!(refined.is_none(), "{k:?}"),
+                (Some(_), None) => panic!("{k:?}: refinement lost a bounded set"),
+            }
+        }
+    }
+
+    #[test]
+    fn op_level_candidates_use_only_structural_claims() {
+        // Same trace as the singleton-rule test, but without any epoch
+        // log: the op-level fixed point must reach the same conclusion
+        // from the named receive alone — valid on every schedule.
+        let events = vec![
+            ev(1, 0, send(0, 0, 7)),
+            ev(2, 0, send(0, 0, 7)),
+            ev(3, 0, send(0, 0, 9)),
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 2,
+                    tag: 7,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+            ev(
+                0,
+                2,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG,
+                },
+            ),
+        ];
+        let m = TraceModel::build(4, &events, &[]);
+        let cands = wildcard_op_candidates(&m);
+        assert_eq!(cands.get(&(0, 1)), Some(&BTreeSet::from([1])));
+        assert_eq!(cands.get(&(0, 2)), Some(&BTreeSet::from([3])));
+    }
+
+    #[test]
+    fn unmatchable_wildcard_has_empty_candidates() {
+        // Nobody ever sends tag 9: the wildcard is definitely stuck.
+        let events = vec![
+            ev(1, 0, send(0, 0, 7)),
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 9,
+                },
+            ),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        assert_eq!(
+            wildcard_op_candidates(&m).get(&(0, 0)),
+            Some(&BTreeSet::new())
+        );
+    }
+
+    #[test]
+    fn oblivious_twins_merge_despite_distinct_payloads() {
+        // Master 0 sends equal-shape, different-content payloads to
+        // workers 1 and 2, who behave identically, receive only by name,
+        // and run to Finalize: the digests may be masked and the pair
+        // merges, with the consuming receives reported as oblivious.
+        let payload = |dest, digest| TraceOp::Isend {
+            comm: 0,
+            dest,
+            tag: 4,
+            bytes: 8,
+            digest,
+        };
+        let events = vec![
+            ev(0, 0, payload(1, 11)),
+            ev(0, 1, payload(2, 22)),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 4,
+                },
+            ),
+            ev(1, 1, TraceOp::Finalize),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 4,
+                },
+            ),
+            ev(2, 1, TraceOp::Finalize),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert!(rank_orbits(&m).is_empty(), "exact pass must stay blocked");
+        let (orbits, oblivious) = rank_orbits_oblivious(&m);
+        assert_eq!(orbits, vec![BTreeSet::from([1, 2])]);
+        assert_eq!(oblivious, BTreeSet::from([(1, 0), (2, 0)]));
+    }
+
+    #[test]
+    fn truncated_trace_blocks_oblivious_merge() {
+        // Same shape but no Finalize: content-dependent divergence could
+        // hide past the cut, so the digests must not be masked.
+        let payload = |dest, digest| TraceOp::Isend {
+            comm: 0,
+            dest,
+            tag: 4,
+            bytes: 8,
+            digest,
+        };
+        let events = vec![
+            ev(0, 0, payload(1, 11)),
+            ev(0, 1, payload(2, 22)),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 4,
+                },
+            ),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 4,
+                },
+            ),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert!(rank_orbits_oblivious(&m).0.is_empty());
+    }
+
+    #[test]
+    fn wildcard_receiver_blocks_oblivious_merge() {
+        // Receivers use ANY_SOURCE: delivered content could steer which
+        // message matches next, so masking is off the table.
+        let payload = |dest, digest| TraceOp::Isend {
+            comm: 0,
+            dest,
+            tag: 4,
+            bytes: 8,
+            digest,
+        };
+        let wild = TraceOp::Irecv {
+            comm: 0,
+            src: ANY_SOURCE,
+            tag: 4,
+        };
+        let events = vec![
+            ev(0, 0, payload(1, 11)),
+            ev(0, 1, payload(2, 22)),
+            ev(1, 0, wild.clone()),
+            ev(1, 1, TraceOp::Finalize),
+            ev(2, 0, wild),
+            ev(2, 1, TraceOp::Finalize),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert!(rank_orbits_oblivious(&m).0.is_empty());
+    }
+
+    #[test]
+    fn fig3_twins_stay_distinct_under_oblivious() {
+        // The senders' *own* digests differ (22 vs. 33); masking only
+        // ever applies to what twins receive, never to what they send.
+        let wild = TraceOp::Irecv {
+            comm: 0,
+            src: ANY_SOURCE,
+            tag: 7,
+        };
+        let payload = |digest| TraceOp::Isend {
+            comm: 0,
+            dest: 1,
+            tag: 7,
+            bytes: 8,
+            digest,
+        };
+        let events = vec![
+            ev(0, 0, payload(22)),
+            ev(1, 0, wild.clone()),
+            ev(1, 1, wild),
+            ev(2, 0, payload(33)),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert!(rank_orbits_oblivious(&m).0.is_empty());
     }
 
     #[test]

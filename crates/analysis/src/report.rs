@@ -27,8 +27,15 @@ pub struct AnalysisReport {
     /// Over-approximated match-set size per epoch, keyed `"rank:clock"`;
     /// `None` where the set could not be bounded.
     pub match_set_sizes: BTreeMap<String, Option<usize>>,
+    /// Match-set sizes after the cross-epoch fixed-point refinement —
+    /// pointwise ≤ [`AnalysisReport::match_set_sizes`].
+    pub refined_match_set_sizes: BTreeMap<String, Option<usize>>,
+    /// Rounds the refinement took to reach its fixed point (includes the
+    /// final no-change round).
+    pub refinement_iterations: usize,
     /// The assembled prune plan (deterministic wildcards, infeasible
-    /// alternates, symmetry orbits).
+    /// alternates, refinement deltas, symmetry orbits, oblivious
+    /// receives).
     pub plan: PrunePlan,
     /// Definite-bug lints.
     pub lints: Vec<Lint>,
@@ -63,11 +70,23 @@ impl AnalysisReport {
             "epochs_mapped": self.epochs_mapped,
             "alternates_recorded": self.alternates_recorded,
             "match_set_sizes": self.match_set_sizes,
+            "refined_match_set_sizes": self.refined_match_set_sizes,
+            "refinement_iterations": self.refinement_iterations,
+            "plan_version": self.plan.version,
             "deterministic_wildcards": self.plan.deterministic.iter()
                 .map(|(r, c)| json!({"rank": r, "clock": c}))
                 .collect::<Vec<_>>(),
             "infeasible_alternates": self.plan.infeasible.iter()
                 .map(|(r, c, s)| json!({"rank": r, "clock": c, "src": s}))
+                .collect::<Vec<_>>(),
+            "refined_deterministic_wildcards": self.plan.refined_deterministic.iter()
+                .map(|(r, c)| json!({"rank": r, "clock": c}))
+                .collect::<Vec<_>>(),
+            "refined_infeasible_alternates": self.plan.refined_infeasible.iter()
+                .map(|(r, c, s)| json!({"rank": r, "clock": c, "src": s}))
+                .collect::<Vec<_>>(),
+            "oblivious_receives": self.plan.oblivious_receives.iter()
+                .map(|(r, p)| json!({"rank": r, "op": p}))
                 .collect::<Vec<_>>(),
             "orbits": self.plan.orbits.iter()
                 .map(|o| o.iter().collect::<Vec<_>>())
@@ -96,6 +115,14 @@ impl fmt::Display for AnalysisReport {
             "  deterministic wildcards: {}   infeasible alternates: {}",
             self.plan.deterministic.len(),
             self.plan.infeasible.len()
+        )?;
+        writeln!(
+            f,
+            "  refinement ({} round(s)): +{} deterministic, +{} infeasible, {} oblivious receive(s)",
+            self.refinement_iterations,
+            self.plan.refined_deterministic.len(),
+            self.plan.refined_infeasible.len(),
+            self.plan.oblivious_receives.len()
         )?;
         if self.plan.orbits.is_empty() {
             writeln!(f, "  symmetry orbits: none")?;
@@ -139,10 +166,19 @@ mod tests {
                 ("1:1".to_string(), Some(2)),
                 ("1:2".to_string(), None),
             ]),
+            refined_match_set_sizes: BTreeMap::from([
+                ("1:1".to_string(), Some(1)),
+                ("1:2".to_string(), None),
+            ]),
+            refinement_iterations: 2,
             plan: PrunePlan {
                 infeasible: BTreeSet::from([(1, 2, 3)]),
                 deterministic: BTreeSet::from([(2, 1)]),
+                refined_infeasible: BTreeSet::from([(1, 1, 2)]),
+                refined_deterministic: BTreeSet::from([(1, 1)]),
+                oblivious_receives: BTreeSet::from([(0, 4)]),
                 orbits: vec![BTreeSet::from([1, 2])],
+                ..PrunePlan::default()
             },
             lints: vec![Lint {
                 id: "L001",
@@ -167,6 +203,12 @@ mod tests {
         assert_eq!(j["error_lints"], 1);
         assert_eq!(j["match_set_sizes"]["1:1"], 2);
         assert!(j["match_set_sizes"]["1:2"].is_null());
+        assert_eq!(j["refined_match_set_sizes"]["1:1"], 1);
+        assert_eq!(j["refinement_iterations"], 2);
+        assert_eq!(j["plan_version"], dampi_core::prune::PRUNE_PLAN_VERSION);
+        assert_eq!(j["refined_infeasible_alternates"][0]["src"], 2);
+        assert_eq!(j["refined_deterministic_wildcards"][0]["clock"], 1);
+        assert_eq!(j["oblivious_receives"][0]["op"], 4);
     }
 
     #[test]
@@ -174,6 +216,10 @@ mod tests {
         let s = report().to_string();
         assert!(s.contains("deterministic wildcards: 1"), "{s}");
         assert!(s.contains("infeasible alternates: 1"), "{s}");
+        assert!(
+            s.contains("refinement (2 round(s)): +1 deterministic, +1 infeasible"),
+            "{s}"
+        );
         assert!(s.contains("L001"), "{s}");
         assert!(s.contains("note: rank 3"), "{s}");
     }

@@ -124,6 +124,7 @@ fn branch_on_guided_ablation() {
         n: 6,
         rounds_per_slave: 1,
         task_cost: 0.0,
+        ..Default::default()
     });
     let run = |branch: bool| {
         let mut cfg = DampiConfig::default().with_max_interleavings(50_000);

@@ -23,6 +23,7 @@ fn program() -> Matmul {
         n: 8,
         rounds_per_slave: 2,
         task_cost: 1e-4,
+        ..Default::default()
     })
 }
 

@@ -21,6 +21,7 @@ fn program() -> Matmul {
         n: 8,
         rounds_per_slave: 1,
         task_cost: 0.0,
+        ..Default::default()
     })
 }
 

@@ -6,15 +6,20 @@
 //! delta is exactly what the `dampi-analysis` plan removed.
 //!
 //! Expected shape: racers halves deterministically (4 → 2, orbits
-//! `[0,2]` and `[1,3]` on every run); matmul is a pinned **no-op**
-//! (162 → 162, zero orbits — send signatures digest payload *content*,
-//! and every slave returns task-specific rows, so no two slaves are
-//! interchangeable; grouping them by length alone is exactly the
-//! unsoundness the fig3 regression test guards against); ADLB at np 16
-//! reduces ~5–6× (≈7000 → ≈1300): 15 workers contend for 12 work items,
-//! so at least three retire with digest-identical zero-item traces and
-//! form a guaranteed orbit. On every point the error set is asserted
-//! byte-identical — a wrong answer aborts the bench.
+//! `[0,2]` and `[1,3]` on every run); content-mode matmul is a pinned
+//! **no-op** (162 → 162, zero orbits — send signatures digest payload
+//! *content*, and every slave returns task-specific rows, so no two
+//! slaves are interchangeable; grouping them by length alone is exactly
+//! the unsoundness the fig3 regression test guards against); ack-mode
+//! matmul (`matmul_ack`) is the payload-oblivious pass's headline row —
+//! slaves verify locally and ack with empty payloads, so the whole slave
+//! pool merges into one orbit and the campaign collapses 6× (90 → 15 —
+//! static round-robin dealing makes the trace schedule-invariant, so
+//! the row is deterministic);
+//! ADLB at np 16 reduces well beyond the exact pass's ~5–6×, because
+//! one-task workers with distinct payloads now merge too. On every point
+//! the error set is asserted byte-identical — a wrong answer aborts the
+//! bench.
 //!
 //! Set `DAMPI_BENCH_JSON=<path>` to also write the
 //! `BENCH_prune_static.json` snapshot. `DAMPI_BENCH_FAST=1` skips the
@@ -33,13 +38,15 @@ fn print_figure() {
             "pruned il",
             "dropped",
             "det wc",
+            "+refined",
             "orbits",
+            "obliv rx",
             "plain (s)",
             "pruned (s)",
         ],
     );
     let mut points = Vec::new();
-    for workload in ["symmetric_racers", "matmul", "adlb"] {
+    for workload in ["symmetric_racers", "matmul", "matmul_ack", "adlb"] {
         let p = measure(workload);
         table.row(vec![
             p.workload.clone(),
@@ -47,7 +54,12 @@ fn print_figure() {
             p.pruned_interleavings.to_string(),
             p.alternates_pruned.to_string(),
             p.wildcards_deterministic.to_string(),
+            format!(
+                "{}/{}",
+                p.refined_alternates_pruned, p.refined_wildcards_deterministic
+            ),
             p.orbits.to_string(),
+            p.oblivious_receives.to_string(),
             format!("{:.4}", p.base_wall_s),
             format!("{:.4}", p.pruned_wall_s),
         ]);

@@ -29,6 +29,10 @@ use dampi_workloads::patterns;
 pub struct PrunePoint {
     /// Workload name.
     pub workload: String,
+    /// Explicit configuration of the point (np, workload parameters,
+    /// match policy, bound) — two snapshots are comparable only when
+    /// their `params` strings are identical.
+    pub params: String,
     /// Interleavings the plain campaign replayed.
     pub base_interleavings: u64,
     /// Interleavings the pruned campaign replayed.
@@ -37,8 +41,16 @@ pub struct PrunePoint {
     pub alternates_pruned: u64,
     /// Wildcards the analysis proved deterministic.
     pub wildcards_deterministic: u64,
+    /// Additional forks dropped by the cross-epoch fixed-point
+    /// refinement (disjoint from `alternates_pruned`).
+    pub refined_alternates_pruned: u64,
+    /// Additional wildcard instances the refinement proved deterministic.
+    pub refined_wildcards_deterministic: u64,
     /// Rank-symmetry orbits the analysis found on this run's trace.
     pub orbits: usize,
+    /// Receive points whose payload digests were masked to license an
+    /// orbit merge (payload-oblivious symmetry).
+    pub oblivious_receives: usize,
     /// Wall-clock seconds of the plain campaign.
     pub base_wall_s: f64,
     /// Wall-clock seconds of the pruned campaign, including the analysis
@@ -48,15 +60,28 @@ pub struct PrunePoint {
     pub errors: usize,
 }
 
-fn verifier_for(workload: &str) -> (DampiVerifier, Box<dyn MpiProgram>) {
+fn verifier_for(workload: &str) -> (DampiVerifier, Box<dyn MpiProgram>, String) {
     match workload {
         "symmetric_racers" => (
             DampiVerifier::new(SimConfig::new(4).with_policy(MatchPolicy::LowestRank)),
             Box::new(patterns::symmetric_racers()),
+            "np=4 policy=lowest_rank bound=unbounded".to_owned(),
         ),
         "matmul" => (
             DampiVerifier::new(SimConfig::new(4)),
             Box::new(Matmul::new(MatmulParams::default())),
+            "np=4 n=8 rounds_per_slave=2 mode=content bound=unbounded".to_owned(),
+        ),
+        // Acknowledgement-mode matmul: slaves verify locally and ack with
+        // empty payloads, so task content provably never steers behavior
+        // and the payload-oblivious pass merges the whole slave pool.
+        "matmul_ack" => (
+            DampiVerifier::new(SimConfig::new(4)),
+            Box::new(Matmul::new(MatmulParams {
+                ack_results: true,
+                ..MatmulParams::default()
+            })),
+            "np=4 n=8 rounds_per_slave=2 mode=ack bound=unbounded".to_owned(),
         ),
         // ADLB's unbounded space is enormous; the paper explores it under
         // bounded mixing (Fig. 9), and so does this measurement — both
@@ -73,6 +98,7 @@ fn verifier_for(workload: &str) -> (DampiVerifier, Box<dyn MpiProgram>) {
                 DampiConfig::default().with_bound(MixingBound::K(1)),
             ),
             Box::new(Adlb::new(AdlbParams::default())),
+            "np=16 nservers=1 seed_items=4 spawn=1x2 bound=k1".to_owned(),
         ),
         other => panic!("unknown pruning workload `{other}`"),
     }
@@ -96,7 +122,7 @@ fn error_keys(report: &VerificationReport) -> Vec<(usize, String)> {
 /// and the interleaving counts would not be comparable at all.
 #[must_use]
 pub fn measure(workload: &str) -> PrunePoint {
-    let (verifier, prog) = verifier_for(workload);
+    let (verifier, prog, params) = verifier_for(workload);
     let (events, run) = verifier.traced_run(prog.as_ref());
 
     let start = Instant::now();
@@ -106,6 +132,7 @@ pub fn measure(workload: &str) -> PrunePoint {
     let start = Instant::now();
     let analysis = analyze(prog.name(), verifier.sim.nprocs, &events, &run);
     let orbits = analysis.plan.orbits.len();
+    let oblivious_receives = analysis.plan.oblivious_receives.len();
     let pruned_verifier = verifier.clone().with_prune_plan(analysis.prune_plan());
     let pruned = pruned_verifier.verify_with_first_run(prog.as_ref(), run);
     let pruned_wall_s = start.elapsed().as_secs_f64();
@@ -124,11 +151,15 @@ pub fn measure(workload: &str) -> PrunePoint {
 
     PrunePoint {
         workload: workload.to_owned(),
+        params,
         base_interleavings: base.interleavings,
         pruned_interleavings: pruned.interleavings,
         alternates_pruned: pruned.alternates_pruned,
         wildcards_deterministic: pruned.wildcards_deterministic,
+        refined_alternates_pruned: pruned.refined_alternates_pruned,
+        refined_wildcards_deterministic: pruned.refined_wildcards_deterministic,
         orbits,
+        oblivious_receives,
         base_wall_s,
         pruned_wall_s,
         errors: base.errors.len(),
@@ -141,15 +172,22 @@ pub fn to_json(points: &[PrunePoint]) -> String {
     let mut out = String::from("{\n  \"workloads\": {\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    \"{}\": {{\"base_interleavings\": {}, \"pruned_interleavings\": {}, \
-             \"alternates_pruned\": {}, \"wildcards_deterministic\": {}, \"orbits\": {}, \
-             \"base_wall_s\": {:.4}, \"pruned_wall_s\": {:.4}, \"errors\": {}}}{}\n",
+            "    \"{}\": {{\"params\": \"{}\", \"base_interleavings\": {}, \
+             \"pruned_interleavings\": {}, \"alternates_pruned\": {}, \
+             \"wildcards_deterministic\": {}, \"refined_alternates_pruned\": {}, \
+             \"refined_wildcards_deterministic\": {}, \"orbits\": {}, \
+             \"oblivious_receives\": {}, \"base_wall_s\": {:.4}, \
+             \"pruned_wall_s\": {:.4}, \"errors\": {}}}{}\n",
             p.workload,
+            p.params,
             p.base_interleavings,
             p.pruned_interleavings,
             p.alternates_pruned,
             p.wildcards_deterministic,
+            p.refined_alternates_pruned,
+            p.refined_wildcards_deterministic,
             p.orbits,
+            p.oblivious_receives,
             p.base_wall_s,
             p.pruned_wall_s,
             p.errors,

@@ -177,6 +177,12 @@ pub struct SemanticMetrics {
     /// Committed epoch instances the static analysis proved deterministic
     /// (singleton feasible sender set — no branching possible).
     pub wildcards_deterministic: u64,
+    /// Frontier alternates dropped only by the fixed-point positional
+    /// refinement (disjoint from `alternates_pruned`).
+    pub refined_alternates_pruned: u64,
+    /// Committed epoch instances only the refinement fixed point proved
+    /// deterministic (disjoint from `wildcards_deterministic`).
+    pub refined_wildcards_deterministic: u64,
 }
 
 impl SemanticMetrics {
@@ -195,6 +201,8 @@ impl SemanticMetrics {
         self.unsafe_alerts += oc.stats.unsafe_alerts;
         self.alternates_pruned += oc.alternates_pruned;
         self.wildcards_deterministic += oc.wildcards_deterministic;
+        self.refined_alternates_pruned += oc.refined_alternates_pruned;
+        self.refined_wildcards_deterministic += oc.refined_wildcards_deterministic;
     }
 }
 
@@ -221,6 +229,11 @@ pub struct ObservedCommit {
     pub alternates_pruned: u64,
     /// Epoch instances in this commit the plan proved deterministic.
     pub wildcards_deterministic: u64,
+    /// Alternates dropped at this commit by the refinement fixed point
+    /// alone (disjoint from `alternates_pruned`).
+    pub refined_alternates_pruned: u64,
+    /// Epoch instances only the refinement proved deterministic.
+    pub refined_wildcards_deterministic: u64,
 }
 
 // ---- Campaign metrics ------------------------------------------------------
@@ -459,6 +472,8 @@ impl CampaignMetrics {
             "unsafe_alerts": s.unsafe_alerts,
             "alternates_pruned": s.alternates_pruned,
             "wildcards_deterministic": s.wildcards_deterministic,
+            "refined_alternates_pruned": s.refined_alternates_pruned,
+            "refined_wildcards_deterministic": s.refined_wildcards_deterministic,
         });
         let wall_clock = serde_json::json!({
             "deterministic": false,
@@ -722,6 +737,8 @@ mod tests {
                 timed_out: false,
                 alternates_pruned: 2,
                 wildcards_deterministic: 1,
+                refined_alternates_pruned: 3,
+                refined_wildcards_deterministic: 1,
             },
             4,
         );
@@ -737,6 +754,8 @@ mod tests {
                 timed_out: false,
                 alternates_pruned: 0,
                 wildcards_deterministic: 1,
+                refined_alternates_pruned: 1,
+                refined_wildcards_deterministic: 0,
             },
             3,
         );
@@ -751,6 +770,8 @@ mod tests {
         assert_eq!(s.pb_wire_bytes, 336);
         assert_eq!(s.alternates_pruned, 2);
         assert_eq!(s.wildcards_deterministic, 2);
+        assert_eq!(s.refined_alternates_pruned, 4);
+        assert_eq!(s.refined_wildcards_deterministic, 1);
         assert_eq!(m.committed(), 2);
     }
 

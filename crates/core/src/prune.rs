@@ -3,7 +3,7 @@
 //! `crates/analysis` inspects the initial free run's event trace and epoch
 //! log *before* any replay is dispatched and condenses its conclusions into
 //! a [`PrunePlan`] — a plain data value, so the core scheduler does not
-//! depend on the analysis crate. The plan carries three kinds of facts:
+//! depend on the analysis crate. The plan carries these kinds of facts:
 //!
 //! 1. **Infeasible alternates** — recorded `(rank, clock, src)` alternates
 //!    that envelope counting plus MPI non-overtaking prove unmatchable (the
@@ -24,6 +24,25 @@
 //!    isomorphic to one already scheduled; it is pruned (classic symmetry
 //!    reduction — errors are preserved up to renaming of orbit members).
 //!
+//! Plan **version 2** adds the cross-epoch fixed-point refinement outputs:
+//!
+//! 4. **Refined infeasible alternates** — alternates the per-channel
+//!    positional simulation refutes *beyond* envelope counting: walking the
+//!    receiver's completed receives in post order, each definite consumer
+//!    (a completed named receive or an earlier epoch's observed match)
+//!    takes the forced source's earliest unconsumed tag-compatible send, so
+//!    the simulation knows *which* send each claim consumed — precision the
+//!    count-based pass gives up on mixed-tag `ANY_TAG` channels.
+//! 5. **Refined deterministic wildcards** — epochs whose match set shrinks
+//!    to a singleton only at the refinement fixed point.
+//! 6. **Oblivious receives** — `(rank, op index)` receive points whose
+//!    delivered payload content provably did not steer the receiver in the
+//!    traced run (cross-rank twin evidence). Carried for reporting: the
+//!    orbit pass already spent this license when it built `orbits`.
+//!
+//! Old (version-1) plans deserialize with the new fields empty, so a plan
+//! produced by an earlier analyzer build still drives the scheduler.
+//!
 //! Every decision the scheduler takes from a plan happens on the
 //! deterministic commit path, so `--jobs N` explorations remain
 //! byte-identical for any worker count.
@@ -32,10 +51,17 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
+/// Current plan schema version written by the analyzer.
+pub const PRUNE_PLAN_VERSION: u32 = 2;
+
 /// The distilled output of the static pre-analysis, consumed by
 /// `scheduler::push_forks` when pruning is enabled.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrunePlan {
+    /// Plan schema version. Version-1 plans carry no explicit field and
+    /// deserialize as 0; both are accepted on load.
+    #[serde(default)]
+    pub version: u32,
     /// Alternates `(rank, clock, src)` proven unmatchable for the initial
     /// run's epochs; dropped from the root frontier only (replay epoch
     /// logs may legitimately differ from the analyzed trace).
@@ -46,15 +72,47 @@ pub struct PrunePlan {
     /// Disjoint groups of interchangeable ranks. Ranks not listed in any
     /// orbit are fixed points (never swapped).
     pub orbits: Vec<BTreeSet<usize>>,
+    /// Alternates refuted only by the fixed-point positional refinement,
+    /// disjoint from [`PrunePlan::infeasible`]. Same consumption rule:
+    /// root frontier only.
+    #[serde(default)]
+    pub refined_infeasible: BTreeSet<(usize, u64, usize)>,
+    /// Epochs deterministic only at the refinement fixed point, disjoint
+    /// from [`PrunePlan::deterministic`].
+    #[serde(default)]
+    pub refined_deterministic: BTreeSet<(usize, u64)>,
+    /// Receive points `(rank, op index)` proven payload-oblivious; the
+    /// orbit pass dropped content digests from projections toward these
+    /// receivers. Reporting only — no scheduler effect of its own.
+    #[serde(default)]
+    pub oblivious_receives: BTreeSet<(usize, usize)>,
+}
+
+impl Default for PrunePlan {
+    fn default() -> Self {
+        Self {
+            version: PRUNE_PLAN_VERSION,
+            infeasible: BTreeSet::new(),
+            deterministic: BTreeSet::new(),
+            orbits: Vec::new(),
+            refined_infeasible: BTreeSet::new(),
+            refined_deterministic: BTreeSet::new(),
+            oblivious_receives: BTreeSet::new(),
+        }
+    }
 }
 
 impl PrunePlan {
     /// True when the plan prescribes nothing — the scheduler then behaves
-    /// exactly as if no plan were installed.
+    /// exactly as if no plan were installed. Oblivious receives alone do
+    /// not count: they only license orbits, they do not prune by
+    /// themselves.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.infeasible.is_empty()
             && self.deterministic.is_empty()
+            && self.refined_infeasible.is_empty()
+            && self.refined_deterministic.is_empty()
             && self.orbits.iter().all(|o| o.len() < 2)
     }
 
@@ -88,6 +146,28 @@ mod tests {
             ..PrunePlan::default()
         };
         assert!(trivial.is_empty(), "singleton orbits prescribe nothing");
+        let oblivious_only = PrunePlan {
+            oblivious_receives: BTreeSet::from([(1, 2)]),
+            ..PrunePlan::default()
+        };
+        assert!(
+            oblivious_only.is_empty(),
+            "oblivious receives alone prune nothing"
+        );
+    }
+
+    #[test]
+    fn refined_facts_make_a_plan_nonempty() {
+        let refined = PrunePlan {
+            refined_infeasible: BTreeSet::from([(0, 1, 2)]),
+            ..PrunePlan::default()
+        };
+        assert!(!refined.is_empty());
+        let det = PrunePlan {
+            refined_deterministic: BTreeSet::from([(0, 1)]),
+            ..PrunePlan::default()
+        };
+        assert!(!det.is_empty());
     }
 
     #[test]
@@ -111,9 +191,32 @@ mod tests {
             infeasible: BTreeSet::from([(0, 3, 2)]),
             deterministic: BTreeSet::from([(1, 0)]),
             orbits: vec![BTreeSet::from([1, 2])],
+            refined_infeasible: BTreeSet::from([(0, 4, 1)]),
+            refined_deterministic: BTreeSet::from([(0, 4)]),
+            oblivious_receives: BTreeSet::from([(2, 1)]),
+            ..PrunePlan::default()
         };
         let json = serde_json::to_string(&plan).unwrap();
         let back: PrunePlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+        assert_eq!(back.version, PRUNE_PLAN_VERSION);
+    }
+
+    #[test]
+    fn version_1_plans_still_deserialize() {
+        // The exact shape PR-5 analyzers wrote: no version, no refined
+        // fields. Old campaign artifacts must keep loading.
+        let v1 = r#"{
+            "infeasible": [[0, 3, 2]],
+            "deterministic": [[1, 0]],
+            "orbits": [[1, 2]]
+        }"#;
+        let plan: PrunePlan = serde_json::from_str(v1).unwrap();
+        assert_eq!(plan.version, 0, "legacy plans report version 0");
+        assert!(plan.infeasible.contains(&(0, 3, 2)));
+        assert!(plan.refined_infeasible.is_empty());
+        assert!(plan.refined_deterministic.is_empty());
+        assert!(plan.oblivious_receives.is_empty());
+        assert!(!plan.is_empty());
     }
 }

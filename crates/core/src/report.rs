@@ -80,6 +80,12 @@ pub struct VerificationReport {
     /// Committed epoch instances the static analysis proved deterministic
     /// (singleton feasible sender set).
     pub wildcards_deterministic: u64,
+    /// Frontier alternates dropped only by the cross-epoch fixed-point
+    /// refinement (plan v2); disjoint from `alternates_pruned`.
+    pub refined_alternates_pruned: u64,
+    /// Committed epoch instances deterministic only at the refinement
+    /// fixed point; disjoint from `wildcards_deterministic`.
+    pub refined_wildcards_deterministic: u64,
     /// Per-epoch `(rank, clock)` union of every discovered match (matched
     /// source and alternates, over all runs) — the verifier's coverage.
     pub discovered: BTreeMap<(usize, u64), BTreeSet<usize>>,
@@ -174,6 +180,8 @@ impl VerificationReport {
             "pb_messages": self.pb_messages,
             "alternates_pruned": self.alternates_pruned,
             "wildcards_deterministic": self.wildcards_deterministic,
+            "refined_alternates_pruned": self.refined_alternates_pruned,
+            "refined_wildcards_deterministic": self.refined_wildcards_deterministic,
             "first_run_makespan_s": self.first_run_makespan,
             "total_virtual_time_s": self.total_virtual_time,
             "discovered": discovered,
@@ -207,6 +215,13 @@ impl fmt::Display for VerificationReport {
                 f,
                 "  static pruning: {} alternate(s) dropped, {} deterministic wildcard instance(s)",
                 self.alternates_pruned, self.wildcards_deterministic
+            )?;
+        }
+        if self.refined_alternates_pruned > 0 || self.refined_wildcards_deterministic > 0 {
+            writeln!(
+                f,
+                "  fixed-point refinement: {} additional alternate(s) dropped, {} additional deterministic wildcard instance(s)",
+                self.refined_alternates_pruned, self.refined_wildcards_deterministic
             )?;
         }
         writeln!(
@@ -313,6 +328,8 @@ mod tests {
             budget_exhausted: false,
             alternates_pruned: 0,
             wildcards_deterministic: 0,
+            refined_alternates_pruned: 0,
+            refined_wildcards_deterministic: 0,
             discovered: BTreeMap::new(),
         }
     }

@@ -154,6 +154,25 @@ pub struct Exploration {
     /// Epoch instances committed whose wildcard the static analysis proved
     /// deterministic (singleton feasible sender set).
     pub wildcards_deterministic: u64,
+    /// Frontier forks dropped because the fixed-point positional
+    /// refinement — not the single-pass envelope count — refuted the
+    /// alternate. Disjoint from [`Exploration::alternates_pruned`].
+    pub refined_alternates_pruned: u64,
+    /// Epoch instances committed whose wildcard only the refinement fixed
+    /// point proved deterministic. Disjoint from
+    /// [`Exploration::wildcards_deterministic`].
+    pub refined_wildcards_deterministic: u64,
+}
+
+/// Per-commit prune accounting returned by [`push_forks`]: how many forks
+/// the plan dropped and how many committed epochs it proved deterministic,
+/// split by which analysis pass supplied the fact.
+#[derive(Debug, Clone, Copy, Default)]
+struct ForkStats {
+    pruned: u64,
+    deterministic: u64,
+    refined_pruned: u64,
+    refined_deterministic: u64,
 }
 
 struct Fork {
@@ -274,7 +293,7 @@ impl<'a> Walk<'a> {
             &DecisionSet::self_run(),
         );
         absorb_discoveries(&mut self.ex, &first.epochs);
-        let mut pruned = (0, 0);
+        let mut pruned = ForkStats::default();
         let timed_out = if let Some(detail) = timeout_of(&first.outcome) {
             self.ex.timeouts.push(ReplayTimeoutRecord {
                 interleaving: 1,
@@ -292,8 +311,7 @@ impl<'a> Walk<'a> {
             );
             false
         };
-        self.ex.alternates_pruned += pruned.0;
-        self.ex.wildcards_deterministic += pruned.1;
+        self.absorb_fork_stats(pruned);
         self.observe(ObservedCommit {
             interleaving: 1,
             depth: 0,
@@ -303,8 +321,10 @@ impl<'a> Walk<'a> {
             attempts,
             stats: self.ex.first_run_stats,
             timed_out,
-            alternates_pruned: pruned.0,
-            wildcards_deterministic: pruned.1,
+            alternates_pruned: pruned.pruned,
+            wildcards_deterministic: pruned.deterministic,
+            refined_alternates_pruned: pruned.refined_pruned,
+            refined_wildcards_deterministic: pruned.refined_deterministic,
         });
         self.checkpoint();
     }
@@ -328,7 +348,7 @@ impl<'a> Walk<'a> {
             &fork.decisions,
         );
         absorb_discoveries(&mut self.ex, &res.epochs);
-        let mut pruned = (0, 0);
+        let mut pruned = ForkStats::default();
         let timed_out = if let Some(detail) = timeout_of(&res.outcome) {
             // A killed replay's epoch log is truncated; forking from it
             // would schedule prefixes the run never confirmed. Record the
@@ -353,8 +373,7 @@ impl<'a> Walk<'a> {
             );
             false
         };
-        self.ex.alternates_pruned += pruned.0;
-        self.ex.wildcards_deterministic += pruned.1;
+        self.absorb_fork_stats(pruned);
         self.observe(ObservedCommit {
             interleaving,
             depth: fork.decisions.decisions.len(),
@@ -364,10 +383,19 @@ impl<'a> Walk<'a> {
             attempts,
             stats,
             timed_out,
-            alternates_pruned: pruned.0,
-            wildcards_deterministic: pruned.1,
+            alternates_pruned: pruned.pruned,
+            wildcards_deterministic: pruned.deterministic,
+            refined_alternates_pruned: pruned.refined_pruned,
+            refined_wildcards_deterministic: pruned.refined_deterministic,
         });
         self.checkpoint();
+    }
+
+    fn absorb_fork_stats(&mut self, fs: ForkStats) {
+        self.ex.alternates_pruned += fs.pruned;
+        self.ex.wildcards_deterministic += fs.deterministic;
+        self.ex.refined_alternates_pruned += fs.refined_pruned;
+        self.ex.refined_wildcards_deterministic += fs.refined_deterministic;
     }
 
     /// Report one committed replay to the observability sinks. No-ops (two
@@ -834,27 +862,31 @@ fn absorb_discoveries(ex: &mut Exploration, epochs: &[EpochRecord]) {
 }
 
 /// Sort this run's epochs canonically and push a fork for every unexplored
-/// alternate inside the mixing window. Returns the number of alternates the
-/// static prune plan dropped and the number of committed epoch instances
-/// the plan proved deterministic — both fold into the semantic metrics on
-/// the commit path, so they are identical for any `jobs` value.
+/// alternate inside the mixing window. Returns how many alternates the
+/// static prune plan dropped and how many committed epoch instances the
+/// plan proved deterministic, split per analysis pass — all fold into the
+/// semantic metrics on the commit path, so they are identical for any
+/// `jobs` value.
 fn push_forks(
     stack: &mut Vec<Fork>,
     visited: &mut HashSet<u64>,
     epochs: &[EpochRecord],
     provenance: Provenance,
     opts: &ExploreOptions,
-) -> (u64, u64) {
+) -> ForkStats {
     let plan = opts.prune.as_deref();
     let at_root = matches!(provenance, Root);
-    let mut pruned = 0u64;
-    let mut deterministic = 0u64;
+    let mut stats = ForkStats::default();
     let mut eps: Vec<&EpochRecord> = epochs.iter().collect();
     eps.sort_by_key(|e| (e.clock, e.rank));
     for (i, e) in eps.iter().enumerate() {
         if let Some(p) = plan {
-            if !e.guided && p.deterministic.contains(&(e.rank, e.clock)) {
-                deterministic += 1;
+            if !e.guided {
+                if p.deterministic.contains(&(e.rank, e.clock)) {
+                    stats.deterministic += 1;
+                } else if p.refined_deterministic.contains(&(e.rank, e.clock)) {
+                    stats.refined_deterministic += 1;
+                }
             }
         }
         if e.guided && !opts.branch_on_guided {
@@ -904,7 +936,11 @@ fn push_forks(
         for alt in e.unexplored_alternates() {
             if let Some(p) = plan {
                 if at_root && p.infeasible.contains(&(e.rank, e.clock, alt)) {
-                    pruned += 1;
+                    stats.pruned += 1;
+                    continue;
+                }
+                if at_root && p.refined_infeasible.contains(&(e.rank, e.clock, alt)) {
+                    stats.refined_pruned += 1;
                     continue;
                 }
                 let symmetric = !fixed.contains(&alt)
@@ -912,7 +948,7 @@ fn push_forks(
                         .iter()
                         .any(|&b| !fixed.contains(&b) && p.interchangeable(alt, b));
                 if symmetric {
-                    pruned += 1;
+                    stats.pruned += 1;
                     continue;
                 }
             }
@@ -943,7 +979,7 @@ fn push_forks(
             }
         }
     }
-    (pruned, deterministic)
+    stats
 }
 
 #[cfg(test)]
@@ -1125,6 +1161,11 @@ mod tests {
         assert_eq!(par.discovered, seq.discovered);
         assert_eq!(par.alternates_pruned, seq.alternates_pruned);
         assert_eq!(par.wildcards_deterministic, seq.wildcards_deterministic);
+        assert_eq!(par.refined_alternates_pruned, seq.refined_alternates_pruned);
+        assert_eq!(
+            par.refined_wildcards_deterministic,
+            seq.refined_wildcards_deterministic
+        );
         assert_eq!(par.budget_exhausted, seq.budget_exhausted);
         assert_eq!(par.divergences, seq.divergences);
         assert_eq!(par.retries, seq.retries);
@@ -1322,9 +1363,60 @@ mod tests {
     }
 
     #[test]
+    fn refined_infeasible_dropped_at_root_only() {
+        // Mirror of `infeasible_alternates_dropped_at_root_only` through
+        // the fixed-point channel: same pruning behavior, but the drop is
+        // accounted in the refined counter, disjoint from the single-pass
+        // one.
+        let plan = PrunePlan {
+            refined_infeasible: BTreeSet::from([(0, 1, 1)]),
+            ..PrunePlan::default()
+        };
+        let ex = explore(
+            synthetic_run(2, 2),
+            &with_plan(opts(MixingBound::Unbounded), plan),
+        );
+        assert_eq!(ex.interleavings, 3);
+        assert_eq!(ex.alternates_pruned, 0);
+        assert_eq!(ex.refined_alternates_pruned, 1);
+    }
+
+    #[test]
+    fn refined_deterministic_counted_disjointly() {
+        // An epoch in `refined_deterministic` but not `deterministic` only
+        // bumps the refined counter; when both passes claim it, the
+        // single-pass counter wins (the sets the analyzer emits are
+        // disjoint, but the scheduler must not double-count regardless).
+        let refined_only = PrunePlan {
+            refined_deterministic: BTreeSet::from([(0, 0)]),
+            ..PrunePlan::default()
+        };
+        let ex = explore(
+            synthetic_run(1, 2),
+            &with_plan(opts(MixingBound::Unbounded), refined_only),
+        );
+        assert_eq!(ex.wildcards_deterministic, 0);
+        assert_eq!(ex.refined_wildcards_deterministic, 1);
+
+        let both = PrunePlan {
+            deterministic: BTreeSet::from([(0, 0)]),
+            refined_deterministic: BTreeSet::from([(0, 0)]),
+            ..PrunePlan::default()
+        };
+        let ex = explore(
+            synthetic_run(1, 2),
+            &with_plan(opts(MixingBound::Unbounded), both),
+        );
+        assert_eq!(ex.wildcards_deterministic, 1);
+        assert_eq!(ex.refined_wildcards_deterministic, 0);
+    }
+
+    #[test]
     fn pruned_exploration_is_jobs_invariant() {
         let plan = PrunePlan {
             infeasible: BTreeSet::from([(0, 2, 1)]),
+            refined_infeasible: BTreeSet::from([(0, 2, 2)]),
+            refined_deterministic: BTreeSet::from([(0, 0)]),
             orbits: vec![BTreeSet::from([1, 2, 3])],
             ..PrunePlan::default()
         };
@@ -1340,6 +1432,8 @@ mod tests {
             assert_equiv(&seq, &par);
         }
         assert!(seq.alternates_pruned > 0);
+        assert!(seq.refined_alternates_pruned > 0);
+        assert_eq!(seq.refined_wildcards_deterministic, 1);
         assert!(seq.interleavings < 64, "plan must actually prune");
     }
 }

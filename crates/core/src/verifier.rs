@@ -318,6 +318,8 @@ impl DampiVerifier {
             budget_exhausted: ex.budget_exhausted,
             alternates_pruned: ex.alternates_pruned,
             wildcards_deterministic: ex.wildcards_deterministic,
+            refined_alternates_pruned: ex.refined_alternates_pruned,
+            refined_wildcards_deterministic: ex.refined_wildcards_deterministic,
             discovered: ex.discovered,
         }
     }

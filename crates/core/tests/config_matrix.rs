@@ -67,6 +67,7 @@ fn matmul_clean_under_every_configuration() {
         n: 6,
         rounds_per_slave: 1,
         task_cost: 0.0,
+        ..Default::default()
     });
     for (name, cfg) in configs() {
         let report = DampiVerifier::with_config(SimConfig::new(4), cfg).verify(&prog);

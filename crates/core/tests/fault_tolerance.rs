@@ -42,6 +42,7 @@ fn resumed_campaign_matches_uninterrupted_run() {
         n: 6,
         rounds_per_slave: 1,
         task_cost: 0.0,
+        ..Default::default()
     });
     let sim = SimConfig::new(4);
 
@@ -186,6 +187,7 @@ fn panicking_tool_stack_is_isolated_and_recorded() {
         n: 6,
         rounds_per_slave: 1,
         task_cost: 0.0,
+        ..Default::default()
     });
     let report = DampiVerifier::new(SimConfig::new(4))
         .with_fault_plan(plan)
@@ -283,6 +285,7 @@ fn parallel_campaign_killed_mid_flight_resumes_to_sequential_result() {
         n: 6,
         rounds_per_slave: 1,
         task_cost: 0.0,
+        ..Default::default()
     });
     let sim = SimConfig::new(4);
 

@@ -1,0 +1,48 @@
+//! Version-1 prune-plan compatibility, end to end: a plan file written by a
+//! PR-5 analyzer (no `version`, no refined fields) must still load and still
+//! steer a scheduler campaign. The fixture is the analyzer's own output for
+//! `symmetric_racers` at np 4 with the lowest-rank policy, minus everything
+//! version 2 added — the exact artifact an old campaign would have on disk.
+
+use dampi_core::prune::PrunePlan;
+use dampi_core::DampiVerifier;
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::patterns;
+
+const V1_FIXTURE: &str = include_str!("fixtures/prune_plan_v1.json");
+
+#[test]
+fn v1_fixture_deserializes_with_empty_refined_fields() {
+    let plan: PrunePlan = serde_json::from_str(V1_FIXTURE).expect("v1 plan must load");
+    assert_eq!(plan.version, 0, "legacy plans report version 0");
+    assert!(plan.infeasible.is_empty());
+    assert!(plan.deterministic.is_empty());
+    assert!(plan.refined_infeasible.is_empty());
+    assert!(plan.refined_deterministic.is_empty());
+    assert!(plan.oblivious_receives.is_empty());
+    assert_eq!(plan.orbits.len(), 2);
+    assert!(!plan.is_empty(), "two non-trivial orbits prescribe pruning");
+}
+
+#[test]
+fn v1_fixture_still_steers_a_campaign() {
+    // The racers trace is deterministic under the lowest-rank policy, so
+    // the orbit prune must halve the campaign (4 -> 2) exactly as the
+    // freshly-built v2 plan does, with the (empty) error set unchanged.
+    let plan: PrunePlan = serde_json::from_str(V1_FIXTURE).expect("v1 plan must load");
+    let prog = patterns::symmetric_racers();
+    let v = DampiVerifier::new(SimConfig::new(4).with_policy(MatchPolicy::LowestRank));
+    let (_, run) = v.traced_run(&prog);
+    let base = v.verify_with_first_run(&prog, run.clone());
+    let pruned = v
+        .clone()
+        .with_prune_plan(plan)
+        .verify_with_first_run(&prog, run);
+    assert!(base.errors.is_empty() && pruned.errors.is_empty());
+    assert!(
+        pruned.interleavings < base.interleavings,
+        "v1 orbits must still prune: {} -> {}",
+        base.interleavings,
+        pruned.interleavings
+    );
+}

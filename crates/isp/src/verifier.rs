@@ -112,6 +112,8 @@ impl IspVerifier {
             // baseline never consumes a plan.
             alternates_pruned: 0,
             wildcards_deterministic: 0,
+            refined_alternates_pruned: 0,
+            refined_wildcards_deterministic: 0,
             discovered: ex.discovered,
         }
     }

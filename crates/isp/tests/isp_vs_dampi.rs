@@ -162,6 +162,7 @@ fn isp_explores_matmul_interleavings() {
         n: 4,
         rounds_per_slave: 1,
         task_cost: 0.0,
+        ..Default::default()
     });
     let mut isp = IspVerifier::new(SimConfig::new(3));
     isp.cfg.max_interleavings = Some(50);
@@ -176,6 +177,7 @@ fn isp_respects_budget() {
         n: 4,
         rounds_per_slave: 2,
         task_cost: 0.0,
+        ..Default::default()
     });
     let mut isp = IspVerifier::new(SimConfig::new(4));
     isp.cfg.max_interleavings = Some(3);

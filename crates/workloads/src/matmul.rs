@@ -29,6 +29,12 @@ pub struct MatmulParams {
     pub rounds_per_slave: usize,
     /// Simulated seconds of compute per task.
     pub task_cost: f64,
+    /// Acknowledgement mode: slaves verify their partial product locally
+    /// against the serial reference and send an empty `RESULT` ack
+    /// instead of returning row contents. The master tracks assignments
+    /// by sender rank, so no payload content ever steers control flow —
+    /// the shape that licenses payload-oblivious symmetry across slaves.
+    pub ack_results: bool,
 }
 
 impl Default for MatmulParams {
@@ -37,6 +43,7 @@ impl Default for MatmulParams {
             n: 8,
             rounds_per_slave: 2,
             task_cost: 1e-4,
+            ack_results: false,
         }
     }
 }
@@ -105,21 +112,51 @@ impl Matmul {
         // Broadcast B.
         mpi.bcast(Comm::WORLD, 0, Some(codec::encode_f64s(&self.b)))?;
         let mut c = vec![0.0; n * n];
+        // Ack mode: which task each slave is working on, keyed by rank.
+        let mut working: Vec<Option<usize>> = vec![None; np];
+        let mut acked = vec![false; tasks];
         let mut next_task = 0usize;
         // Prime each slave with one task.
-        for s in 1..np {
+        for (s, slot) in working.iter_mut().enumerate().skip(1) {
             mpi.send(
                 Comm::WORLD,
                 s as i32,
                 tags::WORK,
                 codec::encode_u64(next_task as u64),
             )?;
+            *slot = Some(next_task);
             next_task += 1;
         }
         let mut completed = 0usize;
         while completed < tasks {
             // The wildcard receive: any slave may finish first.
             let (st, data) = mpi.recv(Comm::WORLD, ANY_SOURCE, tags::RESULT)?;
+            if self.params.ack_results {
+                // The ack carries no content; the sender rank alone says
+                // which assignment completed. Dealing is static round-robin
+                // (slave s owns tasks s-1, s-1+slaves, ...), so every rank's
+                // op sequence — and the master's per-slave WORK payloads —
+                // is identical on every schedule; the only nondeterminism
+                // left is the ack arrival order this wildcard explores.
+                let task = working[st.source].take();
+                user_assert(task.is_some(), "matmul ack from an idle slave")?;
+                let task = task.unwrap_or(0);
+                acked[task] = true;
+                completed += 1;
+                let next = task + slaves;
+                if next < tasks {
+                    mpi.send(
+                        Comm::WORLD,
+                        st.source as i32,
+                        tags::WORK,
+                        codec::encode_u64(next as u64),
+                    )?;
+                    working[st.source] = Some(next);
+                } else {
+                    mpi.send(Comm::WORLD, st.source as i32, tags::DONE, Bytes::new())?;
+                }
+                continue;
+            }
             let vals = codec::decode_f64s(&data);
             let task = vals[0] as usize;
             let range = self.task_range(task, tasks);
@@ -136,10 +173,19 @@ impl Matmul {
                     tags::WORK,
                     codec::encode_u64(next_task as u64),
                 )?;
+                working[st.source] = Some(next_task);
                 next_task += 1;
             } else {
                 mpi.send(Comm::WORLD, st.source as i32, tags::DONE, Bytes::new())?;
             }
+        }
+        if self.params.ack_results {
+            // Slaves verified contents locally; the master checks only
+            // that every assignment came back.
+            return user_assert(
+                acked.into_iter().all(|a| a),
+                "matmul ack bookkeeping lost a task",
+            );
         }
         // Verify the assembled product against the serial reference.
         let reference = self.reference();
@@ -160,11 +206,24 @@ impl Matmul {
             let task = codec::decode_u64(&data) as usize;
             let range = self.task_range(task, tasks);
             mpi.compute(self.params.task_cost)?;
-            let partial = self.multiply_rows(range);
-            let mut payload = Vec::with_capacity(1 + partial.len());
-            payload.push(task as f64);
-            payload.extend_from_slice(&partial);
-            mpi.send(Comm::WORLD, 0, tags::RESULT, codec::encode_f64s(&payload))?;
+            let partial = self.multiply_rows(range.clone());
+            if self.params.ack_results {
+                // Verify here, against the rows the serial reference
+                // assigns to this task, and ack with an empty message.
+                let n = self.params.n;
+                let reference = self.reference();
+                let ok = partial
+                    .iter()
+                    .zip(&reference[range.start * n..range.end * n])
+                    .all(|(x, y)| (x - y).abs() < 1e-9);
+                user_assert(ok, "matmul slave-side partial product mismatch")?;
+                mpi.send(Comm::WORLD, 0, tags::RESULT, Bytes::new())?;
+            } else {
+                let mut payload = Vec::with_capacity(1 + partial.len());
+                payload.push(task as f64);
+                payload.extend_from_slice(&partial);
+                mpi.send(Comm::WORLD, 0, tags::RESULT, codec::encode_f64s(&payload))?;
+            }
         }
         Ok(())
     }
@@ -183,7 +242,11 @@ impl MpiProgram for Matmul {
     }
 
     fn name(&self) -> &str {
-        "matmul"
+        if self.params.ack_results {
+            "matmul_ack"
+        } else {
+            "matmul"
+        }
     }
 }
 
@@ -223,9 +286,22 @@ mod tests {
             n: 12,
             rounds_per_slave: 3,
             task_cost: 0.0,
+            ..Default::default()
         });
         let out = run_native(&SimConfig::new(7), &m);
         assert!(out.succeeded(), "{:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn ack_mode_runs_clean_natively() {
+        let m = Matmul::new(MatmulParams {
+            ack_results: true,
+            ..Default::default()
+        });
+        assert_eq!(m.name(), "matmul_ack");
+        let out = run_native(&SimConfig::new(4), &m);
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
+        assert!(out.leaks.is_clean(), "{:?}", out.leaks);
     }
 
     #[test]

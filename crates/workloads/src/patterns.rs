@@ -221,6 +221,28 @@ pub fn leaky_program() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send +
     })
 }
 
+/// Seeded bug for the static analyzer's L005 lint: rank 0 posts a
+/// wildcard receive for tag 9, but no rank ever sends tag 9 — the refined
+/// match set is empty and the receive is stuck on *every* schedule. The
+/// only traffic (rank 1's tag-8 send) goes to rank 2's named receive, so
+/// the send/recv counts stay balanced and L003 stays quiet.
+#[must_use]
+pub fn stuck_wildcard() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 9)?;
+            }
+            1 => mpi.send(Comm::WORLD, 2, 8, Bytes::from_static(b"routine"))?,
+            2 => {
+                let _ = mpi.recv(Comm::WORLD, 1, 8)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +294,12 @@ mod tests {
             &deadlock_on_alternate_schedule(),
         );
         assert!(out.succeeded(), "{:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn stuck_wildcard_deadlocks_on_every_schedule() {
+        let out = run_native(&SimConfig::new(3), &stuck_wildcard());
+        assert!(out.deadlocked());
     }
 
     #[test]

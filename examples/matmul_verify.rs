@@ -18,6 +18,7 @@ fn main() {
         n: 8,
         rounds_per_slave: 1,
         task_cost: 1e-5,
+        ..Default::default()
     });
 
     println!("verifying matmul ({np} procs, {} slaves):\n", np - 1);

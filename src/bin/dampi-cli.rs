@@ -51,6 +51,17 @@ fn registry(np: usize) -> Vec<(String, Box<dyn MpiProgram>)> {
             Box::new(patterns::collective_mismatch()),
         ),
         ("request_leak".into(), Box::new(patterns::request_leak())),
+        (
+            "stuck_wildcard".into(),
+            Box::new(patterns::stuck_wildcard()),
+        ),
+        (
+            "matmul_ack".into(),
+            Box::new(Matmul::new(MatmulParams {
+                ack_results: true,
+                ..MatmulParams::default()
+            })),
+        ),
     ];
     for (name, prog) in nas::all_nominal() {
         v.push((name.to_lowercase(), prog));
@@ -271,10 +282,13 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
         let analysis = dampi::analysis::analyze(prog.name(), args.np, &events, &run);
         let plan = analysis.prune_plan();
         eprintln!(
-            "prune-static: {} infeasible alternate(s), {} deterministic wildcard(s), {} symmetry orbit(s)",
+            "prune-static: {} infeasible alternate(s) (+{} refined), {} deterministic wildcard(s) (+{} refined), {} symmetry orbit(s) ({} oblivious receive(s))",
             plan.infeasible.len(),
+            plan.refined_infeasible.len(),
             plan.deterministic.len(),
-            plan.orbits.len()
+            plan.refined_deterministic.len(),
+            plan.orbits.len(),
+            plan.oblivious_receives.len()
         );
         verifier = verifier.with_prune_plan(plan);
         prune_run = Some(run);

@@ -38,6 +38,7 @@ fn coverage_agrees_on_matmul() {
         n: 4,
         rounds_per_slave: 1,
         task_cost: 0.0,
+        ..Default::default()
     });
     let d = DampiVerifier::new(SimConfig::new(4)).verify(&prog);
     let i = IspVerifier::new(SimConfig::new(4)).verify(&prog);
