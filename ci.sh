@@ -15,6 +15,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 # parameters; the vendored criterion runs each closure once).
 DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench parallel_explore
 DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench metrics_overhead
+DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench shard_overhead
 # Metrics smoke: snapshot the racers campaign at two worker counts, then
 # lint schema + invariants and assert the semantic sections are
 # byte-identical (the cross---jobs determinism contract, end to end).
@@ -107,6 +108,57 @@ assert fb["errors"], "fig3 plain campaign must find the x==33 bug"
 assert fp["errors"] == fb["errors"], (fb["errors"], fp["errors"])
 print(f"ci: prune contract ok (racers {rb['interleavings']} -> {rp['interleavings']}, fig3 errors kept)")
 PY
+# Shard smoke: a process-sharded campaign must be byte-identical to
+# --jobs 1 — same report JSON, same checkpoint journal — both clean and
+# with a worker killed mid-campaign (the supervisor re-dispatches the
+# lost subtree through the same in-order commit path). matmul/adlb fold
+# wall-clock into their virtual time, so across *separate* campaigns
+# they get error-set equality instead of byte equality.
+./target/release/dampi-cli verify racers --np 4 --jobs 1 --json \
+    --journal "$MDIR/rc.j1.journal" > "$MDIR/rc.j1.json"
+./target/release/dampi-cli verify racers --np 4 --shards 2 --json \
+    --journal "$MDIR/rc.s2.journal" --metrics "$MDIR/rc.s2.metrics.json" > "$MDIR/rc.s2.json"
+./target/release/dampi-cli verify racers --np 4 --shards 2 --json \
+    --worker-fault kill:1 --heartbeat-timeout 0.5 \
+    --journal "$MDIR/rc.s2k.journal" --metrics "$MDIR/rc.s2k.metrics.json" > "$MDIR/rc.s2k.json"
+cmp "$MDIR/rc.j1.json" "$MDIR/rc.s2.json"
+cmp "$MDIR/rc.j1.json" "$MDIR/rc.s2k.json"
+cmp "$MDIR/rc.j1.journal" "$MDIR/rc.s2.journal"
+cmp "$MDIR/rc.j1.journal" "$MDIR/rc.s2k.journal"
+./target/release/metrics-lint "$MDIR/rc.s2.metrics.json" "$MDIR/rc.s2k.metrics.json" \
+    --expect-semantic-match
+# fig3's error set is non-empty — the strongest equality check (exit 2).
+./target/release/dampi-cli verify fig3 --np 3 --shards 2 --json \
+    > "$MDIR/f3.s2.json" && exit 1 || [ $? -eq 2 ]
+./target/release/dampi-cli verify matmul --shards 2 --json > "$MDIR/mm.s2.json"
+./target/release/dampi-cli verify adlb --max 300 --jobs 1 --json > "$MDIR/ad.j1.json"
+./target/release/dampi-cli verify adlb --max 300 --shards 2 --json > "$MDIR/ad.s2.json"
+# Poison-subtree quarantine: a one-slot fleet whose worker dies on every
+# job must terminate with an honest partial-coverage report, not hang.
+./target/release/dampi-cli verify racers --np 4 --shards 1 \
+    --worker-fault kill:0:always --heartbeat-timeout 0.5 --max-attempts 2 --json \
+    > "$MDIR/rc.quarantine.json"
+python3 - "$MDIR" <<'PY'
+import json, sys
+d = sys.argv[1]
+load = lambda n: json.load(open(f"{d}/{n}"))
+chaos = load("rc.s2k.metrics.json")["wall_clock"]["shard"]
+assert chaos["workers_lost"] >= 1, chaos
+assert chaos["subtrees_redispatched"] >= 1, chaos
+f3b, f3s = load("f3.base.json"), load("f3.s2.json")
+assert f3s["errors"] == f3b["errors"], (f3b["errors"], f3s["errors"])
+mmb, mms = load("mm.base.json"), load("mm.s2.json")
+assert mms["errors"] == mmb["errors"], (mmb["errors"], mms["errors"])
+assert mms["interleavings"] == mmb["interleavings"]
+adj, ads = load("ad.j1.json"), load("ad.s2.json")
+assert ads["errors"] == adj["errors"], (adj["errors"], ads["errors"])
+assert ads["interleavings"] == adj["interleavings"]
+q = load("rc.quarantine.json")
+assert q["quarantined"] == 1 and len(q["timeouts"]) == 1, (q["quarantined"], q["timeouts"])
+assert not q["errors"], q["errors"]
+print("ci: shard parity + chaos recovery + quarantine ok "
+      f"(chaos fleet: {chaos})")
+PY
 DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench prune_static
 # Bench-history gate: the committed snapshot must agree with the newest
 # BENCH_HISTORY.jsonl row for each workload, and rows are only compared
@@ -132,6 +184,8 @@ for (workload, params), rows in series.items():
     if len(rows) < 2:
         continue
     prev, last = rows[-2], rows[-1]
+    if "pruned_interleavings" not in prev or "pruned_interleavings" not in last:
+        continue  # shard-overhead series: different schema, no prune gate
     assert last["pruned_interleavings"] <= prev["pruned_interleavings"] * 1.2, (
         f"{workload}: replay regression {prev['pruned_interleavings']} -> "
         f"{last['pruned_interleavings']} under identical params `{params}`")

@@ -1,0 +1,87 @@
+//! **Process-sharding overhead — supervisor protocol tax and speedup.**
+//!
+//! Wall-clock of a sharded campaign (supervisor + in-process worker
+//! stand-ins over the real frame protocol) at fleet widths 1, 2, and 4,
+//! against the unsharded `jobs = 1` walk, on `symmetric_racers` (the
+//! parity anchor) and matmul (a deep frontier). Each replay carries a
+//! fixed simulated launch latency, as in `parallel_explore`: in a real
+//! deployment every replay is an MPI job launch, and the honest question
+//! is whether the supervisor's serialization + dispatch round-trip stays
+//! hidden inside that latency.
+//!
+//! Expected shape: `shards = 1` tracks the baseline to within the
+//! protocol tax (small constant per replay); wider fleets shrink
+//! wall-clock just like `--jobs` does. Interleaving counts and error
+//! sets are asserted identical on every point — an overhead figure for a
+//! wrong answer aborts the bench.
+//!
+//! Set `DAMPI_BENCH_JSON=<path>` to also write the
+//! `BENCH_shard_overhead.json` snapshot.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion};
+use dampi_bench::shard::{measure, sweep, to_json};
+use dampi_bench::Table;
+
+fn replay_latency() -> Duration {
+    if std::env::var("DAMPI_BENCH_FAST").is_ok() {
+        Duration::from_millis(4)
+    } else {
+        Duration::from_millis(20)
+    }
+}
+
+fn print_figure() {
+    let latency = replay_latency();
+    let mut table = Table::new(
+        "Shard overhead: supervisor + frame protocol vs in-process walk",
+        &["workload", "mode", "interleavings", "wall (s)", "vs jobs=1"],
+    );
+    let mut sweeps = Vec::new();
+    for workload in ["symmetric_racers", "matmul"] {
+        let points = sweep(workload, &[1, 2, 4], latency);
+        let base_wall = points[0].wall_s;
+        for p in &points {
+            let mode = if p.shards == 0 {
+                "jobs=1".to_owned()
+            } else {
+                format!("shards={}", p.shards)
+            };
+            table.row(vec![
+                p.workload.clone(),
+                mode,
+                p.interleavings.to_string(),
+                format!("{:.4}", p.wall_s),
+                format!("{:.2}x", p.wall_s / base_wall),
+            ]);
+        }
+        sweeps.push(points);
+    }
+    table.print();
+    if let Ok(path) = std::env::var("DAMPI_BENCH_JSON") {
+        std::fs::write(&path, to_json(latency, &sweeps)).expect("write snapshot");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let latency = replay_latency();
+    let mut g = c.benchmark_group("shard_overhead");
+    g.sample_size(10);
+    g.bench_function("racers_jobs1", |b| {
+        b.iter(|| measure("symmetric_racers", 0, latency));
+    });
+    g.bench_function("racers_shards2", |b| {
+        b.iter(|| measure("symmetric_racers", 2, latency));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -10,6 +10,7 @@
 pub mod overhead;
 pub mod parallel;
 pub mod prune;
+pub mod shard;
 pub mod table;
 pub mod table2;
 

@@ -75,7 +75,7 @@ pub fn measure(workload: &str, jobs: usize, replay_latency: Duration) -> Paralle
         // the frontier to the pool (and more coverage), which is what a
         // speedup benchmark should be stressing.
         branch_on_guided: true,
-        retry_backoff: Duration::from_millis(5),
+        retry_backoff: dampi_core::RetryBackoff::constant(Duration::from_millis(5)),
         ..ExploreOptions::default()
     };
     let run = |ds: &DecisionSet| {

@@ -1,0 +1,166 @@
+//! Shard-overhead measurement: the process-sharded supervisor against the
+//! in-process worker pool.
+//!
+//! The supervisor buys fault tolerance (worker crashes lose wall-clock,
+//! not results) at the cost of a frame protocol between it and every
+//! worker: each replay's `DecisionSet` is serialized out and its
+//! `SubtreeResult` serialized back. This harness prices that tax. As in
+//! [`crate::parallel`], every replay carries a fixed simulated launch
+//! latency — on a real cluster the protocol cost hides entirely inside
+//! the launch latency, and the measurement shows how close the
+//! reproduction gets.
+//!
+//! Parity is asserted on every point: any fleet width must produce the
+//! same interleaving count and error set as the unsharded walk, or the
+//! measurement panics rather than report an overhead figure for a wrong
+//! answer.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dampi_core::scheduler::{explore_parallel, ExploreOptions};
+use dampi_core::shard::{explore_sharded, InProcessLauncher, ShardOptions};
+use dampi_core::{DampiVerifier, DecisionSet};
+use dampi_mpi::program::MpiProgram;
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::matmul::{Matmul, MatmulParams};
+use dampi_workloads::patterns;
+
+/// One measured `(workload, fleet-width)` point. `shards == 0` is the
+/// unsharded `jobs = 1` baseline.
+#[derive(Debug, Clone)]
+pub struct ShardPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Worker-process stand-ins (`0` = unsharded baseline).
+    pub shards: usize,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_s: f64,
+    /// Interleavings executed (must match the baseline).
+    pub interleavings: u64,
+    /// Distinct errors found (must match the baseline).
+    pub errors: usize,
+}
+
+fn verifier_for(workload: &str) -> (Arc<DampiVerifier>, Arc<dyn MpiProgram>) {
+    match workload {
+        "symmetric_racers" => (
+            Arc::new(DampiVerifier::new(
+                SimConfig::new(4).with_policy(MatchPolicy::LowestRank),
+            )),
+            Arc::new(patterns::symmetric_racers()),
+        ),
+        "matmul" => (
+            Arc::new(DampiVerifier::new(SimConfig::new(4))),
+            Arc::new(Matmul::new(MatmulParams::default())),
+        ),
+        other => panic!("unknown shard workload `{other}`"),
+    }
+}
+
+fn opts() -> ExploreOptions {
+    ExploreOptions {
+        // Same rationale as the parallel-explore harness: measure the
+        // executor, not the retry policy, and expose a wide frontier.
+        divergence_retries: 0,
+        branch_on_guided: true,
+        ..ExploreOptions::default()
+    }
+}
+
+/// Measure one campaign of `workload`: unsharded when `shards == 0`,
+/// otherwise across a fleet of in-process worker stand-ins.
+#[must_use]
+pub fn measure(workload: &str, shards: usize, replay_latency: Duration) -> ShardPoint {
+    let (verifier, prog) = verifier_for(workload);
+    let opts = opts();
+    let start = Instant::now();
+    let ex = if shards == 0 {
+        let run = |ds: &DecisionSet| {
+            std::thread::sleep(replay_latency);
+            verifier.instrumented_run(prog.as_ref(), ds)
+        };
+        explore_parallel(run, &opts)
+    } else {
+        let v = Arc::clone(&verifier);
+        let p = Arc::clone(&prog);
+        let run: Arc<dyn Fn(&DecisionSet) -> dampi_core::scheduler::RunResult + Send + Sync> =
+            Arc::new(move |ds| {
+                std::thread::sleep(replay_latency);
+                v.instrumented_run(p.as_ref(), ds)
+            });
+        let launcher = InProcessLauncher::new(run, &opts);
+        let shard = ShardOptions {
+            shards,
+            ..ShardOptions::default()
+        };
+        explore_sharded(&launcher, &opts, &shard, None).expect("clean sharded campaign")
+    };
+    ShardPoint {
+        workload: workload.to_owned(),
+        shards,
+        wall_s: start.elapsed().as_secs_f64(),
+        interleavings: ex.interleavings,
+        errors: ex.errors.len(),
+    }
+}
+
+/// Measure `workload` unsharded and at each fleet width, asserting
+/// result parity across all of them.
+#[must_use]
+pub fn sweep(workload: &str, widths: &[usize], replay_latency: Duration) -> Vec<ShardPoint> {
+    let mut points = vec![measure(workload, 0, replay_latency)];
+    points.extend(widths.iter().map(|&s| measure(workload, s, replay_latency)));
+    let base = &points[0];
+    for p in &points[1..] {
+        assert_eq!(
+            p.interleavings, base.interleavings,
+            "{workload}: shards={} diverged from the unsharded walk in interleavings",
+            p.shards
+        );
+        assert_eq!(
+            p.errors, base.errors,
+            "{workload}: shards={} diverged from the unsharded walk in error count",
+            p.shards
+        );
+    }
+    points
+}
+
+/// Render sweeps as the `BENCH_shard_overhead.json` snapshot format.
+#[must_use]
+pub fn to_json(latency: Duration, sweeps: &[Vec<ShardPoint>]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"replay_latency_ms\": {},\n  \"workloads\": {{\n",
+        latency.as_millis()
+    ));
+    for (wi, points) in sweeps.iter().enumerate() {
+        let base = &points[0];
+        out.push_str(&format!("    \"{}\": {{\n", base.workload));
+        out.push_str(&format!(
+            "      \"interleavings\": {},\n      \"errors\": {},\n      \"points\": [\n",
+            base.interleavings, base.errors
+        ));
+        for (i, p) in points.iter().enumerate() {
+            let mode = if p.shards == 0 {
+                "\"jobs1\"".to_owned()
+            } else {
+                format!("\"shards{}\"", p.shards)
+            };
+            out.push_str(&format!(
+                "        {{\"mode\": {mode}, \"wall_s\": {:.4}, \"overhead_x\": {:.2}}}{}\n",
+                p.wall_s,
+                p.wall_s / base.wall_s,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}

@@ -27,6 +27,82 @@ pub enum PiggybackMechanism {
     PayloadPacking,
 }
 
+/// Exponential retry backoff with deterministic jitter and a cap.
+///
+/// The naive schedule (`base * 2^attempt`, unbounded, no jitter) has two
+/// failure modes at shard scale: delays blow past any useful bound after a
+/// handful of attempts, and N workers retrying the same contended resource
+/// all sleep the exact same interval and collide again in lockstep. The
+/// fix is the classic one: clamp to `cap`, then scale by a jitter factor
+/// drawn from `[1 - jitter, 1]`. The draw is a pure hash of
+/// `(seed, attempt)` — no global RNG — so a replay's retry schedule is a
+/// deterministic function of its identity, which keeps sharded campaigns
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RetryBackoff {
+    /// Delay before the first retry (attempt 0).
+    pub base: Duration,
+    /// Upper bound the exponential curve saturates at.
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor in
+    /// `[1 - jitter, 1]`. `0.0` disables jitter (exact exponential).
+    pub jitter: f64,
+}
+
+impl RetryBackoff {
+    /// No waiting at all — for tests that exercise retry *logic* without
+    /// sleeping.
+    pub const ZERO: RetryBackoff = RetryBackoff {
+        base: Duration::ZERO,
+        cap: Duration::ZERO,
+        jitter: 0.0,
+    };
+
+    /// Constant (non-growing, jitter-free) schedule of `d` per attempt.
+    #[must_use]
+    pub const fn constant(d: Duration) -> Self {
+        Self {
+            base: d,
+            cap: d,
+            jitter: 0.0,
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based), for the retry
+    /// series identified by `seed`. Pure: same `(self, attempt, seed)`
+    /// always yields the same `Duration`.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.cap);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        // splitmix64 over (seed, attempt) → uniform u in [0, 1).
+        let mut z = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - self.jitter.min(1.0) * u;
+        Duration::from_secs_f64(exp.as_secs_f64() * factor)
+    }
+}
+
+impl Default for RetryBackoff {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            jitter: 0.5,
+        }
+    }
+}
+
 /// Configuration of a DAMPI verification session.
 #[derive(Debug, Clone)]
 pub struct DampiConfig {
@@ -65,8 +141,9 @@ pub struct DampiConfig {
     /// Extra attempts for a guided replay that diverges from its Epoch
     /// Decisions before the divergent result is accepted.
     pub divergence_retries: u32,
-    /// Base backoff between divergence retries (doubled per attempt).
-    pub retry_backoff: Duration,
+    /// Backoff schedule between divergence retries (exponential with
+    /// deterministic jitter, capped).
+    pub retry_backoff: RetryBackoff,
     /// When set, checkpoint the exploration frontier to this journal file
     /// after every run; `verify_resumed` continues from it.
     pub journal: Option<PathBuf>,
@@ -90,7 +167,7 @@ impl Default for DampiConfig {
             branch_on_guided: false,
             deferred_clock_sync: false,
             divergence_retries: 2,
-            retry_backoff: Duration::from_millis(5),
+            retry_backoff: RetryBackoff::default(),
             journal: None,
             jobs: 1,
         }
@@ -175,6 +252,65 @@ mod tests {
         assert_eq!(c.piggyback, PiggybackMechanism::SeparateMessage);
         assert!(c.honor_regions);
         assert!(!c.branch_on_guided);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_without_jitter() {
+        let b = RetryBackoff {
+            base: Duration::from_millis(5),
+            cap: Duration::from_secs(10),
+            jitter: 0.0,
+        };
+        assert_eq!(b.delay(0, 7), Duration::from_millis(5));
+        assert_eq!(b.delay(1, 7), Duration::from_millis(10));
+        assert_eq!(b.delay(2, 7), Duration::from_millis(20));
+        assert_eq!(b.delay(6, 7), Duration::from_millis(320));
+        // Seed is irrelevant when jitter is off.
+        assert_eq!(b.delay(3, 1), b.delay(3, 999));
+    }
+
+    #[test]
+    fn backoff_saturates_at_cap() {
+        let b = RetryBackoff {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            jitter: 0.0,
+        };
+        assert_eq!(b.delay(20, 0), Duration::from_millis(500));
+        // Even an attempt count that overflows 2^attempt stays capped.
+        assert_eq!(b.delay(u32::MAX, 0), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_jitter_bounded_and_deterministic() {
+        let b = RetryBackoff::default();
+        for attempt in 0..12 {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let exp = b
+                    .base
+                    .saturating_mul(2u32.saturating_pow(attempt))
+                    .min(b.cap);
+                let d = b.delay(attempt, seed);
+                let lo = exp.as_secs_f64() * (1.0 - b.jitter);
+                assert!(d.as_secs_f64() >= lo - 1e-12, "{d:?} below {lo}");
+                assert!(d <= exp, "{d:?} above {exp:?}");
+                // Pure function of (attempt, seed).
+                assert_eq!(d, b.delay(attempt, seed));
+            }
+        }
+        // Different seeds actually spread (the anti-lockstep property).
+        assert_ne!(b.delay(3, 1), b.delay(3, 2));
+    }
+
+    #[test]
+    fn backoff_zero_never_sleeps() {
+        for attempt in [0, 1, 31, u32::MAX] {
+            assert_eq!(RetryBackoff::ZERO.delay(attempt, 9), Duration::ZERO);
+        }
+        assert_eq!(
+            RetryBackoff::constant(Duration::from_millis(2)).delay(9, 0),
+            Duration::from_millis(2)
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Kind of non-deterministic event that opened the epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum NdKind {
     /// `Irecv`/`Recv` with `MPI_ANY_SOURCE`.
     Recv,
@@ -26,7 +26,9 @@ pub enum NdKind {
 }
 
 /// One non-deterministic event and everything DAMPI learned about it.
-#[derive(Debug, Clone)]
+/// Serializable because shard workers ship whole epoch logs back to the
+/// supervisor over the wire protocol.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct EpochRecord {
     /// World rank that issued the event.
     pub rank: usize,

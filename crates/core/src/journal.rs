@@ -11,9 +11,12 @@
 //! interleaving count and error set as an uninterrupted one because the
 //! frontier order is preserved verbatim.
 //!
-//! Writes are atomic (write to a `.tmp` sibling, then rename), so a crash
-//! mid-checkpoint leaves the previous consistent journal in place rather
-//! than a torn file.
+//! Writes are crash-consistent: the journal is written to a `.tmp`
+//! sibling, fsync'd, renamed over the target, and the directory entry is
+//! fsync'd — so a kill at *any* instant (including `kill -9` mid-write or
+//! mid-rename) leaves either the previous checkpoint or the new one, never
+//! a torn file. A torn `.tmp` left behind by a crash is dead weight the
+//! next checkpoint simply overwrites.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
@@ -96,18 +99,43 @@ pub struct ExplorationJournal {
     /// count and error set as an uninterrupted campaign.
     #[serde(default)]
     pub in_flight: Vec<u64>,
+    /// Subtrees quarantined by the shard supervisor so far (each also has
+    /// a record in `timeouts`). `#[serde(default)]` so journals written
+    /// before sharding existed still load; always zero for in-process
+    /// campaigns.
+    #[serde(default)]
+    pub quarantined: u64,
     /// The pending frontier, bottom-of-stack first (resume pops from the
     /// back, exactly as the interrupted walk would have).
     pub frontier: Vec<JournalFork>,
 }
 
 impl ExplorationJournal {
-    /// Persist atomically: write a `.tmp` sibling, then rename over `path`.
+    /// Persist crash-consistently: write a `.tmp` sibling, fsync it, rename
+    /// it over `path`, then fsync the parent directory. The data fsync
+    /// orders the bytes before the rename commits them (a rename alone can
+    /// be made durable ahead of the data it points at, leaving a
+    /// zero-length or torn journal after a power cut); the directory fsync
+    /// makes the rename itself durable.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        use std::io::Write;
         let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
         let tmp = tmp_sibling(path);
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path)
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Directories open read-only on Unix; syncing one flushes the
+            // rename. Best-effort: some filesystems refuse directory
+            // fsync, and the journal itself is already durable.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Load a journal, migrating older supported formats, and rebuild
@@ -197,6 +225,7 @@ mod tests {
             }],
             visited: vec![11, 22],
             in_flight: vec![22],
+            quarantined: 0,
             frontier: vec![JournalFork {
                 decisions: DecisionSet::guided(
                     4,
@@ -281,6 +310,68 @@ mod tests {
             obj.insert("version".to_owned(), serde_json::json!(JOURNAL_VERSION + 1));
         });
         assert!(ExplorationJournal::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tmp_from_killed_checkpoint_leaves_previous_intact() {
+        // Simulate a kill -9 mid-checkpoint: the previous journal is on
+        // disk, and the in-progress write died partway through its `.tmp`
+        // sibling (before the rename). Loading must resume from the
+        // previous checkpoint; the next save must overwrite the debris.
+        let dir = std::env::temp_dir().join("dampi-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_tmp.json");
+        sample().save(&path).unwrap();
+        let full = serde_json::to_string_pretty(&sample()).unwrap();
+        std::fs::write(tmp_sibling(&path), &full[..full.len() / 2]).unwrap();
+        let j = ExplorationJournal::load(&path).unwrap();
+        assert_eq!(j.interleavings, 5, "previous checkpoint resumes cleanly");
+        let mut next = sample();
+        next.interleavings = 6;
+        next.save(&path).unwrap();
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "debris overwritten and renamed"
+        );
+        assert_eq!(ExplorationJournal::load(&path).unwrap().interleavings, 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_journal_is_detected_not_misparsed() {
+        // A journal torn at the *target* path (pre-fsync filesystems could
+        // produce this; so can manual copying) must fail loudly instead of
+        // resuming from garbage.
+        let dir = std::env::temp_dir().join("dampi-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        sample().save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for cut in [0, 1, text.len() / 2, text.len() - 1] {
+            std::fs::write(&path, &text[..cut]).unwrap();
+            assert!(
+                ExplorationJournal::load(&path).is_err(),
+                "truncation at {cut} bytes must be detected"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantined_defaults_to_zero_on_old_journals() {
+        let dir = std::env::temp_dir().join("dampi-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("no_quarantine_field.json");
+        let mut j = sample();
+        j.quarantined = 3;
+        j.save(&path).unwrap();
+        assert_eq!(ExplorationJournal::load(&path).unwrap().quarantined, 3);
+        rewrite_json(&path, |obj| {
+            assert!(obj.remove("quarantined").is_some(), "field serialized");
+        });
+        let j = ExplorationJournal::load(&path).unwrap();
+        assert_eq!(j.quarantined, 0, "pre-shard journals load as zero");
         std::fs::remove_file(&path).ok();
     }
 

@@ -79,17 +79,19 @@ pub mod pb;
 pub mod prune;
 pub mod report;
 pub mod scheduler;
+pub mod shard;
 pub mod tool;
 pub mod verifier;
 
 pub use bounds::MixingBound;
-pub use config::{DampiConfig, PiggybackMechanism};
+pub use config::{DampiConfig, PiggybackMechanism, RetryBackoff};
 pub use decisions::{DecisionSet, EpochDecision};
 pub use epoch::{EpochRecord, NdKind};
 pub use journal::ExplorationJournal;
 pub use metrics::{CampaignMetrics, CampaignTrace, METRICS_SCHEMA_VERSION, TRACE_SCHEMA_VERSION};
 pub use prune::PrunePlan;
 pub use report::{FoundError, ReplayTimeoutRecord, VerificationReport};
+pub use shard::ShardOptions;
 pub use verifier::DampiVerifier;
 
 pub use dampi_clocks::ClockMode;

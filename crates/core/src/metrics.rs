@@ -281,6 +281,21 @@ pub struct CampaignMetrics {
     replay_wall_us: FixedHistogram,
     /// Journal checkpoint write latency (µs).
     journal_write_us: FixedHistogram,
+    /// Worker processes (or in-process stand-ins) spawned by the shard
+    /// supervisor, initial fleet and restarts included. Zero outside
+    /// `--shards` runs.
+    workers_spawned: AtomicU64,
+    /// Workers declared lost (crash, silence past the heartbeat timeout,
+    /// wedged past the lease, or a corrupt result frame).
+    workers_lost: AtomicU64,
+    /// Lost workers successfully replaced (`workers_restarted <=
+    /// workers_lost`; the difference is slots that exhausted their restart
+    /// budget).
+    workers_restarted: AtomicU64,
+    /// Subtrees dispatched again after their worker was lost (attempt 2+).
+    subtrees_redispatched: AtomicU64,
+    /// Subtrees quarantined after exhausting their dispatch attempts.
+    quarantined: AtomicU64,
     /// Campaign wall-clock epoch.
     start: Instant,
     semantic: Mutex<SemanticMetrics>,
@@ -299,6 +314,11 @@ impl Default for CampaignMetrics {
             worker_idle_ns: AtomicU64::new(0),
             replay_wall_us: FixedHistogram::latency_us(),
             journal_write_us: FixedHistogram::latency_us(),
+            workers_spawned: AtomicU64::new(0),
+            workers_lost: AtomicU64::new(0),
+            workers_restarted: AtomicU64::new(0),
+            subtrees_redispatched: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             start: Instant::now(),
             semantic: Mutex::new(SemanticMetrics::default()),
             fin: Mutex::new(FinalMetrics::default()),
@@ -356,6 +376,31 @@ impl CampaignMetrics {
     /// `n` dispatched replays were discarded without committing.
     pub fn on_aborted(&self, n: u64) {
         self.aborted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The shard supervisor spawned a worker (initial fleet or restart).
+    pub fn on_worker_spawned(&self) {
+        self.workers_spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The shard supervisor declared a worker lost.
+    pub fn on_worker_lost(&self) {
+        self.workers_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A lost worker's slot was successfully respawned.
+    pub fn on_worker_restarted(&self) {
+        self.workers_restarted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A subtree was dispatched again after its worker was lost.
+    pub fn on_subtree_redispatched(&self) {
+        self.subtrees_redispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A subtree was quarantined after exhausting its dispatch attempts.
+    pub fn on_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One journal checkpoint was written.
@@ -475,6 +520,13 @@ impl CampaignMetrics {
             "refined_alternates_pruned": s.refined_alternates_pruned,
             "refined_wildcards_deterministic": s.refined_wildcards_deterministic,
         });
+        let shard = serde_json::json!({
+            "workers_spawned": self.workers_spawned.load(Ordering::Relaxed),
+            "workers_lost": self.workers_lost.load(Ordering::Relaxed),
+            "workers_restarted": self.workers_restarted.load(Ordering::Relaxed),
+            "subtrees_redispatched": self.subtrees_redispatched.load(Ordering::Relaxed),
+            "quarantined": self.quarantined.load(Ordering::Relaxed),
+        });
         let wall_clock = serde_json::json!({
             "deterministic": false,
             "wall_s": elapsed,
@@ -488,6 +540,7 @@ impl CampaignMetrics {
             "worker_idle_s": self.worker_idle_ns.load(Ordering::Relaxed) as f64 / 1e9,
             "replay_wall_us": self.replay_wall_us.to_json(),
             "journal_write_us": self.journal_write_us.to_json(),
+            "shard": shard,
         });
         serde_json::json!({
             "schema": METRICS_SCHEMA_VERSION,
@@ -581,6 +634,43 @@ pub enum CampaignEvent {
         /// Write latency in microseconds.
         latency_us: u64,
         /// Frontier size journaled.
+        frontier: usize,
+    },
+    /// The shard supervisor spawned a worker into a slot (`generation`
+    /// counts incarnations of the slot, 0 = initial fleet).
+    WorkerSpawned {
+        /// Supervisor slot index.
+        slot: usize,
+        /// Incarnation number within the slot.
+        generation: u64,
+    },
+    /// A worker was declared lost and killed.
+    WorkerLost {
+        /// Supervisor slot index.
+        slot: usize,
+        /// Human-readable loss verdict (heartbeat timeout, lease expiry,
+        /// connection error, corrupt frame, ...).
+        reason: String,
+    },
+    /// A subtree lost with its worker was dispatched again.
+    SubtreeRedispatched {
+        /// Decision-prefix signature of the schedule.
+        signature: u64,
+        /// 1-based dispatch attempt this event begins.
+        attempt: u32,
+    },
+    /// A subtree exhausted its dispatch attempts and was quarantined: the
+    /// campaign records it as a timeout (honest partial coverage) and
+    /// keeps exploring the rest of the frontier.
+    SubtreeQuarantined {
+        /// Decision-prefix signature of the schedule.
+        signature: u64,
+        /// Dispatch attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// A sharded campaign was drained early (SIGTERM) and checkpointed.
+    CampaignDrained {
+        /// Frontier size preserved in the checkpoint journal.
         frontier: usize,
     },
     /// The exploration ended.

@@ -63,8 +63,18 @@ pub struct VerificationReport {
     /// Replays re-executed after a divergence (bounded retry-with-backoff).
     pub retries: u64,
     /// Replays killed by the watchdog budget — schedules with only partial
-    /// coverage.
+    /// coverage. Quarantined subtrees (see
+    /// [`VerificationReport::quarantined`]) are recorded here too, as
+    /// synthetic timeouts.
     pub timeouts: Vec<ReplayTimeoutRecord>,
+    /// Subtrees a shard supervisor quarantined after exhausting their
+    /// dispatch attempts (repeated worker loss). Each one also appears in
+    /// [`VerificationReport::timeouts`]; always zero for in-process runs.
+    pub quarantined: u64,
+    /// True when a sharded campaign was drained early (SIGTERM) and
+    /// checkpointed instead of running to completion — the report covers
+    /// only the committed prefix and the journal holds the rest.
+    pub drained: bool,
     /// Piggyback messages generated in the initial run.
     pub pb_messages: u64,
     /// Simulated seconds of the initial (instrumented) run.
@@ -177,6 +187,8 @@ impl VerificationReport {
                     })
                 })
                 .collect::<Vec<_>>(),
+            "quarantined": self.quarantined,
+            "drained": self.drained,
             "pb_messages": self.pb_messages,
             "alternates_pruned": self.alternates_pruned,
             "wildcards_deterministic": self.wildcards_deterministic,
@@ -260,6 +272,19 @@ impl fmt::Display for VerificationReport {
                 writeln!(f, "    [interleaving {}] {}", t.interleaving, t.detail)?;
             }
         }
+        if self.quarantined > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} subtree(s) quarantined after repeated worker loss — coverage of those schedules is partial",
+                self.quarantined
+            )?;
+        }
+        if self.drained {
+            writeln!(
+                f,
+                "  NOTE: campaign drained early (SIGTERM) — the checkpoint journal holds the unexplored frontier"
+            )?;
+        }
         if self.unsafe_alerts > 0 {
             writeln!(
                 f,
@@ -322,6 +347,8 @@ mod tests {
                 detail: "wall-clock budget of 2s exceeded".into(),
                 decisions: DecisionSet::self_run(),
             }],
+            quarantined: 0,
+            drained: false,
             pb_messages: 40,
             first_run_makespan: 0.001,
             total_virtual_time: 0.01,
@@ -369,6 +396,26 @@ mod tests {
         // Full document serializes.
         let text = serde_json::to_string(&j).unwrap();
         assert!(text.contains("wildcards_analyzed"));
+    }
+
+    #[test]
+    fn shard_robustness_fields_surface_honestly() {
+        let mut r = report();
+        // Clean run: keys always present (byte parity with sharded runs),
+        // but no warning noise.
+        let j = r.to_json();
+        assert_eq!(j["quarantined"], 0);
+        assert_eq!(j["drained"], false);
+        assert!(!r.to_string().contains("quarantined"));
+        assert!(!r.to_string().contains("drained early"));
+        // Chaos run: partial coverage must be called out.
+        r.quarantined = 2;
+        r.drained = true;
+        let s = r.to_string();
+        assert!(s.contains("2 subtree(s) quarantined"), "{s}");
+        assert!(s.contains("drained early"), "{s}");
+        assert_eq!(r.to_json()["quarantined"], 2);
+        assert_eq!(r.to_json()["drained"], true);
     }
 
     #[test]

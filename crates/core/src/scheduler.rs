@@ -32,12 +32,13 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use dampi_mpi::program::RunOutcome;
 use dampi_mpi::MpiError;
 
 use crate::bounds::MixingBound;
+use crate::config::RetryBackoff;
 use crate::decisions::{DecisionSet, EpochDecision};
 use crate::epoch::{EpochRecord, ToolRunStats};
 use crate::journal::{ExplorationJournal, JournalFork, JOURNAL_VERSION};
@@ -73,9 +74,10 @@ pub struct ExploreOptions {
     /// accepting the divergent result (a replay on a loaded machine can
     /// miss its decisions transiently; the retry is the cheap fix).
     pub divergence_retries: u32,
-    /// Base delay between divergence retries, doubled per attempt.
-    /// `Duration::ZERO` retries immediately (the unit-test setting).
-    pub retry_backoff: Duration,
+    /// Backoff schedule between divergence retries: exponential with
+    /// deterministic jitter and a cap (see [`RetryBackoff`]).
+    /// `RetryBackoff::ZERO` retries immediately (the unit-test setting).
+    pub retry_backoff: RetryBackoff,
     /// When set, journal the full frontier to this path after every run
     /// (atomic write-and-rename) so a killed campaign can resume.
     pub checkpoint: Option<PathBuf>,
@@ -105,7 +107,7 @@ impl Default for ExploreOptions {
             stop_on_first_error: false,
             branch_on_guided: false,
             divergence_retries: 2,
-            retry_backoff: Duration::from_millis(5),
+            retry_backoff: RetryBackoff::default(),
             checkpoint: None,
             jobs: 1,
             metrics: None,
@@ -162,6 +164,15 @@ pub struct Exploration {
     /// point proved deterministic. Disjoint from
     /// [`Exploration::wildcards_deterministic`].
     pub refined_wildcards_deterministic: u64,
+    /// Subtrees the shard supervisor quarantined after exhausting their
+    /// dispatch attempts (see [`crate::shard`]). Each one is also recorded
+    /// in [`Exploration::timeouts`] — this counter is the quick summary.
+    /// Always zero for in-process exploration.
+    pub quarantined: u64,
+    /// True when a sharded campaign was drained early (SIGTERM) and
+    /// checkpointed instead of running to completion. The frontier in the
+    /// journal is the resumable remainder.
+    pub drained: bool,
 }
 
 /// Per-commit prune accounting returned by [`push_forks`]: how many forks
@@ -175,15 +186,15 @@ struct ForkStats {
     refined_deterministic: u64,
 }
 
-struct Fork {
-    decisions: DecisionSet,
+pub(crate) struct Fork {
+    pub(crate) decisions: DecisionSet,
     /// Deepest canonical epoch index this fork's subtree may still branch
     /// at (`None` = unbounded). Bounded mixing anchors the window at the
     /// epoch where the subtree's *original* alternate was forced and the
     /// window is inherited, not re-anchored, by nested forks — so each
     /// initial-run epoch opens one overlapping window of height `k` and
     /// the search cost is a sum of `O(P^k)` subtrees (paper §III-B2).
-    window_end: Option<usize>,
+    pub(crate) window_end: Option<usize>,
 }
 
 /// Run the depth-first exploration from scratch.
@@ -234,20 +245,20 @@ where
 /// what makes the parallel merge deterministic: the driver chooses *when*
 /// to execute a replay, the walk alone decides *in what order* results
 /// become part of the exploration.
-struct Walk<'a> {
+pub(crate) struct Walk<'a> {
     opts: &'a ExploreOptions,
-    ex: Exploration,
+    pub(crate) ex: Exploration,
     visited: HashSet<u64>,
-    stack: Vec<Fork>,
+    pub(crate) stack: Vec<Fork>,
     seen_errors: HashSet<(usize, String)>,
     /// Signatures dispatched to workers but not yet committed, snapshotted
     /// into the journal (advisory: a resume simply re-runs them since
     /// their forks are still on the frontier).
-    speculated: Vec<u64>,
+    pub(crate) speculated: Vec<u64>,
 }
 
 impl<'a> Walk<'a> {
-    fn new(opts: &'a ExploreOptions) -> Self {
+    pub(crate) fn new(opts: &'a ExploreOptions) -> Self {
         Self {
             opts,
             ex: Exploration::default(),
@@ -261,7 +272,7 @@ impl<'a> Walk<'a> {
     /// Should the walk stop before committing another replay? Checked
     /// *before* the pop so a checkpointed frontier still holds every
     /// unexplored fork — resuming with a larger budget loses nothing.
-    fn halted(&mut self) -> bool {
+    pub(crate) fn halted(&mut self) -> bool {
         if let Some(max) = self.opts.max_interleavings {
             if self.ex.interleavings >= max && !self.stack.is_empty() {
                 self.ex.budget_exhausted = true;
@@ -272,7 +283,7 @@ impl<'a> Walk<'a> {
     }
 
     /// Commit the initial `SELF_RUN`.
-    fn commit_root(&mut self, rep: AttemptReport) {
+    pub(crate) fn commit_root(&mut self, rep: AttemptReport) {
         let attempts = rep.retries + 1;
         self.absorb_cost(&rep);
         let first = rep.res;
@@ -330,7 +341,7 @@ impl<'a> Walk<'a> {
     }
 
     /// Commit one replay result in walk order.
-    fn commit(&mut self, fork: &Fork, rep: AttemptReport) {
+    pub(crate) fn commit(&mut self, fork: &Fork, rep: AttemptReport) {
         let attempts = rep.retries + 1;
         self.absorb_cost(&rep);
         let res = rep.res;
@@ -419,7 +430,7 @@ impl<'a> Walk<'a> {
     }
 
     /// Announce the campaign to the sinks.
-    fn begin(&self, jobs: usize, resumed: bool) {
+    pub(crate) fn begin(&self, jobs: usize, resumed: bool) {
         if let Some(m) = &self.opts.metrics {
             m.on_pool(jobs);
         }
@@ -430,7 +441,7 @@ impl<'a> Walk<'a> {
 
     /// Close out the walk: final sink updates, then surrender the
     /// exploration.
-    fn finish(self) -> Exploration {
+    pub(crate) fn finish(self) -> Exploration {
         if let Some(m) = &self.opts.metrics {
             m.on_finish(&self.ex);
         }
@@ -456,7 +467,7 @@ impl<'a> Walk<'a> {
         self.ex.retries += rep.retries;
     }
 
-    fn checkpoint(&self) {
+    pub(crate) fn checkpoint(&self) {
         let Some(path) = &self.opts.checkpoint else {
             return;
         };
@@ -476,6 +487,7 @@ impl<'a> Walk<'a> {
             discovered: ExplorationJournal::flatten_discovered(&self.ex.discovered),
             visited: sigs,
             in_flight: self.speculated.clone(),
+            quarantined: self.ex.quarantined,
             frontier: self
                 .stack
                 .iter()
@@ -504,7 +516,7 @@ impl<'a> Walk<'a> {
         }
     }
 
-    fn restore(&mut self, journal: ExplorationJournal) {
+    pub(crate) fn restore(&mut self, journal: ExplorationJournal) {
         self.ex.interleavings = journal.interleavings;
         self.ex.retries = journal.retries;
         self.ex.divergences = journal.divergences;
@@ -518,6 +530,7 @@ impl<'a> Walk<'a> {
         }
         self.ex.errors = journal.errors;
         self.ex.timeouts = journal.timeouts;
+        self.ex.quarantined = journal.quarantined;
         self.visited.extend(journal.visited);
         self.stack
             .extend(journal.frontier.into_iter().map(|f| Fork {
@@ -732,14 +745,14 @@ where
 /// One schedule's execution including divergence retries: the final
 /// attempt's result (the one the walk uses) plus the cost of every
 /// attempt, in order.
-struct AttemptReport {
-    res: RunResult,
+pub(crate) struct AttemptReport {
+    pub(crate) res: RunResult,
     /// Simulated makespan of each attempt, first to last.
-    attempt_makespans: Vec<f64>,
+    pub(crate) attempt_makespans: Vec<f64>,
     /// Guided-lookup misses summed over all attempts.
-    divergences: u64,
+    pub(crate) divergences: u64,
     /// Number of re-executions after a divergence.
-    retries: u64,
+    pub(crate) retries: u64,
 }
 
 /// [`execute_with_retry`] plus observability: the dispatch count, the
@@ -768,7 +781,7 @@ where
 
 /// Execute one schedule, retrying (with exponential backoff) when a guided
 /// replay diverges from its decisions.
-fn execute_with_retry<F>(
+pub(crate) fn execute_with_retry<F>(
     run: &mut F,
     decisions: &DecisionSet,
     opts: &ExploreOptions,
@@ -788,7 +801,10 @@ where
         && rep.res.stats.divergences > 0
         && attempt < opts.divergence_retries
     {
-        let backoff = opts.retry_backoff * 2u32.saturating_pow(attempt);
+        // The schedule's signature seeds the jitter, so a replay's retry
+        // timing is a pure function of its identity — sharded campaigns
+        // stay reproducible.
+        let backoff = opts.retry_backoff.delay(attempt, decisions.signature());
         if !backoff.is_zero() {
             std::thread::sleep(backoff);
         }
@@ -803,7 +819,7 @@ where
 }
 
 /// The watchdog detail when this run was killed over budget.
-fn timeout_of(outcome: &RunOutcome) -> Option<String> {
+pub(crate) fn timeout_of(outcome: &RunOutcome) -> Option<String> {
     match &outcome.fatal {
         Some(MpiError::ReplayTimeout { detail }) => Some(detail.clone()),
         _ => None,
@@ -988,6 +1004,7 @@ mod tests {
     use crate::epoch::NdKind;
     use dampi_clocks::ClockStamp;
     use dampi_mpi::{Comm, LeakReport, MpiError};
+    use std::time::Duration;
 
     /// A synthetic "program": `n_epochs` wildcard receives on rank 0, each
     /// with sources `0..n_srcs`. The run function honors forced decisions
@@ -1037,7 +1054,7 @@ mod tests {
         ExploreOptions {
             bound,
             max_interleavings: Some(1_000_000),
-            retry_backoff: Duration::ZERO,
+            retry_backoff: RetryBackoff::ZERO,
             ..ExploreOptions::default()
         }
     }

@@ -1,0 +1,185 @@
+//! Failure detection: heartbeat timeouts and wall-clock leases.
+//!
+//! The supervisor runs *two* independent detectors per worker slot because
+//! process failure has two observably different shapes:
+//!
+//! * **Heartbeat timeout** — the worker went silent. Catches dead
+//!   processes the OS never reports cleanly (SIGKILL with the pipe held
+//!   open by a grandchild), wedged runtimes, swap-death. Any frame from
+//!   the worker refreshes it.
+//! * **Lease expiry** — the worker is chatty but the *job* isn't
+//!   finishing. A replay wedged in a loop still heartbeats forever; the
+//!   lease is the supervisor's contract that a dispatched subtree
+//!   completes within a wall-clock budget or gets re-dispatched elsewhere.
+//!
+//! Both verdicts funnel into the same recovery (kill, re-dispatch,
+//! bounded restart), so this module is pure bookkeeping: feed it
+//! observations with explicit timestamps, ask for a verdict. No clocks
+//! are read here, which is what makes the state machine unit-testable at
+//! microsecond scale.
+
+use std::time::{Duration, Instant};
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseConfig {
+    /// Silence longer than this declares the worker lost.
+    pub heartbeat_timeout: Duration,
+    /// A dispatched job older than this declares the worker wedged.
+    pub lease: Duration,
+}
+
+/// What the detectors conclude about one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within both thresholds.
+    Healthy,
+    /// No frame for longer than the heartbeat timeout.
+    HeartbeatLost,
+    /// Still heartbeating, but the in-flight job outlived its lease.
+    LeaseExpired,
+}
+
+/// Per-slot liveness state.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotHealth {
+    last_seen: Instant,
+    lease_deadline: Option<Instant>,
+}
+
+impl SlotHealth {
+    /// Fresh slot: the spawn instant counts as the first sign of life, so
+    /// a worker that is dead on arrival trips the heartbeat timeout one
+    /// window after spawn instead of instantly.
+    #[must_use]
+    pub fn new(now: Instant) -> Self {
+        Self {
+            last_seen: now,
+            lease_deadline: None,
+        }
+    }
+
+    /// Any frame arrived from the worker (hello, heartbeat, result).
+    pub fn on_seen(&mut self, now: Instant) {
+        self.last_seen = now;
+    }
+
+    /// A job was dispatched: start its lease.
+    pub fn on_dispatch(&mut self, now: Instant, lease: Duration) {
+        self.lease_deadline = Some(now + lease);
+    }
+
+    /// The in-flight job completed (or was taken away): stop the lease.
+    pub fn on_idle(&mut self) {
+        self.lease_deadline = None;
+    }
+
+    /// Evaluate both detectors at `now`. Heartbeat loss dominates: a
+    /// silent worker is reported as lost even if its lease also expired.
+    #[must_use]
+    pub fn verdict(&self, now: Instant, cfg: &LeaseConfig) -> Verdict {
+        if now.saturating_duration_since(self.last_seen) > cfg.heartbeat_timeout {
+            return Verdict::HeartbeatLost;
+        }
+        match self.lease_deadline {
+            Some(deadline) if now > deadline => Verdict::LeaseExpired,
+            _ => Verdict::Healthy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LeaseConfig {
+        LeaseConfig {
+            heartbeat_timeout: Duration::from_millis(100),
+            lease: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn fresh_slot_is_healthy() {
+        let t0 = Instant::now();
+        let s = SlotHealth::new(t0);
+        assert_eq!(s.verdict(t0, &cfg()), Verdict::Healthy);
+        assert_eq!(
+            s.verdict(t0 + Duration::from_millis(99), &cfg()),
+            Verdict::Healthy
+        );
+    }
+
+    #[test]
+    fn silence_trips_heartbeat_timeout() {
+        let t0 = Instant::now();
+        let mut s = SlotHealth::new(t0);
+        assert_eq!(
+            s.verdict(t0 + Duration::from_millis(101), &cfg()),
+            Verdict::HeartbeatLost,
+            "dead-on-arrival worker is detected one window after spawn"
+        );
+        s.on_seen(t0 + Duration::from_millis(90));
+        assert_eq!(
+            s.verdict(t0 + Duration::from_millis(150), &cfg()),
+            Verdict::Healthy,
+            "heartbeat refreshes the window"
+        );
+        assert_eq!(
+            s.verdict(t0 + Duration::from_millis(191), &cfg()),
+            Verdict::HeartbeatLost
+        );
+    }
+
+    #[test]
+    fn wedged_job_trips_lease_despite_heartbeats() {
+        let t0 = Instant::now();
+        let mut s = SlotHealth::new(t0);
+        s.on_dispatch(t0, cfg().lease);
+        // Keep heartbeating right up to the check.
+        s.on_seen(t0 + Duration::from_millis(550));
+        assert_eq!(
+            s.verdict(t0 + Duration::from_millis(551), &cfg()),
+            Verdict::LeaseExpired,
+            "chatty but wedged"
+        );
+        // Completing the job clears the lease.
+        s.on_idle();
+        assert_eq!(
+            s.verdict(t0 + Duration::from_millis(560), &cfg()),
+            Verdict::Healthy
+        );
+    }
+
+    #[test]
+    fn heartbeat_loss_dominates_lease_expiry() {
+        let t0 = Instant::now();
+        let mut s = SlotHealth::new(t0);
+        s.on_dispatch(t0, cfg().lease);
+        assert_eq!(
+            s.verdict(t0 + Duration::from_secs(2), &cfg()),
+            Verdict::HeartbeatLost
+        );
+    }
+
+    #[test]
+    fn lease_restarts_per_dispatch() {
+        let t0 = Instant::now();
+        let mut s = SlotHealth::new(t0);
+        s.on_dispatch(t0, cfg().lease);
+        s.on_idle();
+        s.on_seen(t0 + Duration::from_millis(600));
+        s.on_dispatch(t0 + Duration::from_millis(600), cfg().lease);
+        s.on_seen(t0 + Duration::from_millis(950));
+        assert_eq!(
+            s.verdict(t0 + Duration::from_millis(1000), &cfg()),
+            Verdict::Healthy,
+            "second dispatch gets a fresh lease"
+        );
+        s.on_seen(t0 + Duration::from_millis(1100));
+        assert_eq!(
+            s.verdict(t0 + Duration::from_millis(1101), &cfg()),
+            Verdict::LeaseExpired
+        );
+    }
+}

@@ -270,6 +270,52 @@ impl DampiVerifier {
         self.report_from(program.name(), ex)
     }
 
+    /// Full verification sharded across worker processes (or in-process
+    /// stand-ins) spawned by `launcher`, with the fault tolerance described
+    /// in [`crate::shard`]: lost workers are respawned, their subtrees
+    /// re-dispatched, and poison subtrees quarantined as honest timeout
+    /// records. A completed sharded campaign's report is byte-identical to
+    /// [`Self::verify`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the worker fleet cannot be spawned or permanently dies
+    /// with work outstanding (see [`crate::shard::explore_sharded`]).
+    pub fn verify_sharded(
+        &self,
+        program: &dyn MpiProgram,
+        launcher: &dyn crate::shard::WorkerLauncher,
+        shard: &crate::shard::ShardOptions,
+    ) -> std::io::Result<VerificationReport> {
+        let opts = self.explore_options();
+        let ex = crate::shard::explore_sharded(launcher, &opts, shard, None)?;
+        Ok(self.report_from(program.name(), ex))
+    }
+
+    /// [`Self::verify_sharded`] continuing from a checkpoint journal —
+    /// including one written by a drained (SIGTERM'd) sharded campaign or
+    /// by a plain `--jobs` run; the formats are identical.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the journal cannot be loaded or the worker fleet fails
+    /// permanently (see [`crate::shard::explore_sharded`]).
+    pub fn verify_sharded_resumed(
+        &self,
+        program: &dyn MpiProgram,
+        launcher: &dyn crate::shard::WorkerLauncher,
+        shard: &crate::shard::ShardOptions,
+        journal_path: &std::path::Path,
+    ) -> std::io::Result<VerificationReport> {
+        let journal = ExplorationJournal::load(journal_path)?;
+        let mut opts = self.explore_options();
+        if opts.checkpoint.is_none() {
+            opts.checkpoint = Some(journal_path.to_path_buf());
+        }
+        let ex = crate::shard::explore_sharded(launcher, &opts, shard, Some(journal))?;
+        Ok(self.report_from(program.name(), ex))
+    }
+
     /// Continue an interrupted campaign from an exploration journal (see
     /// [`crate::journal`]). Further checkpoints keep going to the same
     /// file unless the configuration names a different one, so a campaign
@@ -312,6 +358,8 @@ impl DampiVerifier {
             divergences: ex.divergences,
             retries: ex.retries,
             timeouts: ex.timeouts,
+            quarantined: ex.quarantined,
+            drained: ex.drained,
             pb_messages,
             first_run_makespan: ex.first_run_makespan,
             total_virtual_time: ex.total_virtual_time,

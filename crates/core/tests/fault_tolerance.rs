@@ -12,7 +12,9 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use dampi_core::{DampiConfig, DampiVerifier, ExplorationJournal, VerificationReport};
+use dampi_core::{
+    DampiConfig, DampiVerifier, ExplorationJournal, RetryBackoff, VerificationReport,
+};
 use dampi_mpi::fault::{FaultAction, FaultPlan, FaultRule};
 use dampi_mpi::{Comm, MatchPolicy, MpiError, ReplayBudget, SimConfig};
 use dampi_workloads::matmul::{Matmul, MatmulParams};
@@ -228,7 +230,7 @@ fn diverging_replay_is_retried_with_bounded_backoff() {
         })
         .guided_only();
     let cfg = DampiConfig {
-        retry_backoff: Duration::from_millis(1),
+        retry_backoff: RetryBackoff::constant(Duration::from_millis(1)),
         ..DampiConfig::default()
     };
     let sim = SimConfig::new(4).with_policy(MatchPolicy::LowestRank);

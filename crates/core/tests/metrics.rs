@@ -72,7 +72,7 @@ fn semantic_metrics_are_byte_identical_across_jobs() {
         let opts = ExploreOptions {
             jobs,
             metrics: Some(m.clone()),
-            retry_backoff: std::time::Duration::ZERO,
+            retry_backoff: dampi_core::RetryBackoff::ZERO,
             ..ExploreOptions::default()
         };
         let ex = explore_parallel(model_run(alt_counts.clone()), &opts);
@@ -102,7 +102,7 @@ fn sequential_walk_matches_parallel_semantics() {
         &ExploreOptions {
             jobs: 4,
             metrics: Some(m_par.clone()),
-            retry_backoff: std::time::Duration::ZERO,
+            retry_backoff: dampi_core::RetryBackoff::ZERO,
             ..ExploreOptions::default()
         },
     );
@@ -119,7 +119,7 @@ fn every_dispatched_replay_is_committed_or_aborted() {
         jobs: 4,
         max_interleavings: Some(5),
         metrics: Some(m.clone()),
-        retry_backoff: std::time::Duration::ZERO,
+        retry_backoff: dampi_core::RetryBackoff::ZERO,
         ..ExploreOptions::default()
     };
     let ex = explore_parallel(model_run(vec![3, 3, 3]), &opts);
@@ -141,7 +141,7 @@ fn trace_is_schema_versioned_and_complete() {
     let opts = ExploreOptions {
         jobs: 2,
         trace: Some(trace),
-        retry_backoff: std::time::Duration::ZERO,
+        retry_backoff: dampi_core::RetryBackoff::ZERO,
         ..ExploreOptions::default()
     };
     let ex = explore_parallel(model_run(vec![2, 2]), &opts);

@@ -59,7 +59,7 @@ fn opts(bound: MixingBound) -> ExploreOptions {
     ExploreOptions {
         bound,
         max_interleavings: Some(2_000_000),
-        retry_backoff: std::time::Duration::ZERO,
+        retry_backoff: dampi_core::RetryBackoff::ZERO,
         ..ExploreOptions::default()
     }
 }

@@ -104,6 +104,10 @@ impl IspVerifier {
             divergences: ex.divergences,
             retries: ex.retries,
             timeouts: ex.timeouts,
+            // Sharding is a DAMPI-side feature; the centralized baseline
+            // runs in-process only.
+            quarantined: 0,
+            drained: false,
             pb_messages: 0,
             first_run_makespan: ex.first_run_makespan,
             total_virtual_time: ex.total_virtual_time,

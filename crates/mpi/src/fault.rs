@@ -151,6 +151,92 @@ impl FaultPlan {
     }
 }
 
+/// Process-level fault to inject into a shard *worker* — the extension of
+/// the substrate-fault idea one layer up: instead of perturbing messages
+/// under one replay, perturb the worker process the supervisor is
+/// entrusting whole subtrees to. Each kind exercises one supervisor
+/// recovery path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum WorkerFaultKind {
+    /// Die instantly (process workers: `abort()`, i.e. the observable
+    /// equivalent of a `kill -9`; in-process test workers: drop the
+    /// connection). Exercises dead-worker detection via EOF/heartbeat
+    /// loss and subtree re-dispatch.
+    Kill,
+    /// Execute the replay fully, then exit *without* sending the result
+    /// frame. Exercises re-dispatch idempotence: the work was done, the
+    /// ack was lost, and running it again must change nothing.
+    ExitBeforeAck,
+    /// Stop sending heartbeats and go silent without exiting. Exercises
+    /// the heartbeat-timeout detector (a worker can be alive yet
+    /// unresponsive — stuck in D-state, swapping, GC'd runtime).
+    StallHeartbeats,
+    /// Keep heartbeating but never finish the job. Exercises the
+    /// wall-clock *lease* detector — the failure heartbeats cannot see.
+    WedgeReplay,
+    /// Send the result in a frame whose checksum is wrong. Exercises
+    /// frame validation and treat-as-lost recovery.
+    CorruptResult,
+}
+
+/// A reproducible process-level fault for one shard worker (the
+/// [`FaultPlan`] analog of the worker supervisor — see `dampi-core`'s
+/// `shard` module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkerFaultPlan {
+    /// What goes wrong.
+    pub kind: WorkerFaultKind,
+    /// Zero-based index of the job (within the faulted worker) the fault
+    /// fires on.
+    pub nth_job: u64,
+    /// Re-arm on every respawned incarnation of the worker slot. Default
+    /// (false) fires only in the slot's first incarnation, so the
+    /// supervisor's restart actually recovers — the chaos-smoke setting.
+    /// `true` makes the slot a repeat offender, driving quarantine.
+    pub persistent: bool,
+}
+
+impl WorkerFaultPlan {
+    /// Parse a CLI spec: `kind:nth[:always]`, e.g. `kill:2`,
+    /// `wedge:0:always`. Kinds: `kill`, `exit-before-ack`,
+    /// `stall-heartbeats`, `wedge`, `corrupt-result`.
+    pub fn parse(spec: &str) -> std::result::Result<Self, String> {
+        let mut parts = spec.split(':');
+        let kind = match parts.next().unwrap_or("") {
+            "kill" => WorkerFaultKind::Kill,
+            "exit-before-ack" => WorkerFaultKind::ExitBeforeAck,
+            "stall-heartbeats" => WorkerFaultKind::StallHeartbeats,
+            "wedge" => WorkerFaultKind::WedgeReplay,
+            "corrupt-result" => WorkerFaultKind::CorruptResult,
+            other => {
+                return Err(format!(
+                    "unknown worker fault kind `{other}` (expected kill, \
+                     exit-before-ack, stall-heartbeats, wedge, corrupt-result)"
+                ))
+            }
+        };
+        let nth_job = match parts.next() {
+            None | Some("") => 0,
+            Some(n) => n
+                .parse()
+                .map_err(|_| format!("worker fault job index `{n}` is not a number"))?,
+        };
+        let persistent = match parts.next() {
+            None => false,
+            Some("always") => true,
+            Some(other) => return Err(format!("unexpected worker fault modifier `{other}`")),
+        };
+        if let Some(junk) = parts.next() {
+            return Err(format!("trailing worker fault field `{junk}`"));
+        }
+        Ok(Self {
+            kind,
+            nth_job,
+            persistent,
+        })
+    }
+}
+
 /// The fault-injection interposition layer. Transparent except where a
 /// [`FaultRule`] fires.
 pub struct FaultLayer<M: Mpi> {
@@ -553,6 +639,37 @@ mod tests {
             "livelock must trip the watchdog, got {:?}",
             out.fatal
         );
+    }
+
+    #[test]
+    fn worker_fault_spec_parses() {
+        assert_eq!(
+            WorkerFaultPlan::parse("kill:2").unwrap(),
+            WorkerFaultPlan {
+                kind: WorkerFaultKind::Kill,
+                nth_job: 2,
+                persistent: false,
+            }
+        );
+        assert_eq!(
+            WorkerFaultPlan::parse("wedge:0:always").unwrap(),
+            WorkerFaultPlan {
+                kind: WorkerFaultKind::WedgeReplay,
+                nth_job: 0,
+                persistent: true,
+            }
+        );
+        // Bare kind defaults to the first job, one-shot.
+        assert_eq!(WorkerFaultPlan::parse("corrupt-result").unwrap().nth_job, 0);
+        for bad in [
+            "",
+            "explode",
+            "kill:x",
+            "kill:1:sometimes",
+            "kill:1:always:x",
+        ] {
+            assert!(WorkerFaultPlan::parse(bad).is_err(), "{bad:?} must fail");
+        }
     }
 
     #[test]

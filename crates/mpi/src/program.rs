@@ -38,8 +38,9 @@ pub struct RankError {
     pub error: MpiError,
 }
 
-/// Everything a single execution of a program produced.
-#[derive(Debug, Clone)]
+/// Everything a single execution of a program produced. Serializable so
+/// shard workers can ship a replay's outcome to the supervisor verbatim.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RunOutcome {
     /// Per-rank error, if the rank's program (or its finalize) failed.
     pub rank_errors: Vec<Option<MpiError>>,

@@ -8,18 +8,26 @@
 //!                             [--replay-vt SECS] [--replay-wall SECS]
 //!                             [--metrics PATH] [--trace PATH] [--progress]
 //!                             [--prune-static]
+//!                             [--shards N] [--worker-fault SPEC]
+//!                             [--heartbeat-timeout SECS] [--lease SECS]
+//!                             [--max-attempts K]
 //! dampi-cli analyze <workload> [--np N] [--json]   # static pre-replay analysis
 //! dampi-cli overhead [--np N]           # Table II style slowdown census
 //! ```
 
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
+use dampi::core::scheduler::ExploreOptions;
+use dampi::core::shard::{self, ProcessWorkerLauncher, ShardOptions};
 use dampi::core::{
     CampaignMetrics, CampaignTrace, ClockMode, DampiConfig, DampiVerifier, DecisionSet, MixingBound,
 };
 use dampi::isp::IspVerifier;
+use dampi::mpi::fault::WorkerFaultPlan;
 use dampi::mpi::{run_native, MatchPolicy, MpiProgram, ReplayBudget, SimConfig};
 use dampi::workloads::adlb::{Adlb, AdlbParams};
 use dampi::workloads::matmul::{Matmul, MatmulParams};
@@ -90,6 +98,14 @@ struct Args {
     trace: Option<PathBuf>,
     progress: bool,
     prune_static: bool,
+    shards: Option<usize>,
+    heartbeat_timeout: Option<f64>,
+    lease: Option<f64>,
+    max_attempts: Option<u32>,
+    worker_fault: Option<String>,
+    fault_slot: usize,
+    worker: bool,
+    worker_beat_ms: u64,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -111,6 +127,14 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         trace: None,
         progress: false,
         prune_static: false,
+        shards: None,
+        heartbeat_timeout: None,
+        lease: None,
+        max_attempts: None,
+        worker_fault: None,
+        fault_slot: 0,
+        worker: false,
+        worker_beat_ms: 250,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -141,6 +165,50 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
                 }
                 a.jobs = Some(jobs);
             }
+            "--shards" => {
+                let shards: usize = val("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+                a.shards = Some(shards);
+            }
+            "--heartbeat-timeout" => {
+                a.heartbeat_timeout = Some(
+                    val("--heartbeat-timeout")?
+                        .parse()
+                        .map_err(|e| format!("--heartbeat-timeout: {e}"))?,
+                );
+            }
+            "--lease" => {
+                a.lease = Some(
+                    val("--lease")?
+                        .parse()
+                        .map_err(|e| format!("--lease: {e}"))?,
+                );
+            }
+            "--max-attempts" => {
+                let k: u32 = val("--max-attempts")?
+                    .parse()
+                    .map_err(|e| format!("--max-attempts: {e}"))?;
+                if k == 0 {
+                    return Err("--max-attempts must be at least 1".to_owned());
+                }
+                a.max_attempts = Some(k);
+            }
+            "--worker-fault" => a.worker_fault = Some(val("--worker-fault")?),
+            "--worker-fault-slot" => {
+                a.fault_slot = val("--worker-fault-slot")?
+                    .parse()
+                    .map_err(|e| format!("--worker-fault-slot: {e}"))?;
+            }
+            "--worker" => a.worker = true,
+            "--worker-beat-ms" => {
+                a.worker_beat_ms = val("--worker-beat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--worker-beat-ms: {e}"))?;
+            }
             "--journal" => a.journal = Some(PathBuf::from(val("--journal")?)),
             "--resume" => a.resume = Some(PathBuf::from(val("--resume")?)),
             "--metrics" => a.metrics = Some(PathBuf::from(val("--metrics")?)),
@@ -165,6 +233,94 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         }
     }
     Ok(a)
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The flags that change what a replay *computes*, as opposed to how the
+/// campaign is orchestrated, in canonical order. The supervisor spawns
+/// each worker with exactly this vector (plus `--worker` plumbing), and
+/// both sides hash it into the config digest the worker must echo in its
+/// `Hello` frame — so a supervisor can never merge results computed under
+/// different verification options.
+fn semantic_args(name: &str, a: &Args) -> Vec<String> {
+    let mut v = vec![
+        "verify".to_owned(),
+        name.to_owned(),
+        "--np".to_owned(),
+        a.np.to_string(),
+        "--max".to_owned(),
+        a.max.to_string(),
+        "--clock".to_owned(),
+        match a.clock {
+            ClockMode::Lamport => "lamport".to_owned(),
+            ClockMode::Vector => "vector".to_owned(),
+        },
+    ];
+    if let Some(k) = a.k {
+        v.push("--k".to_owned());
+        v.push(k.to_string());
+    }
+    if a.deferred {
+        v.push("--deferred-clock".to_owned());
+    }
+    if !a.biased {
+        v.push("--unbiased".to_owned());
+    }
+    // f64 Display is shortest-roundtrip, so the respawned worker parses
+    // back the identical bits.
+    if let Some(vt) = a.replay_vt {
+        v.push("--replay-vt".to_owned());
+        v.push(vt.to_string());
+    }
+    if let Some(wall) = a.replay_wall {
+        v.push("--replay-wall".to_owned());
+        v.push(wall.to_string());
+    }
+    v
+}
+
+fn config_digest(name: &str, a: &Args) -> u64 {
+    fnv1a64(semantic_args(name, a).join("\u{1f}").as_bytes())
+}
+
+/// SIGTERM → graceful drain. Lives in the CLI because `dampi-core`
+/// forbids unsafe code; the handler body is one relaxed atomic store,
+/// which is async-signal-safe.
+#[cfg(unix)]
+mod drain {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_sig: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Install the SIGTERM handler and return the drain flag the
+    /// supervisor polls.
+    pub fn install_sigterm() -> Arc<AtomicBool> {
+        let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+        }
+        flag
+    }
 }
 
 fn cmd_list() -> ExitCode {
@@ -201,6 +357,33 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
         }
         sim = sim.with_budget(budget);
     }
+    if args.worker {
+        // Internal mode: the process was spawned by a `--shards`
+        // supervisor and serves replays over stdin/stdout.
+        if args.isp || args.shards.is_some() || args.prune_static {
+            eprintln!("error: --worker is an internal flag and composes with none of --isp/--shards/--prune-static");
+            return ExitCode::FAILURE;
+        }
+        return run_worker_mode(name, prog.as_ref(), sim, &args);
+    }
+    if args.worker_fault.is_some() && args.shards.is_none() {
+        eprintln!("error: --worker-fault requires --shards (it injects chaos into a shard worker)");
+        return ExitCode::FAILURE;
+    }
+    if args.shards.is_some() {
+        if args.isp {
+            eprintln!("error: --shards is DAMPI-only (the centralized ISP baseline is the architecture sharding replaces)");
+            return ExitCode::FAILURE;
+        }
+        if args.prune_static {
+            eprintln!("error: --prune-static cannot combine with --shards yet (the plan is keyed to a supervisor-local free run)");
+            return ExitCode::FAILURE;
+        }
+        if args.jobs.is_some() {
+            eprintln!("error: --jobs and --shards are mutually exclusive (jobs are replay threads, shards are worker processes)");
+            return ExitCode::FAILURE;
+        }
+    }
     if args.isp {
         if args.resume.is_some() || args.journal.is_some() {
             eprintln!("error: --resume/--journal are DAMPI-only (checkpointing lives in the distributed scheduler, not the ISP baseline)");
@@ -234,9 +417,15 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
     }
     // Default to every available core: each frontier fork is an
     // independent simulation and the merge is deterministic either way.
-    let jobs = args.jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    });
+    // Under --shards the parallelism lives in the worker fleet, so the
+    // in-process thread pool stays at 1.
+    let jobs = if args.shards.is_some() {
+        1
+    } else {
+        args.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+    };
     let mut cfg = DampiConfig::default()
         .with_clock_mode(args.clock)
         .with_max_interleavings(args.max)
@@ -314,16 +503,26 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
         });
         (stop_tx, handle)
     });
-    let report = match (&args.resume, prune_run) {
-        (Some(journal), _) => match verifier.verify_resumed(prog.as_ref(), journal) {
+    let report = if let Some(shards) = args.shards {
+        match run_sharded(name, prog.as_ref(), &verifier, shards, &args) {
             Ok(report) => report,
             Err(e) => {
-                eprintln!("error: cannot resume from {}: {e}", journal.display());
+                eprintln!("error: sharded campaign failed: {e}");
                 return ExitCode::FAILURE;
             }
-        },
-        (None, Some(run)) => verifier.verify_with_first_run(prog.as_ref(), run),
-        (None, None) => verifier.verify(prog.as_ref()),
+        }
+    } else {
+        match (&args.resume, prune_run) {
+            (Some(journal), _) => match verifier.verify_resumed(prog.as_ref(), journal) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("error: cannot resume from {}: {e}", journal.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            (None, Some(run)) => verifier.verify_with_first_run(prog.as_ref(), run),
+            (None, None) => verifier.verify(prog.as_ref()),
+        }
     };
     if let Some((stop_tx, handle)) = progress_reporter {
         let _ = stop_tx.send(());
@@ -334,7 +533,7 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
             ClockMode::Lamport => "lamport",
             ClockMode::Vector => "vector",
         };
-        let snap = m.snapshot(name, args.np, clock, jobs);
+        let snap = m.snapshot(name, args.np, clock, args.shards.unwrap_or(jobs));
         let json = serde_json::to_string_pretty(&snap).expect("metrics snapshot serializes");
         if let Err(e) = std::fs::write(path, json + "\n") {
             eprintln!("error: cannot write metrics file {}: {e}", path.display());
@@ -350,6 +549,111 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
+    }
+}
+
+/// The `--worker` servant: serve replays over stdin/stdout until the
+/// supervisor shuts the pipe. Never prints to stdout (that is the frame
+/// channel); diagnostics go to stderr, which the supervisor inherits.
+fn run_worker_mode(name: &str, prog: &dyn MpiProgram, sim: SimConfig, args: &Args) -> ExitCode {
+    let fault = match args.worker_fault.as_deref().map(WorkerFaultPlan::parse) {
+        None => None,
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(e)) => {
+            eprintln!("error: --worker-fault: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = DampiConfig::default()
+        .with_clock_mode(args.clock)
+        .with_max_interleavings(args.max);
+    if let Some(k) = args.k {
+        cfg = cfg.with_bound(MixingBound::K(k));
+    }
+    if args.deferred {
+        cfg = cfg.with_deferred_clock_sync();
+    }
+    // Replay-parity knobs the supervisor's workers must share; everything
+    // else in ExploreOptions is supervisor-side state a worker never has.
+    let opts = ExploreOptions {
+        divergence_retries: cfg.divergence_retries,
+        retry_backoff: cfg.retry_backoff,
+        ..ExploreOptions::default()
+    };
+    let wcfg = shard::WorkerConfig {
+        heartbeat_interval: Duration::from_millis(args.worker_beat_ms),
+        config_digest: config_digest(name, args),
+        fault,
+        hard_exit: true,
+        cancel: Arc::new(AtomicBool::new(false)),
+    };
+    let verifier = DampiVerifier::with_config(sim, cfg);
+    match shard::run_worker(std::io::stdin(), std::io::stdout(), &wcfg, &opts, |ds| {
+        verifier.instrumented_run(prog, ds)
+    }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dampi worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Drive a `--shards N` campaign: spawn `dampi-cli verify … --worker`
+/// processes via the supervisor, with SIGTERM wired to a graceful drain.
+fn run_sharded(
+    name: &str,
+    prog: &dyn MpiProgram,
+    verifier: &DampiVerifier,
+    shards: usize,
+    args: &Args,
+) -> std::io::Result<dampi::core::VerificationReport> {
+    let mut opts = ShardOptions {
+        shards,
+        config_digest: config_digest(name, args),
+        ..ShardOptions::default()
+    };
+    if let Some(secs) = args.heartbeat_timeout {
+        opts.heartbeat_timeout = Duration::from_secs_f64(secs);
+    }
+    if let Some(secs) = args.lease {
+        opts.lease = Duration::from_secs_f64(secs);
+    }
+    if let Some(k) = args.max_attempts {
+        opts.max_attempts = k;
+    }
+    if let Some(spec) = &args.worker_fault {
+        let plan = WorkerFaultPlan::parse(spec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        opts.fault = Some(plan);
+        opts.fault_slot = args.fault_slot;
+    }
+    #[cfg(unix)]
+    {
+        opts.drain = Some(drain::install_sigterm());
+    }
+    let exe = std::env::current_exe()?;
+    let forwarded = semantic_args(name, args);
+    // Beacons at a quarter of the silence threshold: three beats can be
+    // lost to scheduling noise before the detector fires.
+    let beat_ms = (opts.heartbeat_timeout.as_millis() as u64 / 4).clamp(10, 500);
+    let fault_spec = args.worker_fault.clone();
+    let launcher = ProcessWorkerLauncher::new(move |_slot, fault| {
+        let mut c = Command::new(&exe);
+        c.args(&forwarded)
+            .arg("--worker")
+            .arg("--worker-beat-ms")
+            .arg(beat_ms.to_string());
+        if fault.is_some() {
+            if let Some(spec) = &fault_spec {
+                c.arg("--worker-fault").arg(spec);
+            }
+        }
+        c
+    });
+    match &args.resume {
+        Some(journal) => verifier.verify_sharded_resumed(prog, &launcher, &opts, journal),
+        None => verifier.verify_sharded(prog, &launcher, &opts),
     }
 }
 
@@ -442,7 +746,15 @@ fn usage() -> ExitCode {
          [--trace PATH]        stream a schema-versioned JSONL campaign trace\n    \
          [--progress]          print a live progress line (replays/sec, frontier, ETA)\n    \
          [--prune-static]      run the static pre-analysis first and prune the frontier\n    \
-                               (same error set, fewer replays)\n  \
+                               (same error set, fewer replays)\n    \
+         [--shards N]          shard replays across N worker *processes* under a\n    \
+                               fault-tolerant supervisor; byte-identical to --jobs 1.\n    \
+                               SIGTERM drains gracefully (checkpoint via --journal)\n    \
+         [--heartbeat-timeout SECS]  declare a silent worker lost (default 2)\n    \
+         [--lease SECS]        declare a wedged-but-chatty worker lost (default 30)\n    \
+         [--max-attempts K]    quarantine a subtree after K lost dispatches (default 3)\n    \
+         [--worker-fault SPEC] chaos-inject one worker: kind:nth[:always], kind one of\n    \
+                               kill|exit-before-ack|stall-heartbeats|wedge|corrupt-result\n  \
          dampi-cli analyze <workload> [--np N] [--json]\n    \
                                static pre-replay analysis: match sets, prunable\n    \
                                alternates, symmetry orbits, definite-bug lints\n    \

@@ -13,7 +13,10 @@
 //! * every histogram's `count` equals the sum of its bucket counts plus
 //!   `overflow`;
 //! * `wall_clock.deterministic` is `false` (the section is honestly
-//!   labelled).
+//!   labelled);
+//! * the `wall_clock.shard` fleet counters are present and consistent:
+//!   `workers_lost <= workers_spawned` and
+//!   `workers_restarted <= workers_lost`.
 //!
 //! With `--expect-semantic-match`, additionally requires the `semantic`
 //! section of every file to be byte-identical once serialized — the
@@ -116,6 +119,31 @@ fn check_file(path: &PathBuf, errs: &mut Vec<String>) -> Option<String> {
             Some(h) => check_histogram(h, name, &file, errs),
             None => errs.push(fail(&file, &format!("missing histogram `{name}`"))),
         }
+    }
+    match wall.get("shard") {
+        Some(shard) => {
+            let spawned = require_u64(shard, "workers_spawned", &file, errs);
+            let lost = require_u64(shard, "workers_lost", &file, errs);
+            let restarted = require_u64(shard, "workers_restarted", &file, errs);
+            require_u64(shard, "subtrees_redispatched", &file, errs);
+            require_u64(shard, "quarantined", &file, errs);
+            // Every loss names a previously spawned incarnation, and every
+            // restart answers a loss — violations mean the supervisor's
+            // ledger double-counted a failure.
+            if lost > spawned {
+                errs.push(fail(
+                    &file,
+                    &format!("shard: workers_lost {lost} > workers_spawned {spawned}"),
+                ));
+            }
+            if restarted > lost {
+                errs.push(fail(
+                    &file,
+                    &format!("shard: workers_restarted {restarted} > workers_lost {lost}"),
+                ));
+            }
+        }
+        None => errs.push(fail(&file, "missing `wall_clock.shard` section")),
     }
     // Canonical serialization for the cross-file determinism comparison.
     Some(serde_json::to_string(semantic).expect("reserializes"))

@@ -361,6 +361,25 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     }
 }
 
+// Matches real serde's `{ "secs": u64, "nanos": u32 }` wire format for
+// `std::time::Duration`, so persisted artifacts stay compatible.
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_owned(), Content::U64(self.as_secs())),
+            ("nanos".to_owned(), Content::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = expect_map(content, "Duration")?;
+        let secs: u64 = field(m, "secs")?;
+        let nanos: u32 = field(m, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_content(&self) -> Content {
         Content::Seq(vec![self.0.to_content(), self.1.to_content()])
