@@ -159,7 +159,75 @@ assert not q["errors"], q["errors"]
 print("ci: shard parity + chaos recovery + quarantine ok "
       f"(chaos fleet: {chaos})")
 PY
+# Replay-cache warm-run contract: verify an unchanged workload twice
+# against one store and the second run must be served from it — hit rate
+# >= 90% (it is 100%), wall-clock <= 0.5x cold, report byte-identical.
+# --replay-cost-ms prices each *executed* replay as an MPI job launch
+# (cache hits never execute, so they are free): the wall ratio then
+# measures what the cache eliminates, deterministically across CI
+# machines, instead of racing the simulator against the JSON parser.
+python3 - "$MDIR" <<'PY'
+import json, subprocess, sys, time
+d = sys.argv[1]
+def run(out, metrics, args):
+    t = time.time()
+    with open(out, "w") as f:
+        r = subprocess.run(["./target/release/dampi-cli", "verify", *args,
+                            "--metrics", metrics, "--json"], stdout=f)
+    assert r.returncode == 0, (out, r.returncode)
+    return time.time() - t
+for name, args in (("matmul", ["matmul"]),
+                   ("adlb", ["adlb", "--np", "4", "--max", "400"])):
+    base = [*args, "--cache", f"{d}/cache-{name}", "--replay-cost-ms", "5"]
+    cold = run(f"{d}/{name}.cold.json", f"{d}/{name}.cold.metrics.json", base)
+    warm = run(f"{d}/{name}.warm.json", f"{d}/{name}.warm.metrics.json", base)
+    same = open(f"{d}/{name}.cold.json").read() == open(f"{d}/{name}.warm.json").read()
+    assert same, f"{name}: warm report differs from cold"
+    c = json.load(open(f"{d}/{name}.warm.metrics.json"))["cache"]
+    rate = c["hits"] / (c["hits"] + c["misses"])
+    assert rate >= 0.9, f"{name}: warm hit rate {rate:.2f} < 0.9 ({c})"
+    assert c["stores"] == 0 and c["stale"] == 0, f"{name}: warm wrote or evicted ({c})"
+    assert warm <= 0.5 * cold, f"{name}: warm {warm:.2f}s > 0.5x cold {cold:.2f}s"
+    print(f"ci: cache {name} cold {cold:.2f}s -> warm {warm:.2f}s, hit rate {rate:.2f}")
+PY
+# The warm contract must hold under every driver (the acceptance bar):
+# warm runs at --jobs 1, --jobs 4, and --shards 2 against the matmul
+# store are all byte-identical to the cold report and all-hits.
+./target/release/dampi-cli verify matmul --cache "$MDIR/cache-matmul" --jobs 1 \
+    --metrics "$MDIR/matmul.wj1.metrics.json" --json > "$MDIR/matmul.wj1.json"
+./target/release/dampi-cli verify matmul --cache "$MDIR/cache-matmul" --jobs 4 \
+    --metrics "$MDIR/matmul.wj4.metrics.json" --json > "$MDIR/matmul.wj4.json"
+./target/release/dampi-cli verify matmul --cache "$MDIR/cache-matmul" --shards 2 \
+    --metrics "$MDIR/matmul.ws2.metrics.json" --json > "$MDIR/matmul.ws2.json"
+cmp "$MDIR/matmul.cold.json" "$MDIR/matmul.wj1.json"
+cmp "$MDIR/matmul.cold.json" "$MDIR/matmul.wj4.json"
+cmp "$MDIR/matmul.cold.json" "$MDIR/matmul.ws2.json"
+# Invalidation: flip a workload parameter (--np) against the same store
+# and the run must be a full miss — zero hits, zero stale reuse.
+./target/release/dampi-cli verify adlb --np 5 --max 400 --cache "$MDIR/cache-adlb" \
+    --metrics "$MDIR/adlb.flip.metrics.json" --json > /dev/null
+# The metrics lint checks the cache-ledger invariants on every snapshot;
+# semantic sections must also be cache- and driver-invariant.
+./target/release/metrics-lint \
+    "$MDIR/matmul.cold.metrics.json" "$MDIR/matmul.warm.metrics.json" \
+    "$MDIR/matmul.wj1.metrics.json" "$MDIR/matmul.wj4.metrics.json" \
+    "$MDIR/matmul.ws2.metrics.json" --expect-semantic-match
+./target/release/metrics-lint \
+    "$MDIR/adlb.cold.metrics.json" "$MDIR/adlb.warm.metrics.json" \
+    "$MDIR/adlb.flip.metrics.json"
+python3 - "$MDIR" <<'PY'
+import json, sys
+d = sys.argv[1]
+for tag in ("wj1", "wj4", "ws2"):
+    c = json.load(open(f"{d}/matmul.{tag}.metrics.json"))["cache"]
+    assert c["misses"] == 0 and c["hits"] > 0, (tag, c)
+flip = json.load(open(f"{d}/adlb.flip.metrics.json"))["cache"]
+assert flip["hits"] == 0 and flip["stale"] == 0, flip
+assert flip["misses"] > 0 and flip["stores"] == flip["misses"], flip
+print("ci: cache driver parity (jobs 1/4, shards 2) + --np flip full miss ok")
+PY
 DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench prune_static
+DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench replay_cache
 # Bench-history gate: the committed snapshot must agree with the newest
 # BENCH_HISTORY.jsonl row for each workload, and rows are only compared
 # when their explicit `params` strings match — a config change starts a
@@ -180,12 +248,28 @@ for workload, point in snapshot.items():
     for key in ("base_interleavings", "pruned_interleavings", "alternates_pruned",
                 "orbits", "errors"):
         assert last[key] == point[key], (workload, key, last[key], point[key])
+# The replay-cache snapshot is gated the same way: exact agreement with
+# the newest params-matched row on everything deterministic (wall-clock
+# seconds are machine-local and stay ungated).
+cache_snapshot = json.load(open("BENCH_replay_cache.json"))["workloads"]
+for workload, point in cache_snapshot.items():
+    rows = series.get((workload, point["params"]))
+    assert rows, f"{workload}: no history row with params `{point['params']}`"
+    last = rows[-1]
+    for key in ("interleavings", "errors", "warm_hit_rate"):
+        assert last[key] == point[key], (workload, key, last[key], point[key])
 for (workload, params), rows in series.items():
     if len(rows) < 2:
         continue
     prev, last = rows[-2], rows[-1]
+    # Replay-cache series: a warm run losing more than 10 points of hit
+    # rate under identical params means subtree reuse regressed.
+    if "warm_hit_rate" in prev and "warm_hit_rate" in last:
+        assert last["warm_hit_rate"] >= prev["warm_hit_rate"] - 0.10, (
+            f"{workload}: warm hit rate fell {prev['warm_hit_rate']} -> "
+            f"{last['warm_hit_rate']} under identical params `{params}`")
     if "pruned_interleavings" not in prev or "pruned_interleavings" not in last:
-        continue  # shard-overhead series: different schema, no prune gate
+        continue  # shard/cache series: different schema, no prune gate
     assert last["pruned_interleavings"] <= prev["pruned_interleavings"] * 1.2, (
         f"{workload}: replay regression {prev['pruned_interleavings']} -> "
         f"{last['pruned_interleavings']} under identical params `{params}`")

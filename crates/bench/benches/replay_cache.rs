@@ -1,0 +1,81 @@
+//! **Replay-cache benefit — cold campaign vs warm re-verification.**
+//!
+//! Wall-clock of a store-populating cold campaign against an immediate
+//! warm re-run on `symmetric_racers` (the parity anchor) and matmul (a
+//! deep frontier). Each executed replay carries a fixed simulated launch
+//! latency, as in `parallel_explore` and `shard_overhead`: in a real
+//! deployment every replay is an MPI job launch, and the honest question
+//! is what fraction of that launch bill incremental re-verification
+//! eliminates.
+//!
+//! Expected shape: the warm run reuses every committed subtree (hit rate
+//! 1.0, asserted — a speedup figure for a wrong answer aborts the bench)
+//! and its wall-clock collapses to the walk's bookkeeping.
+//!
+//! Set `DAMPI_BENCH_JSON=<path>` to also write the
+//! `BENCH_replay_cache.json` snapshot.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion};
+use dampi_bench::cache::{measure, to_json};
+use dampi_bench::Table;
+
+fn replay_latency() -> Duration {
+    if std::env::var("DAMPI_BENCH_FAST").is_ok() {
+        Duration::from_millis(4)
+    } else {
+        Duration::from_millis(20)
+    }
+}
+
+fn print_figure() {
+    let latency = replay_latency();
+    let mut table = Table::new(
+        "Replay cache: cold campaign vs warm re-verification",
+        &[
+            "workload",
+            "interleavings",
+            "cold (s)",
+            "warm (s)",
+            "hit rate",
+            "speedup",
+        ],
+    );
+    let mut points = Vec::new();
+    for workload in ["symmetric_racers", "matmul"] {
+        let p = measure(workload, latency);
+        table.row(vec![
+            p.workload.clone(),
+            p.interleavings.to_string(),
+            format!("{:.4}", p.cold_wall_s),
+            format!("{:.4}", p.warm_wall_s),
+            format!("{:.2}", p.warm_hit_rate),
+            format!("{:.1}x", p.cold_wall_s / p.warm_wall_s.max(1e-9)),
+        ]);
+        points.push(p);
+    }
+    table.print();
+    if let Ok(path) = std::env::var("DAMPI_BENCH_JSON") {
+        std::fs::write(&path, to_json(latency, &points)).expect("write snapshot");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let latency = replay_latency();
+    let mut g = c.benchmark_group("replay_cache");
+    g.sample_size(10);
+    g.bench_function("racers_cold_then_warm", |b| {
+        b.iter(|| measure("symmetric_racers", latency));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,175 @@
+//! Replay-cache benefit measurement: cold campaign vs warm re-verification.
+//!
+//! The incremental-verification promise is that re-verifying an unchanged
+//! workload costs (almost) nothing: every subtree the cold campaign
+//! committed is served from the content-addressed store, so the warm run
+//! pays only the walk's bookkeeping. As in [`crate::parallel`] and
+//! [`crate::shard`], every executed replay carries a fixed simulated
+//! launch latency — on a real cluster each replay is an MPI job launch,
+//! and the honest figure is how much of that launch bill the cache
+//! eliminates.
+//!
+//! Correctness is asserted on every point: the warm run must reuse
+//! *every* subtree (hit rate 1.0) and reproduce the cold run's
+//! interleaving count and error set, or the measurement panics rather
+//! than report a speedup for a wrong answer.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dampi_core::cache::plan_digest;
+use dampi_core::scheduler::{explore_parallel, Exploration, ExploreOptions};
+use dampi_core::{DampiVerifier, DecisionSet, ReplayCache};
+use dampi_mpi::program::MpiProgram;
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::matmul::{Matmul, MatmulParams};
+use dampi_workloads::patterns;
+
+/// One measured workload: a cold campaign that populates the store and a
+/// warm re-verification that must be served entirely from it.
+#[derive(Debug, Clone)]
+pub struct CachePoint {
+    /// Workload name.
+    pub workload: String,
+    /// Explicit parameter string for the `BENCH_HISTORY.jsonl` series.
+    pub params: String,
+    /// Wall-clock seconds of the cold (store-populating) campaign.
+    pub cold_wall_s: f64,
+    /// Wall-clock seconds of the warm re-verification.
+    pub warm_wall_s: f64,
+    /// Warm-run hit rate: hits / (hits + misses). Asserted to be 1.0.
+    pub warm_hit_rate: f64,
+    /// Interleavings committed (identical cold and warm).
+    pub interleavings: u64,
+    /// Distinct errors found (identical cold and warm).
+    pub errors: usize,
+}
+
+fn verifier_for(workload: &str) -> (Arc<DampiVerifier>, Arc<dyn MpiProgram>, String) {
+    match workload {
+        "symmetric_racers" => (
+            Arc::new(DampiVerifier::new(
+                SimConfig::new(4).with_policy(MatchPolicy::LowestRank),
+            )),
+            Arc::new(patterns::symmetric_racers()),
+            "np=4 policy=lowest_rank replay_cache".to_owned(),
+        ),
+        "matmul" => (
+            Arc::new(DampiVerifier::new(SimConfig::new(4))),
+            Arc::new(Matmul::new(MatmulParams::default())),
+            "np=4 n=8 rounds_per_slave=2 replay_cache".to_owned(),
+        ),
+        other => panic!("unknown cache workload `{other}`"),
+    }
+}
+
+fn opts(cache: Arc<ReplayCache>) -> ExploreOptions {
+    ExploreOptions {
+        // Same rationale as the shard harness: measure the executor, not
+        // the retry policy, and expose a wide frontier.
+        divergence_retries: 0,
+        branch_on_guided: true,
+        cache: Some(cache),
+        ..ExploreOptions::default()
+    }
+}
+
+fn campaign(
+    verifier: &Arc<DampiVerifier>,
+    prog: &Arc<dyn MpiProgram>,
+    cache: &Arc<ReplayCache>,
+    replay_latency: Duration,
+) -> (Exploration, f64) {
+    let opts = opts(Arc::clone(cache));
+    let start = Instant::now();
+    let ex = explore_parallel(
+        |ds: &DecisionSet| {
+            std::thread::sleep(replay_latency);
+            verifier.instrumented_run(prog.as_ref(), ds)
+        },
+        &opts,
+    );
+    let wall = start.elapsed().as_secs_f64();
+    (ex, wall)
+}
+
+/// Measure one workload cold-then-warm against a fresh store, asserting
+/// total reuse and result parity on the warm run.
+#[must_use]
+pub fn measure(workload: &str, replay_latency: Duration) -> CachePoint {
+    let (verifier, prog, params) = verifier_for(workload);
+    let params = format!("{params} latency={}ms", replay_latency.as_millis());
+    let dir = std::env::temp_dir().join(format!(
+        "dampi-bench-cache-{}-{workload}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(
+        ReplayCache::open(
+            &dir,
+            dampi_core::shard::protocol::checksum(workload.as_bytes()),
+            plan_digest(None),
+            false,
+        )
+        .expect("open bench cache"),
+    );
+
+    let (cold, cold_wall_s) = campaign(&verifier, &prog, &cache, replay_latency);
+    assert_eq!(cold.cache_hits, 0, "{workload}: fresh store cannot hit");
+    let (warm, warm_wall_s) = campaign(&verifier, &prog, &cache, replay_latency);
+    assert_eq!(
+        warm.interleavings, cold.interleavings,
+        "{workload}: warm run diverged from cold in interleavings"
+    );
+    assert_eq!(
+        warm.errors.len(),
+        cold.errors.len(),
+        "{workload}: warm run diverged from cold in error count"
+    );
+    assert_eq!(
+        warm.cache_misses, 0,
+        "{workload}: warm run must be served entirely from the store"
+    );
+    let warm_hit_rate = warm.cache_hits as f64 / (warm.cache_hits + warm.cache_misses) as f64;
+    let _ = std::fs::remove_dir_all(&dir);
+    CachePoint {
+        workload: workload.to_owned(),
+        params,
+        cold_wall_s,
+        warm_wall_s,
+        warm_hit_rate,
+        interleavings: cold.interleavings,
+        errors: cold.errors.len(),
+    }
+}
+
+/// Render points as the `BENCH_replay_cache.json` snapshot format.
+#[must_use]
+pub fn to_json(latency: Duration, points: &[CachePoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"replay_latency_ms\": {},\n  \"workloads\": {{\n",
+        latency.as_millis()
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", p.workload));
+        out.push_str(&format!("      \"params\": \"{}\",\n", p.params));
+        out.push_str(&format!(
+            "      \"interleavings\": {},\n      \"errors\": {},\n",
+            p.interleavings, p.errors
+        ));
+        out.push_str(&format!(
+            "      \"cold_wall_s\": {:.4},\n      \"warm_wall_s\": {:.4},\n      \"warm_hit_rate\": {:.4},\n      \"speedup_x\": {:.2}\n",
+            p.cold_wall_s,
+            p.warm_wall_s,
+            p.warm_hit_rate,
+            p.cold_wall_s / p.warm_wall_s.max(1e-9)
+        ));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}

@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cache;
 pub mod clock;
 pub mod config;
 pub mod decisions;
@@ -84,6 +85,7 @@ pub mod tool;
 pub mod verifier;
 
 pub use bounds::MixingBound;
+pub use cache::{ReplayCache, CACHE_SCHEMA_VERSION};
 pub use config::{DampiConfig, PiggybackMechanism, RetryBackoff};
 pub use decisions::{DecisionSet, EpochDecision};
 pub use epoch::{EpochRecord, NdKind};

@@ -50,7 +50,7 @@ use crate::epoch::ToolRunStats;
 use crate::scheduler::Exploration;
 
 /// Version of the metrics snapshot schema (the `"schema"` key).
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Version of the campaign-trace JSONL schema (the `"v"` key on every
 /// line).
@@ -296,6 +296,21 @@ pub struct CampaignMetrics {
     subtrees_redispatched: AtomicU64,
     /// Subtrees quarantined after exhausting their dispatch attempts.
     quarantined: AtomicU64,
+    /// 1 when a persistent replay cache was attached to the campaign.
+    cache_enabled: AtomicU64,
+    /// 1 when the attached cache was opened read-only.
+    cache_readonly: AtomicU64,
+    /// Commits satisfied from the persistent replay cache (counted on the
+    /// deterministic commit path only, so the tally is identical at any
+    /// `--jobs`/`--shards` setting).
+    cache_hits: AtomicU64,
+    /// Commits that had to execute (or quarantine) because the cache had
+    /// no valid entry. `hits + misses == replays_committed` exactly.
+    cache_misses: AtomicU64,
+    /// Cache entries successfully written after a miss committed.
+    cache_stores: AtomicU64,
+    /// On-disk entries rejected as corrupt/stale by the cache handle.
+    cache_stale: AtomicU64,
     /// Campaign wall-clock epoch.
     start: Instant,
     semantic: Mutex<SemanticMetrics>,
@@ -319,6 +334,12 @@ impl Default for CampaignMetrics {
             workers_restarted: AtomicU64::new(0),
             subtrees_redispatched: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            cache_enabled: AtomicU64::new(0),
+            cache_readonly: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_stores: AtomicU64::new(0),
+            cache_stale: AtomicU64::new(0),
             start: Instant::now(),
             semantic: Mutex::new(SemanticMetrics::default()),
             fin: Mutex::new(FinalMetrics::default()),
@@ -401,6 +422,34 @@ impl CampaignMetrics {
     /// A subtree was quarantined after exhausting its dispatch attempts.
     pub fn on_quarantined(&self) {
         self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A persistent replay cache is attached to this campaign.
+    pub fn on_cache_enabled(&self, readonly: bool) {
+        self.cache_enabled.store(1, Ordering::Relaxed);
+        self.cache_readonly
+            .store(u64::from(readonly), Ordering::Relaxed);
+    }
+
+    /// A commit was satisfied from the persistent replay cache.
+    pub fn on_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A commit executed (or quarantined) because the cache missed.
+    pub fn on_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A missed result was written back to the cache.
+    pub fn on_cache_store(&self) {
+        self.cache_stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the cache handle's total stale-entry count (idempotent
+    /// store, called once at campaign end).
+    pub fn on_cache_stale(&self, total: u64) {
+        self.cache_stale.store(total, Ordering::Relaxed);
     }
 
     /// One journal checkpoint was written.
@@ -527,6 +576,14 @@ impl CampaignMetrics {
             "subtrees_redispatched": self.subtrees_redispatched.load(Ordering::Relaxed),
             "quarantined": self.quarantined.load(Ordering::Relaxed),
         });
+        let cache = serde_json::json!({
+            "enabled": self.cache_enabled.load(Ordering::Relaxed) == 1,
+            "readonly": self.cache_readonly.load(Ordering::Relaxed) == 1,
+            "hits": self.cache_hits.load(Ordering::Relaxed),
+            "misses": self.cache_misses.load(Ordering::Relaxed),
+            "stores": self.cache_stores.load(Ordering::Relaxed),
+            "stale": self.cache_stale.load(Ordering::Relaxed),
+        });
         let wall_clock = serde_json::json!({
             "deterministic": false,
             "wall_s": elapsed,
@@ -550,6 +607,7 @@ impl CampaignMetrics {
             "finished": f.finished,
             "semantic": semantic,
             "wall_clock": wall_clock,
+            "cache": cache,
         })
     }
 }
@@ -628,6 +686,12 @@ pub enum CampaignEvent {
         /// True when the watchdog killed the replay (subtree not
         /// expanded).
         timed_out: bool,
+    },
+    /// A commit was satisfied from the persistent replay cache — no
+    /// replay was spawned for this schedule (hence no `ReplayStart`).
+    CacheHit {
+        /// Decision-prefix signature of the schedule.
+        signature: u64,
     },
     /// A frontier checkpoint was journaled.
     Checkpoint {

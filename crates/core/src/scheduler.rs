@@ -38,6 +38,7 @@ use dampi_mpi::program::RunOutcome;
 use dampi_mpi::MpiError;
 
 use crate::bounds::MixingBound;
+use crate::cache::{PendingStore, ReplayCache};
 use crate::config::RetryBackoff;
 use crate::decisions::{DecisionSet, EpochDecision};
 use crate::epoch::{EpochRecord, ToolRunStats};
@@ -96,6 +97,11 @@ pub struct ExploreOptions {
     /// the deterministic commit path only, so any `jobs` value still
     /// produces the same (pruned) exploration. `None` disables pruning.
     pub prune: Option<Arc<PrunePlan>>,
+    /// Persistent content-addressed replay-result store (see
+    /// [`crate::cache`]). Consulted on the deterministic commit path: a
+    /// hit installs the stored result without spawning the replay, a miss
+    /// populates the store after its commit. `None` disables caching.
+    pub cache: Option<Arc<ReplayCache>>,
 }
 
 impl Default for ExploreOptions {
@@ -113,6 +119,7 @@ impl Default for ExploreOptions {
             metrics: None,
             trace: None,
             prune: None,
+            cache: None,
         }
     }
 }
@@ -173,6 +180,14 @@ pub struct Exploration {
     /// checkpointed instead of running to completion. The frontier in the
     /// journal is the resumable remainder.
     pub drained: bool,
+    /// Commits satisfied from the persistent replay cache. Always zero
+    /// when no cache is attached; counted on the commit path, so the
+    /// tally is identical at any `--jobs`/`--shards` setting.
+    pub cache_hits: u64,
+    /// Commits that executed (or quarantined) because the attached cache
+    /// had no valid entry. With a cache attached,
+    /// `cache_hits + cache_misses` equals the committed count exactly.
+    pub cache_misses: u64,
 }
 
 /// Per-commit prune accounting returned by [`push_forks`]: how many forks
@@ -255,6 +270,10 @@ pub(crate) struct Walk<'a> {
     /// into the journal (advisory: a resume simply re-runs them since
     /// their forks are still on the frontier).
     pub(crate) speculated: Vec<u64>,
+    /// The cache's stale count when this walk started: a `ReplayCache` can
+    /// outlive one campaign (it is shared by `Arc`), so the metrics report
+    /// the per-campaign delta, not the store's lifetime total.
+    cache_stale_base: u64,
 }
 
 impl<'a> Walk<'a> {
@@ -266,6 +285,7 @@ impl<'a> Walk<'a> {
             stack: Vec::new(),
             seen_errors: HashSet::new(),
             speculated: Vec::new(),
+            cache_stale_base: opts.cache.as_ref().map_or(0, |c| c.stale_count()),
         }
     }
 
@@ -409,6 +429,32 @@ impl<'a> Walk<'a> {
         self.ex.refined_wildcards_deterministic += fs.refined_deterministic;
     }
 
+    /// Account one commit's cache disposition. Called immediately before
+    /// the commit, on the commit path only, so every commit is exactly
+    /// one hit or one miss and `hits + misses` equals the committed count
+    /// at any `--jobs`/`--shards` setting. No-op without a cache.
+    pub(crate) fn note_cache(&mut self, hit: bool, decisions: &DecisionSet) {
+        if self.opts.cache.is_none() {
+            return;
+        }
+        if hit {
+            self.ex.cache_hits += 1;
+            if let Some(m) = &self.opts.metrics {
+                m.on_cache_hit();
+            }
+            if let Some(t) = &self.opts.trace {
+                t.emit(CampaignEvent::CacheHit {
+                    signature: decisions.signature(),
+                });
+            }
+        } else {
+            self.ex.cache_misses += 1;
+            if let Some(m) = &self.opts.metrics {
+                m.on_cache_miss();
+            }
+        }
+    }
+
     /// Report one committed replay to the observability sinks. No-ops (two
     /// `Option` checks) when no sink is installed.
     fn observe(&self, oc: ObservedCommit) {
@@ -433,6 +479,9 @@ impl<'a> Walk<'a> {
     pub(crate) fn begin(&self, jobs: usize, resumed: bool) {
         if let Some(m) = &self.opts.metrics {
             m.on_pool(jobs);
+            if let Some(c) = &self.opts.cache {
+                m.on_cache_enabled(c.readonly());
+            }
         }
         if let Some(t) = &self.opts.trace {
             t.emit(CampaignEvent::CampaignStart { jobs, resumed });
@@ -443,6 +492,9 @@ impl<'a> Walk<'a> {
     /// exploration.
     pub(crate) fn finish(self) -> Exploration {
         if let Some(m) = &self.opts.metrics {
+            if let Some(c) = &self.opts.cache {
+                m.on_cache_stale(c.stale_count() - self.cache_stale_base);
+            }
             m.on_finish(&self.ex);
         }
         if let Some(t) = &self.opts.trace {
@@ -553,8 +605,20 @@ where
     match resume {
         Some(journal) => w.restore(journal),
         None => {
-            let rep = execute_observed(&mut run, &DecisionSet::self_run(), opts);
-            w.commit_root(rep);
+            let root = DecisionSet::self_run();
+            if let Some(rep) = cache_lookup(opts, &root) {
+                if let Some(m) = &opts.metrics {
+                    m.on_started();
+                }
+                w.note_cache(true, &root);
+                w.commit_root(rep);
+            } else {
+                let rep = execute_observed(&mut run, &root, opts);
+                let pending = cache_prepare(opts, &root, &rep);
+                w.note_cache(false, &root);
+                w.commit_root(rep);
+                cache_store(opts, pending);
+            }
         }
     }
     loop {
@@ -562,8 +626,19 @@ where
             break;
         }
         let Some(fork) = w.stack.pop() else { break };
-        let rep = execute_observed(&mut run, &fork.decisions, opts);
-        w.commit(&fork, rep);
+        if let Some(rep) = cache_lookup(opts, &fork.decisions) {
+            if let Some(m) = &opts.metrics {
+                m.on_started();
+            }
+            w.note_cache(true, &fork.decisions);
+            w.commit(&fork, rep);
+        } else {
+            let rep = execute_observed(&mut run, &fork.decisions, opts);
+            let pending = cache_prepare(opts, &fork.decisions, &rep);
+            w.note_cache(false, &fork.decisions);
+            w.commit(&fork, rep);
+            cache_store(opts, pending);
+        }
     }
     w.finish()
 }
@@ -594,8 +669,20 @@ where
         None => {
             // The initial SELF_RUN has nothing to overlap with; run it
             // inline before the pool starts.
-            let rep = execute_observed(&mut |ds| run(ds), &DecisionSet::self_run(), opts);
-            w.commit_root(rep);
+            let root = DecisionSet::self_run();
+            if let Some(rep) = cache_lookup(opts, &root) {
+                if let Some(m) = &opts.metrics {
+                    m.on_started();
+                }
+                w.note_cache(true, &root);
+                w.commit_root(rep);
+            } else {
+                let rep = execute_observed(&mut |ds| run(ds), &root, opts);
+                let pending = cache_prepare(opts, &root, &rep);
+                w.note_cache(false, &root);
+                w.commit_root(rep);
+                cache_store(opts, pending);
+            }
         }
     }
 
@@ -643,7 +730,7 @@ where
         // Results completed ahead of their commit turn, by signature. A
         // signature identifies its fork uniquely: the visited set admits
         // each decision prefix onto the stack exactly once.
-        let mut cache: HashMap<u64, AttemptReport> = HashMap::new();
+        let mut ready: HashMap<u64, Ready> = HashMap::new();
         let mut in_flight: HashSet<u64> = HashSet::new();
         // The top signature the coordinator last had to block for — when a
         // commit's result was already cached by the time its fork surfaced,
@@ -657,9 +744,20 @@ where
             // Progress guarantee: the next fork to commit is always cached
             // or in flight before the coordinator blocks.
             let top_sig = w.stack.last().expect("non-empty").decisions.signature();
-            if !cache.contains_key(&top_sig) && !in_flight.contains(&top_sig) {
+            if !ready.contains_key(&top_sig) && !in_flight.contains(&top_sig) {
                 let fork = w.stack.last().expect("non-empty");
-                if job_tx
+                if let Some(rep) = cache_lookup(opts, &fork.decisions) {
+                    ready.insert(
+                        top_sig,
+                        Ready {
+                            rep,
+                            from_cache: true,
+                        },
+                    );
+                    if let Some(m) = &opts.metrics {
+                        m.on_started();
+                    }
+                } else if job_tx
                     .send(Job {
                         sig: top_sig,
                         decisions: fork.decisions.clone(),
@@ -681,11 +779,27 @@ where
                 .max_interleavings
                 .map_or(usize::MAX, |max| (max - w.ex.interleavings) as usize);
             for fork in w.stack.iter().rev().skip(1) {
-                if in_flight.len() >= jobs || in_flight.len() + cache.len() >= budget_room {
+                if in_flight.len() >= jobs || in_flight.len() + ready.len() >= budget_room {
                     break;
                 }
                 let sig = fork.decisions.signature();
-                if in_flight.contains(&sig) || cache.contains_key(&sig) {
+                if in_flight.contains(&sig) || ready.contains_key(&sig) {
+                    continue;
+                }
+                // A persistent-cache hit occupies a ready slot, not a
+                // worker — the disk read happens here, at most once per
+                // fork, and the hit itself is counted later at commit.
+                if let Some(rep) = cache_lookup(opts, &fork.decisions) {
+                    ready.insert(
+                        sig,
+                        Ready {
+                            rep,
+                            from_cache: true,
+                        },
+                    );
+                    if let Some(m) = &opts.metrics {
+                        m.on_started();
+                    }
                     continue;
                 }
                 if job_tx
@@ -704,9 +818,9 @@ where
             }
             // Commit in walk order when the top's result is ready;
             // otherwise block for the next completion, whoever it is.
-            if let Some(rep) = cache.remove(&top_sig) {
+            if let Some(r) = ready.remove(&top_sig) {
                 if let Some(m) = &opts.metrics {
-                    if waited != Some(top_sig) {
+                    if !r.from_cache && waited != Some(top_sig) {
                         m.on_speculation_hit();
                     }
                 }
@@ -714,13 +828,26 @@ where
                 let fork = w.stack.pop().expect("non-empty");
                 w.speculated = in_flight.iter().copied().collect();
                 w.speculated.sort_unstable();
-                w.commit(&fork, rep);
+                let pending = if r.from_cache {
+                    None
+                } else {
+                    cache_prepare(opts, &fork.decisions, &r.rep)
+                };
+                w.note_cache(r.from_cache, &fork.decisions);
+                w.commit(&fork, r.rep);
+                cache_store(opts, pending);
             } else {
                 waited = Some(top_sig);
                 match res_rx.recv() {
                     Ok((sig, rep)) => {
                         in_flight.remove(&sig);
-                        cache.insert(sig, rep);
+                        ready.insert(
+                            sig,
+                            Ready {
+                                rep,
+                                from_cache: false,
+                            },
+                        );
                     }
                     Err(_) => break, // every worker exited
                 }
@@ -728,10 +855,10 @@ where
         }
         cancel.store(true, Ordering::Relaxed);
         // Every dispatched schedule is, at this point, exactly one of:
-        // committed, completed-but-uncommitted (cache), or still in flight.
-        // The latter two were started and will never commit.
+        // committed, completed-but-uncommitted (ready), or still in
+        // flight. The latter two were started and will never commit.
         if let Some(m) = &opts.metrics {
-            m.on_aborted((in_flight.len() + cache.len()) as u64);
+            m.on_aborted((in_flight.len() + ready.len()) as u64);
         }
         drop(job_tx);
         // In-flight replays finish (bounded by the per-replay watchdog);
@@ -753,6 +880,45 @@ pub(crate) struct AttemptReport {
     pub(crate) divergences: u64,
     /// Number of re-executions after a divergence.
     pub(crate) retries: u64,
+}
+
+/// A replay result ready to commit, tagged with where it came from: the
+/// persistent replay cache (a hit) or an execution (a miss whenever a
+/// cache is attached). Drivers hold these between completion and the
+/// deterministic in-order commit.
+pub(crate) struct Ready {
+    pub(crate) rep: AttemptReport,
+    pub(crate) from_cache: bool,
+}
+
+/// Consult the persistent replay cache, if one is attached.
+pub(crate) fn cache_lookup(
+    opts: &ExploreOptions,
+    decisions: &DecisionSet,
+) -> Option<AttemptReport> {
+    opts.cache.as_ref()?.lookup(decisions)
+}
+
+/// Serialize a missed result for storage. Runs *before* the commit
+/// consumes the result; the bytes are written after the commit succeeds.
+pub(crate) fn cache_prepare(
+    opts: &ExploreOptions,
+    decisions: &DecisionSet,
+    rep: &AttemptReport,
+) -> Option<PendingStore> {
+    opts.cache.as_ref()?.prepare(decisions, rep)
+}
+
+/// Write a prepared entry back to the store after its commit.
+pub(crate) fn cache_store(opts: &ExploreOptions, pending: Option<PendingStore>) {
+    let (Some(c), Some(p)) = (opts.cache.as_ref(), pending) else {
+        return;
+    };
+    if c.commit_store(&p) {
+        if let Some(m) = &opts.metrics {
+            m.on_cache_store();
+        }
+    }
 }
 
 /// [`execute_with_retry`] plus observability: the dispatch count, the

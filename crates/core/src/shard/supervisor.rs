@@ -33,7 +33,7 @@
 //! `started == committed + aborted` survives any kill schedule — each of
 //! its real dispatch attempts was started once and aborted once.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,7 +49,10 @@ use crate::decisions::DecisionSet;
 use crate::epoch::ToolRunStats;
 use crate::journal::ExplorationJournal;
 use crate::metrics::CampaignEvent;
-use crate::scheduler::{AttemptReport, Exploration, ExploreOptions, RunResult, Walk};
+use crate::scheduler::{
+    cache_lookup, cache_prepare, cache_store, AttemptReport, Exploration, ExploreOptions, Ready,
+    RunResult, Walk,
+};
 
 use super::lease::{LeaseConfig, SlotHealth, Verdict};
 use super::protocol::{recv_msg, result_into_parts, FromWorker, ToWorker, PROTOCOL_VERSION};
@@ -386,8 +389,9 @@ struct Sup<'a> {
     lease_cfg: LeaseConfig,
     tx: crossbeam::channel::Sender<Event>,
     slots: Vec<Slot>,
-    /// Results completed ahead of their commit turn, by signature.
-    cache: HashMap<u64, AttemptReport>,
+    /// Results completed ahead of their commit turn, by signature —
+    /// worker products and persistent-cache prefetches alike.
+    ready: HashMap<u64, Ready>,
     /// Signature → slot currently executing it.
     in_flight: HashMap<u64, usize>,
     /// Dispatch attempts consumed per signature.
@@ -584,13 +588,16 @@ impl Sup<'_> {
                     }
                     self.in_flight.remove(&sig);
                     let (res, attempt_makespans, divergences, retries) = result_into_parts(*result);
-                    self.cache.insert(
+                    self.ready.insert(
                         sig,
-                        AttemptReport {
-                            res,
-                            attempt_makespans,
-                            divergences,
-                            retries,
+                        Ready {
+                            rep: AttemptReport {
+                                res,
+                                attempt_makespans,
+                                divergences,
+                                retries,
+                            },
+                            from_cache: false,
                         },
                     );
                 }
@@ -609,10 +616,10 @@ impl Sup<'_> {
         }
     }
 
-    /// Is `sig` currently dispatchable (not cached, not running, not
+    /// Is `sig` currently dispatchable (not ready, not running, not
     /// quarantined, not inside its redispatch backoff)?
     fn dispatchable(&self, sig: u64, now: Instant) -> bool {
-        !self.cache.contains_key(&sig)
+        !self.ready.contains_key(&sig)
             && !self.in_flight.contains_key(&sig)
             && !self.quarantined.contains_key(&sig)
             && self.deferred.get(&sig).is_none_or(|t| now >= *t)
@@ -849,7 +856,7 @@ pub fn explore_sharded(
                 dead: false,
             })
             .collect(),
-        cache: HashMap::new(),
+        ready: HashMap::new(),
         in_flight: HashMap::new(),
         attempts: HashMap::new(),
         deferred: HashMap::new(),
@@ -861,6 +868,9 @@ pub fn explore_sharded(
 
     let root_sig = DecisionSet::self_run().signature();
     let mut waited: Option<u64> = None;
+    // Schedules the persistent cache has already missed on — probed at
+    // most once each, so a cold campaign pays one disk stat per subtree.
+    let mut probed_miss: HashSet<u64> = HashSet::new();
 
     loop {
         // Commit phase: absorb every ready result in walk order. The walk
@@ -868,8 +878,16 @@ pub fn explore_sharded(
         // determinism argument.
         loop {
             if root_pending {
-                if let Some(rep) = sup.cache.remove(&root_sig) {
-                    w.commit_root(rep);
+                let root = DecisionSet::self_run();
+                if let Some(r) = sup.ready.remove(&root_sig) {
+                    let pending = if r.from_cache {
+                        None
+                    } else {
+                        cache_prepare(opts, &root, &r.rep)
+                    };
+                    w.note_cache(r.from_cache, &root);
+                    w.commit_root(r.rep);
+                    cache_store(opts, pending);
                     root_pending = false;
                     continue;
                 }
@@ -877,10 +895,26 @@ pub fn explore_sharded(
                     if let Some(m) = &opts.metrics {
                         m.on_started(); // the synthetic commit's dispatch
                     }
+                    // A quarantine is a committed subtree the cache could
+                    // not serve: a miss (and never stored — its result is
+                    // a synthetic timeout, not the schedule's semantics).
+                    w.note_cache(false, &root);
                     w.commit_root(quarantine_report(&reason));
                     w.ex.quarantined += 1;
                     root_pending = false;
                     continue;
+                }
+                if !sup.in_flight.contains_key(&root_sig) && !probed_miss.contains(&root_sig) {
+                    if let Some(rep) = cache_lookup(opts, &root) {
+                        if let Some(m) = &opts.metrics {
+                            m.on_started(); // the cache hit's synthetic dispatch
+                        }
+                        w.note_cache(true, &root);
+                        w.commit_root(rep);
+                        root_pending = false;
+                        continue;
+                    }
+                    probed_miss.insert(root_sig);
                 }
                 break;
             }
@@ -888,16 +922,23 @@ pub fn explore_sharded(
                 break;
             }
             let top_sig = w.stack.last().expect("non-empty").decisions.signature();
-            if let Some(rep) = sup.cache.remove(&top_sig) {
+            if let Some(r) = sup.ready.remove(&top_sig) {
                 if let Some(m) = &opts.metrics {
-                    if waited != Some(top_sig) {
+                    if !r.from_cache && waited != Some(top_sig) {
                         m.on_speculation_hit();
                     }
                 }
                 waited = None;
                 let fork = w.stack.pop().expect("non-empty");
                 w.speculated = sup.speculated();
-                w.commit(&fork, rep);
+                let pending = if r.from_cache {
+                    None
+                } else {
+                    cache_prepare(opts, &fork.decisions, &r.rep)
+                };
+                w.note_cache(r.from_cache, &fork.decisions);
+                w.commit(&fork, r.rep);
+                cache_store(opts, pending);
                 continue;
             }
             if let Some(reason) = sup.quarantined.get(&top_sig).cloned() {
@@ -907,9 +948,25 @@ pub fn explore_sharded(
                     m.on_started(); // the synthetic commit's dispatch
                 }
                 w.speculated = sup.speculated();
+                w.note_cache(false, &fork.decisions);
                 w.commit(&fork, quarantine_report(&reason));
                 w.ex.quarantined += 1;
                 continue;
+            }
+            if !sup.in_flight.contains_key(&top_sig) && !probed_miss.contains(&top_sig) {
+                if let Some(rep) = cache_lookup(opts, &w.stack.last().expect("non-empty").decisions)
+                {
+                    waited = None;
+                    if let Some(m) = &opts.metrics {
+                        m.on_started(); // the cache hit's synthetic dispatch
+                    }
+                    let fork = w.stack.pop().expect("non-empty");
+                    w.speculated = sup.speculated();
+                    w.note_cache(true, &fork.decisions);
+                    w.commit(&fork, rep);
+                    continue;
+                }
+                probed_miss.insert(top_sig);
             }
             break;
         }
@@ -939,12 +996,31 @@ pub fn explore_sharded(
                 .max_interleavings
                 .map_or(usize::MAX, |max| (max - w.ex.interleavings) as usize);
             for fork in w.stack.iter().rev().skip(1) {
-                if sup.idle_slots() == 0 || sup.in_flight.len() + sup.cache.len() >= budget_room {
+                if sup.idle_slots() == 0 || sup.in_flight.len() + sup.ready.len() >= budget_room {
                     break;
                 }
                 let sig = fork.decisions.signature();
                 if !sup.dispatchable(sig, now) {
                     continue;
+                }
+                // The supervisor owns the cache: a hit becomes a ready
+                // result instead of a dispatch, so workers only ever see
+                // genuinely-missed subtrees over the unchanged protocol.
+                if !probed_miss.contains(&sig) {
+                    if let Some(rep) = cache_lookup(opts, &fork.decisions) {
+                        sup.ready.insert(
+                            sig,
+                            Ready {
+                                rep,
+                                from_cache: true,
+                            },
+                        );
+                        if let Some(m) = &opts.metrics {
+                            m.on_started(); // the cache hit's synthetic dispatch
+                        }
+                        continue;
+                    }
+                    probed_miss.insert(sig);
                 }
                 sup.try_dispatch(sig, &fork.decisions, now);
             }
@@ -986,11 +1062,11 @@ pub fn explore_sharded(
         // unblock the walk.
         let stuck = sup.all_dead() && {
             if root_pending {
-                !sup.cache.contains_key(&root_sig) && !sup.quarantined.contains_key(&root_sig)
+                !sup.ready.contains_key(&root_sig) && !sup.quarantined.contains_key(&root_sig)
             } else {
                 w.stack.iter().any(|f| {
                     let sig = f.decisions.signature();
-                    !sup.cache.contains_key(&sig) && !sup.quarantined.contains_key(&sig)
+                    !sup.ready.contains_key(&sig) && !sup.quarantined.contains_key(&sig)
                 })
             }
         };
@@ -1004,7 +1080,7 @@ pub fn explore_sharded(
 
     // Speculation past the end (budget/stop/drain boundary) never commits.
     if let Some(m) = &opts.metrics {
-        m.on_aborted((sup.in_flight.len() + sup.cache.len()) as u64);
+        m.on_aborted((sup.in_flight.len() + sup.ready.len()) as u64);
     }
     sup.shutdown_all();
     Ok(w.finish())

@@ -15,6 +15,7 @@ use dampi_mpi::runtime::{run_with_layers, SimConfig};
 use dampi_mpi::trace::{TraceCollector as EventTraceCollector, TraceEvent, TraceLayer};
 use dampi_mpi::Mpi;
 
+use crate::cache::ReplayCache;
 use crate::config::DampiConfig;
 use crate::decisions::DecisionSet;
 use crate::epoch::{ToolRunStats, TraceCollector};
@@ -43,6 +44,9 @@ pub struct DampiVerifier {
     /// Static pre-analysis prune plan applied to the frontier (see
     /// [`crate::prune`]); produced by the `dampi-analysis` crate.
     pub prune: Option<Arc<PrunePlan>>,
+    /// Persistent replay-result cache consulted on the commit path (see
+    /// [`crate::cache`]); `dampi-cli verify --cache <dir>`.
+    pub cache: Option<Arc<ReplayCache>>,
 }
 
 impl DampiVerifier {
@@ -56,6 +60,7 @@ impl DampiVerifier {
             metrics: None,
             trace: None,
             prune: None,
+            cache: None,
         }
     }
 
@@ -69,6 +74,7 @@ impl DampiVerifier {
             metrics: None,
             trace: None,
             prune: None,
+            cache: None,
         }
     }
 
@@ -103,6 +109,17 @@ impl DampiVerifier {
         self
     }
 
+    /// Builder-style: attach a persistent replay-result cache. Open it
+    /// with [`ReplayCache::open`] keyed on the program's config digest and
+    /// [`crate::cache::plan_digest`] of the *installed* prune plan (attach
+    /// the plan first). The exploration itself is unchanged — hits only
+    /// short-circuit replay execution on the commit path.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<ReplayCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     fn make_ctx(&self, decisions: &DecisionSet) -> (Arc<DampiCtx>, Arc<TraceCollector>) {
         let collector = TraceCollector::new();
         let ctx = Arc::new(DampiCtx {
@@ -121,6 +138,12 @@ impl DampiVerifier {
     /// given decisions. Public so overhead experiments (Table II) can time
     /// a single instrumented run.
     pub fn instrumented_run(&self, program: &dyn MpiProgram, decisions: &DecisionSet) -> RunResult {
+        if !self.cfg.replay_cost.is_zero() {
+            // Simulated MPI job-launch latency (see `DampiConfig::replay_cost`).
+            // Charged here, not in the scheduler, so replays served from the
+            // replay cache — which never reach this function — skip the bill.
+            std::thread::sleep(self.cfg.replay_cost);
+        }
         let (ctx, collector) = self.make_ctx(decisions);
         let plan = self.fault_plan.clone();
         let outcome = run_with_layers(&self.sim, program, &|_rank, pmpi| {
@@ -230,6 +253,7 @@ impl DampiVerifier {
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
             prune: self.prune.clone(),
+            cache: self.cache.clone(),
         }
     }
 

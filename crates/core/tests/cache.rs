@@ -1,0 +1,249 @@
+//! End-to-end tests of the content-addressed replay cache: a warm run
+//! must be **byte-identical** to a cold run (report JSON and journal
+//! bytes) at every driver (`--jobs 1`, `--jobs 4`, in-process `--shards
+//! 2`), reuse every committed subtree, and any change to the program or
+//! prune-plan digest must be a full miss — never stale reuse.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dampi_core::cache::plan_digest;
+use dampi_core::scheduler::{ExploreOptions, RunResult};
+use dampi_core::shard::{InProcessLauncher, ShardOptions};
+use dampi_core::{
+    CampaignMetrics, DampiConfig, DampiVerifier, DecisionSet, PrunePlan, ReplayCache,
+};
+use dampi_mpi::program::MpiProgram;
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::patterns;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dampi-cache-test-{}-{tag}-{n}", std::process::id()))
+}
+
+const PROGRAM_DIGEST: u64 = 0x1234_5678_9abc_def0;
+
+fn racers_verifier(jobs: usize, journal: &Path) -> DampiVerifier {
+    DampiVerifier::with_config(
+        SimConfig::new(4).with_policy(MatchPolicy::LowestRank),
+        DampiConfig::default()
+            .with_jobs(jobs)
+            .with_journal(journal.to_path_buf()),
+    )
+}
+
+struct RunStats {
+    report: String,
+    journal: Vec<u8>,
+    hits: u64,
+    misses: u64,
+    stores: u64,
+    stale: u64,
+    committed: u64,
+}
+
+/// One racers campaign against `cache`, returning everything the parity
+/// assertions need: the serialized report, the journal bytes, and the
+/// cache ledger from the metrics snapshot.
+fn run_racers(cache: &Arc<ReplayCache>, jobs: usize, shards: Option<usize>) -> RunStats {
+    let journal = tmp_path("journal");
+    let m = CampaignMetrics::new();
+    let verifier = racers_verifier(jobs, &journal)
+        .with_metrics(m.clone())
+        .with_cache(Arc::clone(cache));
+    let report = if let Some(shards) = shards {
+        let prog: Arc<dyn MpiProgram> = Arc::new(patterns::symmetric_racers());
+        let v = Arc::new(verifier);
+        let vr = Arc::clone(&v);
+        let pr = Arc::clone(&prog);
+        let run: Arc<dyn Fn(&DecisionSet) -> RunResult + Send + Sync> =
+            Arc::new(move |ds| vr.instrumented_run(pr.as_ref(), ds));
+        let launcher = InProcessLauncher::new(run, &ExploreOptions::default());
+        let opts = ShardOptions {
+            shards,
+            ..ShardOptions::default()
+        };
+        v.verify_sharded(prog.as_ref(), &launcher, &opts)
+            .expect("clean sharded campaign")
+    } else {
+        verifier.verify(&patterns::symmetric_racers())
+    };
+    let snap = m.snapshot("racers", 4, "lamport", shards.unwrap_or(jobs));
+    let cache_block = snap.get("cache").expect("cache ledger in snapshot");
+    let field = |k: &str| cache_block.get(k).and_then(serde_json::Value::as_u64);
+    let stats = RunStats {
+        report: report.to_json().to_string(),
+        journal: std::fs::read(&journal).expect("journal written"),
+        hits: field("hits").expect("hits"),
+        misses: field("misses").expect("misses"),
+        stores: field("stores").expect("stores"),
+        stale: field("stale").expect("stale"),
+        committed: snap["wall_clock"]["replays_committed"]
+            .as_u64()
+            .expect("committed"),
+    };
+    let _ = std::fs::remove_file(journal);
+    stats
+}
+
+#[test]
+fn warm_run_is_byte_identical_and_all_hits_at_every_driver() {
+    let dir = tmp_path("warm");
+    let cache = Arc::new(
+        ReplayCache::open(&dir, PROGRAM_DIGEST, plan_digest(None), false).expect("open cache"),
+    );
+
+    // Baseline without any cache: the cold cached run must not perturb it.
+    let base_j = tmp_path("base-journal");
+    let base = racers_verifier(1, &base_j)
+        .verify(&patterns::symmetric_racers())
+        .to_json()
+        .to_string();
+    let base_journal = std::fs::read(&base_j).expect("baseline journal");
+    let _ = std::fs::remove_file(&base_j);
+
+    let cold = run_racers(&cache, 1, None);
+    assert_eq!(cold.report, base, "cache-off vs cache-cold report");
+    assert_eq!(
+        cold.journal, base_journal,
+        "cache-off vs cache-cold journal"
+    );
+    assert_eq!(cold.hits, 0, "empty store cannot hit");
+    assert_eq!(cold.misses, cold.committed);
+    assert_eq!(cold.stores, cold.misses, "every miss populates the store");
+    assert!(cold.committed >= 2, "racers explores multiple subtrees");
+
+    for (jobs, shards) in [(1, None), (4, None), (1, Some(2))] {
+        let warm = run_racers(&cache, jobs, shards);
+        assert_eq!(
+            warm.report, cold.report,
+            "warm report at jobs={jobs} shards={shards:?}"
+        );
+        assert_eq!(
+            warm.journal, cold.journal,
+            "warm journal at jobs={jobs} shards={shards:?}"
+        );
+        assert_eq!(
+            warm.hits, warm.committed,
+            "warm run must reuse every subtree at jobs={jobs} shards={shards:?}"
+        );
+        assert_eq!(warm.misses, 0);
+        assert_eq!(warm.stores, 0, "a fully-warm run writes nothing");
+        assert_eq!(warm.stale, 0);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn program_digest_change_forces_a_full_miss() {
+    let dir = tmp_path("prog-flip");
+    let cache = Arc::new(
+        ReplayCache::open(&dir, PROGRAM_DIGEST, plan_digest(None), false).expect("open cache"),
+    );
+    let cold = run_racers(&cache, 1, None);
+    assert_eq!(cold.stores, cold.committed);
+
+    // Same store root, different program digest: a different keyspace
+    // directory, so nothing can be reused — not even accidentally.
+    let flipped = Arc::new(
+        ReplayCache::open(&dir, PROGRAM_DIGEST ^ 1, plan_digest(None), false).expect("open cache"),
+    );
+    let warm = run_racers(&flipped, 1, None);
+    assert_eq!(warm.hits, 0, "program-digest change must fully miss");
+    assert_eq!(warm.misses, warm.committed);
+    assert_eq!(warm.report, cold.report);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn prune_plan_digest_change_forces_a_full_miss() {
+    let dir = tmp_path("plan-flip");
+    let cache = Arc::new(
+        ReplayCache::open(&dir, PROGRAM_DIGEST, plan_digest(None), false).expect("open cache"),
+    );
+    let cold = run_racers(&cache, 1, None);
+    assert_eq!(cold.stores, cold.committed);
+
+    // A non-empty plan digests differently from the no-plan keyspace, so
+    // installing (or changing) a plan can never reuse subtrees explored
+    // under different pruning. (The plan is deliberately *not* installed
+    // in the verifier here: the exploration must stay identical so the
+    // only variable is the keyspace.)
+    let mut plan = PrunePlan::default();
+    plan.deterministic.insert((1, 7));
+    assert_ne!(plan_digest(Some(&plan)), plan_digest(None));
+    let keyed = Arc::new(
+        ReplayCache::open(&dir, PROGRAM_DIGEST, plan_digest(Some(&plan)), false)
+            .expect("open cache"),
+    );
+    let warm = run_racers(&keyed, 1, None);
+    assert_eq!(warm.hits, 0, "plan-digest change must fully miss");
+    assert_eq!(warm.misses, warm.committed);
+    assert_eq!(warm.report, cold.report);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn readonly_cache_reads_but_never_writes() {
+    let dir = tmp_path("readonly");
+    let ro = Arc::new(
+        ReplayCache::open(&dir, PROGRAM_DIGEST, plan_digest(None), true).expect("open readonly"),
+    );
+    let cold = run_racers(&ro, 1, None);
+    assert_eq!(cold.hits, 0);
+    assert_eq!(cold.stores, 0, "readonly must not populate the store");
+    assert!(
+        !dir.join(format!("{PROGRAM_DIGEST:016x}-{:016x}", plan_digest(None)))
+            .exists(),
+        "readonly open must not even create the keyspace directory"
+    );
+
+    // Populate read-write, then a readonly warm run reuses everything.
+    let rw = Arc::new(
+        ReplayCache::open(&dir, PROGRAM_DIGEST, plan_digest(None), false).expect("open cache"),
+    );
+    let populate = run_racers(&rw, 1, None);
+    assert_eq!(populate.stores, populate.committed);
+    let warm = run_racers(&ro, 1, None);
+    assert_eq!(warm.hits, warm.committed);
+    assert_eq!(warm.stores, 0);
+    assert_eq!(warm.report, cold.report);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupt_entry_is_counted_stale_and_silently_re_executed() {
+    let dir = tmp_path("corrupt");
+    let cache = Arc::new(
+        ReplayCache::open(&dir, PROGRAM_DIGEST, plan_digest(None), false).expect("open cache"),
+    );
+    let cold = run_racers(&cache, 1, None);
+    assert!(cold.stores >= 2);
+
+    // Truncate one stored entry: its frame checksum can no longer verify.
+    let keyspace = dir.join(format!("{PROGRAM_DIGEST:016x}-{:016x}", plan_digest(None)));
+    let victim = std::fs::read_dir(&keyspace)
+        .expect("keyspace dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.is_file())
+        .expect("at least one entry");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    let warm = run_racers(&cache, 1, None);
+    assert_eq!(warm.report, cold.report, "stale entry must not leak");
+    assert_eq!(warm.stale, 1, "exactly the truncated entry is stale");
+    assert_eq!(warm.misses, 1, "the stale subtree re-executes");
+    assert_eq!(warm.hits, warm.committed - 1);
+    assert_eq!(warm.stores, 1, "the re-execution repopulates the entry");
+
+    // The repaired store is fully warm again.
+    let again = run_racers(&cache, 1, None);
+    assert_eq!(again.hits, again.committed);
+    assert_eq!(again.stale, 0);
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -8,6 +8,8 @@
 //!                             [--replay-vt SECS] [--replay-wall SECS]
 //!                             [--metrics PATH] [--trace PATH] [--progress]
 //!                             [--prune-static]
+//!                             [--cache DIR] [--cache-readonly]
+//!                             [--replay-cost-ms N]
 //!                             [--shards N] [--worker-fault SPEC]
 //!                             [--heartbeat-timeout SECS] [--lease SECS]
 //!                             [--max-attempts K]
@@ -24,7 +26,8 @@ use std::time::Duration;
 use dampi::core::scheduler::ExploreOptions;
 use dampi::core::shard::{self, ProcessWorkerLauncher, ShardOptions};
 use dampi::core::{
-    CampaignMetrics, CampaignTrace, ClockMode, DampiConfig, DampiVerifier, DecisionSet, MixingBound,
+    CampaignMetrics, CampaignTrace, ClockMode, DampiConfig, DampiVerifier, DecisionSet,
+    MixingBound, ReplayCache,
 };
 use dampi::isp::IspVerifier;
 use dampi::mpi::fault::WorkerFaultPlan;
@@ -106,6 +109,9 @@ struct Args {
     fault_slot: usize,
     worker: bool,
     worker_beat_ms: u64,
+    cache: Option<PathBuf>,
+    cache_readonly: bool,
+    replay_cost_ms: u64,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -135,6 +141,9 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         fault_slot: 0,
         worker: false,
         worker_beat_ms: 250,
+        cache: None,
+        cache_readonly: false,
+        replay_cost_ms: 0,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -209,6 +218,13 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--worker-beat-ms: {e}"))?;
             }
+            "--cache" => a.cache = Some(PathBuf::from(val("--cache")?)),
+            "--cache-readonly" => a.cache_readonly = true,
+            "--replay-cost-ms" => {
+                a.replay_cost_ms = val("--replay-cost-ms")?
+                    .parse()
+                    .map_err(|e| format!("--replay-cost-ms: {e}"))?;
+            }
             "--journal" => a.journal = Some(PathBuf::from(val("--journal")?)),
             "--resume" => a.resume = Some(PathBuf::from(val("--resume")?)),
             "--metrics" => a.metrics = Some(PathBuf::from(val("--metrics")?)),
@@ -249,7 +265,9 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// each worker with exactly this vector (plus `--worker` plumbing), and
 /// both sides hash it into the config digest the worker must echo in its
 /// `Hello` frame — so a supervisor can never merge results computed under
-/// different verification options.
+/// different verification options. `--replay-cost-ms` is deliberately
+/// absent: it prices wall-clock without touching results, so a campaign
+/// priced differently still addresses the same replay-cache keyspace.
 fn semantic_args(name: &str, a: &Args) -> Vec<String> {
     let mut v = vec![
         "verify".to_owned(),
@@ -360,11 +378,15 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
     if args.worker {
         // Internal mode: the process was spawned by a `--shards`
         // supervisor and serves replays over stdin/stdout.
-        if args.isp || args.shards.is_some() || args.prune_static {
-            eprintln!("error: --worker is an internal flag and composes with none of --isp/--shards/--prune-static");
+        if args.isp || args.shards.is_some() || args.prune_static || args.cache.is_some() {
+            eprintln!("error: --worker is an internal flag and composes with none of --isp/--shards/--prune-static/--cache");
             return ExitCode::FAILURE;
         }
         return run_worker_mode(name, prog.as_ref(), sim, &args);
+    }
+    if args.cache_readonly && args.cache.is_none() {
+        eprintln!("error: --cache-readonly requires --cache (there is no store to protect)");
+        return ExitCode::FAILURE;
     }
     if args.worker_fault.is_some() && args.shards.is_none() {
         eprintln!("error: --worker-fault requires --shards (it injects chaos into a shard worker)");
@@ -401,6 +423,14 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
             eprintln!("error: --prune-static is DAMPI-only (the prune plan feeds the distributed scheduler's frontier, which the ISP baseline does not have)");
             return ExitCode::FAILURE;
         }
+        if args.cache.is_some() {
+            eprintln!("error: --cache is DAMPI-only (the replay cache is addressed by the distributed scheduler's decision prefixes, which the ISP baseline does not produce)");
+            return ExitCode::FAILURE;
+        }
+        if args.replay_cost_ms > 0 {
+            eprintln!("error: --replay-cost-ms is DAMPI-only (it prices the distributed scheduler's replay launches)");
+            return ExitCode::FAILURE;
+        }
         let mut v = IspVerifier::new(sim);
         v.cfg.max_interleavings = Some(args.max);
         let report = v.verify(prog.as_ref());
@@ -429,7 +459,8 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
     let mut cfg = DampiConfig::default()
         .with_clock_mode(args.clock)
         .with_max_interleavings(args.max)
-        .with_jobs(jobs);
+        .with_jobs(jobs)
+        .with_replay_cost(Duration::from_millis(args.replay_cost_ms));
     if let Some(k) = args.k {
         cfg = cfg.with_bound(MixingBound::K(k));
     }
@@ -481,6 +512,20 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
         );
         verifier = verifier.with_prune_plan(plan);
         prune_run = Some(run);
+    }
+    if let Some(dir) = &args.cache {
+        // Keyed after the prune plan is installed: a different plan is a
+        // different keyspace directory, so plan changes can never reuse a
+        // stale subtree. (An empty plan is dropped by with_prune_plan and
+        // shares the no-plan keyspace — the exploration is identical.)
+        let plan = dampi::core::cache::plan_digest(verifier.prune.as_deref());
+        match ReplayCache::open(dir, config_digest(name, &args), plan, args.cache_readonly) {
+            Ok(c) => verifier = verifier.with_cache(Arc::new(c)),
+            Err(e) => {
+                eprintln!("error: cannot open replay cache {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let progress_reporter = args.progress.then(|| {
         let m = metrics.clone().expect("progress implies metrics");
@@ -566,7 +611,8 @@ fn run_worker_mode(name: &str, prog: &dyn MpiProgram, sim: SimConfig, args: &Arg
     };
     let mut cfg = DampiConfig::default()
         .with_clock_mode(args.clock)
-        .with_max_interleavings(args.max);
+        .with_max_interleavings(args.max)
+        .with_replay_cost(Duration::from_millis(args.replay_cost_ms));
     if let Some(k) = args.k {
         cfg = cfg.with_bound(MixingBound::K(k));
     }
@@ -638,12 +684,19 @@ fn run_sharded(
     // lost to scheduling noise before the detector fires.
     let beat_ms = (opts.heartbeat_timeout.as_millis() as u64 / 4).clamp(10, 500);
     let fault_spec = args.worker_fault.clone();
+    let replay_cost_ms = args.replay_cost_ms;
     let launcher = ProcessWorkerLauncher::new(move |_slot, fault| {
         let mut c = Command::new(&exe);
         c.args(&forwarded)
             .arg("--worker")
             .arg("--worker-beat-ms")
             .arg(beat_ms.to_string());
+        if replay_cost_ms > 0 {
+            // Launch pricing is plumbing, not semantics: it is excluded
+            // from the config digest, but every worker must still charge
+            // it or sharded wall-clock figures lose their meaning.
+            c.arg("--replay-cost-ms").arg(replay_cost_ms.to_string());
+        }
         if fault.is_some() {
             if let Some(spec) = &fault_spec {
                 c.arg("--worker-fault").arg(spec);
@@ -747,6 +800,12 @@ fn usage() -> ExitCode {
          [--progress]          print a live progress line (replays/sec, frontier, ETA)\n    \
          [--prune-static]      run the static pre-analysis first and prune the frontier\n    \
                                (same error set, fewer replays)\n    \
+         [--cache DIR]         content-addressed replay-result cache: warm reruns of an\n    \
+                               unchanged workload reuse committed subtrees byte-for-byte\n    \
+         [--cache-readonly]    consult the cache but never write or evict entries\n    \
+         [--replay-cost-ms N]  charge every *executed* replay a simulated MPI job-launch\n    \
+                               latency (cache hits are free; wall-clock only, results\n    \
+                               and cache keys unchanged)\n    \
          [--shards N]          shard replays across N worker *processes* under a\n    \
                                fault-tolerant supervisor; byte-identical to --jobs 1.\n    \
                                SIGTERM drains gracefully (checkpoint via --journal)\n    \

@@ -16,7 +16,12 @@
 //!   labelled);
 //! * the `wall_clock.shard` fleet counters are present and consistent:
 //!   `workers_lost <= workers_spawned` and
-//!   `workers_restarted <= workers_lost`.
+//!   `workers_restarted <= workers_lost`;
+//! * the `cache` ledger is present and consistent: with the cache enabled
+//!   every committed subtree was tallied exactly once on the commit path
+//!   (`hits + misses == replays_committed`, so hits can never outnumber
+//!   commits), `stores <= misses` (only misses populate the store), and
+//!   with the cache disabled all four counters are zero.
 //!
 //! With `--expect-semantic-match`, additionally requires the `semantic`
 //! section of every file to be byte-identical once serialized — the
@@ -144,6 +149,50 @@ fn check_file(path: &PathBuf, errs: &mut Vec<String>) -> Option<String> {
             }
         }
         None => errs.push(fail(&file, "missing `wall_clock.shard` section")),
+    }
+    match v.get("cache") {
+        Some(cache) => {
+            let enabled = match cache.get("enabled").and_then(Value::as_bool) {
+                Some(b) => b,
+                None => {
+                    errs.push(fail(&file, "missing or non-bool `cache.enabled`"));
+                    false
+                }
+            };
+            if cache.get("readonly").and_then(Value::as_bool).is_none() {
+                errs.push(fail(&file, "missing or non-bool `cache.readonly`"));
+            }
+            let hits = require_u64(cache, "hits", &file, errs);
+            let misses = require_u64(cache, "misses", &file, errs);
+            let stores = require_u64(cache, "stores", &file, errs);
+            let stale = require_u64(cache, "stale", &file, errs);
+            if enabled {
+                // Hits and misses are tallied only on the deterministic
+                // commit path, so together they account for every
+                // committed subtree exactly once — the invariant that
+                // makes the hit rate identical at any --jobs/--shards.
+                if hits + misses != committed {
+                    errs.push(fail(
+                        &file,
+                        &format!(
+                            "cache: hits {hits} + misses {misses} != replays_committed {committed}"
+                        ),
+                    ));
+                }
+                if stores > misses {
+                    errs.push(fail(
+                        &file,
+                        &format!("cache: stores {stores} > misses {misses}"),
+                    ));
+                }
+            } else if hits + misses + stores + stale != 0 {
+                errs.push(fail(
+                    &file,
+                    "cache disabled but hits/misses/stores/stale not all zero",
+                ));
+            }
+        }
+        None => errs.push(fail(&file, "missing `cache` section")),
     }
     // Canonical serialization for the cross-file determinism comparison.
     Some(serde_json::to_string(semantic).expect("reserializes"))

@@ -131,7 +131,10 @@ fn verify_metrics_snapshot_is_deterministic_across_jobs() {
         assert!(out.status.success(), "{out:?}");
         let v: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(v.get("schema").and_then(serde_json::Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("schema").and_then(serde_json::Value::as_u64),
+            Some(u64::from(dampi::core::METRICS_SCHEMA_VERSION))
+        );
         (
             path,
             serde_json::to_string(v.get("semantic").unwrap()).unwrap(),
