@@ -169,6 +169,75 @@ mod tests {
     }
 
     #[test]
+    fn compare_is_reflexive() {
+        // Equality (not Before/After) on every self-comparison, including
+        // the zero vector and vectors with zero components.
+        for v in [vec![0, 0, 0], vec![1, 0, 2], vec![7, 7, 7]] {
+            let s = ClockStamp::Vector(v);
+            assert_eq!(VectorClock::compare(&s, &s), ClockOrd::Equal);
+        }
+    }
+
+    #[test]
+    fn compare_is_antisymmetric() {
+        // Swapping the operands converts Before to After, Concurrent and
+        // Equal to themselves.
+        let cases = [
+            (
+                vec![1, 1, 0],
+                vec![2, 1, 0],
+                ClockOrd::Before,
+                ClockOrd::After,
+            ),
+            (
+                vec![1, 0, 0],
+                vec![0, 1, 0],
+                ClockOrd::Concurrent,
+                ClockOrd::Concurrent,
+            ),
+            (
+                vec![3, 2, 1],
+                vec![3, 2, 1],
+                ClockOrd::Equal,
+                ClockOrd::Equal,
+            ),
+        ];
+        for (a, b, fwd, rev) in cases {
+            let (a, b) = (ClockStamp::Vector(a), ClockStamp::Vector(b));
+            assert_eq!(VectorClock::compare(&a, &b), fwd);
+            assert_eq!(VectorClock::compare(&b, &a), rev);
+        }
+    }
+
+    #[test]
+    fn equal_requires_every_component() {
+        // Dominance in one component with a tie elsewhere is strict order,
+        // not equality; a single opposing component breaks it to
+        // concurrency.
+        let base = ClockStamp::Vector(vec![2, 2, 2]);
+        let one_up = ClockStamp::Vector(vec![2, 3, 2]);
+        let mixed = ClockStamp::Vector(vec![1, 3, 2]);
+        assert_eq!(VectorClock::compare(&base, &one_up), ClockOrd::Before);
+        assert_eq!(VectorClock::compare(&base, &mixed), ClockOrd::Concurrent);
+    }
+
+    #[test]
+    fn concurrent_branches_stay_concurrent_after_local_work() {
+        // Two processes that never communicate remain concurrent no matter
+        // how much local progress each makes.
+        let mut a = VectorClock::zero(0, 2);
+        let mut b = VectorClock::zero(1, 2);
+        for _ in 0..5 {
+            a.tick();
+        }
+        b.tick();
+        assert_eq!(
+            VectorClock::compare(&a.stamp(), &b.stamp()),
+            ClockOrd::Concurrent
+        );
+    }
+
+    #[test]
     fn message_chain_establishes_order() {
         // P0 ticks & sends to P1; P1 merges, ticks, sends to P2; P2 merges.
         // Then P0's send event is Before P2's state.

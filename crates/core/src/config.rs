@@ -12,14 +12,24 @@ use dampi_clocks::ClockMode;
 pub enum PiggybackMechanism {
     /// A separate piggyback message per payload message, sent on a shadow
     /// communicator — the mechanism DAMPI chose for implementation
-    /// simplicity without sacrificing performance. Wildcard receives defer
+    /// simplicity without sacrificing performance. *All* receives defer
     /// their piggyback receive until the main receive completes (so the
-    /// source is known), per §II-D.
+    /// source is known), per §II-D, and deferred piggybacks for one
+    /// communicator are consumed in the posting order of the matched
+    /// receives. Within a single (source, tag, communicator) stream the
+    /// payload matcher hands messages to receives in posting order, so
+    /// sequenced consumption pairs every stamp with its own payload even
+    /// when wildcard and named receives interleave on the same stream —
+    /// the mispairing that eager per-named-receive posting used to cause
+    /// (regression: `crates/core/tests/piggyback_mispair.rs`).
     ///
-    /// Known limitation inherited from the paper's scheme: if a program
-    /// interleaves wildcard and named receives for the *same*
-    /// (source, tag, communicator) stream, the deferred piggyback receive
-    /// can pair with the wrong payload message.
+    /// Remaining (accepted) divergence from [`Self::PayloadPacking`]: a
+    /// receive that was matched but never waited on can be force-completed
+    /// by the sequencing pass when a *later* receive on the same
+    /// communicator completes, so it no longer shows up in the
+    /// request-leak census. Programs that abandon matched requests and
+    /// then complete another receive on the same communicator are the only
+    /// shape affected.
     SeparateMessage,
     /// Prepend the stamp to the payload itself ("data payload packing") —
     /// exact pairing by construction, at the cost of touching every message

@@ -134,6 +134,36 @@ impl VerificationReport {
         self.discovered.values().map(BTreeSet::len).sum()
     }
 
+    /// Canonical error-set signature for differential comparison between
+    /// clock modes, piggyback mechanisms, and the ISP baseline.
+    ///
+    /// Each found error maps to a stable string that names the bug but not
+    /// the schedule that reached it: deadlocks by their blocked-rank set,
+    /// assertions by rank and message, collective mismatches and other
+    /// errors by kind and rank. Interleaving indices and decision files
+    /// are deliberately excluded — two searches that find the same bugs
+    /// along different paths have equal signatures.
+    #[must_use]
+    pub fn error_signature(&self) -> BTreeSet<String> {
+        self.errors
+            .iter()
+            .map(|e| match &e.error {
+                // Deliberately rank-free: the *secondary* blocked set (ranks
+                // stuck behind the starved one in collectives) depends on how
+                // far each rank ran before detection, which differs between
+                // the centralized ISP scheduler and DAMPI's decentralized one.
+                MpiError::Deadlock { .. } => "deadlock".to_owned(),
+                MpiError::UserAssert { message } => {
+                    format!("assert:rank{}:{message}", e.rank)
+                }
+                MpiError::CollectiveMismatch { .. } => {
+                    format!("collective-mismatch:rank{}", e.rank)
+                }
+                other => format!("{}:rank{}", error_kind(other), e.rank),
+            })
+            .collect()
+    }
+
     /// Machine-readable export of the report (CI integration, the CLI's
     /// `--json` mode). Epoch keys are rendered as `"rank:clock"` strings.
     #[must_use]
@@ -198,6 +228,23 @@ impl VerificationReport {
             "total_virtual_time_s": self.total_virtual_time,
             "discovered": discovered,
         })
+    }
+}
+
+/// Stable kind name for the error-signature's catch-all arm.
+fn error_kind(e: &MpiError) -> &'static str {
+    match e {
+        MpiError::Deadlock { .. } => "deadlock",
+        MpiError::Aborted { .. } => "aborted",
+        MpiError::InvalidRank { .. } => "invalid-rank",
+        MpiError::InvalidComm => "invalid-comm",
+        MpiError::InvalidRequest => "invalid-request",
+        MpiError::CollectiveMismatch { .. } => "collective-mismatch",
+        MpiError::UserAssert { .. } => "assert",
+        MpiError::Panicked { .. } => "panicked",
+        MpiError::ToolProtocol { .. } => "tool-protocol",
+        MpiError::Budget { .. } => "budget",
+        MpiError::ReplayTimeout { .. } => "replay-timeout",
     }
 }
 

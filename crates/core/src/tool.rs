@@ -5,10 +5,11 @@
 //! * **`MPI_Irecv`** — a wildcard source opens an epoch
 //!   (`RecordEpochData`), ticks the clock, and — under `GUIDED_RUN` with
 //!   the clock inside the guided horizon — is rewritten to the source the
-//!   Epoch Decisions file prescribes (`GetSrcFromEpoch`). Deterministic
-//!   receives post their piggyback receive immediately; wildcard piggyback
-//!   receives are deferred to completion time, when the source is known
-//!   (§II-D).
+//!   Epoch Decisions file prescribes (`GetSrcFromEpoch`). In
+//!   separate-message mode *every* piggyback receive (named or wildcard)
+//!   is deferred to completion time and consumed in posting-sequence
+//!   order (§II-D; see `settle_earlier` for why posting named piggyback
+//!   receives eagerly mispairs stamps on mixed streams).
 //! * **`MPI_Isend`** — piggybacks the current clock stamp (separate shadow
 //!   message or payload packing, per configuration).
 //! * **`MPI_Wait`/`Test`/`Waitany`** — completes the piggyback exchange,
@@ -16,9 +17,10 @@
 //!   message analysis) against the rank's epoch log.
 //! * **Probes** — wildcard probes are epochs too; `Iprobe` is recorded only
 //!   when its flag is true (§II-E).
-//! * **Collectives** — the clock is exchanged per the operation's
-//!   semantics: all-to-all max for barrier/allreduce/allgather/alltoall,
-//!   root-to-all for bcast/scatter, all-to-root for reduce/gather (§II-E).
+//! * **Collectives** — the clock is exchanged all-to-all (max) for every
+//!   collective, matching the simulated runtime's rendezvous semantics
+//!   (see `clock_allmax`; the paper's per-dataflow exchange of §II-E
+//!   would under-order this runtime's collectives).
 //! * **`MPI_Pcontrol`** — brackets loop-iteration-abstraction regions
 //!   (§III-B1).
 //!
@@ -28,7 +30,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use dampi_clocks::ClockMode;
+use dampi_clocks::{ClockMode, ClockStamp};
 use dampi_mpi::matching::ProbeInfo;
 use dampi_mpi::proc_api::{Mpi, Status};
 use dampi_mpi::{Comm, MpiError, ReduceOp, Request, Result, Tag, ANY_SOURCE, ANY_TAG};
@@ -72,13 +74,14 @@ enum ReqMeta {
     SendPb(Request),
     /// Send with the stamp packed into the payload: nothing pending.
     SendPacked,
-    /// Deterministic receive with its piggyback receive already posted.
-    RecvNamed { pb: Request, comm: Comm },
-    /// Receive whose piggyback is deferred until the source is known
-    /// (wildcard, possibly rewritten under guidance).
-    RecvDeferred {
+    /// Separate-message receive (named or wildcard). The piggyback
+    /// receive is deferred to completion time, and `seq` — the posting
+    /// sequence number — orders shadow-stream consumption so stamps pair
+    /// with the payloads the matcher actually gave each receive.
+    RecvSep {
         comm: Comm,
         epoch_idx: Option<usize>,
+        seq: u64,
     },
     /// Packing-mode receive: stamp arrives inside the payload.
     RecvPacked {
@@ -107,6 +110,17 @@ pub struct DampiLayer<M: Mpi> {
     shadow: BTreeMap<Comm, Comm>,
     /// Every live application communicator, for the finalize-time drain.
     known_comms: BTreeSet<Comm>,
+    /// Monotone posting counter for separate-message receives.
+    recv_seq: u64,
+    /// Still-pending separate-message receives in posting order
+    /// (`seq` → request and application comm), for `settle_earlier`.
+    posted_recvs: BTreeMap<u64, (Request, Comm)>,
+    /// Receives force-completed by piggyback sequencing, held with their
+    /// status, payload, and stamp until the application claims them via
+    /// `wait`/`test`/`waitany`/`testany`/`waitsome`. Clock effects are
+    /// deferred to claim time so they land exactly where payload-packing
+    /// mode would apply them.
+    ready: HashMap<Request, (Status, Bytes, ClockStamp)>,
     region_depth: u32,
     monitor: UnsafePatternMonitor,
     stats: ToolRunStats,
@@ -137,6 +151,9 @@ impl<M: Mpi> DampiLayer<M> {
             guided,
             epochs: Vec::new(),
             meta: HashMap::new(),
+            recv_seq: 0,
+            posted_recvs: BTreeMap::new(),
+            ready: HashMap::new(),
             shadow,
             region_depth: 0,
             monitor: UnsafePatternMonitor::new(ctx.monitor),
@@ -240,19 +257,119 @@ impl<M: Mpi> DampiLayer<M> {
         let (post_src, guided_flag) = self.nd_source();
         let req = self.inner.irecv(comm, post_src, tag)?;
         let epoch_idx = self.record_epoch(comm, tag, NdKind::Recv, guided_flag, None);
-        let meta = match self.ctx.piggyback {
-            PiggybackMechanism::SeparateMessage => ReqMeta::RecvDeferred {
-                comm,
-                epoch_idx: Some(epoch_idx),
-            },
-            PiggybackMechanism::PayloadPacking => ReqMeta::RecvPacked {
-                comm,
-                epoch_idx: Some(epoch_idx),
-            },
-        };
-        self.meta.insert(req, meta);
+        match self.ctx.piggyback {
+            PiggybackMechanism::SeparateMessage => {
+                self.track_recv_sep(req, comm, Some(epoch_idx));
+            }
+            PiggybackMechanism::PayloadPacking => {
+                self.meta.insert(
+                    req,
+                    ReqMeta::RecvPacked {
+                        comm,
+                        epoch_idx: Some(epoch_idx),
+                    },
+                );
+            }
+        }
         self.monitor.nd_posted(req);
         Ok(req)
+    }
+
+    /// Register a separate-message receive for deferred, posting-ordered
+    /// piggyback consumption.
+    fn track_recv_sep(&mut self, req: Request, comm: Comm, epoch_idx: Option<usize>) {
+        let seq = self.recv_seq;
+        self.recv_seq += 1;
+        self.posted_recvs.insert(seq, (req, comm));
+        self.meta.insert(
+            req,
+            ReqMeta::RecvSep {
+                comm,
+                epoch_idx,
+                seq,
+            },
+        );
+    }
+
+    /// Consume one piggyback stamp from the shadow stream of the source
+    /// and tag a completed receive actually matched.
+    fn take_pb_stamp(&mut self, comm: Comm, status: Status) -> Result<ClockStamp> {
+        let shadow = self.shadow_of(comm)?;
+        let (_, pbdata) = self.inner.recv(shadow, status.source as i32, status.tag)?;
+        Ok(pb::decode_stamp(&pbdata).0)
+    }
+
+    /// The `SeparateMessage` mispairing fix. Within one `(source, tag,
+    /// comm)` stream the matcher hands payloads to compatible receives in
+    /// *posting* order (non-overtaking), so the shadow piggyback stream —
+    /// which arrives in send order — must be consumed in posting order
+    /// too. Eagerly posting a named receive's piggyback irecv broke that
+    /// whenever a wildcard posted earlier on the same stream was still
+    /// unclaimed: the named receive stole the wildcard's stamp.
+    ///
+    /// Before a completing receive takes its own stamp, settle every
+    /// earlier-posted receive on the same communicator the matcher has
+    /// already completed: `test` it out of the runtime (non-consuming
+    /// when incomplete — and an earlier-posted *incomplete* receive
+    /// provably shares no stream with any already-matched payload, or the
+    /// matcher would have picked it first), consume its piggyback, and
+    /// park the result in `ready` for the application's own wait/test.
+    fn settle_earlier(&mut self, comm: Comm, before_seq: u64) -> Result<()> {
+        let earlier: Vec<(u64, Request)> = self
+            .posted_recvs
+            .range(..before_seq)
+            .filter(|(_, (_, c))| *c == comm)
+            .map(|(s, (r, _))| (*s, *r))
+            .collect();
+        for (seq, req) in earlier {
+            if let Some((status, data)) = self.inner.test(req)? {
+                self.posted_recvs.remove(&seq);
+                let stamp = self.take_pb_stamp(comm, status)?;
+                self.ready.insert(req, (status, data, stamp));
+            }
+        }
+        Ok(())
+    }
+
+    /// Claim-time processing shared by the direct-completion and
+    /// force-completed (`ready`) paths of a separate-message receive:
+    /// monitor commit, §V clock sync, epoch bookkeeping, stamp ingestion.
+    fn finish_recv_sep(
+        &mut self,
+        req: Request,
+        status: Status,
+        epoch_idx: Option<usize>,
+        comm: Comm,
+        stamp: &ClockStamp,
+    ) -> Result<()> {
+        self.monitor.nd_completed(req);
+        self.sync_clocks();
+        let mut matched_clock = None;
+        if let Some(i) = epoch_idx {
+            self.epochs[i].matched_src = Some(status.source);
+            matched_clock = Some(self.epochs[i].clock);
+        }
+        self.ingest(stamp, status.source, status.tag, comm, matched_clock)
+    }
+
+    /// Serve a request force-completed by `settle_earlier`, applying the
+    /// deferred clock effects now — the moment the application commits
+    /// the completion, exactly where payload-packing mode applies them.
+    fn claim_ready(&mut self, req: Request) -> Result<Option<(Status, Bytes)>> {
+        let Some((status, data, stamp)) = self.ready.remove(&req) else {
+            return Ok(None);
+        };
+        match self.meta.remove(&req) {
+            Some(ReqMeta::RecvSep {
+                comm, epoch_idx, ..
+            }) => {
+                self.finish_recv_sep(req, status, epoch_idx, comm, &stamp)?;
+                Ok(Some((status, data)))
+            }
+            _ => Err(MpiError::ToolProtocol {
+                detail: "force-completed request lost its receive metadata".to_owned(),
+            }),
+        }
     }
 
     /// Consume an incoming stamp: `FindPotentialMatches` then clock merge.
@@ -312,26 +429,19 @@ impl<M: Mpi> DampiLayer<M> {
                 Ok((status, data))
             }
             Some(ReqMeta::SendPacked) => Ok((status, data)),
-            Some(ReqMeta::RecvNamed { pb, comm }) => {
-                let (_, pbdata) = self.inner.wait(pb)?;
-                let (stamp, _) = pb::decode_stamp(&pbdata);
-                self.ingest(&stamp, status.source, status.tag, comm, None)?;
-                Ok((status, data))
-            }
-            Some(ReqMeta::RecvDeferred { comm, epoch_idx }) => {
-                self.monitor.nd_completed(req);
-                self.sync_clocks();
-                // §II-D: the source is now known, so the piggyback receive
-                // can be posted deterministically.
-                let shadow = self.shadow_of(comm)?;
-                let (_, pbdata) = self.inner.recv(shadow, status.source as i32, status.tag)?;
-                let (stamp, _) = pb::decode_stamp(&pbdata);
-                let mut matched_clock = None;
-                if let Some(i) = epoch_idx {
-                    self.epochs[i].matched_src = Some(status.source);
-                    matched_clock = Some(self.epochs[i].clock);
-                }
-                self.ingest(&stamp, status.source, status.tag, comm, matched_clock)?;
+            Some(ReqMeta::RecvSep {
+                comm,
+                epoch_idx,
+                seq,
+            }) => {
+                self.posted_recvs.remove(&seq);
+                // §II-D: the source is now known, so the piggyback can be
+                // received deterministically — after settling every
+                // earlier-posted completed receive on this communicator,
+                // so the shadow stream is consumed in posting order.
+                self.settle_earlier(comm, seq)?;
+                let stamp = self.take_pb_stamp(comm, status)?;
+                self.finish_recv_sep(req, status, epoch_idx, comm, &stamp)?;
                 Ok((status, data))
             }
             Some(ReqMeta::RecvPacked { comm, epoch_idx }) => {
@@ -349,8 +459,19 @@ impl<M: Mpi> DampiLayer<M> {
         }
     }
 
-    /// Clock exchange: all-to-all max (barrier/allreduce/allgather/
-    /// alltoall semantics — every process effectively receives from all).
+    /// Clock exchange for every collective: all-to-all max.
+    ///
+    /// The paper (§II-E) exchanges clocks along each collective's
+    /// *dataflow* (root-to-all for bcast/scatter, all-to-root for
+    /// reduce/gather), which is sound for real MPI where a non-root
+    /// gather may return before other participants enter. This
+    /// simulator's collectives are a full rendezvous — every rank's exit
+    /// happens-after every rank's entry — so the causal model must carry
+    /// the matching all-to-all edges. Tracking only the dataflow edges
+    /// under-orders post-collective sends against pre-collective
+    /// wildcard receives, and the verifier then forces replays the
+    /// runtime cannot realize, which surface as phantom deadlocks on
+    /// clean programs (found by `dampi-cli fuzz`, seed 66).
     fn clock_allmax(&mut self, comm: Comm) -> Result<()> {
         let words = AnyClock::stamp_words(&self.xmit_stamp());
         let merged = self.inner.allreduce_u64(comm, words, ReduceOp::Max)?;
@@ -358,41 +479,6 @@ impl<M: Mpi> DampiLayer<M> {
         self.clock.merge(&stamp);
         if self.ctx.deferred_clock {
             self.xmit.merge(&stamp);
-        }
-        Ok(())
-    }
-
-    /// Clock exchange: all processes receive the root's clock (bcast/
-    /// scatter semantics).
-    fn clock_from_root(&mut self, comm: Comm, root: usize) -> Result<()> {
-        let crank = self.inner.comm_rank(comm)?;
-        let payload = if crank == root {
-            Some(pb::encode_stamp(&self.xmit_stamp()))
-        } else {
-            None
-        };
-        let data = self.inner.bcast(comm, root, payload)?;
-        if crank != root {
-            let (stamp, _) = pb::decode_stamp(&data);
-            self.clock.merge(&stamp);
-            if self.ctx.deferred_clock {
-                self.xmit.merge(&stamp);
-            }
-        }
-        Ok(())
-    }
-
-    /// Clock exchange: the root receives from all (reduce/gather
-    /// semantics).
-    fn clock_to_root(&mut self, comm: Comm, root: usize) -> Result<()> {
-        let words = AnyClock::stamp_words(&self.xmit_stamp());
-        let merged = self.inner.reduce_u64(comm, root, words, ReduceOp::Max)?;
-        if let Some(w) = merged {
-            let stamp = AnyClock::stamp_from_words(self.ctx.clock_mode, &w);
-            self.clock.merge(&stamp);
-            if self.ctx.deferred_clock {
-                self.xmit.merge(&stamp);
-            }
         }
         Ok(())
     }
@@ -463,27 +549,38 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
             return self.nd_irecv(comm, tag);
         }
         let req = self.inner.irecv(comm, src, tag)?;
-        let meta = match self.ctx.piggyback {
-            PiggybackMechanism::SeparateMessage => {
-                let shadow = self.shadow_of(comm)?;
-                let pbr = self.inner.irecv(shadow, src, tag)?;
-                ReqMeta::RecvNamed { pb: pbr, comm }
+        match self.ctx.piggyback {
+            // Named receives defer their piggyback too: eagerly posting
+            // it pairs stamps by *shadow arrival* order, which diverges
+            // from payload pairing when a wildcard posted earlier on the
+            // same stream is still unclaimed (the mispairing fixed by
+            // `settle_earlier`).
+            PiggybackMechanism::SeparateMessage => self.track_recv_sep(req, comm, None),
+            PiggybackMechanism::PayloadPacking => {
+                self.meta.insert(
+                    req,
+                    ReqMeta::RecvPacked {
+                        comm,
+                        epoch_idx: None,
+                    },
+                );
             }
-            PiggybackMechanism::PayloadPacking => ReqMeta::RecvPacked {
-                comm,
-                epoch_idx: None,
-            },
-        };
-        self.meta.insert(req, meta);
+        }
         Ok(req)
     }
 
     fn wait(&mut self, req: Request) -> Result<(Status, Bytes)> {
+        if let Some(done) = self.claim_ready(req)? {
+            return Ok(done);
+        }
         let (status, data) = self.inner.wait(req)?;
         self.after_completion(req, status, data)
     }
 
     fn test(&mut self, req: Request) -> Result<Option<(Status, Bytes)>> {
+        if let Some(done) = self.claim_ready(req)? {
+            return Ok(Some(done));
+        }
         match self.inner.test(req)? {
             Some((status, data)) => self.after_completion(req, status, data).map(Some),
             None => Ok(None),
@@ -491,12 +588,39 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
     }
 
     fn waitany(&mut self, reqs: &[Request]) -> Result<(usize, Status, Bytes)> {
+        if !self.ready.is_empty() {
+            // Some request may have been force-completed by piggyback
+            // sequencing; the runtime no longer knows it. Mirror the
+            // runtime's lowest-index-completed policy across the mix of
+            // parked and live requests.
+            for (i, r) in reqs.iter().enumerate() {
+                if let Some((status, data)) = self.claim_ready(*r)? {
+                    return Ok((i, status, data));
+                }
+                if let Some((status, data)) = self.inner.test(*r)? {
+                    let (status, data) = self.after_completion(*r, status, data)?;
+                    return Ok((i, status, data));
+                }
+            }
+        }
         let (idx, status, data) = self.inner.waitany(reqs)?;
         let (status, data) = self.after_completion(reqs[idx], status, data)?;
         Ok((idx, status, data))
     }
 
     fn testany(&mut self, reqs: &[Request]) -> Result<Option<(usize, Status, Bytes)>> {
+        if !self.ready.is_empty() {
+            for (i, r) in reqs.iter().enumerate() {
+                if let Some((status, data)) = self.claim_ready(*r)? {
+                    return Ok(Some((i, status, data)));
+                }
+                if let Some((status, data)) = self.inner.test(*r)? {
+                    let (status, data) = self.after_completion(*r, status, data)?;
+                    return Ok(Some((i, status, data)));
+                }
+            }
+            return Ok(None);
+        }
         match self.inner.testany(reqs)? {
             Some((idx, status, data)) => {
                 let (status, data) = self.after_completion(reqs[idx], status, data)?;
@@ -507,6 +631,21 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
     }
 
     fn waitsome(&mut self, reqs: &[Request]) -> Result<Vec<(usize, Status, Bytes)>> {
+        if reqs.iter().any(|r| self.ready.contains_key(r)) {
+            // A parked completion is immediately available: return
+            // everything currently complete in index order, exactly like
+            // the runtime's waitsome.
+            let mut out = Vec::new();
+            for (i, r) in reqs.iter().enumerate() {
+                if let Some((status, data)) = self.claim_ready(*r)? {
+                    out.push((i, status, data));
+                } else if let Some((status, data)) = self.inner.test(*r)? {
+                    let (status, data) = self.after_completion(*r, status, data)?;
+                    out.push((i, status, data));
+                }
+            }
+            return Ok(out);
+        }
         let completed = self.inner.waitsome(reqs)?;
         let mut out = Vec::with_capacity(completed.len());
         for (idx, status, data) in completed {
@@ -558,7 +697,7 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
     fn bcast(&mut self, comm: Comm, root: usize, data: Option<Bytes>) -> Result<Bytes> {
         self.transmit_guard();
         let out = self.inner.bcast(comm, root, data)?;
-        self.clock_from_root(comm, root)?;
+        self.clock_allmax(comm)?;
         Ok(out)
     }
 
@@ -571,7 +710,7 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
     ) -> Result<Option<Vec<u64>>> {
         self.transmit_guard();
         let out = self.inner.reduce_u64(comm, root, value, op)?;
-        self.clock_to_root(comm, root)?;
+        self.clock_allmax(comm)?;
         Ok(out)
     }
 
@@ -591,7 +730,7 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
     ) -> Result<Option<Vec<f64>>> {
         self.transmit_guard();
         let out = self.inner.reduce_f64(comm, root, value, op)?;
-        self.clock_to_root(comm, root)?;
+        self.clock_allmax(comm)?;
         Ok(out)
     }
 
@@ -605,7 +744,7 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
     fn gather(&mut self, comm: Comm, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>> {
         self.transmit_guard();
         let out = self.inner.gather(comm, root, data)?;
-        self.clock_to_root(comm, root)?;
+        self.clock_allmax(comm)?;
         Ok(out)
     }
 
@@ -619,7 +758,7 @@ impl<M: Mpi> Mpi for DampiLayer<M> {
     fn scatter(&mut self, comm: Comm, root: usize, data: Option<Vec<Bytes>>) -> Result<Bytes> {
         self.transmit_guard();
         let out = self.inner.scatter(comm, root, data)?;
-        self.clock_from_root(comm, root)?;
+        self.clock_allmax(comm)?;
         Ok(out)
     }
 

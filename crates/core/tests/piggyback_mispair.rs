@@ -1,0 +1,56 @@
+//! Regression test for the `PiggybackMechanism::SeparateMessage`
+//! mispairing: interleaved wildcard + named receives on one
+//! `(source, tag, comm)` stream used to pair a deferred piggyback with the
+//! wrong payload, silently corrupting late-message analysis.
+//!
+//! The fixture (`crates/workloads/fixtures/fuzz/separate_message_mispair
+//! .json`, mined and shrunk by `dampi-fuzz`) builds the smallest shape
+//! that makes the corruption *observable*: rank 2 posts wildcard,
+//! wildcard, named on one stream, so under the old eager posting the named
+//! receive's piggyback irecv stole the stream's first stamp. The stamp it
+//! should have merged differs by exactly one tick, which flips a
+//! late-message comparison on rank 1 between `Before` (late → alternate
+//! discovered) and `Equal` (not late). Payload packing pairs stamps by
+//! construction, so the two mechanisms must agree exactly — any
+//! difference is a tool bug, not clock imprecision.
+
+use dampi_core::{ClockMode, DampiConfig, DampiVerifier, PiggybackMechanism};
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::generated::{fixtures, GenProgram};
+
+fn verify(pb: PiggybackMechanism) -> dampi_core::VerificationReport {
+    let spec = fixtures::separate_message_mispair();
+    let sim = SimConfig::new(spec.nprocs).with_policy(MatchPolicy::LowestRank);
+    let cfg = DampiConfig::default()
+        .with_clock_mode(ClockMode::Lamport)
+        .with_piggyback(pb)
+        .with_max_interleavings(200);
+    DampiVerifier::with_config(sim, cfg).verify(&GenProgram::new(spec))
+}
+
+#[test]
+fn separate_message_agrees_with_payload_packing() {
+    let sep = verify(PiggybackMechanism::SeparateMessage);
+    let packed = verify(PiggybackMechanism::PayloadPacking);
+    assert_eq!(
+        sep.error_signature(),
+        packed.error_signature(),
+        "piggyback mechanisms disagree on the error set"
+    );
+    assert_eq!(
+        sep.discovered, packed.discovered,
+        "piggyback mechanisms disagree on discovered match sets"
+    );
+    assert_eq!(
+        sep.interleavings, packed.interleavings,
+        "piggyback mechanisms disagree on the number of interleavings"
+    );
+    // The fixture's whole point: the stolen stamp used to *hide* an
+    // alternate. Pin the correct answer, not just the agreement.
+    let alt: Vec<_> = packed
+        .discovered
+        .values()
+        .filter(|srcs| srcs.len() > 1)
+        .collect();
+    assert_eq!(alt.len(), 1, "exactly one epoch has an alternate");
+}

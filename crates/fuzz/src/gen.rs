@@ -1,0 +1,519 @@
+//! Seeded generator of random MPI programs.
+//!
+//! The generator emits a program as a list of **rounds** — the
+//! intermediate representation the shrinker minimises — and lowers rounds
+//! to a flat [`GenSpec`] event order. Deadlock freedom is by construction
+//! (DESIGN.md §15.2):
+//!
+//! * every point-to-point round lists its sends *before* its receives in
+//!   the global order, with exactly as many compatible sends as receives;
+//! * a `(receiver, tag, comm)` *stream* is either **multi-source with
+//!   all-wildcard receives** (every message compatible with every
+//!   receive) or **single-source** (wildcard and named receives may
+//!   interleave — the shape that exposed the `SeparateMessage` piggyback
+//!   mispairing — and again every message is compatible with every
+//!   receive, since named receives all name the one source);
+//! * collectives and communicator operations occupy the same global
+//!   position on every rank.
+//!
+//! Under those rules an inductive counting argument shows every blocking
+//! point eventually completes, so a generated program with
+//! [`BugLabel::Clean`] must verify clean in every mode — any reported
+//! error is a tool bug. Injected bug classes break exactly one rule each
+//! and carry a known-answer label the oracle checks.
+
+use dampi_mpi::Tag;
+use dampi_workloads::generated::{BugLabel, CollectiveKind, GenOp, GenSpec, RecvVia, SrcSpec};
+use std::collections::HashMap;
+
+use crate::rng::SplitMix64;
+
+/// Poison payload carried by the sender a [`BugLabel::Race`] round
+/// asserts against.
+pub const POISON: u64 = 0xDEAD;
+
+/// Tunables of the generator.
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// World size.
+    pub nprocs: usize,
+    /// Number of rounds to generate.
+    pub rounds: usize,
+    /// Percent chance a new stream is wildcard-receiving.
+    pub wildcard_pct: u32,
+    /// Percent chance a round is a collective instead of point-to-point.
+    pub collective_pct: u32,
+    /// Percent chance the program dups/splits an extra communicator and
+    /// routes some traffic over it.
+    pub comm_pct: u32,
+    /// Maximum messages (and receives) per point-to-point round.
+    pub max_fanin: usize,
+    /// Number of distinct tags drawn from (small on purpose: tag reuse
+    /// across rounds is what interleaves streams).
+    pub tag_pool: usize,
+    /// Injected bug class (`BugLabel::Clean` injects nothing).
+    pub bug: BugLabel,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        Self {
+            nprocs: 4,
+            rounds: 5,
+            wildcard_pct: 70,
+            collective_pct: 20,
+            comm_pct: 30,
+            max_fanin: 3,
+            tag_pool: 3,
+            bug: BugLabel::Clean,
+        }
+    }
+}
+
+impl GenParams {
+    /// The per-seed parameter schedule the corpus uses: world size 3–5,
+    /// bug class cycling through clean/race/deadlock/mismatch/leak with
+    /// clean over-represented (clean programs are the strongest oracle —
+    /// *any* report is a tool bug).
+    #[must_use]
+    pub fn for_seed(seed: u64) -> Self {
+        let bug = match seed % 8 {
+            3 | 4 => BugLabel::Race,
+            5 => BugLabel::Deadlock,
+            6 => BugLabel::Mismatch,
+            7 => BugLabel::Leak,
+            _ => BugLabel::Clean,
+        };
+        Self {
+            nprocs: 3 + usize::try_from(seed % 3).expect("small"),
+            bug,
+            ..Self::default()
+        }
+    }
+}
+
+/// One round of the generated program (the shrinker's unit of deletion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Round {
+    /// `senders` each send one message to `recv` on `(tag, comm)`;
+    /// `recv` posts one receive per message.
+    P2p {
+        /// Receiving rank.
+        recv: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Communicator slot.
+        comm: usize,
+        /// One entry per message: the sending rank.
+        senders: Vec<usize>,
+        /// Per-receive wildcardness (all true for multi-source streams).
+        wildcards: Vec<bool>,
+        /// How the receives are issued.
+        via: RecvVia,
+        /// Race injection: index into `senders` whose payload is
+        /// [`POISON`]; the *first* receive asserts against it.
+        poison_idx: Option<usize>,
+        /// Deadlock injection: the last send is dropped at lowering.
+        drop_last_send: bool,
+    },
+    /// All ranks synchronise.
+    Collective {
+        /// Collective flavour.
+        kind: CollectiveKind,
+        /// Root rank.
+        root: usize,
+        /// Communicator slot.
+        comm: usize,
+        /// Mismatch injection: this rank calls `barrier` instead.
+        mismatch: Option<usize>,
+    },
+    /// Bind a duplicate of WORLD to a slot.
+    CommDup {
+        /// Slot bound.
+        id: usize,
+    },
+    /// Bind a full-group split of WORLD to a slot.
+    CommSplit {
+        /// Slot bound.
+        id: usize,
+    },
+    /// Free the communicator in a slot.
+    CommFree {
+        /// Slot freed.
+        id: usize,
+    },
+    /// Leak injection: `rank` posts a receive nothing completes.
+    Leak {
+        /// Leaking rank.
+        rank: usize,
+        /// Tag nothing sends.
+        tag: Tag,
+        /// Communicator slot.
+        comm: usize,
+    },
+}
+
+/// Shape a `(receiver, tag, comm)` stream committed to at first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamShape {
+    /// Any senders, every receive wildcard.
+    MultiWildcard,
+    /// All messages from this rank; receives mix wildcard and named.
+    SingleSource(usize),
+}
+
+/// Generate the round list for `seed` under `params`.
+///
+/// # Panics
+/// When `params` is degenerate (fewer than 2 ranks, zero rounds).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn generate_rounds(seed: u64, params: &GenParams) -> Vec<Round> {
+    assert!(params.nprocs >= 2, "need at least 2 ranks");
+    assert!(params.rounds >= 1, "need at least 1 round");
+    let mut rng = SplitMix64::new(seed);
+    let mut rounds = Vec::new();
+    let mut shapes: HashMap<(usize, Tag, usize), StreamShape> = HashMap::new();
+
+    // Optionally set up one extra communicator for part of the traffic.
+    let extra_comm = if rng.chance(params.comm_pct) {
+        let id = 1;
+        rounds.push(if rng.chance(50) {
+            Round::CommDup { id }
+        } else {
+            Round::CommSplit { id }
+        });
+        Some(id)
+    } else {
+        None
+    };
+
+    let mut p2p_at: Vec<usize> = Vec::new();
+    let mut collective_at: Vec<usize> = Vec::new();
+    for _ in 0..params.rounds {
+        if rng.chance(params.collective_pct) {
+            let kind = match rng.below(4) {
+                0 => CollectiveKind::Barrier,
+                1 => CollectiveKind::Bcast,
+                2 => CollectiveKind::Allreduce,
+                _ => CollectiveKind::Gather,
+            };
+            collective_at.push(rounds.len());
+            rounds.push(Round::Collective {
+                kind,
+                root: rng.index(params.nprocs),
+                comm: 0,
+                mismatch: None,
+            });
+            continue;
+        }
+        let recv = rng.index(params.nprocs);
+        let comm = match extra_comm {
+            Some(id) if rng.chance(40) => id,
+            _ => 0,
+        };
+        let tag = 7 + i32::try_from(rng.below(params.tag_pool as u64)).expect("small tag");
+        let n = 1 + rng.index(params.max_fanin);
+        let other = |rng: &mut SplitMix64| {
+            let mut s = rng.index(params.nprocs);
+            if s == recv {
+                s = (s + 1) % params.nprocs;
+            }
+            s
+        };
+        let shape = *shapes.entry((recv, tag, comm)).or_insert_with(|| {
+            if rng.chance(params.wildcard_pct) {
+                StreamShape::MultiWildcard
+            } else {
+                StreamShape::SingleSource(other(&mut rng))
+            }
+        });
+        let (senders, wildcards) = match shape {
+            StreamShape::MultiWildcard => (
+                (0..n).map(|_| other(&mut rng)).collect::<Vec<_>>(),
+                vec![true; n],
+            ),
+            StreamShape::SingleSource(s) => (
+                vec![s; n],
+                (0..n).map(|_| rng.chance(params.wildcard_pct)).collect(),
+            ),
+        };
+        let via = match rng.below(3) {
+            0 => RecvVia::Blocking,
+            1 => RecvVia::Irecv,
+            _ => RecvVia::ProbeRecv,
+        };
+        p2p_at.push(rounds.len());
+        rounds.push(Round::P2p {
+            recv,
+            tag,
+            comm,
+            senders,
+            wildcards,
+            via,
+            poison_idx: None,
+            drop_last_send: false,
+        });
+    }
+
+    // Leave the extra communicator freed unless we are injecting a leak.
+    if let Some(id) = extra_comm {
+        if params.bug != BugLabel::Leak {
+            rounds.push(Round::CommFree { id });
+        }
+    }
+
+    inject_bug(&mut rng, &mut rounds, &p2p_at, &collective_at, params);
+    rounds
+}
+
+/// Apply the parameterised bug class to an otherwise-clean round list.
+fn inject_bug(
+    rng: &mut SplitMix64,
+    rounds: &mut Vec<Round>,
+    p2p_at: &[usize],
+    collective_at: &[usize],
+    params: &GenParams,
+) {
+    match params.bug {
+        BugLabel::Clean => {}
+        BugLabel::Deadlock => {
+            // Drop one send: the stream's counting invariant breaks and
+            // some receive starves on *every* schedule.
+            if let Some(&i) = p2p_at.last() {
+                if let Round::P2p { drop_last_send, .. } = &mut rounds[i] {
+                    *drop_last_send = true;
+                }
+            } else {
+                // All-collective program: manufacture a starved receive.
+                rounds.push(Round::P2p {
+                    recv: 0,
+                    tag: 99,
+                    comm: 0,
+                    senders: vec![1],
+                    wildcards: vec![true],
+                    via: RecvVia::Blocking,
+                    poison_idx: None,
+                    drop_last_send: true,
+                });
+            }
+        }
+        BugLabel::Mismatch => {
+            // One rank calls barrier where the rest run a bcast.
+            let root = rng.index(params.nprocs);
+            let mismatch = Some((root + 1) % params.nprocs);
+            if let Some(&i) = collective_at.first() {
+                rounds[i] = Round::Collective {
+                    kind: CollectiveKind::Bcast,
+                    root,
+                    comm: 0,
+                    mismatch,
+                };
+            } else {
+                rounds.push(Round::Collective {
+                    kind: CollectiveKind::Bcast,
+                    root,
+                    comm: 0,
+                    mismatch,
+                });
+            }
+        }
+        BugLabel::Leak => {
+            // An unfreed communicator (handled at generation: the free is
+            // skipped) plus an abandoned request nothing ever sends to.
+            if !rounds
+                .iter()
+                .any(|r| matches!(r, Round::CommDup { .. } | Round::CommSplit { .. }))
+            {
+                rounds.insert(0, Round::CommDup { id: 1 });
+            }
+            rounds.push(Round::Leak {
+                rank: rng.index(params.nprocs),
+                tag: 98,
+                comm: 0,
+            });
+        }
+        BugLabel::Race => {
+            // A wildcard receive asserts against a poison only one of two
+            // concurrent senders carries: an error on some schedules only
+            // — the verifier must *explore* to find it (paper Fig. 3).
+            let recv = rng.index(params.nprocs);
+            let a = (recv + 1) % params.nprocs;
+            let b = (recv + 2) % params.nprocs;
+            let (a, b) = if a == b {
+                (a, (a + 1) % params.nprocs)
+            } else {
+                (a, b)
+            };
+            rounds.push(Round::P2p {
+                recv,
+                tag: 97,
+                comm: 0,
+                senders: vec![a, b],
+                wildcards: vec![true, true],
+                via: RecvVia::Blocking,
+                poison_idx: Some(1),
+                drop_last_send: false,
+            });
+        }
+    }
+}
+
+/// Lower a round list to the flat event order a [`GenSpec`] carries.
+#[must_use]
+pub fn lower(name: &str, seed: u64, params: &GenParams, rounds: &[Round]) -> GenSpec {
+    let mut ops = Vec::new();
+    // Per-rank count of irecv slots already posted, for Wait indices.
+    let mut posted = vec![0usize; params.nprocs];
+    let mut value = 100u64;
+    for round in rounds {
+        match round {
+            Round::P2p {
+                recv,
+                tag,
+                comm,
+                senders,
+                wildcards,
+                via,
+                poison_idx,
+                drop_last_send,
+            } => {
+                let n = senders.len();
+                let sent = if *drop_last_send { n - 1 } else { n };
+                for (i, &from) in senders.iter().take(sent).enumerate() {
+                    let v = if *poison_idx == Some(i) {
+                        POISON
+                    } else {
+                        value
+                    };
+                    value += 1;
+                    ops.push(GenOp::Send {
+                        from,
+                        to: *recv,
+                        tag: *tag,
+                        comm: *comm,
+                        value: v,
+                    });
+                }
+                let mut waits = Vec::new();
+                for (i, &wild) in wildcards.iter().enumerate() {
+                    let src = if wild {
+                        SrcSpec::Wildcard
+                    } else {
+                        SrcSpec::Named(senders[i])
+                    };
+                    // Only the first receive asserts: later receives must
+                    // tolerate the poison so the bug is schedule-dependent.
+                    let assert_ne = if poison_idx.is_some() && i == 0 {
+                        Some(POISON)
+                    } else {
+                        None
+                    };
+                    ops.push(GenOp::Recv {
+                        rank: *recv,
+                        src,
+                        tag: *tag,
+                        comm: *comm,
+                        via: *via,
+                        assert_ne,
+                    });
+                    if *via == RecvVia::Irecv {
+                        waits.push(GenOp::Wait {
+                            rank: *recv,
+                            slot: posted[*recv],
+                        });
+                        posted[*recv] += 1;
+                    }
+                }
+                ops.extend(waits);
+            }
+            Round::Collective {
+                kind,
+                root,
+                comm,
+                mismatch,
+            } => ops.push(GenOp::Collective {
+                kind: *kind,
+                root: *root,
+                comm: *comm,
+                mismatch_rank: *mismatch,
+            }),
+            Round::CommDup { id } => ops.push(GenOp::CommDup { id: *id }),
+            Round::CommSplit { id } => ops.push(GenOp::CommSplit { id: *id }),
+            Round::CommFree { id } => ops.push(GenOp::CommFree { id: *id }),
+            Round::Leak { rank, tag, comm } => ops.push(GenOp::LeakRequest {
+                rank: *rank,
+                tag: *tag,
+                comm: *comm,
+            }),
+        }
+    }
+    GenSpec {
+        name: name.to_owned(),
+        nprocs: params.nprocs,
+        seed,
+        bug: params.bug,
+        ops,
+    }
+}
+
+/// Generate the program for `seed` under `params`.
+#[must_use]
+pub fn generate(seed: u64, params: &GenParams) -> GenSpec {
+    let rounds = generate_rounds(seed, params);
+    lower(&format!("fuzz_{seed}"), seed, params, &rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_mpi::{run_native, MatchPolicy, SimConfig};
+    use dampi_workloads::generated::GenProgram;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..32 {
+            let p = GenParams::for_seed(seed);
+            assert_eq!(generate(seed, &p), generate(seed, &p), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn clean_programs_run_clean_natively() {
+        for seed in (0..64).filter(|s| GenParams::for_seed(*s).bug == BugLabel::Clean) {
+            let spec = generate(seed, &GenParams::for_seed(seed));
+            let outcome = run_native(
+                &SimConfig::new(spec.nprocs).with_policy(MatchPolicy::LowestRank),
+                &GenProgram::new(spec.clone()),
+            );
+            assert!(
+                outcome.program_bugs().is_empty(),
+                "seed {seed} not clean: {:?}",
+                outcome.program_bugs()
+            );
+            assert!(outcome.leaks.is_clean(), "seed {seed} leaks");
+        }
+    }
+
+    #[test]
+    fn deadlock_seeds_deadlock_natively() {
+        let mut checked = 0;
+        for seed in (0..64).filter(|s| GenParams::for_seed(*s).bug == BugLabel::Deadlock) {
+            let spec = generate(seed, &GenParams::for_seed(seed));
+            let outcome = run_native(
+                &SimConfig::new(spec.nprocs).with_policy(MatchPolicy::LowestRank),
+                &GenProgram::new(spec.clone()),
+            );
+            assert!(
+                outcome
+                    .program_bugs()
+                    .iter()
+                    .any(|b| matches!(b.error, dampi_mpi::MpiError::Deadlock { .. })),
+                "seed {seed}: expected deadlock, got {:?}",
+                outcome.program_bugs()
+            );
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! `dampi-fuzz` — generative MPI workload fuzzing with a differential
+//! clock-mode oracle.
+//!
+//! The fuzzer closes the loop the rest of the workspace leaves open: the
+//! committed workloads exercise the verifier on *known* patterns, but the
+//! space of wildcard/collective/communicator interleavings is vast and
+//! the interesting failures live in shapes nobody wrote by hand (the
+//! `SeparateMessage` piggyback mispairing was exactly such a shape).
+//! Three pieces (DESIGN.md §15):
+//!
+//! * [`gen`] — a seeded, fully deterministic generator of random MPI
+//!   programs over the `dampi-mpi` op vocabulary, deadlock-free by
+//!   construction, with optional injected bug classes carrying
+//!   known-answer labels;
+//! * [`oracle`] — a differential harness that verifies each program
+//!   under ISP, DAMPI vector clocks, and DAMPI Lamport clocks (both
+//!   piggyback mechanisms, unbounded and `k`-bounded), asserting the
+//!   containment lattice between them and classifying every disagreement
+//!   as a sound omission (paper Fig. 4) or a tool bug;
+//! * [`shrink()`] — a greedy minimiser that turns a disagreeing seed into
+//!   a committable regression fixture.
+//!
+//! Drive it with `dampi-cli fuzz --seed S --count N`; the committed
+//! corpus verdicts live in `corpus/` and are byte-compared in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use gen::{generate, generate_rounds, lower, GenParams, Round};
+pub use oracle::{run_oracle, ModeOutcome, OracleParams, Verdict};
+pub use rng::SplitMix64;
+pub use shrink::shrink;

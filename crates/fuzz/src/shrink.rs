@@ -1,0 +1,116 @@
+//! Greedy spec minimisation.
+//!
+//! When the oracle flags a seed, the raw program is usually too big to
+//! read. The shrinker deletes whole rounds (and trims senders within
+//! point-to-point rounds), re-lowers, and re-runs a caller-supplied
+//! predicate after each candidate deletion — keeping the deletion only if
+//! the program is still "interesting" (usually: still produces the same
+//! `BUG:` verdict). Working at round granularity preserves the
+//! generator's deadlock-freedom invariants by construction, so shrinking
+//! never turns a tool bug into an injected-looking program bug.
+//!
+//! The walk is deterministic (left-to-right, restart on success, fixed
+//! trim order), so a given seed always shrinks to the same fixture.
+
+use dampi_workloads::generated::GenSpec;
+
+use crate::gen::{lower, GenParams, Round};
+
+/// Minimise `rounds` while `still_interesting` holds on the lowered spec.
+///
+/// Returns the shrunk round list; lower it with the same `name`, `seed`,
+/// and `params` to obtain the committable fixture.
+pub fn shrink<F>(
+    name: &str,
+    seed: u64,
+    params: &GenParams,
+    rounds: &[Round],
+    mut still_interesting: F,
+) -> Vec<Round>
+where
+    F: FnMut(&GenSpec) -> bool,
+{
+    let mut best: Vec<Round> = rounds.to_vec();
+    let keeps = |cand: &[Round], f: &mut F| f(&lower(name, seed, params, cand));
+
+    // Phase 1: delete whole rounds, restarting after every success so
+    // later deletions see the smaller program.
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for i in 0..best.len() {
+            let mut cand = best.clone();
+            cand.remove(i);
+            if !cand.is_empty() && keeps(&cand, &mut still_interesting) {
+                best = cand;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: trim messages off point-to-point rounds, one at a time.
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for i in 0..best.len() {
+            let fanin = match &best[i] {
+                Round::P2p { senders, .. } => senders.len(),
+                _ => 0,
+            };
+            if fanin <= 1 {
+                continue;
+            }
+            let mut cand = best.clone();
+            if let Round::P2p {
+                senders, wildcards, ..
+            } = &mut cand[i]
+            {
+                senders.pop();
+                wildcards.pop();
+            }
+            if keeps(&cand, &mut still_interesting) {
+                best = cand;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_rounds;
+
+    #[test]
+    fn shrinks_to_the_predicate_core() {
+        let params = GenParams::for_seed(0);
+        let rounds = generate_rounds(0, &params);
+        // "Interesting" = still contains at least one wildcard receive.
+        let shrunk = shrink("t", 0, &params, &rounds, |spec| spec.wildcard_count() > 0);
+        assert!(!shrunk.is_empty());
+        let spec = lower("t", 0, &params, &shrunk);
+        assert!(spec.wildcard_count() > 0);
+        // Minimal: removing any remaining round kills the predicate.
+        for i in 0..shrunk.len() {
+            let mut cand = shrunk.clone();
+            cand.remove(i);
+            if !cand.is_empty() {
+                let s = lower("t", 0, &params, &cand);
+                assert_eq!(s.wildcard_count(), 0, "round {i} was removable");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let params = GenParams::for_seed(3);
+        let rounds = generate_rounds(3, &params);
+        let a = shrink("t", 3, &params, &rounds, |s| s.wildcard_count() > 1);
+        let b = shrink("t", 3, &params, &rounds, |s| s.wildcard_count() > 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+//! The committed fuzz-mined fixtures stay fixed: every one must pass the
+//! differential oracle with a fully classified verdict, and the
+//! collective-ordering reproducer must stay *clean* in every mode.
+//!
+//! `fuzz_collective_phantom_deadlock` regresses the bug where the causal
+//! model exchanged collective clocks along the operation's dataflow only
+//! (all-to-root for `Gather`), weaker than the runtime's rendezvous
+//! collectives. A post-gather send then looked concurrent with a
+//! pre-gather wildcard receive, the verifier forced that unrealizable
+//! match, and the stuck replay was reported as a deadlock in a clean
+//! program — in all seven modes at once, since ISP and DAMPI shared the
+//! dataflow model.
+
+use dampi_fuzz::{run_oracle, OracleParams};
+use dampi_workloads::generated::fixtures;
+
+#[test]
+fn collective_phantom_deadlock_is_clean_in_every_mode() {
+    let spec = fixtures::collective_phantom_deadlock();
+    let verdict = run_oracle(&spec, &OracleParams::default());
+    for mode in &verdict.modes {
+        assert!(
+            mode.errors.is_empty(),
+            "mode {} reports {:?} on a clean program",
+            mode.mode,
+            mode.errors
+        );
+    }
+    assert_eq!(verdict.verdict, "agree", "detail: {:?}", verdict.detail);
+}
+
+#[test]
+fn every_committed_fixture_is_classified() {
+    for spec in fixtures::all() {
+        let verdict = run_oracle(&spec, &OracleParams::default());
+        assert!(
+            !verdict.unclassified(),
+            "{}: {} ({:?})",
+            spec.name,
+            verdict.verdict,
+            verdict.detail
+        );
+    }
+}

@@ -76,12 +76,27 @@ impl<M: Mpi> IspLayer<M> {
         }
     }
 
-    fn report_collective(&mut self, comm: Comm, kind: CollClockKind, root: usize) -> Result<()> {
+    fn report_collective(
+        &mut self,
+        comm: Comm,
+        _dataflow: CollClockKind,
+        root: usize,
+    ) -> Result<()> {
         self.transact()?;
         let crank = self.inner.comm_rank(comm)?;
         let size = self.inner.comm_size(comm)?;
+        // The simulated runtime executes every collective as a full
+        // rendezvous (each rank's exit happens-after every rank's entry),
+        // so the causal model must carry all-to-all edges regardless of
+        // the operation's MPI dataflow. Recording only the dataflow kind
+        // (`_dataflow`, paper §II-E) under-orders post-collective sends
+        // against pre-collective wildcard receives, and the scheduler
+        // then proposes matches the runtime cannot realize — surfacing
+        // as phantom deadlocks on clean programs (fuzz seed 66). The
+        // DAMPI layer applies the same strengthening (`clock_allmax`);
+        // both sides must agree or differential fuzzing diverges.
         self.sched
-            .on_collective(self.rank, crank, comm, size, kind, root);
+            .on_collective(self.rank, crank, comm, size, CollClockKind::AllMax, root);
         Ok(())
     }
 

@@ -90,6 +90,21 @@ pub struct SimConfig {
     pub eager_limit: Option<usize>,
     /// Per-replay watchdog budgets (wall clock and virtual time).
     pub budget: ReplayBudget,
+    /// Deterministic cooperative scheduling. When set, exactly one
+    /// runnable rank executes runtime calls at a time: a round-robin turn
+    /// token passes to the next unfinished, unblocked rank whenever the
+    /// holder blocks or finishes. Message arrival order — and therefore
+    /// every wildcard-match candidate set in the *unconstrained* part of a
+    /// run — becomes a pure function of the program and the forced replay
+    /// prefix instead of an OS thread-scheduling race. Exhaustive
+    /// (vector-clock/ISP) exploration is insensitive to this choice; the
+    /// schedule-relative Lamport analysis is not, so differential fuzzing
+    /// requires it. Off by default: free-threaded runs exercise the racy
+    /// arrival orders real MPI exhibits. Caveat: a rank that busy-waits on
+    /// nonblocking calls (`test`/`iprobe` spin loops) without ever
+    /// blocking never yields the token; only the wall-clock watchdog can
+    /// reclaim such a run.
+    pub deterministic: bool,
 }
 
 impl SimConfig {
@@ -104,6 +119,7 @@ impl SimConfig {
             stack_size: 256 * 1024,
             eager_limit: None,
             budget: ReplayBudget::default(),
+            deterministic: false,
         }
     }
 
@@ -135,6 +151,14 @@ impl SimConfig {
         self.budget = budget;
         self
     }
+
+    /// Builder-style: toggle deterministic cooperative scheduling (see
+    /// [`SimConfig::deterministic`]).
+    #[must_use]
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.deterministic = deterministic;
+        self
+    }
 }
 
 struct CommEntry {
@@ -163,6 +187,9 @@ struct Shared {
     finished: Vec<bool>,
     nfinished: usize,
     fatal: Option<MpiError>,
+    /// Holder of the execution turn under deterministic scheduling
+    /// ([`SimConfig::deterministic`]); unused otherwise.
+    turn: usize,
 }
 
 /// A simulated MPI world. Construct with [`World::new`], then execute
@@ -191,6 +218,7 @@ impl World {
             finished: vec![false; n],
             nfinished: 0,
             fatal: None,
+            turn: 0,
         };
         let deadline = cfg
             .budget
@@ -280,6 +308,55 @@ impl World {
         Ok(())
     }
 
+    /// Lock shared state and — in deterministic mode — park until `rank`
+    /// holds the execution turn. Once the world has a fatal error the turn
+    /// discipline is abandoned so every rank can unwind concurrently.
+    fn enter(&self, rank: usize) -> parking_lot::MutexGuard<'_, Shared> {
+        let mut g = self.state.lock();
+        if self.cfg.deterministic {
+            while g.fatal.is_none() && g.turn != rank {
+                if self.guard(&mut g).is_some() {
+                    break; // watchdog tripped: fatal is now set
+                }
+                self.park(&mut g, rank);
+            }
+        }
+        g
+    }
+
+    /// Wait on `rank`'s condvar, bounded by the wall-clock deadline when
+    /// one is configured (so parked ranks re-check the watchdog).
+    fn park(&self, g: &mut parking_lot::MutexGuard<'_, Shared>, rank: usize) {
+        match self.deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                let _ = self.cvs[rank].wait_for(g, remaining);
+            }
+            None => self.cvs[rank].wait(g),
+        }
+    }
+
+    /// Deterministic mode: hand the execution turn from `from` to the next
+    /// runnable (unfinished, not logically blocked) rank, round-robin. The
+    /// caller must have made `from` ineligible first — blocked or finished
+    /// — so the token never returns to a rank that cannot act. If no rank
+    /// is eligible the token stays put; the caller's deadlock check owns
+    /// that case.
+    fn pass_turn(&self, g: &mut Shared, from: usize) {
+        if !self.cfg.deterministic || g.turn != from || g.fatal.is_some() {
+            return;
+        }
+        let n = self.cfg.nprocs;
+        for off in 1..n {
+            let r = (from + off) % n;
+            if !g.finished[r] && !g.blocked[r] {
+                g.turn = r;
+                self.cvs[r].notify_all();
+                return;
+            }
+        }
+    }
+
     /// Block `rank` until `ready` yields a result, with deadlock detection.
     ///
     /// `blocked[r]` means *logically* blocked: `r`'s predicate was
@@ -295,6 +372,19 @@ impl World {
     ) -> Result<T> {
         let mut g = self.state.lock();
         loop {
+            // Deterministic mode: only the turn holder may evaluate its
+            // predicate (evaluation can consume state — complete a request,
+            // take a collective outcome), so park until the token arrives.
+            // A fatal error suspends the discipline: every rank proceeds to
+            // the unwind paths below.
+            if self.cfg.deterministic
+                && g.fatal.is_none()
+                && g.turn != rank
+                && self.guard(&mut g).is_none()
+            {
+                self.park(&mut g, rank);
+                continue;
+            }
             // Completion first: an operation whose predicate is already
             // satisfied succeeds even if the job is being torn down — only
             // operations that would still have to wait observe the abort.
@@ -326,15 +416,12 @@ impl World {
                 }
                 return Err(err);
             }
-            match self.deadline {
-                // Bounded wait: on timeout the loop re-enters `guard`,
-                // which trips the watchdog and unwinds every rank.
-                Some(d) => {
-                    let remaining = d.saturating_duration_since(Instant::now());
-                    let _ = self.cvs[rank].wait_for(&mut g, remaining);
-                }
-                None => self.cvs[rank].wait(&mut g),
-            }
+            // No deadlock, so some other rank is runnable: hand it the
+            // turn (no-op outside deterministic mode). On timeout of the
+            // bounded wait the loop re-enters `guard`, which trips the
+            // watchdog and unwinds every rank.
+            self.pass_turn(&mut g, rank);
+            self.park(&mut g, rank);
         }
     }
 
@@ -421,7 +508,7 @@ impl World {
         tag: Tag,
         data: Bytes,
     ) -> Result<Request> {
-        let mut g = self.state.lock();
+        let mut g = self.enter(rank);
         if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
@@ -477,7 +564,7 @@ impl World {
     }
 
     pub(crate) fn op_irecv(&self, rank: usize, comm: Comm, src: i32, tag: Tag) -> Result<Request> {
-        let mut g = self.state.lock();
+        let mut g = self.enter(rank);
         if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
@@ -551,7 +638,7 @@ impl World {
     }
 
     pub(crate) fn op_test(&self, rank: usize, req: Request) -> Result<Option<(Status, Bytes)>> {
-        let mut g = self.state.lock();
+        let mut g = self.enter(rank);
         if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
@@ -597,7 +684,7 @@ impl World {
         rank: usize,
         reqs: &[Request],
     ) -> Result<Option<(usize, Status, Bytes)>> {
-        let mut g = self.state.lock();
+        let mut g = self.enter(rank);
         if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
@@ -672,7 +759,7 @@ impl World {
         src: i32,
         tag: Tag,
     ) -> Result<Option<ProbeInfo>> {
-        let mut g = self.state.lock();
+        let mut g = self.enter(rank);
         if let Some(f) = self.guard(&mut g) {
             return Err(f);
         }
@@ -692,7 +779,7 @@ impl World {
         contribution: Contribution,
     ) -> Result<CollOutcome> {
         let gen = {
-            let mut g = self.state.lock();
+            let mut g = self.enter(rank);
             if let Some(f) = self.guard(&mut g) {
                 return Err(f);
             }
@@ -1069,6 +1156,7 @@ impl World {
                 .collect();
             g.fatal = Some(MpiError::Deadlock { blocked_ranks });
         }
+        self.pass_turn(&mut g, rank);
         for cv in &self.cvs {
             cv.notify_all();
         }

@@ -17,11 +17,15 @@
 //!   126.lammps 130.socorro 137.lu; Table II).
 //! * [`patterns`] — the paper's figure-sized examples (Fig. 3, Fig. 4,
 //!   Fig. 10) plus deadlock/leak injection programs for failure testing.
+//! * [`generated`] — the serialisable program format produced by the
+//!   `dampi-fuzz` generator, its interpreter, and committed shrunk
+//!   regression fixtures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adlb;
+pub mod generated;
 pub mod idioms;
 pub mod matmul;
 pub mod nas;

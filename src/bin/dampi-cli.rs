@@ -349,6 +349,124 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `dampi-cli fuzz`: generate seeded programs, run each through the
+/// differential clock-mode oracle, and emit one verdict JSON line per
+/// seed. Fully deterministic: the same flags produce byte-identical
+/// output, which is what the CI `fuzz-smoke` gate diffs against the
+/// committed corpus.
+fn cmd_fuzz(rest: &[String]) -> ExitCode {
+    use dampi::fuzz::{gen, run_oracle, shrink, OracleParams};
+    use dampi::workloads::generated::GenSpec;
+
+    let mut seed0: u64 = 0;
+    let mut count: u64 = 16;
+    let mut max: Option<u64> = None;
+    let mut escalate_k: Option<u32> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut shrink_dir: Option<PathBuf> = None;
+    let mut spec_out: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let r: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--seed" => seed0 = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--count" => {
+                    count = val("--count")?
+                        .parse()
+                        .map_err(|e| format!("--count: {e}"))?;
+                }
+                "--max" => max = Some(val("--max")?.parse().map_err(|e| format!("--max: {e}"))?),
+                "--escalate-k" => {
+                    escalate_k = Some(
+                        val("--escalate-k")?
+                            .parse()
+                            .map_err(|e| format!("--escalate-k: {e}"))?,
+                    );
+                }
+                "--out" => out = Some(PathBuf::from(val("--out")?)),
+                "--shrink-bugs" => shrink_dir = Some(PathBuf::from(val("--shrink-bugs")?)),
+                "--emit-specs" => spec_out = Some(PathBuf::from(val("--emit-specs")?)),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut oracle_params = OracleParams::default();
+    if let Some(m) = max {
+        oracle_params.max_interleavings = m;
+    }
+    if let Some(k) = escalate_k {
+        oracle_params.escalate_k = k;
+    }
+
+    let mut lines = Vec::new();
+    let mut bugs: Vec<GenSpec> = Vec::new();
+    for seed in seed0..seed0 + count {
+        let params = gen::GenParams::for_seed(seed);
+        let spec = gen::generate(seed, &params);
+        if let Some(dir) = &spec_out {
+            if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(dir.join(format!("fuzz_{seed}.json")), spec.to_json())
+            }) {
+                eprintln!("error: --emit-specs: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let verdict = run_oracle(&spec, &oracle_params);
+        if verdict.unclassified() {
+            eprintln!(
+                "seed {seed}: {} — {} (shrinking: {})",
+                verdict.verdict,
+                verdict.detail,
+                shrink_dir.is_some()
+            );
+            if let Some(dir) = &shrink_dir {
+                let rounds = gen::generate_rounds(seed, &params);
+                let want = verdict.verdict.clone();
+                let shrunk = shrink(&spec.name, seed, &params, &rounds, |cand| {
+                    run_oracle(cand, &oracle_params).verdict == want
+                });
+                let small = gen::lower(&spec.name, seed, &params, &shrunk);
+                if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                    std::fs::write(dir.join(format!("shrunk_{seed}.json")), small.to_json())
+                }) {
+                    eprintln!("error: --shrink-bugs: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            bugs.push(spec);
+        }
+        lines.push(verdict.to_json());
+    }
+    let body = lines.join("\n") + "\n";
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("error: --out: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        print!("{body}");
+    }
+    if bugs.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} of {count} seeds produced unclassified disagreements",
+            bugs.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
     let args = match parse_flags(rest) {
         Ok(a) => a,
@@ -818,6 +936,14 @@ fn usage() -> ExitCode {
                                static pre-replay analysis: match sets, prunable\n    \
                                alternates, symmetry orbits, definite-bug lints\n    \
                                (exit 2 when an error-severity lint fires)\n  \
+         dampi-cli fuzz [--seed S] [--count N] [--max M] [--escalate-k K]\n    \
+                        [--out PATH]          write verdict JSONL here instead of stdout\n    \
+                        [--emit-specs DIR]    also write each generated program spec\n    \
+                        [--shrink-bugs DIR]   minimise any unclassified disagreement to DIR\n    \
+                               seeded differential fuzzing: generate N programs, verify\n    \
+                               each under ISP / vector / Lamport(k) / both piggyback\n    \
+                               mechanisms, and classify every disagreement; output is\n    \
+                               byte-identical for equal flags (exit 1 on a tool bug)\n  \
          dampi-cli overhead [--np N]"
     );
     ExitCode::FAILURE
@@ -836,6 +962,7 @@ fn main() -> ExitCode {
                 Some((name, flags)) => cmd_analyze(name, flags),
                 None => usage(),
             },
+            "fuzz" => cmd_fuzz(rest),
             "overhead" => cmd_overhead(rest),
             _ => usage(),
         },

@@ -38,6 +38,7 @@
 pub use dampi_analysis as analysis;
 pub use dampi_clocks as clocks;
 pub use dampi_core as core;
+pub use dampi_fuzz as fuzz;
 pub use dampi_isp as isp;
 pub use dampi_mpi as mpi;
 pub use dampi_workloads as workloads;
