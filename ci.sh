@@ -45,9 +45,13 @@ for path in sys.argv[1:3]:
                 "infeasible_alternates", "orbits", "lints", "error_lints", "notes",
                 "plan_version", "refined_match_set_sizes", "refinement_iterations",
                 "refined_deterministic_wildcards", "refined_infeasible_alternates",
-                "oblivious_receives"):
+                "oblivious_receives", "protocol_deterministic_wildcards",
+                "protocol_infeasible_alternates", "protocol"):
         assert key in r, f"{path}: missing `{key}`"
-    assert r["plan_version"] == 2, r["plan_version"]
+    assert r["schema_version"] == 2, r["schema_version"]
+    assert r["plan_version"] == 3, r["plan_version"]
+    # No --protocol flag on these runs: the block must be absent-by-null.
+    assert r["protocol"] is None, r["protocol"]
     for lint in r["lints"]:
         assert set(lint) == {"id", "kind", "severity", "ranks", "message"}, lint
         assert lint["id"].startswith("L") and lint["severity"] in ("error", "warning")
@@ -72,6 +76,96 @@ assert sw["error_lints"] == 1
 empty = [k for k, v in sw["refined_match_set_sizes"].items() if v == 0]
 assert empty, sw["refined_match_set_sizes"]
 print("ci: L005 stuck-wildcard smoke ok")
+PY
+# Analyzer reports must also pass the dedicated schema lint (the same
+# binary that guards metrics snapshots, in --analysis mode).
+./target/release/metrics-lint --analysis \
+    "$MDIR/racers.analysis.json" "$MDIR/cm.analysis.json" "$MDIR/sw.analysis.json"
+# Protocol conformance smoke: every committed .protocol spec must be
+# conformant against its workload (exit 0, zero L006–L008 — the
+# zero-false-positive gate at the CLI boundary) ...
+for wl_np in "matmul 4" "matmul_ack 4" "adlb 4" "racers 4" \
+             "ordered_stages 3" "protocol_demo 3"; do
+  set -- $wl_np
+  ./target/release/dampi-cli analyze "$1" --np "$2" --protocol "$1" --json \
+      > "$MDIR/$1.proto.json"
+done
+./target/release/metrics-lint --analysis \
+    "$MDIR/matmul.proto.json" "$MDIR/matmul_ack.proto.json" "$MDIR/adlb.proto.json" \
+    "$MDIR/racers.proto.json" "$MDIR/ordered_stages.proto.json" \
+    "$MDIR/protocol_demo.proto.json"
+# ... and each seeded violation pattern must exit 2 with exactly its lint.
+for wl_lint in "protocol_order_bug L006" "protocol_peer_bug L007" \
+               "protocol_short_bug L008"; do
+  set -- $wl_lint
+  if ./target/release/dampi-cli analyze "$1" --np 3 --protocol protocol_demo --json \
+      > "$MDIR/$1.proto.json"; then
+    echo "ci: analyze $1 must exit non-zero ($2 is an error)" >&2
+    exit 1
+  fi
+done
+./target/release/metrics-lint --analysis \
+    "$MDIR/protocol_order_bug.proto.json" "$MDIR/protocol_peer_bug.proto.json" \
+    "$MDIR/protocol_short_bug.proto.json"
+python3 - "$MDIR" <<'PY'
+import json, sys
+d = sys.argv[1]
+for name in ("matmul", "matmul_ack", "adlb", "racers", "ordered_stages",
+             "protocol_demo"):
+    r = json.load(open(f"{d}/{name}.proto.json"))
+    p = r["protocol"]
+    assert p["rank_status"] == ["conformant"] * r["nprocs"], (name, p)
+    assert (p["l006"], p["l007"], p["l008"]) == (0, 0, 0), (name, p)
+for name, lint in (("protocol_order_bug", "L006"), ("protocol_peer_bug", "L007"),
+                   ("protocol_short_bug", "L008")):
+    r = json.load(open(f"{d}/{name}.proto.json"))
+    assert [l["id"] for l in r["lints"]] == [lint], (name, r["lints"])
+    assert r["lints"][0]["ranks"] == [0] and r["error_lints"] == 1, (name, r)
+    # Non-conformant runs contribute no pruning facts.
+    assert r["protocol_deterministic_wildcards"] == [], (name, r)
+    assert r["protocol_infeasible_alternates"] == [], (name, r)
+print("ci: protocol conformance smoke ok (6 specs clean, L006/7/8 seeded)")
+PY
+# Protocol-guided pruning contract at the CLI boundary: on ordered_stages
+# the v3 plan must replay strictly fewer schedules than the v2 plan,
+# with the error set equal to the unpruned campaign's, invariant across
+# --jobs — the "prunes at least one additional replay" acceptance bar.
+# (--prune-static still rejects --shards — the plan is keyed to a
+# supervisor-local free run — so shard coverage stays the unpruned
+# byte-parity block above.)
+./target/release/dampi-cli verify ordered_stages --np 3 --json > "$MDIR/os.base.json"
+./target/release/dampi-cli verify ordered_stages --np 3 --prune-static --json \
+    > "$MDIR/os.v2.json"
+./target/release/dampi-cli verify ordered_stages --np 3 --prune-static \
+    --protocol ordered_stages --json > "$MDIR/os.v3.json"
+./target/release/dampi-cli verify ordered_stages --np 3 --prune-static \
+    --protocol ordered_stages --jobs 4 --json > "$MDIR/os.v3j4.json"
+cmp "$MDIR/os.v3.json" "$MDIR/os.v3j4.json"
+python3 - "$MDIR" <<'PY'
+import json, sys
+d = sys.argv[1]
+load = lambda n: json.load(open(f"{d}/{n}"))
+base, v2, v3 = load("os.base.json"), load("os.v2.json"), load("os.v3.json")
+assert v2["errors"] == base["errors"] == v3["errors"], (base["errors"], v2["errors"], v3["errors"])
+assert v3["interleavings"] < v2["interleavings"] <= base["interleavings"], (
+    base["interleavings"], v2["interleavings"], v3["interleavings"])
+assert v3["protocol_alternates_pruned"] + v3["protocol_wildcards_deterministic"] > 0, v3
+print(f"ci: protocol pruning contract ok (ordered_stages "
+      f"{base['interleavings']} -> v2 {v2['interleavings']} -> v3 {v3['interleavings']})")
+PY
+# Protocol-template fuzz smoke: 24 seeds of the known-answer conformance
+# corpus — the generator plants L006/L007/L008 violations and the
+# checker must answer every one exactly (`fuzz` exits non-zero on any
+# miss or false positive).
+./target/release/dampi-cli fuzz --protocol-templates 24 --out "$MDIR/proto.fuzz.jsonl"
+python3 - "$MDIR/proto.fuzz.jsonl" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 24, len(lines)
+assert all(v["ok"] for v in lines), [v for v in lines if not v["ok"]]
+planted = [v for v in lines if v["expected"]]
+assert len(planted) == 12, len(planted)
+print(f"ci: protocol-template fuzz ok ({len(planted)}/24 seeded violations caught)")
 PY
 # Version-1 prune plans (no version field, no refined sets) must keep
 # loading and steering campaigns — the committed fixture is the contract.
@@ -228,6 +322,7 @@ print("ci: cache driver parity (jobs 1/4, shards 2) + --np flip full miss ok")
 PY
 DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench prune_static
 DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench replay_cache
+DAMPI_BENCH_FAST=1 cargo bench --offline -p dampi-bench --bench protocol_prune
 # Bench-history gate: the committed snapshot must agree with the newest
 # BENCH_HISTORY.jsonl row for each workload, and rows are only compared
 # when their explicit `params` strings match — a config change starts a
@@ -247,6 +342,18 @@ for workload, point in snapshot.items():
     last = rows[-1]
     for key in ("base_interleavings", "pruned_interleavings", "alternates_pruned",
                 "orbits", "errors"):
+        assert last[key] == point[key], (workload, key, last[key], point[key])
+# The protocol-prune snapshot is gated the same way; the deterministic
+# columns are the whole measurement (both workloads replay single-digit
+# interleavings), so all of them must agree exactly.
+proto_snapshot = json.load(open("BENCH_protocol_prune.json"))["workloads"]
+for workload, point in proto_snapshot.items():
+    rows = series.get((workload, point["params"]))
+    assert rows, f"{workload}: no history row with params `{point['params']}`"
+    last = rows[-1]
+    for key in ("base_interleavings", "v2_interleavings", "protocol_interleavings",
+                "protocol_alternates_pruned", "protocol_wildcards_deterministic",
+                "plan_deterministic", "plan_infeasible", "errors"):
         assert last[key] == point[key], (workload, key, last[key], point[key])
 # The replay-cache snapshot is gated the same way: exact agreement with
 # the newest params-matched row on everything deterministic (wall-clock
@@ -268,6 +375,13 @@ for (workload, params), rows in series.items():
         assert last["warm_hit_rate"] >= prev["warm_hit_rate"] - 0.10, (
             f"{workload}: warm hit rate fell {prev['warm_hit_rate']} -> "
             f"{last['warm_hit_rate']} under identical params `{params}`")
+    # Protocol-prune series: >20% more v3 replays under identical params
+    # means the session-type facts stopped refuting schedules.
+    if "protocol_interleavings" in prev and "protocol_interleavings" in last:
+        assert last["protocol_interleavings"] <= prev["protocol_interleavings"] * 1.2, (
+            f"{workload}: protocol replay regression "
+            f"{prev['protocol_interleavings']} -> {last['protocol_interleavings']} "
+            f"under identical params `{params}`")
     if "pruned_interleavings" not in prev or "pruned_interleavings" not in last:
         continue  # shard/cache series: different schema, no prune gate
     assert last["pruned_interleavings"] <= prev["pruned_interleavings"] * 1.2, (

@@ -1,0 +1,810 @@
+//! Protocol conformance: validate each rank's traced free run against the
+//! projection of a session-typed protocol spec, and harvest pruning facts
+//! from protocol states that pin a wildcard receive down.
+//!
+//! The walk is a subset simulation of the rank's local-type NFA
+//! ([`crate::session::Nfa`]) over the rank's WORLD-communicator trace ops
+//! (`Isend`/`Irecv`/`Collective`/`Finalize`; completion, probe, and
+//! communicator-management ops carry no protocol content and are skipped,
+//! as is all derived-communicator traffic — the spec language speaks
+//! world ranks). Three lints, one per failure shape, at most one per rank
+//! (the walk stops at the first violation):
+//!
+//! - **L006** `protocol-order` — the rank performed an action the
+//!   protocol state does not admit at all (wrong tag, wrong direction,
+//!   wrong collective, or an action past the protocol's end).
+//! - **L007** `protocol-peer` — the action's *shape* (kind + tag) is
+//!   admitted but the observed peer is not: a named receive from a
+//!   forbidden rank, a send to a forbidden destination, or a wildcard
+//!   receive whose *matched* sender the protocol state excludes.
+//! - **L008** `protocol-incomplete` — the rank called `Finalize` while
+//!   the protocol still required actions from it. A trace that merely
+//!   *ends* without `Finalize` (crash/deadlock truncation) is reported as
+//!   a note, not a lint: the rank didn't claim to be done.
+//!
+//! **Pruning facts.** At a wildcard receive the protocol state admits a
+//! set of sender ranks (the union of `from`-sets over tag-compatible
+//! receive edges). When that set is a singleton the wildcard cannot
+//! branch (`protocol_deterministic`); any recorded alternate outside the
+//! set is protocol-refuted (`protocol_infeasible`). Facts are emitted
+//! only when **every** rank's walk was fully conformant — a single
+//! violation means the spec does not describe this program and nothing
+//! may be pruned from it (DESIGN.md §16).
+
+use std::collections::BTreeSet;
+
+use dampi_mpi::trace::TraceOp;
+use dampi_mpi::{Tag, ANY_SOURCE, ANY_TAG};
+
+use crate::lints::{Lint, Severity};
+use crate::model::{TraceModel, WORLD};
+use crate::session::{collective_matches, Nfa, ProtocolSpec, Sym};
+
+/// `L006`: an action the protocol state does not admit (wrong order).
+pub const L006: &str = "L006";
+/// `L007`: right action shape, forbidden peer.
+pub const L007: &str = "L007";
+/// `L008`: `Finalize` while the protocol still required actions.
+pub const L008: &str = "L008";
+
+/// Where a rank's conformance walk ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankStatus {
+    /// The whole trace conformed (and ended in an accepting state or
+    /// never claimed to finish).
+    Conformant,
+    /// Stopped at an L006 protocol-order violation.
+    OrderViolation,
+    /// Stopped at an L007 unexpected-peer violation.
+    PeerViolation,
+    /// Finalized with the protocol incomplete (L008).
+    Incomplete,
+    /// The trace ended without `Finalize` in a non-accepting state —
+    /// truncation, not an honest early exit; no lint.
+    Truncated,
+}
+
+impl RankStatus {
+    /// Stable lowercase label used in JSON output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RankStatus::Conformant => "conformant",
+            RankStatus::OrderViolation => "order-violation",
+            RankStatus::PeerViolation => "peer-violation",
+            RankStatus::Incomplete => "incomplete",
+            RankStatus::Truncated => "truncated",
+        }
+    }
+}
+
+/// Pruning facts the conformance walk proved, keyed exactly like the
+/// [`dampi_core::prune::PrunePlan`] v3 sections they feed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtocolFacts {
+    /// `(rank, clock)` of wildcard epochs whose protocol sender set is a
+    /// singleton.
+    pub deterministic: BTreeSet<(usize, u64)>,
+    /// `(rank, clock, alternate)` recorded alternates the protocol state
+    /// excludes.
+    pub infeasible: BTreeSet<(usize, u64, usize)>,
+}
+
+/// The result of checking one traced run against one protocol spec.
+#[derive(Debug)]
+pub struct Conformance {
+    /// Display name of the spec.
+    pub spec_name: String,
+    /// FNV-1a digest of the spec source.
+    pub spec_digest: u64,
+    /// Per-rank walk outcome.
+    pub rank_status: Vec<RankStatus>,
+    /// L006/L007/L008 findings (at most one per rank).
+    pub lints: Vec<Lint>,
+    /// Pruning facts — empty unless every rank is conformant.
+    pub facts: ProtocolFacts,
+    /// Caveats (truncated ranks, unmapped wildcard epochs).
+    pub notes: Vec<String>,
+}
+
+impl Conformance {
+    /// True when every rank's walk was fully conformant.
+    #[must_use]
+    pub fn all_conformant(&self) -> bool {
+        self.rank_status
+            .iter()
+            .all(|s| *s == RankStatus::Conformant)
+    }
+
+    /// Count of findings with the given lint ID.
+    #[must_use]
+    pub fn count(&self, id: &str) -> usize {
+        self.lints.iter().filter(|l| l.id == id).count()
+    }
+}
+
+fn tag_ok(posted: Tag, edge: Tag) -> bool {
+    posted == ANY_TAG || posted == edge
+}
+
+fn describe_expected(nfa: &Nfa, states: &BTreeSet<usize>) -> String {
+    let expected = nfa.expected(states);
+    if expected.is_empty() {
+        "protocol end".to_string()
+    } else {
+        expected
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+/// Check `model` against `spec`. Fails only when the spec itself cannot
+/// be instantiated at the model's world size.
+pub fn check(spec: &ProtocolSpec, model: &TraceModel) -> Result<Conformance, String> {
+    let global = spec.instantiate(model.nprocs)?;
+    let mut out = Conformance {
+        spec_name: spec.name.clone(),
+        spec_digest: spec.digest(),
+        rank_status: Vec::with_capacity(model.nprocs),
+        lints: Vec::new(),
+        facts: ProtocolFacts::default(),
+        notes: Vec::new(),
+    };
+    let mut facts = ProtocolFacts::default();
+    for rank in 0..model.nprocs {
+        let nfa = Nfa::compile(&global.project(rank));
+        let status = walk_rank(spec, model, rank, &nfa, &mut out, &mut facts);
+        out.rank_status.push(status);
+    }
+    if out.rank_status.iter().all(|s| *s == RankStatus::Conformant) {
+        out.facts = facts;
+    }
+    Ok(out)
+}
+
+fn walk_rank(
+    spec: &ProtocolSpec,
+    model: &TraceModel,
+    rank: usize,
+    nfa: &Nfa,
+    out: &mut Conformance,
+    facts: &mut ProtocolFacts,
+) -> RankStatus {
+    let mut states = nfa.initial();
+    let mut rank_facts = ProtocolFacts::default();
+    let mut finalized = false;
+    for (pos, op) in model.ops[rank].iter().enumerate() {
+        let expected = || describe_expected(nfa, &states);
+        match op {
+            TraceOp::Isend {
+                comm, dest, tag, ..
+            } => {
+                let Some(dest) = TraceModel::world_peer(*comm, *dest) else {
+                    continue; // derived-comm traffic is out of scope
+                };
+                let next = states.clone();
+                let next = nfa.step(
+                    &next,
+                    |s| matches!(s, Sym::Send { to, tag: t } if *t == *tag && to.contains(&dest)),
+                );
+                if next.is_empty() {
+                    let shape_ok = !nfa
+                        .step(
+                            &states,
+                            |s| matches!(s, Sym::Send { tag: t, .. } if *t == *tag),
+                        )
+                        .is_empty();
+                    if shape_ok {
+                        out.lints.push(Lint {
+                            id: L007,
+                            kind: "protocol-peer",
+                            severity: Severity::Error,
+                            ranks: vec![rank],
+                            message: format!(
+                                "rank {rank} op #{pos}: send(tag {tag}) to rank {dest} — the \
+                                 protocol admits this send but not to that peer (expected {})",
+                                expected()
+                            ),
+                        });
+                        return RankStatus::PeerViolation;
+                    }
+                    out.lints.push(Lint {
+                        id: L006,
+                        kind: "protocol-order",
+                        severity: Severity::Error,
+                        ranks: vec![rank],
+                        message: format!(
+                            "rank {rank} op #{pos}: send(tag {tag} -> {dest}) is not admitted \
+                             by the protocol state (expected {})",
+                            expected()
+                        ),
+                    });
+                    return RankStatus::OrderViolation;
+                }
+                states = next;
+            }
+            TraceOp::Irecv { comm, src, tag } if *comm == WORLD => {
+                // The protocol's sender set for this receive: union of
+                // `from`-sets over tag-compatible receive edges.
+                let mut allowed: BTreeSet<usize> = BTreeSet::new();
+                for sym in nfa.expected(&states) {
+                    if let Sym::Recv { from, tag: t } = sym {
+                        if tag_ok(*tag, *t) {
+                            allowed.extend(from.iter().copied());
+                        }
+                    }
+                }
+                if allowed.is_empty() {
+                    out.lints.push(Lint {
+                        id: L006,
+                        kind: "protocol-order",
+                        severity: Severity::Error,
+                        ranks: vec![rank],
+                        message: format!(
+                            "rank {rank} op #{pos}: receive ({}) is not admitted by the \
+                             protocol state (expected {})",
+                            if *tag == ANY_TAG {
+                                "ANY_TAG".to_string()
+                            } else {
+                                format!("tag {tag}")
+                            },
+                            expected()
+                        ),
+                    });
+                    return RankStatus::OrderViolation;
+                }
+                if *src == ANY_SOURCE {
+                    // Wildcard: the traced run tells us who actually
+                    // matched; the protocol tells us who was allowed.
+                    let matched = model.epoch_at[rank]
+                        .get(&pos)
+                        .and_then(|&ei| model.epochs[ei].matched_src);
+                    if let Some(m) = matched {
+                        if !allowed.contains(&m) {
+                            out.lints.push(Lint {
+                                id: L007,
+                                kind: "protocol-peer",
+                                severity: Severity::Error,
+                                ranks: vec![rank],
+                                message: format!(
+                                    "rank {rank} op #{pos}: wildcard receive matched rank {m} \
+                                     but the protocol state only admits {:?}",
+                                    allowed.iter().collect::<Vec<_>>()
+                                ),
+                            });
+                            return RankStatus::PeerViolation;
+                        }
+                        let ei = model.epoch_at[rank][&pos];
+                        let epoch = &model.epochs[ei];
+                        if allowed.len() == 1 {
+                            rank_facts.deterministic.insert((rank, epoch.clock));
+                        }
+                        for alt in epoch.unexplored_alternates() {
+                            if !allowed.contains(&alt) {
+                                rank_facts.infeasible.insert((rank, epoch.clock, alt));
+                            }
+                        }
+                        states = nfa.step(&states, |s| {
+                            matches!(s, Sym::Recv { from, tag: t }
+                                if tag_ok(*tag, *t) && from.contains(&m))
+                        });
+                    } else {
+                        // Unmapped epoch (truncated run): advance over
+                        // every compatible edge, claim nothing.
+                        out.notes.push(format!(
+                            "rank {rank} op #{pos}: wildcard receive has no aligned epoch — \
+                             conformance advanced without a matched sender"
+                        ));
+                        states = nfa.step(
+                            &states,
+                            |s| matches!(s, Sym::Recv { tag: t, .. } if tag_ok(*tag, *t)),
+                        );
+                    }
+                } else {
+                    let Some(src) = TraceModel::world_peer(*comm, *src) else {
+                        continue;
+                    };
+                    if !allowed.contains(&src) {
+                        out.lints.push(Lint {
+                            id: L007,
+                            kind: "protocol-peer",
+                            severity: Severity::Error,
+                            ranks: vec![rank],
+                            message: format!(
+                                "rank {rank} op #{pos}: receive from rank {src} — the protocol \
+                                 state only admits {:?}",
+                                allowed.iter().collect::<Vec<_>>()
+                            ),
+                        });
+                        return RankStatus::PeerViolation;
+                    }
+                    states = nfa.step(&states, |s| {
+                        matches!(s, Sym::Recv { from, tag: t }
+                            if tag_ok(*tag, *t) && from.contains(&src))
+                    });
+                }
+                debug_assert!(!states.is_empty(), "admitted receive must step");
+            }
+            TraceOp::Collective { comm, name } if *comm == WORLD => {
+                if spec.skip_collectives {
+                    continue;
+                }
+                let next = nfa.step(
+                    &states,
+                    |s| matches!(s, Sym::Collective(n) if collective_matches(n, name.as_ref())),
+                );
+                if next.is_empty() {
+                    out.lints.push(Lint {
+                        id: L006,
+                        kind: "protocol-order",
+                        severity: Severity::Error,
+                        ranks: vec![rank],
+                        message: format!(
+                            "rank {rank} op #{pos}: collective `{name}` is not admitted by \
+                             the protocol state (expected {})",
+                            expected()
+                        ),
+                    });
+                    return RankStatus::OrderViolation;
+                }
+                states = next;
+            }
+            TraceOp::Finalize => {
+                finalized = true;
+                if !nfa.accepting(&states) {
+                    out.lints.push(Lint {
+                        id: L008,
+                        kind: "protocol-incomplete",
+                        severity: Severity::Error,
+                        ranks: vec![rank],
+                        message: format!(
+                            "rank {rank} finalized with the protocol incomplete — still \
+                             expected {}",
+                            describe_expected(nfa, &states)
+                        ),
+                    });
+                    return RankStatus::Incomplete;
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    if !finalized && !nfa.accepting(&states) {
+        out.notes.push(format!(
+            "rank {rank}: trace ended without Finalize before the protocol completed \
+             (truncation, not an early exit) — still expected {}",
+            describe_expected(nfa, &states)
+        ));
+        return RankStatus::Truncated;
+    }
+    facts.deterministic.extend(rank_facts.deterministic);
+    facts.infeasible.extend(rank_facts.infeasible);
+    RankStatus::Conformant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_clocks::ClockStamp;
+    use dampi_core::epoch::{EpochRecord, NdKind};
+    use dampi_mpi::trace::TraceEvent;
+    use dampi_mpi::Comm;
+
+    const SPEC: &str = "
+        protocol demo
+        role coord = 0
+        role left = 1
+        role right = 2
+        role worker = {1, 2}
+        msg coord -> left : 10
+        msg coord -> right : 11
+        repeat 2 { msg any worker -> coord : 12 }
+    ";
+
+    fn ev(rank: usize, seq: u64, op: TraceOp) -> TraceEvent {
+        TraceEvent {
+            rank,
+            seq,
+            vt: 0.0,
+            op,
+        }
+    }
+
+    fn isend(comm: u32, dest: i32, tag: Tag) -> TraceOp {
+        TraceOp::Isend {
+            comm,
+            dest,
+            tag,
+            bytes: 1,
+            digest: 0,
+        }
+    }
+
+    fn epoch(rank: usize, clock: u64, matched: usize, alts: &[usize]) -> EpochRecord {
+        EpochRecord {
+            rank,
+            clock,
+            stamp: ClockStamp::Lamport(clock),
+            comm: Comm::WORLD,
+            tag_spec: 12,
+            kind: NdKind::Recv,
+            in_region: false,
+            guided: false,
+            matched_src: Some(matched),
+            alternates: alts.iter().copied().collect(),
+        }
+    }
+
+    /// Coordinator trace: send (1,10), send (2,11), two wildcard recvs,
+    /// finalize. Workers: recv from 0, send (0,12), finalize.
+    fn clean_events() -> Vec<TraceEvent> {
+        vec![
+            ev(0, 0, isend(0, 1, 10)),
+            ev(0, 1, isend(0, 2, 11)),
+            ev(
+                0,
+                2,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 12,
+                },
+            ),
+            ev(
+                0,
+                3,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 12,
+                },
+            ),
+            ev(0, 4, TraceOp::Finalize),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 10,
+                },
+            ),
+            ev(1, 1, isend(0, 0, 12)),
+            ev(1, 2, TraceOp::Finalize),
+            ev(
+                2,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 11,
+                },
+            ),
+            ev(2, 1, isend(0, 0, 12)),
+            ev(2, 2, TraceOp::Finalize),
+        ]
+    }
+
+    fn check_events(
+        spec: &str,
+        nprocs: usize,
+        events: &[TraceEvent],
+        epochs: &[EpochRecord],
+    ) -> Conformance {
+        let spec = ProtocolSpec::parse(spec).unwrap();
+        let model = TraceModel::build(nprocs, events, epochs);
+        check(&spec, &model).unwrap()
+    }
+
+    #[test]
+    fn clean_trace_is_conformant_everywhere() {
+        let epochs = vec![epoch(0, 1, 1, &[2]), epoch(0, 2, 2, &[])];
+        let c = check_events(SPEC, 3, &clean_events(), &epochs);
+        assert!(c.lints.is_empty(), "{:?}", c.lints);
+        assert!(c.all_conformant());
+        assert_eq!(c.spec_name, "demo");
+    }
+
+    #[test]
+    fn out_of_order_send_fires_l006_once() {
+        let mut events = clean_events();
+        // Coordinator sends (2,11) before (1,10).
+        events[0] = ev(0, 0, isend(0, 2, 11));
+        events[1] = ev(0, 1, isend(0, 1, 10));
+        let epochs = vec![epoch(0, 1, 1, &[]), epoch(0, 2, 2, &[])];
+        let c = check_events(SPEC, 3, &events, &epochs);
+        assert_eq!(c.count(L006), 1, "{:?}", c.lints);
+        assert_eq!(c.count(L007), 0);
+        assert_eq!(c.rank_status[0], RankStatus::OrderViolation);
+        assert!(c.facts.deterministic.is_empty(), "facts must be gated");
+    }
+
+    #[test]
+    fn wrong_peer_send_fires_l007() {
+        let mut events = clean_events();
+        // First send goes to rank 2 with tag 10: right shape, wrong peer.
+        events[0] = ev(0, 0, isend(0, 2, 10));
+        // Rank 2's trace must also change or it would fire its own lint;
+        // keep only rank 0's walk interesting by checking the first lint.
+        let epochs = vec![epoch(0, 1, 1, &[]), epoch(0, 2, 2, &[])];
+        let c = check_events(SPEC, 3, &events, &epochs);
+        assert_eq!(c.rank_status[0], RankStatus::PeerViolation);
+        assert!(c.lints.iter().any(|l| l.id == L007 && l.ranks == vec![0]));
+    }
+
+    #[test]
+    fn named_recv_from_forbidden_rank_fires_l007() {
+        let c = check_events(
+            "role a = 0 role b = 1 role c = 2 msg a -> c : 7",
+            3,
+            &[
+                ev(0, 0, isend(0, 2, 7)),
+                ev(0, 1, TraceOp::Finalize),
+                ev(
+                    2,
+                    0,
+                    TraceOp::Irecv {
+                        comm: 0,
+                        src: 1,
+                        tag: 7,
+                    },
+                ),
+                ev(2, 1, TraceOp::Finalize),
+            ],
+            &[],
+        );
+        assert_eq!(c.rank_status[2], RankStatus::PeerViolation);
+        assert_eq!(c.count(L007), 1, "{:?}", c.lints);
+    }
+
+    #[test]
+    fn wildcard_matching_forbidden_sender_fires_l007() {
+        // Protocol says only worker ranks send tag 12, but the epoch log
+        // shows the wildcard matched rank 2 at a point where only rank 1
+        // remains admissible.
+        let spec = "
+            role coord = 0
+            role left = 1
+            role right = 2
+            msg left -> coord : 12
+            msg right -> coord : 12
+        ";
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 12,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 12,
+                },
+            ),
+            ev(0, 2, TraceOp::Finalize),
+            ev(1, 0, isend(0, 0, 12)),
+            ev(1, 1, TraceOp::Finalize),
+            ev(2, 0, isend(0, 0, 12)),
+            ev(2, 1, TraceOp::Finalize),
+        ];
+        // First wildcard matched 1 (fine: spec is sequential, only left
+        // admissible first), second also "matched" 1 — forbidden, the
+        // protocol already consumed left's message.
+        let epochs = vec![epoch(0, 1, 1, &[2]), epoch(0, 2, 1, &[])];
+        let c = check_events(spec, 3, &events, &epochs);
+        assert_eq!(c.rank_status[0], RankStatus::PeerViolation);
+        assert_eq!(c.count(L007), 1, "{:?}", c.lints);
+    }
+
+    #[test]
+    fn early_finalize_fires_l008_but_truncation_does_not() {
+        // Rank 1 finalizes without sending its mandatory message... but
+        // with `any worker` sends being optional we need a mandatory op:
+        // drop rank 1's named receive instead.
+        let spec = "role a = 0 role b = 1 msg a -> b : 7";
+        let finalize_early = vec![
+            ev(0, 0, isend(0, 1, 7)),
+            ev(0, 1, TraceOp::Finalize),
+            ev(1, 0, TraceOp::Finalize),
+        ];
+        let c = check_events(spec, 2, &finalize_early, &[]);
+        assert_eq!(c.rank_status[1], RankStatus::Incomplete);
+        assert_eq!(c.count(L008), 1, "{:?}", c.lints);
+
+        let truncated = vec![ev(0, 0, isend(0, 1, 7)), ev(0, 1, TraceOp::Finalize)];
+        let c = check_events(spec, 2, &truncated, &[]);
+        assert_eq!(c.rank_status[1], RankStatus::Truncated);
+        assert!(c.lints.is_empty(), "{:?}", c.lints);
+        assert!(!c.notes.is_empty());
+        assert!(c.facts.deterministic.is_empty(), "truncation gates facts");
+    }
+
+    #[test]
+    fn singleton_sender_set_yields_protocol_facts() {
+        // Two stages in protocol order: stage1 (rank 1) then stage2
+        // (rank 2), both tag 7 into rank 0's wildcards. At the first
+        // wildcard only rank 1 is admissible → deterministic + the
+        // recorded alternate 2 is infeasible.
+        let spec = "
+            role sink = 0
+            role stage1 = 1
+            role stage2 = 2
+            msg stage1 -> sink : 7
+            msg stage2 -> sink : 7
+        ";
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+            ev(0, 2, TraceOp::Finalize),
+            ev(1, 0, isend(0, 0, 7)),
+            ev(1, 1, TraceOp::Finalize),
+            ev(2, 0, isend(0, 0, 7)),
+            ev(2, 1, TraceOp::Finalize),
+        ];
+        let epochs = vec![epoch(0, 1, 1, &[2]), epoch(0, 2, 2, &[])];
+        let c = check_events(spec, 3, &events, &epochs);
+        assert!(c.all_conformant(), "{:?}", c.lints);
+        assert_eq!(c.facts.deterministic, BTreeSet::from([(0, 1), (0, 2)]));
+        assert_eq!(c.facts.infeasible, BTreeSet::from([(0, 1, 2)]));
+    }
+
+    #[test]
+    fn violation_on_one_rank_gates_all_facts() {
+        let spec = "
+            role sink = 0
+            role stage1 = 1
+            role stage2 = 2
+            msg stage1 -> sink : 7
+            msg stage2 -> sink : 7
+        ";
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: ANY_SOURCE,
+                    tag: 7,
+                },
+            ),
+            ev(0, 2, TraceOp::Finalize),
+            ev(1, 0, isend(0, 0, 7)),
+            ev(1, 1, TraceOp::Finalize),
+            // Rank 2 sends a bogus extra tag before its protocol send.
+            ev(2, 0, isend(0, 0, 99)),
+            ev(2, 1, isend(0, 0, 7)),
+            ev(2, 2, TraceOp::Finalize),
+        ];
+        let epochs = vec![epoch(0, 1, 1, &[2]), epoch(0, 2, 2, &[])];
+        let c = check_events(spec, 3, &events, &epochs);
+        assert_eq!(c.rank_status[2], RankStatus::OrderViolation);
+        assert_eq!(c.facts, ProtocolFacts::default());
+    }
+
+    #[test]
+    fn skip_collectives_ignores_barriers() {
+        let spec = "skip collectives role a = 0 role b = 1 msg a -> b : 7";
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::Collective {
+                    comm: 0,
+                    name: "barrier".into(),
+                },
+            ),
+            ev(0, 1, isend(0, 1, 7)),
+            ev(0, 2, TraceOp::Finalize),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 7,
+                },
+            ),
+            ev(
+                1,
+                1,
+                TraceOp::Collective {
+                    comm: 0,
+                    name: "barrier".into(),
+                },
+            ),
+            ev(1, 2, TraceOp::Finalize),
+        ];
+        let c = check_events(spec, 2, &events, &[]);
+        assert!(c.all_conformant(), "{:?}", c.lints);
+    }
+
+    #[test]
+    fn collective_out_of_order_fires_l006() {
+        let spec = "role a = 0 role b = 1 collective barrier msg a -> b : 7";
+        let events = vec![
+            ev(0, 0, isend(0, 1, 7)), // barrier skipped entirely
+            ev(0, 1, TraceOp::Finalize),
+        ];
+        let c = check_events(spec, 2, &events, &[]);
+        assert_eq!(c.rank_status[0], RankStatus::OrderViolation);
+        assert_eq!(c.count(L006), 1);
+    }
+
+    #[test]
+    fn any_tag_posted_receive_matches_concrete_edges() {
+        let spec = "role a = 0 role b = 1 msg a -> b : 7";
+        let events = vec![
+            ev(0, 0, isend(0, 1, 7)),
+            ev(0, 1, TraceOp::Finalize),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: ANY_TAG,
+                },
+            ),
+            ev(1, 1, TraceOp::Finalize),
+        ];
+        let c = check_events(spec, 2, &events, &[]);
+        assert!(c.all_conformant(), "{:?}", c.lints);
+    }
+
+    #[test]
+    fn derived_comm_traffic_is_out_of_scope() {
+        let spec = "role a = 0 role b = 1 msg a -> b : 7";
+        let events = vec![
+            ev(0, 0, isend(1, 9, 99)), // comm 1: ignored
+            ev(0, 1, isend(0, 1, 7)),
+            ev(0, 2, TraceOp::Finalize),
+            ev(
+                1,
+                0,
+                TraceOp::Irecv {
+                    comm: 0,
+                    src: 0,
+                    tag: 7,
+                },
+            ),
+            ev(1, 1, TraceOp::Finalize),
+        ];
+        let c = check_events(spec, 2, &events, &[]);
+        assert!(c.all_conformant(), "{:?}", c.lints);
+    }
+}

@@ -26,6 +26,13 @@
 //! - [`lints`] — collective-sequence mismatch (L001), request leak
 //!   (L002), send/receive count imbalance (L003), unbuffered self-send
 //!   deadlock (L004), stuck wildcard receive (L005).
+//! - [`session`] + [`conformance`] — session-typed protocol specs: a
+//!   declarative global-protocol language, projection to per-rank local
+//!   types, and a conformance checker emitting protocol-order (L006),
+//!   unexpected-peer (L007), and incomplete-protocol (L008) lints. When
+//!   every rank conforms, protocol states that pin a wildcard's sender
+//!   down feed two extra plan sections (`protocol_deterministic`,
+//!   `protocol_infeasible`) — see DESIGN.md §16.
 //!
 //! The output is an [`AnalysisReport`] carrying a
 //! [`dampi_core::prune::PrunePlan`] that `dampi-cli verify
@@ -36,14 +43,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conformance;
 pub mod lints;
 pub mod model;
 pub mod passes;
 pub mod report;
+pub mod session;
 
+pub use conformance::{Conformance, ProtocolFacts, RankStatus};
 pub use lints::{Lint, Severity};
 pub use model::TraceModel;
-pub use report::{AnalysisReport, ANALYSIS_SCHEMA_VERSION};
+pub use report::{AnalysisReport, ProtocolSummary, ANALYSIS_SCHEMA_VERSION};
+pub use session::ProtocolSpec;
 
 use dampi_core::scheduler::RunResult;
 use dampi_core::verifier::DampiVerifier;
@@ -58,17 +69,50 @@ pub fn analyze(
     events: &[TraceEvent],
     run: &RunResult,
 ) -> AnalysisReport {
+    analyze_with_protocol(program, nprocs, events, run, None)
+        .expect("analysis without a protocol spec cannot fail")
+}
+
+/// Analyze a traced free run, optionally checking it against a protocol
+/// spec. With a spec, the report gains L006–L008 conformance lints, the
+/// `protocol` summary block, and — when every rank conforms — the
+/// protocol pruning facts in the plan. Fails only when the spec cannot be
+/// instantiated at this world size.
+pub fn analyze_with_protocol(
+    program: &str,
+    nprocs: usize,
+    events: &[TraceEvent],
+    run: &RunResult,
+    spec: Option<&ProtocolSpec>,
+) -> Result<AnalysisReport, String> {
     let model = TraceModel::build(nprocs, events, &run.epochs);
     let sets = passes::match_sets(&model);
     let refinement = passes::refine_match_sets(&model, &sets);
-    let plan = passes::assemble_plan(&model, &sets, &refinement);
-    let lints = lints::run_lints(&model);
+    let mut plan = passes::assemble_plan(&model, &sets, &refinement);
+    let mut lints = lints::run_lints(&model);
+    let mut notes = model.notes.clone();
+    let mut protocol = None;
+    if let Some(spec) = spec {
+        let c = conformance::check(spec, &model)?;
+        protocol = Some(ProtocolSummary {
+            spec_name: c.spec_name.clone(),
+            spec_digest: c.spec_digest,
+            rank_status: c.rank_status.iter().map(|s| s.as_str()).collect(),
+            l006: c.count(conformance::L006),
+            l007: c.count(conformance::L007),
+            l008: c.count(conformance::L008),
+        });
+        plan.protocol_deterministic = c.facts.deterministic;
+        plan.protocol_infeasible = c.facts.infeasible;
+        lints.extend(c.lints);
+        notes.extend(c.notes);
+    }
     let set_sizes = |sets: &passes::MatchSets| {
         sets.iter()
             .map(|((r, c), s)| (format!("{r}:{c}"), s.as_ref().map(|s| s.len())))
             .collect()
     };
-    AnalysisReport {
+    Ok(AnalysisReport {
         program: program.to_owned(),
         nprocs,
         epochs: model.epochs.len(),
@@ -83,8 +127,9 @@ pub fn analyze(
         refinement_iterations: refinement.iterations,
         plan,
         lints,
-        notes: model.notes,
-    }
+        protocol,
+        notes,
+    })
 }
 
 /// Run `program` once under the tool stack with event tracing and analyze
@@ -93,4 +138,14 @@ pub fn analyze(
 pub fn analyze_program(verifier: &DampiVerifier, program: &dyn MpiProgram) -> AnalysisReport {
     let (events, run) = verifier.traced_run(program);
     analyze(program.name(), verifier.sim.nprocs, &events, &run)
+}
+
+/// [`analyze_program`] with an optional protocol spec.
+pub fn analyze_program_with_protocol(
+    verifier: &DampiVerifier,
+    program: &dyn MpiProgram,
+    spec: Option<&ProtocolSpec>,
+) -> Result<AnalysisReport, String> {
+    let (events, run) = verifier.traced_run(program);
+    analyze_with_protocol(program.name(), verifier.sim.nprocs, &events, &run, spec)
 }

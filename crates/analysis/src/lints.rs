@@ -234,57 +234,72 @@ fn request_leak(model: &TraceModel, out: &mut Vec<Lint>) {
     }
 }
 
-/// L003 — per-destination `(WORLD, tag)` send/receive count imbalance.
-/// Receives posted with `ANY_TAG` are flexible capacity; whatever surplus
-/// they cannot absorb is provably undeliverable.
+/// L003 — per-destination `(comm, tag)` send/receive count imbalance.
+/// Communicators are isolated matching domains, so every comm whose
+/// membership the trace resolves (WORLD plus `comm_dup`/`comm_split`
+/// results, see [`TraceModel::comms`]) gets its own channel accounting;
+/// comm-relative destinations are decoded to world ranks through the
+/// membership table. Receives posted with `ANY_TAG` are flexible
+/// capacity; whatever surplus they cannot absorb is provably
+/// undeliverable.
 fn send_recv_imbalance(model: &TraceModel, out: &mut Vec<Lint>) {
-    for dest in 0..model.nprocs {
-        let mut sends: BTreeMap<Tag, usize> = BTreeMap::new();
-        for ops in &model.ops {
-            for op in ops {
-                if let TraceOp::Isend {
-                    comm, dest: d, tag, ..
-                } = op
-                {
-                    if TraceModel::world_peer(*comm, *d) == Some(dest) {
-                        *sends.entry(*tag).or_insert(0) += 1;
+    for (&comm, members) in &model.comms {
+        for &dest in members {
+            let mut sends: BTreeMap<Tag, usize> = BTreeMap::new();
+            for ops in &model.ops {
+                for op in ops {
+                    if let TraceOp::Isend {
+                        comm: c,
+                        dest: d,
+                        tag,
+                        ..
+                    } = op
+                    {
+                        if *c == comm && model.resolve_peer(*c, *d) == Some(dest) {
+                            *sends.entry(*tag).or_insert(0) += 1;
+                        }
                     }
                 }
             }
-        }
-        if sends.is_empty() {
-            continue;
-        }
-        let mut recvs: BTreeMap<Tag, usize> = BTreeMap::new();
-        let mut any = 0usize;
-        for op in &model.ops[dest] {
-            if let TraceOp::Irecv {
-                comm: WORLD, tag, ..
-            } = op
-            {
-                if *tag == ANY_TAG {
-                    any += 1;
-                } else {
-                    *recvs.entry(*tag).or_insert(0) += 1;
+            if sends.is_empty() {
+                continue;
+            }
+            let mut recvs: BTreeMap<Tag, usize> = BTreeMap::new();
+            let mut any = 0usize;
+            for op in &model.ops[dest] {
+                if let TraceOp::Irecv { comm: c, tag, .. } = op {
+                    if *c != comm {
+                        continue;
+                    }
+                    if *tag == ANY_TAG {
+                        any += 1;
+                    } else {
+                        *recvs.entry(*tag).or_insert(0) += 1;
+                    }
                 }
             }
-        }
-        let surplus: usize = sends
-            .iter()
-            .map(|(t, n)| n.saturating_sub(recvs.get(t).copied().unwrap_or(0)))
-            .sum();
-        if surplus > any {
-            out.push(Lint {
-                id: L003,
-                kind: "send-recv-imbalance",
-                severity: Severity::Warning,
-                ranks: vec![dest],
-                message: format!(
-                    "{} message(s) sent to rank {dest} can never be received \
-                     ({surplus} surplus vs {any} wildcard-tag receive(s))",
-                    surplus - any
-                ),
-            });
+            let surplus: usize = sends
+                .iter()
+                .map(|(t, n)| n.saturating_sub(recvs.get(t).copied().unwrap_or(0)))
+                .sum();
+            if surplus > any {
+                let where_ = if comm == WORLD {
+                    String::new()
+                } else {
+                    format!(" on comm {comm}")
+                };
+                out.push(Lint {
+                    id: L003,
+                    kind: "send-recv-imbalance",
+                    severity: Severity::Warning,
+                    ranks: vec![dest],
+                    message: format!(
+                        "{} message(s) sent to rank {dest}{where_} can never be received \
+                         ({surplus} surplus vs {any} wildcard-tag receive(s))",
+                        surplus - any
+                    ),
+                });
+            }
         }
     }
 }
@@ -581,6 +596,216 @@ mod tests {
         ];
         let m = TraceModel::build(2, &events, &[]);
         assert!(run_lints(&m).is_empty());
+    }
+
+    #[test]
+    fn dup_comm_imbalance_fires_l003() {
+        // comm 1 = dup of WORLD. Rank 0 sends twice on the dup; rank 1
+        // posts a single receive there — one message is stranded even
+        // though a WORLD-only channel view would see nothing sent at all.
+        let wait = |rank, seq| {
+            ev(
+                rank,
+                seq,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            )
+        };
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::CommDup {
+                    parent: 0,
+                    result: 1,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Isend {
+                    comm: 1,
+                    dest: 1,
+                    tag: 4,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            wait(0, 2),
+            ev(
+                0,
+                3,
+                TraceOp::Isend {
+                    comm: 1,
+                    dest: 1,
+                    tag: 4,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            wait(0, 4),
+            ev(
+                1,
+                0,
+                TraceOp::CommDup {
+                    parent: 0,
+                    result: 1,
+                },
+            ),
+            ev(
+                1,
+                1,
+                TraceOp::Irecv {
+                    comm: 1,
+                    src: 0,
+                    tag: 4,
+                },
+            ),
+            wait(1, 2),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        let lints = run_lints(&m);
+        let l3: Vec<_> = lints.iter().filter(|l| l.id == L003).collect();
+        assert_eq!(l3.len(), 1, "{lints:?}");
+        assert_eq!(l3[0].ranks, vec![1]);
+        assert!(l3[0].message.contains("on comm 1"), "{}", l3[0].message);
+    }
+
+    #[test]
+    fn balanced_dup_comm_is_clean_of_l003() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::CommDup {
+                    parent: 0,
+                    result: 1,
+                },
+            ),
+            ev(
+                0,
+                1,
+                TraceOp::Isend {
+                    comm: 1,
+                    dest: 1,
+                    tag: 4,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            ev(
+                0,
+                2,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            ),
+            ev(
+                1,
+                0,
+                TraceOp::CommDup {
+                    parent: 0,
+                    result: 1,
+                },
+            ),
+            ev(
+                1,
+                1,
+                TraceOp::Irecv {
+                    comm: 1,
+                    src: 0,
+                    tag: 4,
+                },
+            ),
+            ev(
+                1,
+                2,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 4,
+                },
+            ),
+        ];
+        let m = TraceModel::build(2, &events, &[]);
+        assert!(run_lints(&m).is_empty());
+    }
+
+    #[test]
+    fn split_comm_relative_dest_decodes_to_world_rank() {
+        // Ranks 1 and 2 split into comm 1 (keys = world rank, so comm
+        // order is [1, 2]); rank 0 opts out. Rank 1 sends twice to comm
+        // rank 1 — world rank 2 — which posts only one receive.
+        let split = |rank, seq, key, result: Option<u32>| {
+            ev(
+                rank,
+                seq,
+                TraceOp::CommSplit {
+                    parent: 0,
+                    color: if result == Some(1) { 0 } else { -1 },
+                    member: result.is_some(),
+                    key,
+                    result,
+                },
+            )
+        };
+        let wait = |rank, seq| {
+            ev(
+                rank,
+                seq,
+                TraceOp::Wait {
+                    completed_source: 0,
+                    tag: 5,
+                },
+            )
+        };
+        let events = vec![
+            split(0, 0, 0, None),
+            split(1, 0, 1, Some(1)),
+            ev(
+                1,
+                1,
+                TraceOp::Isend {
+                    comm: 1,
+                    dest: 1,
+                    tag: 5,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            wait(1, 2),
+            ev(
+                1,
+                3,
+                TraceOp::Isend {
+                    comm: 1,
+                    dest: 1,
+                    tag: 5,
+                    bytes: 1,
+                    digest: 0,
+                },
+            ),
+            wait(1, 4),
+            split(2, 0, 2, Some(1)),
+            ev(
+                2,
+                1,
+                TraceOp::Irecv {
+                    comm: 1,
+                    src: 0,
+                    tag: 5,
+                },
+            ),
+            wait(2, 2),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert_eq!(m.comms[&1], vec![1, 2]);
+        let lints = run_lints(&m);
+        let l3: Vec<_> = lints.iter().filter(|l| l.id == L003).collect();
+        assert_eq!(l3.len(), 1, "{lints:?}");
+        assert_eq!(l3[0].ranks, vec![2], "comm rank 1 is world rank 2");
     }
 
     #[test]

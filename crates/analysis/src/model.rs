@@ -34,8 +34,83 @@ pub struct TraceModel {
     /// Per-rank map from trace op index back to the epoch index, for the
     /// wildcard ops that opened an epoch.
     pub epoch_at: Vec<BTreeMap<usize, usize>>,
+    /// World-rank membership of every communicator the trace can resolve,
+    /// in comm-rank order: `comms[&c][r]` is the world rank of comm rank
+    /// `r` in comm `c`. Always contains WORLD; derived comms are
+    /// reconstructed from `CommDup`/`CommSplit` records (splits order
+    /// members by `(key, parent comm rank)`, mirroring the runtime).
+    pub comms: BTreeMap<u32, Vec<usize>>,
     /// Analysis caveats worth surfacing (alignment failures etc.).
     pub notes: Vec<String>,
+}
+
+/// Rebuild derived-communicator membership from creation records. Comm
+/// ids are assigned in global creation order by the runtime, so building
+/// in id order resolves chains (a dup of a split) in one pass.
+fn resolve_comms(nprocs: usize, ops: &[Vec<TraceOp>]) -> BTreeMap<u32, Vec<usize>> {
+    enum Creation {
+        Dup {
+            parent: u32,
+        },
+        Split {
+            parent: u32,
+            members: Vec<(i64, usize)>,
+        },
+    }
+    let mut created: BTreeMap<u32, Creation> = BTreeMap::new();
+    for (rank, ops) in ops.iter().enumerate() {
+        for op in ops {
+            match op {
+                TraceOp::CommDup { parent, result } => {
+                    created
+                        .entry(*result)
+                        .or_insert(Creation::Dup { parent: *parent });
+                }
+                TraceOp::CommSplit {
+                    parent,
+                    key,
+                    result: Some(result),
+                    ..
+                } => {
+                    let entry = created.entry(*result).or_insert(Creation::Split {
+                        parent: *parent,
+                        members: Vec::new(),
+                    });
+                    if let Creation::Split { members, .. } = entry {
+                        members.push((*key, rank));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut comms: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    comms.insert(WORLD, (0..nprocs).collect());
+    for (id, creation) in created {
+        match creation {
+            Creation::Dup { parent } => {
+                if let Some(members) = comms.get(&parent).cloned() {
+                    comms.insert(id, members);
+                }
+            }
+            Creation::Split {
+                parent,
+                mut members,
+            } => {
+                let Some(parent_members) = comms.get(&parent) else {
+                    continue;
+                };
+                // Runtime order: (key, parent comm rank).
+                let crank_of = |world: usize| parent_members.iter().position(|&w| w == world);
+                if members.iter().any(|&(_, w)| crank_of(w).is_none()) {
+                    continue;
+                }
+                members.sort_by_key(|&(key, w)| (key, crank_of(w)));
+                comms.insert(id, members.into_iter().map(|(_, w)| w).collect());
+            }
+        }
+    }
+    comms
 }
 
 /// True when this op is a wildcard (`ANY_SOURCE`) receive — the event
@@ -126,14 +201,28 @@ impl TraceModel {
                 ));
             }
         }
+        let comms = resolve_comms(nprocs, &ops);
         Self {
             nprocs,
             ops,
             epochs,
             epoch_pos,
             epoch_at,
+            comms,
             notes,
         }
+    }
+
+    /// World rank of `peer` (comm-relative, non-wildcard) in communicator
+    /// `comm` — decodes WORLD directly and any derived comm whose
+    /// membership the trace could reconstruct.
+    #[must_use]
+    pub fn resolve_peer(&self, comm: u32, peer: i32) -> Option<usize> {
+        if comm == WORLD {
+            return Self::world_peer(comm, peer);
+        }
+        let members = self.comms.get(&comm)?;
+        members.get(usize::try_from(peer).ok()?).copied()
     }
 
     /// World-rank destinations are only decodable on `WORLD`: derived
@@ -255,5 +344,71 @@ mod tests {
         assert_eq!(TraceModel::world_peer(0, 3), Some(3));
         assert_eq!(TraceModel::world_peer(0, ANY_SOURCE), None);
         assert_eq!(TraceModel::world_peer(7, 3), None);
+    }
+
+    #[test]
+    fn comm_table_resolves_dup_and_split_chains() {
+        // comm 1 = split of WORLD keeping ranks {1, 2} with *reversed*
+        // keys (rank 2 sorts first); comm 2 = dup of comm 1.
+        let events = vec![
+            ev(
+                0,
+                0,
+                TraceOp::CommSplit {
+                    parent: 0,
+                    color: -1,
+                    member: false,
+                    key: 0,
+                    result: None,
+                },
+            ),
+            ev(
+                1,
+                0,
+                TraceOp::CommSplit {
+                    parent: 0,
+                    color: 0,
+                    member: true,
+                    key: 9,
+                    result: Some(1),
+                },
+            ),
+            ev(
+                1,
+                1,
+                TraceOp::CommDup {
+                    parent: 1,
+                    result: 2,
+                },
+            ),
+            ev(
+                2,
+                0,
+                TraceOp::CommSplit {
+                    parent: 0,
+                    color: 0,
+                    member: true,
+                    key: 1,
+                    result: Some(1),
+                },
+            ),
+            ev(
+                2,
+                1,
+                TraceOp::CommDup {
+                    parent: 1,
+                    result: 2,
+                },
+            ),
+        ];
+        let m = TraceModel::build(3, &events, &[]);
+        assert_eq!(m.comms[&0], vec![0, 1, 2]);
+        assert_eq!(m.comms[&1], vec![2, 1], "ordered by (key, parent rank)");
+        assert_eq!(m.comms[&2], vec![2, 1], "dup inherits membership");
+        assert_eq!(m.resolve_peer(1, 0), Some(2));
+        assert_eq!(m.resolve_peer(1, 1), Some(1));
+        assert_eq!(m.resolve_peer(1, 2), None);
+        assert_eq!(m.resolve_peer(3, 0), None, "unknown comm");
+        assert_eq!(m.resolve_peer(0, 1), Some(1));
     }
 }

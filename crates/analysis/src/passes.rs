@@ -554,10 +554,16 @@ fn op_sig(op: &TraceOp) -> OpSig {
             parent: *parent,
             result: *result,
         },
+        // `key` is deliberately left out of the signature: it is almost
+        // always the caller's own rank, which would spuriously break
+        // every symmetry orbit. `result` ids are global creation order,
+        // identical across members, and already implied by (parent,
+        // color) agreement.
         TraceOp::CommSplit {
             parent,
             color,
             member,
+            ..
         } => OpSig::CommSplit {
             parent: *parent,
             color: *color,
@@ -873,6 +879,10 @@ pub fn assemble_plan(model: &TraceModel, sets: &MatchSets, refinement: &Refineme
         refined_infeasible,
         refined_deterministic: refinement.newly_deterministic.clone(),
         oblivious_receives,
+        // Protocol facts are merged in by `analyze_with_protocol` after
+        // the conformance check — the passes know nothing about specs.
+        protocol_infeasible: BTreeSet::new(),
+        protocol_deterministic: BTreeSet::new(),
     }
 }
 

@@ -9,7 +9,29 @@ use serde_json::json;
 use crate::lints::{Lint, Severity};
 
 /// Version stamp of the `analyze --json` document layout.
-pub const ANALYSIS_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `protocol` block (session-typed conformance: spec digest,
+/// per-rank status, L006–L008 counts) and the protocol plan sections.
+pub const ANALYSIS_SCHEMA_VERSION: u32 = 2;
+
+/// Summary of a protocol conformance check, embedded in the report when
+/// `analyze --protocol` supplied a spec.
+#[derive(Debug, Clone)]
+pub struct ProtocolSummary {
+    /// Display name of the spec.
+    pub spec_name: String,
+    /// FNV-1a digest of the spec source text.
+    pub spec_digest: u64,
+    /// Per-rank conformance outcome (stable labels from
+    /// [`crate::conformance::RankStatus::as_str`]).
+    pub rank_status: Vec<&'static str>,
+    /// L006 (protocol-order) findings.
+    pub l006: usize,
+    /// L007 (protocol-peer) findings.
+    pub l007: usize,
+    /// L008 (protocol-incomplete) findings.
+    pub l008: usize,
+}
 
 /// Result of running the static pre-analysis over one traced free run.
 #[derive(Debug)]
@@ -39,6 +61,8 @@ pub struct AnalysisReport {
     pub plan: PrunePlan,
     /// Definite-bug lints.
     pub lints: Vec<Lint>,
+    /// Protocol conformance summary — `None` when no spec was supplied.
+    pub protocol: Option<ProtocolSummary>,
     /// Analysis caveats (alignment failures and the like).
     pub notes: Vec<String>,
 }
@@ -91,6 +115,20 @@ impl AnalysisReport {
             "orbits": self.plan.orbits.iter()
                 .map(|o| o.iter().collect::<Vec<_>>())
                 .collect::<Vec<_>>(),
+            "protocol_deterministic_wildcards": self.plan.protocol_deterministic.iter()
+                .map(|(r, c)| json!({"rank": r, "clock": c}))
+                .collect::<Vec<_>>(),
+            "protocol_infeasible_alternates": self.plan.protocol_infeasible.iter()
+                .map(|(r, c, s)| json!({"rank": r, "clock": c, "src": s}))
+                .collect::<Vec<_>>(),
+            "protocol": self.protocol.as_ref().map(|p| json!({
+                "spec_name": p.spec_name,
+                "spec_digest": format!("{:016x}", p.spec_digest),
+                "rank_status": p.rank_status,
+                "l006": p.l006,
+                "l007": p.l007,
+                "l008": p.l008,
+            })),
             "lints": self.lints.iter().map(Lint::to_json).collect::<Vec<_>>(),
             "error_lints": self.error_lints(),
             "notes": self.notes,
@@ -134,6 +172,25 @@ impl fmt::Display for AnalysisReport {
                 .map(|o| format!("{:?}", o.iter().collect::<Vec<_>>()))
                 .collect();
             writeln!(f, "  symmetry orbits: {}", groups.join(" "))?;
+        }
+        if let Some(p) = &self.protocol {
+            writeln!(
+                f,
+                "  protocol `{}` ({:016x}): {} — {} order / {} peer / {} incomplete \
+                 violation(s); {} protocol-deterministic, {} protocol-infeasible",
+                p.spec_name,
+                p.spec_digest,
+                if p.rank_status.iter().all(|s| *s == "conformant") {
+                    "all ranks conformant".to_string()
+                } else {
+                    format!("{:?}", p.rank_status)
+                },
+                p.l006,
+                p.l007,
+                p.l008,
+                self.plan.protocol_deterministic.len(),
+                self.plan.protocol_infeasible.len()
+            )?;
         }
         if self.lints.is_empty() {
             writeln!(f, "  lints: none")?;
@@ -187,6 +244,7 @@ mod tests {
                 ranks: vec![0, 1],
                 message: "demo".into(),
             }],
+            protocol: None,
             notes: vec!["rank 3: unmapped".into()],
         }
     }
@@ -209,6 +267,34 @@ mod tests {
         assert_eq!(j["refined_infeasible_alternates"][0]["src"], 2);
         assert_eq!(j["refined_deterministic_wildcards"][0]["clock"], 1);
         assert_eq!(j["oblivious_receives"][0]["op"], 4);
+        assert!(j["protocol"].is_null());
+        assert_eq!(j["protocol_deterministic_wildcards"], serde_json::json!([]));
+        assert_eq!(j["protocol_infeasible_alternates"], serde_json::json!([]));
+    }
+
+    #[test]
+    fn protocol_block_surfaces_in_json_and_display() {
+        let mut r = report();
+        r.protocol = Some(ProtocolSummary {
+            spec_name: "demo".into(),
+            spec_digest: 0xdead_beef,
+            rank_status: vec!["conformant", "order-violation"],
+            l006: 1,
+            l007: 0,
+            l008: 0,
+        });
+        r.plan.protocol_deterministic = BTreeSet::from([(0, 7)]);
+        r.plan.protocol_infeasible = BTreeSet::from([(0, 7, 2)]);
+        let j = r.to_json();
+        assert_eq!(j["protocol"]["spec_name"], "demo");
+        assert_eq!(j["protocol"]["spec_digest"], "00000000deadbeef");
+        assert_eq!(j["protocol"]["rank_status"][1], "order-violation");
+        assert_eq!(j["protocol"]["l006"], 1);
+        assert_eq!(j["protocol_deterministic_wildcards"][0]["clock"], 7);
+        assert_eq!(j["protocol_infeasible_alternates"][0]["src"], 2);
+        let s = r.to_string();
+        assert!(s.contains("protocol `demo`"), "{s}");
+        assert!(s.contains("1 order"), "{s}");
     }
 
     #[test]

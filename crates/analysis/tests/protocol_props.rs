@@ -1,0 +1,287 @@
+//! Property-based law for the session-protocol subsystem: the projection
+//! of a *well-formed global type* is deadlock-free and pairwise-dual.
+//!
+//! Concretely: walk a random global protocol in its declared order and
+//! emit the canonical execution it describes — every message's send
+//! before its receive, collectives at the same global position on all
+//! ranks. That trace is realisable (the global order is a schedule, so
+//! the protocol cannot describe a deadlock), and duality means each
+//! rank's *local view* of it must be accepted by that rank's projected
+//! NFA: the conformance checker must report every rank conformant with
+//! zero L006–L008 lints. A single failing case would mean projection
+//! dropped, reordered, or misaddressed an action relative to its dual.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use dampi_analysis::{conformance, TraceModel};
+use dampi_clocks::ClockStamp;
+use dampi_core::epoch::{EpochRecord, NdKind};
+use dampi_mpi::trace::{TraceEvent, TraceOp};
+use dampi_mpi::{Comm, ANY_SOURCE};
+use proptest::prelude::*;
+
+/// Tag every funnel statement uses (distinct from the direct-tag pool on
+/// purpose is *not* required — the subset NFA disambiguates reuse).
+const FUNNEL_TAG: i32 = 50;
+
+/// One statement of a generated global protocol.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `msg p<from> -> p<to> : <tag>` — a one-to-one message.
+    Direct { from: usize, to: usize, tag: i32 },
+    /// `repeat <n> { msg any f -> p<to> : FUNNEL_TAG }` where `f` is
+    /// everyone but the receiver; `wild` receives post `ANY_SOURCE`.
+    Funnel { to: usize, count: usize, wild: bool },
+    /// `collective <name>`, all ranks at this global position.
+    Collective(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct Proto {
+    nprocs: usize,
+    stmts: Vec<Stmt>,
+}
+
+/// Raw sampled statement: `(kind, a, b, n)` decoded against a concrete
+/// world size by [`build`] (the vendored proptest samples plain
+/// integers; decoding keeps every draw well-formed by construction).
+/// `n` multiplexes tag/count/wildcardness — they are never needed by the
+/// same statement kind at once.
+type RawStmt = (usize, usize, usize, usize);
+
+fn build(np_raw: usize, raw: &[RawStmt]) -> Proto {
+    let np = 3 + np_raw % 3; // 3..=5
+    let stmts = raw
+        .iter()
+        .map(|&(kind, a, b, n)| match kind % 3 {
+            0 => {
+                let from = a % np;
+                let mut to = b % np;
+                if to == from {
+                    to = (to + 1) % np;
+                }
+                Stmt::Direct {
+                    from,
+                    to,
+                    tag: 10 + (n % 4) as i32,
+                }
+            }
+            1 => Stmt::Funnel {
+                to: a % np,
+                count: 1 + n % 3,
+                wild: n >= 8,
+            },
+            _ => Stmt::Collective(["barrier", "bcast", "allreduce"][a % 3]),
+        })
+        .collect();
+    Proto { nprocs: np, stmts }
+}
+
+/// Render the protocol in the spec language.
+fn spec_text(p: &Proto) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "protocol generated");
+    for r in 0..p.nprocs {
+        let _ = writeln!(s, "role p{r} = {r}");
+    }
+    for (i, st) in p.stmts.iter().enumerate() {
+        if let Stmt::Funnel { to, .. } = st {
+            let members: Vec<String> = (0..p.nprocs)
+                .filter(|r| r != to)
+                .map(|r| r.to_string())
+                .collect();
+            let _ = writeln!(s, "role f{i} = {{{}}}", members.join(", "));
+        }
+    }
+    for (i, st) in p.stmts.iter().enumerate() {
+        match st {
+            Stmt::Direct { from, to, tag } => {
+                let _ = writeln!(s, "msg p{from} -> p{to} : {tag}");
+            }
+            Stmt::Funnel { to, count, .. } => {
+                let _ = writeln!(
+                    s,
+                    "repeat {count} {{ msg any f{i} -> p{to} : {FUNNEL_TAG} }}"
+                );
+            }
+            Stmt::Collective(name) => {
+                let _ = writeln!(s, "collective {name}");
+            }
+        }
+    }
+    s
+}
+
+/// Emit the canonical execution of the global type: statements in
+/// declared order, each message's send before its receive. Wildcard
+/// funnel receives get matching epoch records (the k-th wildcard op on a
+/// rank pairs with its k-th epoch).
+fn canonical_trace(p: &Proto) -> (Vec<TraceEvent>, Vec<EpochRecord>) {
+    let np = p.nprocs;
+    let mut seq = vec![0u64; np];
+    let mut wilds = vec![0u64; np];
+    let mut events = Vec::new();
+    let mut epochs = Vec::new();
+    let push = |events: &mut Vec<TraceEvent>, seq: &mut Vec<u64>, rank: usize, op: TraceOp| {
+        events.push(TraceEvent {
+            rank,
+            seq: seq[rank],
+            vt: 0.0,
+            op,
+        });
+        seq[rank] += 1;
+    };
+    for st in &p.stmts {
+        match st {
+            Stmt::Direct { from, to, tag } => {
+                push(
+                    &mut events,
+                    &mut seq,
+                    *from,
+                    TraceOp::Isend {
+                        comm: 0,
+                        dest: *to as i32,
+                        tag: *tag,
+                        bytes: 1,
+                        digest: 0,
+                    },
+                );
+                push(
+                    &mut events,
+                    &mut seq,
+                    *to,
+                    TraceOp::Irecv {
+                        comm: 0,
+                        src: *from as i32,
+                        tag: *tag,
+                    },
+                );
+            }
+            Stmt::Funnel { to, count, wild } => {
+                let others: Vec<usize> = (0..np).filter(|r| r != to).collect();
+                for k in 0..*count {
+                    let sender = others[k % others.len()];
+                    push(
+                        &mut events,
+                        &mut seq,
+                        *to,
+                        TraceOp::Irecv {
+                            comm: 0,
+                            src: if *wild { ANY_SOURCE } else { sender as i32 },
+                            tag: FUNNEL_TAG,
+                        },
+                    );
+                    push(
+                        &mut events,
+                        &mut seq,
+                        sender,
+                        TraceOp::Isend {
+                            comm: 0,
+                            dest: *to as i32,
+                            tag: FUNNEL_TAG,
+                            bytes: 1,
+                            digest: 0,
+                        },
+                    );
+                    if *wild {
+                        wilds[*to] += 1;
+                        epochs.push(EpochRecord {
+                            rank: *to,
+                            clock: wilds[*to],
+                            stamp: ClockStamp::Lamport(wilds[*to]),
+                            comm: Comm::WORLD,
+                            tag_spec: FUNNEL_TAG,
+                            kind: NdKind::Recv,
+                            in_region: false,
+                            guided: false,
+                            matched_src: Some(sender),
+                            alternates: BTreeSet::new(),
+                        });
+                    }
+                }
+            }
+            Stmt::Collective(name) => {
+                let trace_name: &'static str = match *name {
+                    "allreduce" => "allreduce_u64",
+                    other => other,
+                };
+                for rank in 0..np {
+                    push(
+                        &mut events,
+                        &mut seq,
+                        rank,
+                        TraceOp::Collective {
+                            comm: 0,
+                            name: trace_name.into(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    for rank in 0..np {
+        push(&mut events, &mut seq, rank, TraceOp::Finalize);
+    }
+    (events, epochs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline law: every rank's local view of the canonical global
+    /// execution is accepted by its projection — no false L006/L007/L008,
+    /// every rank conformant.
+    #[test]
+    fn projection_accepts_the_canonical_dual_trace(
+        np_raw in 0usize..3,
+        raw in proptest::collection::vec((0usize..3, 0usize..8, 0usize..8, 0usize..16), 1..8),
+    ) {
+        let p = build(np_raw, &raw);
+        let text = spec_text(&p);
+        let spec = dampi_analysis::ProtocolSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("generated spec must parse: {e}\n{text}"));
+        let (events, epochs) = canonical_trace(&p);
+        let model = TraceModel::build(p.nprocs, &events, &epochs);
+        let c = conformance::check(&spec, &model)
+            .unwrap_or_else(|e| panic!("instantiation must succeed: {e}\n{text}"));
+        prop_assert!(
+            c.all_conformant() && c.lints.is_empty(),
+            "projection rejected its own canonical trace:\n{text}\nlints: {:?}\nstatus: {:?}",
+            c.lints,
+            c.rank_status
+        );
+    }
+
+    /// Facts stay inside the law too: a protocol-deterministic claim may
+    /// only name an epoch whose matched source the checker also accepted,
+    /// and infeasible claims must never name a matched source.
+    #[test]
+    fn facts_never_contradict_the_accepted_trace(
+        np_raw in 0usize..3,
+        raw in proptest::collection::vec((0usize..3, 0usize..8, 0usize..8, 0usize..16), 1..8),
+    ) {
+        let p = build(np_raw, &raw);
+        let text = spec_text(&p);
+        let spec = dampi_analysis::ProtocolSpec::parse(&text).unwrap();
+        let (events, epochs) = canonical_trace(&p);
+        let model = TraceModel::build(p.nprocs, &events, &epochs);
+        let c = conformance::check(&spec, &model).unwrap();
+        for &(rank, clock) in &c.facts.deterministic {
+            prop_assert!(
+                epochs.iter().any(|e| e.rank == rank && e.clock == clock),
+                "deterministic fact names unknown epoch ({rank},{clock})"
+            );
+        }
+        for &(rank, clock, src) in &c.facts.infeasible {
+            let matched = epochs
+                .iter()
+                .find(|e| e.rank == rank && e.clock == clock)
+                .and_then(|e| e.matched_src);
+            prop_assert!(
+                matched != Some(src),
+                "infeasible fact contradicts the accepted match ({rank},{clock},{src})"
+            );
+        }
+    }
+}

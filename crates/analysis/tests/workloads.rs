@@ -1,12 +1,16 @@
 //! End-to-end analyzer checks against the real workload crate: seeded-bug
 //! patterns must fire exactly their intended lint, clean kernels must fire
 //! none, and the symmetry pass must find the racers orbits it prunes with.
+//! The session-protocol gates live here too: every committed spec must be
+//! conformant against its workload (zero false positives), the seeded
+//! L006–L008 patterns must fire exactly their lint, and protocol-guided
+//! pruning must beat PrunePlan v2 without touching the error set.
 
-use dampi_analysis::{analyze, analyze_program};
+use dampi_analysis::{analyze, analyze_program, analyze_program_with_protocol, ProtocolSpec};
 use dampi_core::DampiVerifier;
 use dampi_mpi::program::MpiProgram;
 use dampi_mpi::{MatchPolicy, SimConfig};
-use dampi_workloads::{nas, patterns};
+use dampi_workloads::{nas, patterns, protocols, spec};
 
 fn verifier(np: usize) -> DampiVerifier {
     DampiVerifier::new(SimConfig::new(np).with_policy(MatchPolicy::LowestRank))
@@ -227,6 +231,152 @@ fn alternate_schedule_deadlock_survives_pruning() {
     let (base, pruned) = error_sets(3, &prog);
     assert!(!base.is_empty(), "plain campaign must find the deadlock");
     assert_eq!(base, pruned, "pruning changed the deadlock error set");
+}
+
+#[test]
+fn clean_spec_kernels_fire_no_lints() {
+    // The SpecMPI2007 skeletons join the zero-false-positive gate: none
+    // of L001–L008 may fire on a nominal run.
+    for (name, prog) in spec::all_nominal() {
+        let report = analyze_program(&verifier(4), prog.as_ref());
+        assert!(
+            report.lints.is_empty(),
+            "{name}: unexpected lints {:?}",
+            report.lints
+        );
+    }
+}
+
+#[test]
+fn clean_parmetis_fires_no_lints() {
+    use dampi_workloads::parmetis::{Parmetis, ParmetisParams};
+    let prog = Parmetis::new(ParmetisParams::nominal(4, 0.2));
+    let report = analyze_program(&verifier(4), &prog);
+    assert!(
+        report.lints.is_empty(),
+        "parmetis: unexpected lints {:?}",
+        report.lints
+    );
+}
+
+/// The committed workloads each committed spec is checked against, at the
+/// world size the spec's literal roles assume.
+fn spec_programs() -> Vec<(&'static str, usize, Box<dyn MpiProgram>)> {
+    use dampi_workloads::adlb::{Adlb, AdlbParams};
+    use dampi_workloads::matmul::{Matmul, MatmulParams};
+    vec![
+        ("matmul", 4, Box::new(Matmul::new(MatmulParams::default()))),
+        (
+            "matmul_ack",
+            4,
+            Box::new(Matmul::new(MatmulParams {
+                ack_results: true,
+                ..MatmulParams::default()
+            })),
+        ),
+        ("adlb", 4, Box::new(Adlb::new(AdlbParams::default()))),
+        ("racers", 4, Box::new(patterns::symmetric_racers())),
+        ("ordered_stages", 3, Box::new(patterns::ordered_stages())),
+        ("protocol_demo", 3, Box::new(patterns::protocol_demo())),
+    ]
+}
+
+#[test]
+fn every_committed_spec_is_conformant_with_zero_false_positives() {
+    for (name, np, prog) in spec_programs() {
+        let spec = ProtocolSpec::parse(protocols::by_name(name).expect("committed spec"))
+            .unwrap_or_else(|e| panic!("{name}: spec must parse: {e}"));
+        let report = analyze_program_with_protocol(&verifier(np), prog.as_ref(), Some(&spec))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let p = report.protocol.as_ref().expect("protocol block present");
+        assert_eq!(
+            (p.l006, p.l007, p.l008),
+            (0, 0, 0),
+            "{name}: false positive — {:?}",
+            report.lints
+        );
+        assert!(
+            p.rank_status.iter().all(|s| *s == "conformant"),
+            "{name}: {:?}",
+            p.rank_status
+        );
+    }
+}
+
+#[test]
+fn seeded_protocol_violations_fire_exactly_their_lint() {
+    let spec = ProtocolSpec::parse(protocols::PROTOCOL_DEMO).unwrap();
+    let cases: Vec<(&str, Box<dyn MpiProgram>, &str)> = vec![
+        ("order", Box::new(patterns::protocol_order_bug()), "L006"),
+        ("peer", Box::new(patterns::protocol_peer_bug()), "L007"),
+        ("short", Box::new(patterns::protocol_short_bug()), "L008"),
+    ];
+    for (what, prog, want) in cases {
+        let report =
+            analyze_program_with_protocol(&verifier(3), prog.as_ref(), Some(&spec)).unwrap();
+        let ids: Vec<&str> = report.lints.iter().map(|l| l.id).collect();
+        assert_eq!(ids, [want], "{what} bug: lints {:?}", report.lints);
+        assert_eq!(
+            report.lints[0].ranks,
+            [0],
+            "{what} bug fires on the coordinator"
+        );
+        assert_eq!(report.error_lints(), 1, "{what} bug must drive exit 2");
+        // A non-conformant run must contribute no pruning facts.
+        assert!(report.plan.protocol_deterministic.is_empty());
+        assert!(report.plan.protocol_infeasible.is_empty());
+    }
+}
+
+#[test]
+fn ordered_stages_protocol_prunes_beyond_v2_with_equal_errors() {
+    // The committed headline: PrunePlan v2 keeps both interleavings of
+    // the sink's first wildcard; the protocol pins it to stage1 and the
+    // campaign drops to a single replayed schedule with the error set
+    // (empty here) byte-identical.
+    let prog = patterns::ordered_stages();
+    let np = 3;
+    let v = verifier(np);
+    let (events, run) = v.traced_run(&prog);
+    let base = v.verify_with_first_run(&prog, run.clone());
+    let v2 = analyze(prog.name(), np, &events, &run);
+    let spec = ProtocolSpec::parse(protocols::ORDERED_STAGES).unwrap();
+    let v3 =
+        dampi_analysis::analyze_with_protocol(prog.name(), np, &events, &run, Some(&spec)).unwrap();
+    assert!(
+        !v3.plan.protocol_deterministic.is_empty(),
+        "protocol must pin the sink's wildcards: {:?}",
+        v3.plan
+    );
+    let pruned_v2 = v
+        .clone()
+        .with_prune_plan(v2.prune_plan())
+        .verify_with_first_run(&prog, run.clone());
+    let pruned_v3 = v
+        .clone()
+        .with_prune_plan(v3.prune_plan())
+        .verify_with_first_run(&prog, run);
+    assert!(
+        pruned_v3.interleavings < pruned_v2.interleavings,
+        "protocol plan must prune at least one replay v2 keeps: v2 {} vs v3 {}",
+        pruned_v2.interleavings,
+        pruned_v3.interleavings
+    );
+    let keys = |r: &dampi_core::report::VerificationReport| {
+        let mut k: ErrorKeys = r
+            .errors
+            .iter()
+            .map(|e| (e.rank, e.error.to_string()))
+            .collect();
+        k.sort();
+        k
+    };
+    assert_eq!(keys(&base), keys(&pruned_v2));
+    assert_eq!(keys(&base), keys(&pruned_v3));
+    assert!(
+        pruned_v3.protocol_alternates_pruned + pruned_v3.protocol_wildcards_deterministic > 0,
+        "campaign counters must attribute the win to the protocol"
+    );
 }
 
 #[test]

@@ -1,0 +1,80 @@
+//! **Protocol-guided pruning — replay count vs. the v2 plan.**
+//!
+//! Three campaigns per workload from the same traced free run: plain,
+//! v2-pruned (`analyze`), and v3-pruned (`analyze_with_protocol` against
+//! the committed `.protocol` spec). The interesting column is the
+//! v2 → v3 delta: schedules the session type refutes that trace-local
+//! analysis cannot.
+//!
+//! Expected shape: `ordered_stages` is the headline — the stage2→sink
+//! token serializes the two DATA messages, but rank 0 never observes the
+//! token, so vector clocks keep the alternate and v2 replays 2; the
+//! protocol pins both wildcards and the campaign collapses to 1.
+//! `protocol_demo` is the honest no-op row — both RESULT arrivals are
+//! genuinely racy under the spec, so v3 must prune exactly nothing.
+//! On every point all three error sets are asserted byte-identical.
+//!
+//! Set `DAMPI_BENCH_JSON=<path>` to also write the
+//! `BENCH_protocol_prune.json` snapshot. `DAMPI_BENCH_FAST=1` skips the
+//! Criterion timing loop (CI smoke runs the figure + assertions only).
+
+use criterion::{criterion_group, Criterion};
+use dampi_bench::protocol::{measure, to_json};
+use dampi_bench::Table;
+
+fn print_figure() {
+    let mut table = Table::new(
+        "Protocol-guided pruning: replays, plain vs. v2 vs. --protocol",
+        &[
+            "workload",
+            "plain il",
+            "v2 il",
+            "v3 il",
+            "proto dropped",
+            "proto det wc",
+            "plan det/inf",
+            "v2 (s)",
+            "v3 (s)",
+        ],
+    );
+    let mut points = Vec::new();
+    for workload in ["ordered_stages", "protocol_demo"] {
+        let p = measure(workload);
+        table.row(vec![
+            p.workload.clone(),
+            p.base_interleavings.to_string(),
+            p.v2_interleavings.to_string(),
+            p.protocol_interleavings.to_string(),
+            p.protocol_alternates_pruned.to_string(),
+            p.protocol_wildcards_deterministic.to_string(),
+            format!("{}/{}", p.plan_deterministic, p.plan_infeasible),
+            format!("{:.4}", p.v2_wall_s),
+            format!("{:.4}", p.protocol_wall_s),
+        ]);
+        points.push(p);
+    }
+    table.print();
+    if let Ok(path) = std::env::var("DAMPI_BENCH_JSON") {
+        std::fs::write(&path, to_json(&points)).expect("write snapshot");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_prune");
+    g.sample_size(10);
+    g.bench_function("ordered_stages_v2_vs_protocol", |b| {
+        b.iter(|| measure("ordered_stages"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    if std::env::var("DAMPI_BENCH_FAST").is_err() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
+}

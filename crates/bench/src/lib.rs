@@ -10,6 +10,7 @@
 pub mod cache;
 pub mod overhead;
 pub mod parallel;
+pub mod protocol;
 pub mod prune;
 pub mod shard;
 pub mod table;

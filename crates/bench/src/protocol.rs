@@ -1,0 +1,185 @@
+//! Protocol-guided pruning measurement (`verify --prune-static
+//! --protocol` vs. the plain v2 plan).
+//!
+//! For each workload with a committed session protocol, grow three
+//! campaigns from the *same* traced free run: plain, pruned with the v2
+//! plan (`analyze`), and pruned with the v3 plan (`analyze_with_protocol`
+//! against the committed spec). The headline metric is the replay delta
+//! between v2 and v3 — schedules the session type refutes that the
+//! trace-local analysis cannot.
+//!
+//! The soundness contract is asserted on every point: all three error
+//! sets byte-identical, v3 replays ≤ v2 replays ≤ plain replays, and the
+//! committed spec conformant on the traced run (a non-conformant run
+//! would contribute no facts and the row would silently measure nothing).
+
+use std::time::Instant;
+
+use dampi_analysis::{analyze, analyze_with_protocol, ProtocolSpec};
+use dampi_core::report::VerificationReport;
+use dampi_core::DampiVerifier;
+use dampi_mpi::program::MpiProgram;
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::{patterns, protocols};
+
+/// One measured workload: plain vs. v2-pruned vs. protocol-pruned.
+#[derive(Debug, Clone)]
+pub struct ProtocolPoint {
+    /// Workload name (also the committed spec name).
+    pub workload: String,
+    /// Explicit configuration of the point; two snapshots are comparable
+    /// only when their `params` strings are identical.
+    pub params: String,
+    /// Interleavings the plain campaign replayed.
+    pub base_interleavings: u64,
+    /// Interleavings under the v2 plan (no protocol).
+    pub v2_interleavings: u64,
+    /// Interleavings under the v3 plan (protocol facts included).
+    pub protocol_interleavings: u64,
+    /// Frontier forks dropped by protocol-infeasible facts.
+    pub protocol_alternates_pruned: u64,
+    /// Wildcard instances the protocol proved deterministic.
+    pub protocol_wildcards_deterministic: u64,
+    /// Protocol-deterministic facts in the plan.
+    pub plan_deterministic: usize,
+    /// Protocol-infeasible facts in the plan.
+    pub plan_infeasible: usize,
+    /// Wall-clock seconds of the v2-pruned campaign (analysis included).
+    pub v2_wall_s: f64,
+    /// Wall-clock seconds of the protocol-pruned campaign (conformance
+    /// check and analysis included).
+    pub protocol_wall_s: f64,
+    /// Errors found (identical across all three campaigns by assertion).
+    pub errors: usize,
+}
+
+fn setup(workload: &str) -> (DampiVerifier, Box<dyn MpiProgram>, String) {
+    match workload {
+        "ordered_stages" => (
+            DampiVerifier::new(SimConfig::new(3).with_policy(MatchPolicy::LowestRank)),
+            Box::new(patterns::ordered_stages()),
+            "np=3 policy=lowest_rank protocol_prune bound=unbounded".to_owned(),
+        ),
+        "protocol_demo" => (
+            DampiVerifier::new(SimConfig::new(3).with_policy(MatchPolicy::LowestRank)),
+            Box::new(patterns::protocol_demo()),
+            "np=3 policy=lowest_rank protocol_prune bound=unbounded".to_owned(),
+        ),
+        other => panic!("unknown protocol workload `{other}`"),
+    }
+}
+
+fn error_keys(report: &VerificationReport) -> Vec<(usize, String)> {
+    let mut keys: Vec<(usize, String)> = report
+        .errors
+        .iter()
+        .map(|e| (e.rank, e.error.to_string()))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Run `workload` plain, v2-pruned, and protocol-pruned, asserting the
+/// soundness contract between all three campaigns.
+#[must_use]
+pub fn measure(workload: &str) -> ProtocolPoint {
+    let (verifier, prog, params) = setup(workload);
+    let spec_text =
+        protocols::by_name(workload).unwrap_or_else(|| panic!("{workload}: no committed spec"));
+    let spec = ProtocolSpec::parse(spec_text).expect("committed spec parses");
+    let (events, run) = verifier.traced_run(prog.as_ref());
+    let np = verifier.sim.nprocs;
+
+    let base = verifier.verify_with_first_run(prog.as_ref(), run.clone());
+
+    let start = Instant::now();
+    let v2 = analyze(prog.name(), np, &events, &run);
+    let v2_report = verifier
+        .clone()
+        .with_prune_plan(v2.prune_plan())
+        .verify_with_first_run(prog.as_ref(), run.clone());
+    let v2_wall_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let v3 = analyze_with_protocol(prog.name(), np, &events, &run, Some(&spec))
+        .expect("protocol analysis succeeds");
+    let summary = v3.protocol.as_ref().expect("protocol summary present");
+    assert_eq!(
+        (summary.l006, summary.l007, summary.l008),
+        (0, 0, 0),
+        "{workload}: committed spec must be conformant on the traced run"
+    );
+    let plan_deterministic = v3.plan.protocol_deterministic.len();
+    let plan_infeasible = v3.plan.protocol_infeasible.len();
+    let v3_report = verifier
+        .clone()
+        .with_prune_plan(v3.prune_plan())
+        .verify_with_first_run(prog.as_ref(), run);
+    let protocol_wall_s = start.elapsed().as_secs_f64();
+
+    let base_keys = error_keys(&base);
+    assert_eq!(
+        base_keys,
+        error_keys(&v2_report),
+        "{workload}: v2 pruning changed the error set"
+    );
+    assert_eq!(
+        base_keys,
+        error_keys(&v3_report),
+        "{workload}: protocol pruning changed the error set"
+    );
+    assert!(
+        v3_report.interleavings <= v2_report.interleavings
+            && v2_report.interleavings <= base.interleavings,
+        "{workload}: pruning lattice violated ({} / {} / {})",
+        base.interleavings,
+        v2_report.interleavings,
+        v3_report.interleavings
+    );
+
+    ProtocolPoint {
+        workload: workload.to_owned(),
+        params,
+        base_interleavings: base.interleavings,
+        v2_interleavings: v2_report.interleavings,
+        protocol_interleavings: v3_report.interleavings,
+        protocol_alternates_pruned: v3_report.protocol_alternates_pruned,
+        protocol_wildcards_deterministic: v3_report.protocol_wildcards_deterministic,
+        plan_deterministic,
+        plan_infeasible,
+        v2_wall_s,
+        protocol_wall_s,
+        errors: base.errors.len(),
+    }
+}
+
+/// JSON snapshot (`BENCH_protocol_prune.json`).
+#[must_use]
+pub fn to_json(points: &[ProtocolPoint]) -> String {
+    let mut out = String::from("{\n  \"workloads\": {\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"params\": \"{}\", \"base_interleavings\": {}, \
+             \"v2_interleavings\": {}, \"protocol_interleavings\": {}, \
+             \"protocol_alternates_pruned\": {}, \
+             \"protocol_wildcards_deterministic\": {}, \
+             \"plan_deterministic\": {}, \"plan_infeasible\": {}, \
+             \"v2_wall_s\": {:.4}, \"protocol_wall_s\": {:.4}, \"errors\": {}}}{}\n",
+            p.workload,
+            p.params,
+            p.base_interleavings,
+            p.v2_interleavings,
+            p.protocol_interleavings,
+            p.protocol_alternates_pruned,
+            p.protocol_wildcards_deterministic,
+            p.plan_deterministic,
+            p.plan_infeasible,
+            p.v2_wall_s,
+            p.protocol_wall_s,
+            p.errors,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}

@@ -183,6 +183,13 @@ pub struct SemanticMetrics {
     /// Committed epoch instances only the refinement fixed point proved
     /// deterministic (disjoint from `wildcards_deterministic`).
     pub refined_wildcards_deterministic: u64,
+    /// Frontier alternates dropped because the protocol's local type
+    /// forbids their sender at that receive state (plan v3, disjoint from
+    /// the envelope/refinement counters).
+    pub protocol_alternates_pruned: u64,
+    /// Committed epoch instances whose wildcard the protocol proved
+    /// deterministic (the local type admits exactly one sender role).
+    pub protocol_wildcards_deterministic: u64,
 }
 
 impl SemanticMetrics {
@@ -203,6 +210,8 @@ impl SemanticMetrics {
         self.wildcards_deterministic += oc.wildcards_deterministic;
         self.refined_alternates_pruned += oc.refined_alternates_pruned;
         self.refined_wildcards_deterministic += oc.refined_wildcards_deterministic;
+        self.protocol_alternates_pruned += oc.protocol_alternates_pruned;
+        self.protocol_wildcards_deterministic += oc.protocol_wildcards_deterministic;
     }
 }
 
@@ -234,6 +243,11 @@ pub struct ObservedCommit {
     pub refined_alternates_pruned: u64,
     /// Epoch instances only the refinement proved deterministic.
     pub refined_wildcards_deterministic: u64,
+    /// Alternates dropped at this commit because the protocol forbids
+    /// their sender (disjoint from the other prune counters).
+    pub protocol_alternates_pruned: u64,
+    /// Epoch instances the protocol proved deterministic at this commit.
+    pub protocol_wildcards_deterministic: u64,
 }
 
 // ---- Campaign metrics ------------------------------------------------------
@@ -568,6 +582,8 @@ impl CampaignMetrics {
             "wildcards_deterministic": s.wildcards_deterministic,
             "refined_alternates_pruned": s.refined_alternates_pruned,
             "refined_wildcards_deterministic": s.refined_wildcards_deterministic,
+            "protocol_alternates_pruned": s.protocol_alternates_pruned,
+            "protocol_wildcards_deterministic": s.protocol_wildcards_deterministic,
         });
         let shard = serde_json::json!({
             "workers_spawned": self.workers_spawned.load(Ordering::Relaxed),
@@ -893,6 +909,8 @@ mod tests {
                 wildcards_deterministic: 1,
                 refined_alternates_pruned: 3,
                 refined_wildcards_deterministic: 1,
+                protocol_alternates_pruned: 2,
+                protocol_wildcards_deterministic: 1,
             },
             4,
         );
@@ -910,6 +928,8 @@ mod tests {
                 wildcards_deterministic: 1,
                 refined_alternates_pruned: 1,
                 refined_wildcards_deterministic: 0,
+                protocol_alternates_pruned: 0,
+                protocol_wildcards_deterministic: 1,
             },
             3,
         );
@@ -926,6 +946,8 @@ mod tests {
         assert_eq!(s.wildcards_deterministic, 2);
         assert_eq!(s.refined_alternates_pruned, 4);
         assert_eq!(s.refined_wildcards_deterministic, 1);
+        assert_eq!(s.protocol_alternates_pruned, 2);
+        assert_eq!(s.protocol_wildcards_deterministic, 2);
         assert_eq!(m.committed(), 2);
     }
 

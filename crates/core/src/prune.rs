@@ -40,8 +40,21 @@
 //!    traced run (cross-rank twin evidence). Carried for reporting: the
 //!    orbit pass already spent this license when it built `orbits`.
 //!
-//! Old (version-1) plans deserialize with the new fields empty, so a plan
-//! produced by an earlier analyzer build still drives the scheduler.
+//! Plan **version 3** adds the session-type conformance outputs, emitted
+//! only when a protocol spec was supplied *and* every rank's traced run
+//! conformed to its projection:
+//!
+//! 7. **Protocol-infeasible alternates** — recorded `(rank, clock, src)`
+//!    alternates whose sender is outside the set of roles the local type
+//!    admits at that receive state. Forcing one would explore a schedule
+//!    the declared protocol forbids; dropped from the root frontier only,
+//!    like the other infeasibility facts.
+//! 8. **Protocol-deterministic wildcards** — `(rank, clock)` epochs where
+//!    the local type admits exactly one sender role, so the wildcard
+//!    receive cannot branch under any conformant schedule.
+//!
+//! Old (version-1/2) plans deserialize with the newer fields empty, so a
+//! plan produced by an earlier analyzer build still drives the scheduler.
 //!
 //! Every decision the scheduler takes from a plan happens on the
 //! deterministic commit path, so `--jobs N` explorations remain
@@ -52,7 +65,7 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 /// Current plan schema version written by the analyzer.
-pub const PRUNE_PLAN_VERSION: u32 = 2;
+pub const PRUNE_PLAN_VERSION: u32 = 3;
 
 /// The distilled output of the static pre-analysis, consumed by
 /// `scheduler::push_forks` when pruning is enabled.
@@ -86,6 +99,16 @@ pub struct PrunePlan {
     /// receivers. Reporting only — no scheduler effect of its own.
     #[serde(default)]
     pub oblivious_receives: BTreeSet<(usize, usize)>,
+    /// Alternates `(rank, clock, src)` whose sender the protocol's local
+    /// type forbids at that receive state (plan v3). Disjoint from the
+    /// envelope/refinement facts; root frontier only, like them.
+    #[serde(default)]
+    pub protocol_infeasible: BTreeSet<(usize, u64, usize)>,
+    /// Epochs `(rank, clock)` where the local type admits exactly one
+    /// sender role (plan v3) — protocol-deterministic wildcards. Disjoint
+    /// from `deterministic` and `refined_deterministic`.
+    #[serde(default)]
+    pub protocol_deterministic: BTreeSet<(usize, u64)>,
 }
 
 impl Default for PrunePlan {
@@ -98,6 +121,8 @@ impl Default for PrunePlan {
             refined_infeasible: BTreeSet::new(),
             refined_deterministic: BTreeSet::new(),
             oblivious_receives: BTreeSet::new(),
+            protocol_infeasible: BTreeSet::new(),
+            protocol_deterministic: BTreeSet::new(),
         }
     }
 }
@@ -113,6 +138,8 @@ impl PrunePlan {
             && self.deterministic.is_empty()
             && self.refined_infeasible.is_empty()
             && self.refined_deterministic.is_empty()
+            && self.protocol_infeasible.is_empty()
+            && self.protocol_deterministic.is_empty()
             && self.orbits.iter().all(|o| o.len() < 2)
     }
 
@@ -171,6 +198,20 @@ mod tests {
     }
 
     #[test]
+    fn protocol_facts_make_a_plan_nonempty() {
+        let infeasible = PrunePlan {
+            protocol_infeasible: BTreeSet::from([(0, 1, 2)]),
+            ..PrunePlan::default()
+        };
+        assert!(!infeasible.is_empty());
+        let det = PrunePlan {
+            protocol_deterministic: BTreeSet::from([(0, 1)]),
+            ..PrunePlan::default()
+        };
+        assert!(!det.is_empty());
+    }
+
+    #[test]
     fn orbit_membership() {
         let plan = PrunePlan {
             orbits: vec![BTreeSet::from([1, 2, 3]), BTreeSet::from([5, 6])],
@@ -194,6 +235,8 @@ mod tests {
             refined_infeasible: BTreeSet::from([(0, 4, 1)]),
             refined_deterministic: BTreeSet::from([(0, 4)]),
             oblivious_receives: BTreeSet::from([(2, 1)]),
+            protocol_infeasible: BTreeSet::from([(1, 5, 3)]),
+            protocol_deterministic: BTreeSet::from([(1, 6)]),
             ..PrunePlan::default()
         };
         let json = serde_json::to_string(&plan).unwrap();
@@ -217,6 +260,30 @@ mod tests {
         assert!(plan.refined_infeasible.is_empty());
         assert!(plan.refined_deterministic.is_empty());
         assert!(plan.oblivious_receives.is_empty());
+        assert!(plan.protocol_infeasible.is_empty());
+        assert!(plan.protocol_deterministic.is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn version_2_plans_still_deserialize() {
+        // The exact shape PR-6 analyzers wrote: refined fields present,
+        // no protocol fields. They must keep loading with the protocol
+        // sets empty.
+        let v2 = r#"{
+            "version": 2,
+            "infeasible": [[0, 3, 2]],
+            "deterministic": [[1, 0]],
+            "orbits": [[1, 2]],
+            "refined_infeasible": [[0, 4, 1]],
+            "refined_deterministic": [[0, 4]],
+            "oblivious_receives": [[2, 1]]
+        }"#;
+        let plan: PrunePlan = serde_json::from_str(v2).unwrap();
+        assert_eq!(plan.version, 2);
+        assert!(plan.refined_infeasible.contains(&(0, 4, 1)));
+        assert!(plan.protocol_infeasible.is_empty());
+        assert!(plan.protocol_deterministic.is_empty());
         assert!(!plan.is_empty());
     }
 }

@@ -96,6 +96,13 @@ pub struct VerificationReport {
     /// Committed epoch instances deterministic only at the refinement
     /// fixed point; disjoint from `wildcards_deterministic`.
     pub refined_wildcards_deterministic: u64,
+    /// Frontier alternates dropped because the protocol's local type
+    /// forbids their sender (plan v3); disjoint from the other prune
+    /// counters.
+    pub protocol_alternates_pruned: u64,
+    /// Committed epoch instances whose wildcard the protocol proved
+    /// deterministic; disjoint from the other deterministic counters.
+    pub protocol_wildcards_deterministic: u64,
     /// Per-epoch `(rank, clock)` union of every discovered match (matched
     /// source and alternates, over all runs) — the verifier's coverage.
     pub discovered: BTreeMap<(usize, u64), BTreeSet<usize>>,
@@ -224,6 +231,8 @@ impl VerificationReport {
             "wildcards_deterministic": self.wildcards_deterministic,
             "refined_alternates_pruned": self.refined_alternates_pruned,
             "refined_wildcards_deterministic": self.refined_wildcards_deterministic,
+            "protocol_alternates_pruned": self.protocol_alternates_pruned,
+            "protocol_wildcards_deterministic": self.protocol_wildcards_deterministic,
             "first_run_makespan_s": self.first_run_makespan,
             "total_virtual_time_s": self.total_virtual_time,
             "discovered": discovered,
@@ -281,6 +290,13 @@ impl fmt::Display for VerificationReport {
                 f,
                 "  fixed-point refinement: {} additional alternate(s) dropped, {} additional deterministic wildcard instance(s)",
                 self.refined_alternates_pruned, self.refined_wildcards_deterministic
+            )?;
+        }
+        if self.protocol_alternates_pruned > 0 || self.protocol_wildcards_deterministic > 0 {
+            writeln!(
+                f,
+                "  protocol conformance: {} alternate(s) dropped, {} protocol-deterministic wildcard instance(s)",
+                self.protocol_alternates_pruned, self.protocol_wildcards_deterministic
             )?;
         }
         writeln!(
@@ -404,6 +420,8 @@ mod tests {
             wildcards_deterministic: 0,
             refined_alternates_pruned: 0,
             refined_wildcards_deterministic: 0,
+            protocol_alternates_pruned: 0,
+            protocol_wildcards_deterministic: 0,
             discovered: BTreeMap::new(),
         }
     }

@@ -171,6 +171,14 @@ pub struct Exploration {
     /// point proved deterministic. Disjoint from
     /// [`Exploration::wildcards_deterministic`].
     pub refined_wildcards_deterministic: u64,
+    /// Frontier forks dropped because the protocol's local type forbids
+    /// the alternate's sender at that receive state (plan v3). Disjoint
+    /// from the envelope and refinement counters.
+    pub protocol_alternates_pruned: u64,
+    /// Epoch instances committed whose wildcard the protocol proved
+    /// deterministic (local type admits exactly one sender role).
+    /// Disjoint from the other deterministic counters.
+    pub protocol_wildcards_deterministic: u64,
     /// Subtrees the shard supervisor quarantined after exhausting their
     /// dispatch attempts (see [`crate::shard`]). Each one is also recorded
     /// in [`Exploration::timeouts`] — this counter is the quick summary.
@@ -199,6 +207,8 @@ struct ForkStats {
     deterministic: u64,
     refined_pruned: u64,
     refined_deterministic: u64,
+    protocol_pruned: u64,
+    protocol_deterministic: u64,
 }
 
 pub(crate) struct Fork {
@@ -356,6 +366,8 @@ impl<'a> Walk<'a> {
             wildcards_deterministic: pruned.deterministic,
             refined_alternates_pruned: pruned.refined_pruned,
             refined_wildcards_deterministic: pruned.refined_deterministic,
+            protocol_alternates_pruned: pruned.protocol_pruned,
+            protocol_wildcards_deterministic: pruned.protocol_deterministic,
         });
         self.checkpoint();
     }
@@ -418,6 +430,8 @@ impl<'a> Walk<'a> {
             wildcards_deterministic: pruned.deterministic,
             refined_alternates_pruned: pruned.refined_pruned,
             refined_wildcards_deterministic: pruned.refined_deterministic,
+            protocol_alternates_pruned: pruned.protocol_pruned,
+            protocol_wildcards_deterministic: pruned.protocol_deterministic,
         });
         self.checkpoint();
     }
@@ -427,6 +441,8 @@ impl<'a> Walk<'a> {
         self.ex.wildcards_deterministic += fs.deterministic;
         self.ex.refined_alternates_pruned += fs.refined_pruned;
         self.ex.refined_wildcards_deterministic += fs.refined_deterministic;
+        self.ex.protocol_alternates_pruned += fs.protocol_pruned;
+        self.ex.protocol_wildcards_deterministic += fs.protocol_deterministic;
     }
 
     /// Account one commit's cache disposition. Called immediately before
@@ -1068,6 +1084,8 @@ fn push_forks(
                     stats.deterministic += 1;
                 } else if p.refined_deterministic.contains(&(e.rank, e.clock)) {
                     stats.refined_deterministic += 1;
+                } else if p.protocol_deterministic.contains(&(e.rank, e.clock)) {
+                    stats.protocol_deterministic += 1;
                 }
             }
         }
@@ -1123,6 +1141,10 @@ fn push_forks(
                 }
                 if at_root && p.refined_infeasible.contains(&(e.rank, e.clock, alt)) {
                     stats.refined_pruned += 1;
+                    continue;
+                }
+                if at_root && p.protocol_infeasible.contains(&(e.rank, e.clock, alt)) {
+                    stats.protocol_pruned += 1;
                     continue;
                 }
                 let symmetric = !fixed.contains(&alt)
@@ -1348,6 +1370,14 @@ mod tests {
         assert_eq!(
             par.refined_wildcards_deterministic,
             seq.refined_wildcards_deterministic
+        );
+        assert_eq!(
+            par.protocol_alternates_pruned,
+            seq.protocol_alternates_pruned
+        );
+        assert_eq!(
+            par.protocol_wildcards_deterministic,
+            seq.protocol_wildcards_deterministic
         );
         assert_eq!(par.budget_exhausted, seq.budget_exhausted);
         assert_eq!(par.divergences, seq.divergences);
@@ -1595,11 +1625,62 @@ mod tests {
     }
 
     #[test]
+    fn protocol_infeasible_dropped_at_root_only() {
+        // Mirror of the envelope/refinement infeasibility tests through
+        // the session-type channel: same root-only drop, accounted in the
+        // protocol counter, disjoint from both older ones.
+        let plan = PrunePlan {
+            protocol_infeasible: BTreeSet::from([(0, 1, 1)]),
+            ..PrunePlan::default()
+        };
+        let ex = explore(
+            synthetic_run(2, 2),
+            &with_plan(opts(MixingBound::Unbounded), plan),
+        );
+        assert_eq!(ex.interleavings, 3);
+        assert_eq!(ex.alternates_pruned, 0);
+        assert_eq!(ex.refined_alternates_pruned, 0);
+        assert_eq!(ex.protocol_alternates_pruned, 1);
+    }
+
+    #[test]
+    fn protocol_deterministic_counted_disjointly() {
+        // The protocol counter only fires when neither older pass already
+        // claimed the epoch — the envelope pass wins, then refinement,
+        // then the protocol.
+        let protocol_only = PrunePlan {
+            protocol_deterministic: BTreeSet::from([(0, 0)]),
+            ..PrunePlan::default()
+        };
+        let ex = explore(
+            synthetic_run(1, 2),
+            &with_plan(opts(MixingBound::Unbounded), protocol_only),
+        );
+        assert_eq!(ex.wildcards_deterministic, 0);
+        assert_eq!(ex.refined_wildcards_deterministic, 0);
+        assert_eq!(ex.protocol_wildcards_deterministic, 1);
+
+        let both = PrunePlan {
+            refined_deterministic: BTreeSet::from([(0, 0)]),
+            protocol_deterministic: BTreeSet::from([(0, 0)]),
+            ..PrunePlan::default()
+        };
+        let ex = explore(
+            synthetic_run(1, 2),
+            &with_plan(opts(MixingBound::Unbounded), both),
+        );
+        assert_eq!(ex.refined_wildcards_deterministic, 1);
+        assert_eq!(ex.protocol_wildcards_deterministic, 0);
+    }
+
+    #[test]
     fn pruned_exploration_is_jobs_invariant() {
         let plan = PrunePlan {
             infeasible: BTreeSet::from([(0, 2, 1)]),
             refined_infeasible: BTreeSet::from([(0, 2, 2)]),
             refined_deterministic: BTreeSet::from([(0, 0)]),
+            protocol_infeasible: BTreeSet::from([(0, 2, 3)]),
+            protocol_deterministic: BTreeSet::from([(0, 1)]),
             orbits: vec![BTreeSet::from([1, 2, 3])],
             ..PrunePlan::default()
         };
@@ -1616,7 +1697,12 @@ mod tests {
         }
         assert!(seq.alternates_pruned > 0);
         assert!(seq.refined_alternates_pruned > 0);
+        assert!(seq.protocol_alternates_pruned > 0);
         assert_eq!(seq.refined_wildcards_deterministic, 1);
+        // Epoch (0,1) runs non-guided twice: at the root and in the one
+        // epoch-0 replay (a fork's forced prefix guides every *earlier*
+        // epoch, so (0,0) above only ever counts once).
+        assert_eq!(seq.protocol_wildcards_deterministic, 2);
         assert!(seq.interleavings < 64, "plan must actually prune");
     }
 }

@@ -392,6 +392,8 @@ impl DampiVerifier {
             wildcards_deterministic: ex.wildcards_deterministic,
             refined_alternates_pruned: ex.refined_alternates_pruned,
             refined_wildcards_deterministic: ex.refined_wildcards_deterministic,
+            protocol_alternates_pruned: ex.protocol_alternates_pruned,
+            protocol_wildcards_deterministic: ex.protocol_wildcards_deterministic,
             discovered: ex.discovered,
         }
     }

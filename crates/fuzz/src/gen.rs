@@ -333,6 +333,10 @@ fn inject_bug(
                 comm: 0,
             });
         }
+        // Conformance bugs are injected by the protocol-template
+        // generator (`crate::protocol`), which owns its own lowering; the
+        // round-based generator never produces them.
+        BugLabel::Conformance => {}
         BugLabel::Race => {
             // A wildcard receive asserts against a poison only one of two
             // concurrent senders carries: an error on some schedules only

@@ -18,7 +18,11 @@
 //!   containment lattice between them and classifying every disagreement
 //!   as a sound omission (paper Fig. 4) or a tool bug;
 //! * [`shrink()`] — a greedy minimiser that turns a disagreeing seed into
-//!   a committable regression fixture.
+//!   a committable regression fixture;
+//! * [`protocol`] — a seeded generator of session-protocol templates and
+//!   programs conforming to them (or violating them in one known way),
+//!   the known-answer harness for the static conformance checker's
+//!   L006–L008 lints.
 //!
 //! Drive it with `dampi-cli fuzz --seed S --count N`; the committed
 //! corpus verdicts live in `corpus/` and are byte-compared in CI.
@@ -28,10 +32,12 @@
 
 pub mod gen;
 pub mod oracle;
+pub mod protocol;
 pub mod rng;
 pub mod shrink;
 
 pub use gen::{generate, generate_rounds, lower, GenParams, Round};
 pub use oracle::{run_oracle, ModeOutcome, OracleParams, Verdict};
+pub use protocol::{check_template, generate_template, Injection, ProtocolTemplate};
 pub use rng::SplitMix64;
 pub use shrink::shrink;

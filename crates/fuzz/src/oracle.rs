@@ -205,6 +205,19 @@ fn label_violation(label: BugLabel, vec: &ModeOutcome, isp: &ModeOutcome) -> Opt
         BugLabel::Leak => vec
             .leaks_clean
             .then(|| "injected leak not reported".to_owned()),
+        // A conformance-labelled program is MPI-clean by construction —
+        // its defect lives in the companion protocol spec, checked by
+        // `protocol::check_template`, not by the replay oracle.
+        BugLabel::Conformance => {
+            if !vec.errors.is_empty() {
+                Some(format!(
+                    "conformance-labelled program reported MPI errors: {:?}",
+                    vec.errors
+                ))
+            } else {
+                None
+            }
+        }
         BugLabel::Race => {
             if !has(vec, "assert") {
                 Some(format!(

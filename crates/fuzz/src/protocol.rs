@@ -1,0 +1,294 @@
+//! Protocol-template program generation (DESIGN.md §16.5).
+//!
+//! Where [`crate::gen`] draws random programs and asks the *replay*
+//! oracle to agree with a known-answer bug label, this module draws
+//! random **session protocols** and lowers each one to a program that
+//! conforms to it by construction — then optionally perturbs the program
+//! with one seeded conformance violation. The pair `(spec text, program)`
+//! is a known-answer test for the static conformance checker:
+//!
+//! * no injection → `analyze --protocol` must report every rank
+//!   conformant (any L006–L008 is a checker false positive);
+//! * an injected violation → exactly the matching lint must fire
+//!   ([`Injection::Order`] → L006, [`Injection::Peer`] → L007,
+//!   [`Injection::Short`] → L008) and nothing else.
+//!
+//! Every generated program is MPI-clean regardless of injection — the
+//! violations reorder, re-route, or drop *protocol-relevant* traffic
+//! without breaking the send/receive counting invariant — so they also
+//! carry [`BugLabel::Conformance`] through the replay oracle as
+//! must-verify-clean programs.
+
+use dampi_analysis::ProtocolSpec;
+use dampi_core::{DampiConfig, DampiVerifier};
+use dampi_mpi::{MatchPolicy, SimConfig};
+use dampi_workloads::generated::{BugLabel, GenOp, GenProgram, GenSpec, RecvVia, SrcSpec};
+use std::fmt::Write as _;
+
+use crate::rng::SplitMix64;
+
+/// Which conformance violation a template injects into its program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Program conforms to the spec: the checker must stay silent.
+    None,
+    /// The coordinator issues its first two direct sends in reverse
+    /// spec order (distinct tags, so no protocol edge matches) → L006.
+    Order,
+    /// The coordinator swaps the recipients of its first two direct
+    /// sends (same tag, so the shape matches but the peer does not)
+    /// → L007.
+    Peer,
+    /// The final funnel message and its matching receive are dropped:
+    /// the coordinator finalizes with a mandatory receive outstanding
+    /// → L008.
+    Short,
+}
+
+impl Injection {
+    /// The lint the checker must report, `None` for a conforming pair.
+    #[must_use]
+    pub fn expected_lint(self) -> Option<&'static str> {
+        match self {
+            Injection::None => None,
+            Injection::Order => Some("L006"),
+            Injection::Peer => Some("L007"),
+            Injection::Short => Some("L008"),
+        }
+    }
+
+    /// The corpus schedule: clean over-represented (a silent checker on
+    /// a conforming pair is the strongest oracle), the three violation
+    /// classes cycling through the remaining seeds.
+    #[must_use]
+    pub fn for_seed(seed: u64) -> Self {
+        match seed % 6 {
+            1 => Injection::Order,
+            3 => Injection::Peer,
+            5 => Injection::Short,
+            _ => Injection::None,
+        }
+    }
+}
+
+/// A generated protocol template: the spec text, the program lowered
+/// from it, and the violation (if any) seeded into the program.
+#[derive(Debug, Clone)]
+pub struct ProtocolTemplate {
+    /// Session-protocol source in the `.protocol` language.
+    pub spec_text: String,
+    /// The program, conforming to `spec_text` unless `injection` says
+    /// otherwise. Always MPI-clean.
+    pub program: GenSpec,
+    /// The seeded violation class.
+    pub injection: Injection,
+}
+
+/// Generate the protocol template for `seed`.
+///
+/// The template family is a coordinator pattern: rank 0 greets a prefix
+/// of the workers with direct sends (distinct dests; distinct tags except
+/// under [`Injection::Peer`], which needs a shared tag to hit the
+/// wrong-peer — rather than wrong-shape — path), then collects a funnel
+/// of wildcard receives fed by seeded worker picks. Sends precede their
+/// receives in the global order, so the standard counting argument makes
+/// every template deadlock-free.
+#[must_use]
+pub fn generate_template(seed: u64) -> ProtocolTemplate {
+    let injection = Injection::for_seed(seed);
+    // Distinct RNG domain from `gen::generate` so protocol corpora never
+    // correlate with the round-based corpus at equal seeds.
+    let mut rng = SplitMix64::new(seed ^ 0x5e55_1031_7e4d_a7e5);
+    let nprocs = 3 + rng.index(2); // 3..=4: at least two workers
+    let nworkers = nprocs - 1;
+    let ndirect = 2 + rng.index(nworkers - 1); // 2..=nworkers
+    let funnel = 2 + rng.index(2); // 2..=3 funnel messages
+    let shared_tag = injection == Injection::Peer;
+
+    let mut spec = String::new();
+    let _ = writeln!(spec, "protocol fuzz_{seed}");
+    let _ = writeln!(spec, "role coord = 0");
+    let _ = writeln!(spec, "role worker = 1..np");
+    for w in 1..=ndirect {
+        let _ = writeln!(spec, "role w{w} = {w}");
+    }
+    for k in 0..ndirect {
+        let tag = if shared_tag { 30 } else { 30 + k };
+        let _ = writeln!(spec, "tag T{k} = {tag}");
+    }
+    let _ = writeln!(spec, "tag R = 40");
+    for k in 0..ndirect {
+        let _ = writeln!(spec, "msg coord -> w{} : T{k}", k + 1);
+    }
+    let _ = writeln!(spec, "repeat {funnel} {{ msg any worker -> coord : R }}");
+
+    // Lower to the conforming op order: direct sends (each immediately
+    // answered by its named receive), then the funnel's sends, then the
+    // coordinator's wildcard receives.
+    let mut directs = Vec::new();
+    for k in 0..ndirect {
+        let tag = if shared_tag { 30 } else { 30 + k as i32 };
+        directs.push((k + 1, tag)); // (dest, tag)
+    }
+    match injection {
+        Injection::Order | Injection::Peer => directs.swap(0, 1),
+        Injection::None | Injection::Short => {}
+    }
+    let mut ops = Vec::new();
+    let mut value = 500u64;
+    for &(to, tag) in &directs {
+        ops.push(GenOp::Send {
+            from: 0,
+            to,
+            tag,
+            comm: 0,
+            value,
+        });
+        value += 1;
+    }
+    // Receives keyed by (source-fixed, tag): spec order is irrelevant on
+    // the worker side, delivery is per-worker FIFO either way.
+    for &(to, tag) in &directs {
+        ops.push(GenOp::Recv {
+            rank: to,
+            src: SrcSpec::Named(0),
+            tag,
+            comm: 0,
+            via: RecvVia::Blocking,
+            assert_ne: None,
+        });
+    }
+    let kept = if injection == Injection::Short {
+        funnel - 1
+    } else {
+        funnel
+    };
+    for _ in 0..kept {
+        let from = 1 + rng.index(nworkers);
+        ops.push(GenOp::Send {
+            from,
+            to: 0,
+            tag: 40,
+            comm: 0,
+            value,
+        });
+        value += 1;
+    }
+    for _ in 0..kept {
+        ops.push(GenOp::Recv {
+            rank: 0,
+            src: SrcSpec::Wildcard,
+            tag: 40,
+            comm: 0,
+            via: RecvVia::Blocking,
+            assert_ne: None,
+        });
+    }
+    let bug = if injection == Injection::None {
+        BugLabel::Clean
+    } else {
+        BugLabel::Conformance
+    };
+    ProtocolTemplate {
+        spec_text: spec,
+        program: GenSpec {
+            name: format!("fuzz_proto_{seed}"),
+            nprocs,
+            seed,
+            bug,
+            ops,
+        },
+        injection,
+    }
+}
+
+/// Run the conformance checker on a template's traced free run and
+/// compare the outcome with the template's known answer.
+///
+/// Returns `Ok(lints fired)` when the checker answered exactly as the
+/// injection demands, `Err(why)` on a false positive, a miss, or a
+/// misclassification.
+pub fn check_template(t: &ProtocolTemplate) -> Result<usize, String> {
+    let spec = ProtocolSpec::parse(&t.spec_text)
+        .map_err(|e| format!("generated spec does not parse: {e}"))?;
+    let sim = SimConfig::new(t.program.nprocs).with_policy(MatchPolicy::LowestRank);
+    let verifier = DampiVerifier::with_config(sim, DampiConfig::default());
+    let report = dampi_analysis::analyze_program_with_protocol(
+        &verifier,
+        &GenProgram::new(t.program.clone()),
+        Some(&spec),
+    )?;
+    let fired: Vec<&str> = report
+        .lints
+        .iter()
+        .filter(|l| matches!(l.id, "L006" | "L007" | "L008"))
+        .map(|l| l.id)
+        .collect();
+    match t.injection.expected_lint() {
+        None => {
+            if fired.is_empty() {
+                Ok(0)
+            } else {
+                Err(format!(
+                    "false positive: conforming template fired {fired:?}"
+                ))
+            }
+        }
+        Some(want) => {
+            if fired.iter().all(|id| *id == want) && !fired.is_empty() {
+                Ok(fired.len())
+            } else {
+                Err(format!(
+                    "injected {want} violation, checker reported {fired:?}"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dampi_mpi::run_native;
+
+    #[test]
+    fn template_generation_is_deterministic() {
+        for seed in 0..24 {
+            let a = generate_template(seed);
+            let b = generate_template(seed);
+            assert_eq!(a.spec_text, b.spec_text, "seed {seed}");
+            assert_eq!(a.program, b.program, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn templates_are_mpi_clean_under_every_injection() {
+        for seed in 0..24 {
+            let t = generate_template(seed);
+            let out = run_native(
+                &SimConfig::new(t.program.nprocs).with_policy(MatchPolicy::LowestRank),
+                &GenProgram::new(t.program.clone()),
+            );
+            assert!(
+                out.program_bugs().is_empty(),
+                "seed {seed} ({:?}): {:?}",
+                t.injection,
+                out.program_bugs()
+            );
+        }
+    }
+
+    #[test]
+    fn checker_answers_every_template_correctly() {
+        let mut violations = 0;
+        for seed in 0..24 {
+            let t = generate_template(seed);
+            let fired = check_template(&t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            if t.injection != Injection::None {
+                assert!(fired > 0, "seed {seed}");
+                violations += 1;
+            }
+        }
+        assert!(violations >= 9, "schedule should seed plenty of violations");
+    }
+}

@@ -118,6 +118,8 @@ impl IspVerifier {
             wildcards_deterministic: 0,
             refined_alternates_pruned: 0,
             refined_wildcards_deterministic: 0,
+            protocol_alternates_pruned: 0,
+            protocol_wildcards_deterministic: 0,
             discovered: ex.discovered,
         }
     }

@@ -98,6 +98,15 @@ pub enum TraceOp {
         parent: u32,
         color: i64,
         member: bool,
+        /// Ordering key the rank passed (serde-defaulted so pre-existing
+        /// traces still parse).
+        #[serde(default)]
+        key: i64,
+        /// Id of the communicator this rank received, `None` when the
+        /// rank opted out (negative color). Lets offline analysis rebuild
+        /// derived-comm membership; serde-defaulted for old traces.
+        #[serde(default)]
+        result: Option<u32>,
     },
     CommFree {
         comm: u32,
@@ -381,6 +390,8 @@ impl<M: Mpi> Mpi for TraceLayer<M> {
             parent: comm.0,
             color,
             member: result.is_some(),
+            key,
+            result: result.map(|c| c.0),
         });
         Ok(result)
     }

@@ -40,6 +40,11 @@ pub enum BugLabel {
     /// A wildcard receive asserts on a poison payload that only one
     /// candidate sender carries: an error on *some* schedules only.
     Race,
+    /// The program is MPI-clean but violates its companion session
+    /// protocol (wrong message order, wrong peer, or an early exit).
+    /// Injected only by the protocol-template generator in `dampi-fuzz`,
+    /// which pairs every such program with the spec it must fail against.
+    Conformance,
 }
 
 impl BugLabel {
@@ -52,6 +57,7 @@ impl BugLabel {
             BugLabel::Mismatch => "mismatch",
             BugLabel::Leak => "leak",
             BugLabel::Race => "race",
+            BugLabel::Conformance => "conformance",
         }
     }
 }

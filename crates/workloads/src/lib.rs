@@ -20,6 +20,8 @@
 //! * [`generated`] — the serialisable program format produced by the
 //!   `dampi-fuzz` generator, its interpreter, and committed shrunk
 //!   regression fixtures.
+//! * [`protocols`] — committed session-protocol specs (the `.protocol`
+//!   files consumed by `dampi-cli analyze --protocol`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ pub mod matmul;
 pub mod nas;
 pub mod parmetis;
 pub mod patterns;
+pub mod protocols;
 pub mod spec;
 
 /// Message tags shared by the workloads (kept distinct for readability).

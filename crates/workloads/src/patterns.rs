@@ -243,6 +243,148 @@ pub fn stuck_wildcard() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send 
     })
 }
 
+/// Conforming run of the committed `protocol_demo.protocol` spec: the
+/// coordinator greets `left` (tag 10) then `right` (tag 11) and collects
+/// one RESULT (tag 12) from each worker through wildcard receives. MPI-wise
+/// the program is bug-free; it exists so the conformance checker has a
+/// known-clean baseline next to the three seeded violations below.
+#[must_use]
+pub fn protocol_demo() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                mpi.send(Comm::WORLD, 1, 10, Bytes::from_static(b"left"))?;
+                mpi.send(Comm::WORLD, 2, 11, Bytes::from_static(b"right"))?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 12)?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 12)?;
+            }
+            1 => {
+                let _ = mpi.recv(Comm::WORLD, 0, 10)?;
+                mpi.send(Comm::WORLD, 0, 12, Bytes::from_static(b"from-left"))?;
+            }
+            2 => {
+                let _ = mpi.recv(Comm::WORLD, 0, 11)?;
+                mpi.send(Comm::WORLD, 0, 12, Bytes::from_static(b"from-right"))?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
+/// Seeded **L006** (protocol-order) violation against `protocol_demo`'s
+/// spec: the coordinator greets `right` *before* `left`. Every message is
+/// still delivered (the workers' named receives don't care about global
+/// order), so the program runs clean — only the protocol walk objects.
+#[must_use]
+pub fn protocol_order_bug() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                mpi.send(Comm::WORLD, 2, 11, Bytes::from_static(b"right"))?;
+                mpi.send(Comm::WORLD, 1, 10, Bytes::from_static(b"left"))?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 12)?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 12)?;
+            }
+            1 => {
+                let _ = mpi.recv(Comm::WORLD, 0, 10)?;
+                mpi.send(Comm::WORLD, 0, 12, Bytes::from_static(b"from-left"))?;
+            }
+            2 => {
+                let _ = mpi.recv(Comm::WORLD, 0, 11)?;
+                mpi.send(Comm::WORLD, 0, 12, Bytes::from_static(b"from-right"))?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
+/// Seeded **L007** (unexpected-peer) violation against `protocol_demo`'s
+/// spec: the coordinator's greetings carry the right tags but swap the
+/// recipients — tag 10 goes to `right` and tag 11 to `left`. The workers
+/// post `ANY_TAG` receives so the run itself completes.
+#[must_use]
+pub fn protocol_peer_bug() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                mpi.send(Comm::WORLD, 2, 10, Bytes::from_static(b"misrouted"))?;
+                mpi.send(Comm::WORLD, 1, 11, Bytes::from_static(b"misrouted"))?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 12)?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 12)?;
+            }
+            1 => {
+                let _ = mpi.recv(Comm::WORLD, 0, ANY_TAG)?;
+                mpi.send(Comm::WORLD, 0, 12, Bytes::from_static(b"from-left"))?;
+            }
+            2 => {
+                let _ = mpi.recv(Comm::WORLD, 0, ANY_TAG)?;
+                mpi.send(Comm::WORLD, 0, 12, Bytes::from_static(b"from-right"))?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
+/// Seeded **L008** (incomplete-protocol) violation against
+/// `protocol_demo`'s spec: `right` never reports a RESULT and the
+/// coordinator gives up after a single wildcard receive, finalising with
+/// one mandatory protocol receive outstanding. Send/recv counts stay
+/// balanced, so L002/L003 have nothing to say — only the session type
+/// notices the early exit.
+#[must_use]
+pub fn protocol_short_bug() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                mpi.send(Comm::WORLD, 1, 10, Bytes::from_static(b"left"))?;
+                mpi.send(Comm::WORLD, 2, 11, Bytes::from_static(b"right"))?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 12)?;
+            }
+            1 => {
+                let _ = mpi.recv(Comm::WORLD, 0, 10)?;
+                mpi.send(Comm::WORLD, 0, 12, Bytes::from_static(b"from-left"))?;
+            }
+            2 => {
+                let _ = mpi.recv(Comm::WORLD, 0, 11)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
+/// Token-serialised two-stage funnel (companion spec:
+/// `ordered_stages.protocol`). Stage 1 feeds the sink and only then passes
+/// a token to stage 2, which feeds the sink in turn. The sink's wildcard
+/// receives *look* racy to the clock-based alternate analysis (stage 2's
+/// send is concurrent with the sink's first receive), but the protocol pins
+/// each receive to exactly one sender — the committed demonstration that
+/// `--prune-static --protocol` removes a replay PrunePlan v2 keeps.
+#[must_use]
+pub fn ordered_stages() -> FnProgram<impl Fn(&mut dyn Mpi) -> Result<()> + Send + Sync> {
+    FnProgram(|mpi: &mut dyn Mpi| {
+        match mpi.world_rank() {
+            0 => {
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 7)?;
+                let _ = mpi.recv(Comm::WORLD, ANY_SOURCE, 7)?;
+            }
+            1 => {
+                mpi.send(Comm::WORLD, 0, 7, Bytes::from_static(b"stage-one"))?;
+                mpi.send(Comm::WORLD, 2, 8, Bytes::from_static(b"token"))?;
+            }
+            2 => {
+                let _ = mpi.recv(Comm::WORLD, 1, 8)?;
+                mpi.send(Comm::WORLD, 0, 7, Bytes::from_static(b"stage-two"))?;
+            }
+            _ => {}
+        }
+        Ok(())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +442,28 @@ mod tests {
     fn stuck_wildcard_deadlocks_on_every_schedule() {
         let out = run_native(&SimConfig::new(3), &stuck_wildcard());
         assert!(out.deadlocked());
+    }
+
+    #[test]
+    fn protocol_demo_family_runs_clean_natively() {
+        let cfg = SimConfig::new(3).with_policy(MatchPolicy::LowestRank);
+        let out = run_native(&cfg, &protocol_demo());
+        assert!(out.succeeded(), "demo: {:?}", out.rank_errors);
+        let out = run_native(&cfg, &protocol_order_bug());
+        assert!(out.succeeded(), "order bug: {:?}", out.rank_errors);
+        let out = run_native(&cfg, &protocol_peer_bug());
+        assert!(out.succeeded(), "peer bug: {:?}", out.rank_errors);
+        let out = run_native(&cfg, &protocol_short_bug());
+        assert!(out.succeeded(), "short bug: {:?}", out.rank_errors);
+    }
+
+    #[test]
+    fn ordered_stages_native_run_completes() {
+        let out = run_native(
+            &SimConfig::new(3).with_policy(MatchPolicy::LowestRank),
+            &ordered_stages(),
+        );
+        assert!(out.succeeded(), "{:?}", out.rank_errors);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Committed session-protocol specifications for the workloads.
+//!
+//! Each constant embeds one `.protocol` file from `crates/workloads/protocols/`
+//! (the session-type language parsed by `dampi_analysis::ProtocolSpec`). The
+//! specs are the golden inputs for `dampi-cli analyze --protocol` and
+//! `verify --prune-static --protocol`, and the conformance zero-false-positive
+//! gate asserts that each one is clean against its workload's traced run.
+
+/// Master/slave task farm spec shared by `matmul` and `matmul_ack`.
+pub const MATMUL: &str = include_str!("../protocols/matmul.protocol");
+
+/// Server/worker load-balancer spec for `adlb`.
+pub const ADLB: &str = include_str!("../protocols/adlb.protocol");
+
+/// Racing-producers spec for `patterns::symmetric_racers` (collectives out
+/// of scope; see the file header for why).
+pub const SYMMETRIC_RACERS: &str = include_str!("../protocols/symmetric_racers.protocol");
+
+/// Token-serialised funnel spec for `patterns::ordered_stages`; its sink's
+/// wildcards are protocol-deterministic, the headline `--prune-static
+/// --protocol` win.
+pub const ORDERED_STAGES: &str = include_str!("../protocols/ordered_stages.protocol");
+
+/// Coordinator demo spec for `patterns::protocol_demo` and the seeded
+/// `protocol_{order,peer,short}_bug` violation patterns.
+pub const PROTOCOL_DEMO: &str = include_str!("../protocols/protocol_demo.protocol");
+
+/// Every committed spec as `(workload name, spec source)`, in registry order.
+///
+/// The name column matches the `dampi-cli` workload registry, so CI can walk
+/// this table and replay each spec against its program by name.
+pub const ALL: &[(&str, &str)] = &[
+    ("matmul", MATMUL),
+    ("matmul_ack", MATMUL),
+    ("adlb", ADLB),
+    ("racers", SYMMETRIC_RACERS),
+    ("ordered_stages", ORDERED_STAGES),
+    ("protocol_demo", PROTOCOL_DEMO),
+];
+
+/// Look up a committed spec by workload (or spec) name.
+///
+/// Accepts the registry names from [`ALL`] plus a few aliases so
+/// `--protocol matmul` and `--protocol symmetric_racers` both resolve.
+pub fn by_name(name: &str) -> Option<&'static str> {
+    match name {
+        "matmul" | "matmul_ack" => Some(MATMUL),
+        "adlb" => Some(ADLB),
+        "racers" | "symmetric_racers" => Some(SYMMETRIC_RACERS),
+        "ordered_stages" => Some(ORDERED_STAGES),
+        "protocol_demo" | "demo" => Some(PROTOCOL_DEMO),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_committed_spec_resolves_by_name() {
+        for (name, source) in ALL {
+            assert_eq!(by_name(name), Some(*source), "lookup failed for {name}");
+        }
+        assert!(by_name("no_such_spec").is_none());
+    }
+}

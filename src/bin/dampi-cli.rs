@@ -13,7 +13,8 @@
 //!                             [--shards N] [--worker-fault SPEC]
 //!                             [--heartbeat-timeout SECS] [--lease SECS]
 //!                             [--max-attempts K]
-//! dampi-cli analyze <workload> [--np N] [--json]   # static pre-replay analysis
+//! dampi-cli analyze <workload> [--np N] [--json] [--protocol SPEC]
+//!                              # static pre-replay analysis (+ session conformance)
 //! dampi-cli overhead [--np N]           # Table II style slowdown census
 //! ```
 
@@ -73,6 +74,23 @@ fn registry(np: usize) -> Vec<(String, Box<dyn MpiProgram>)> {
                 ..MatmulParams::default()
             })),
         ),
+        ("protocol_demo".into(), Box::new(patterns::protocol_demo())),
+        (
+            "protocol_order_bug".into(),
+            Box::new(patterns::protocol_order_bug()),
+        ),
+        (
+            "protocol_peer_bug".into(),
+            Box::new(patterns::protocol_peer_bug()),
+        ),
+        (
+            "protocol_short_bug".into(),
+            Box::new(patterns::protocol_short_bug()),
+        ),
+        (
+            "ordered_stages".into(),
+            Box::new(patterns::ordered_stages()),
+        ),
     ];
     for (name, prog) in nas::all_nominal() {
         v.push((name.to_lowercase(), prog));
@@ -112,6 +130,7 @@ struct Args {
     cache: Option<PathBuf>,
     cache_readonly: bool,
     replay_cost_ms: u64,
+    protocol: Option<String>,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -144,6 +163,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         cache: None,
         cache_readonly: false,
         replay_cost_ms: 0,
+        protocol: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -231,6 +251,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             "--trace" => a.trace = Some(PathBuf::from(val("--trace")?)),
             "--progress" => a.progress = true,
             "--prune-static" => a.prune_static = true,
+            "--protocol" => a.protocol = Some(val("--protocol")?),
             "--replay-vt" => {
                 a.replay_vt = Some(
                     val("--replay-vt")?
@@ -249,6 +270,26 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         }
     }
     Ok(a)
+}
+
+/// Resolve `--protocol`: a filesystem path to a `.protocol` file wins;
+/// otherwise the argument names a committed spec from
+/// `dampi::workloads::protocols` (e.g. `matmul`, `ordered_stages`).
+fn load_protocol(args: &Args) -> Result<Option<dampi::analysis::ProtocolSpec>, String> {
+    let Some(arg) = &args.protocol else {
+        return Ok(None);
+    };
+    let source = match std::fs::read_to_string(arg) {
+        Ok(text) => text,
+        Err(_) => dampi::workloads::protocols::by_name(arg)
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                format!("--protocol: `{arg}` is neither a readable file nor a committed spec name")
+            })?,
+    };
+    dampi::analysis::ProtocolSpec::parse(&source)
+        .map(Some)
+        .map_err(|e| format!("--protocol {arg}: {e}"))
 }
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -365,6 +406,7 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut shrink_dir: Option<PathBuf> = None;
     let mut spec_out: Option<PathBuf> = None;
+    let mut protocol_templates: Option<u64> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -391,6 +433,13 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
                 "--out" => out = Some(PathBuf::from(val("--out")?)),
                 "--shrink-bugs" => shrink_dir = Some(PathBuf::from(val("--shrink-bugs")?)),
                 "--emit-specs" => spec_out = Some(PathBuf::from(val("--emit-specs")?)),
+                "--protocol-templates" => {
+                    protocol_templates = Some(
+                        val("--protocol-templates")?
+                            .parse()
+                            .map_err(|e| format!("--protocol-templates: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
             Ok(())
@@ -399,6 +448,56 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    // Protocol-template mode: a separate known-answer corpus for the
+    // static conformance checker, not the replay oracle. One JSON line
+    // per seed; deterministic for equal flags.
+    if let Some(n) = protocol_templates {
+        use dampi::fuzz::{check_template, generate_template, Injection};
+        let mut lines = Vec::new();
+        let mut failures = 0u64;
+        for seed in seed0..seed0 + n {
+            let t = generate_template(seed);
+            let outcome = check_template(&t);
+            let injection = match t.injection {
+                Injection::None => "none",
+                Injection::Order => "order",
+                Injection::Peer => "peer",
+                Injection::Short => "short",
+            };
+            let line = match &outcome {
+                Ok(fired) => format!(
+                    "{{\"seed\":{seed},\"injection\":\"{injection}\",\"expected\":{},\"fired\":{fired},\"ok\":true}}",
+                    t.injection
+                        .expected_lint()
+                        .map_or("null".to_owned(), |l| format!("\"{l}\"")),
+                ),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("seed {seed}: {e}");
+                    format!(
+                        "{{\"seed\":{seed},\"injection\":\"{injection}\",\"ok\":false,\"error\":{}}}",
+                        serde_json::Value::String(e.clone())
+                    )
+                }
+            };
+            lines.push(line);
+        }
+        let body = lines.join("\n") + "\n";
+        if let Some(path) = &out {
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("error: --out: {e}");
+                return ExitCode::FAILURE;
+            }
+        } else {
+            print!("{body}");
+        }
+        return if failures == 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("{failures} of {n} protocol templates misanswered");
+            ExitCode::FAILURE
+        };
     }
     let mut oracle_params = OracleParams::default();
     if let Some(m) = max {
@@ -613,23 +712,59 @@ fn cmd_verify(name: &str, rest: &[String]) -> ExitCode {
             eprintln!("error: --prune-static cannot join a resumed campaign (the plan is keyed to a fresh free run, not the journaled one)");
             return ExitCode::FAILURE;
         }
+        let spec = match load_protocol(&args) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         // The traced free run feeds the static analysis *and* becomes the
         // campaign's SELF_RUN, so the plan prunes exactly the frontier
         // that run produced.
         let (events, run) = verifier.traced_run(prog.as_ref());
-        let analysis = dampi::analysis::analyze(prog.name(), args.np, &events, &run);
+        let analysis = match dampi::analysis::analyze_with_protocol(
+            prog.name(),
+            args.np,
+            &events,
+            &run,
+            spec.as_ref(),
+        ) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: --protocol: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(p) = &analysis.protocol {
+            let violations = p.l006 + p.l007 + p.l008;
+            if violations > 0 {
+                // A non-conformant free run contributes no pruning facts
+                // (they are gated on every rank conforming), so the
+                // campaign falls back to the plan's v1/v2 passes.
+                eprintln!(
+                    "prune-static: protocol `{}` NOT conformant ({violations} violation(s)) — protocol facts withheld",
+                    p.spec_name
+                );
+            }
+        }
         let plan = analysis.prune_plan();
         eprintln!(
-            "prune-static: {} infeasible alternate(s) (+{} refined), {} deterministic wildcard(s) (+{} refined), {} symmetry orbit(s) ({} oblivious receive(s))",
+            "prune-static: {} infeasible alternate(s) (+{} refined, +{} protocol), {} deterministic wildcard(s) (+{} refined, +{} protocol), {} symmetry orbit(s) ({} oblivious receive(s))",
             plan.infeasible.len(),
             plan.refined_infeasible.len(),
+            plan.protocol_infeasible.len(),
             plan.deterministic.len(),
             plan.refined_deterministic.len(),
+            plan.protocol_deterministic.len(),
             plan.orbits.len(),
             plan.oblivious_receives.len()
         );
         verifier = verifier.with_prune_plan(plan);
         prune_run = Some(run);
+    } else if args.protocol.is_some() {
+        eprintln!("error: verify --protocol requires --prune-static (the spec's only role in verification is protocol-guided pruning)");
+        return ExitCode::FAILURE;
     }
     if let Some(dir) = &args.cache {
         // Keyed after the prune plan is installed: a different plan is a
@@ -844,9 +979,26 @@ fn cmd_analyze(name: &str, rest: &[String]) -> ExitCode {
     if args.biased {
         sim = sim.with_policy(MatchPolicy::LowestRank);
     }
+    let spec = match load_protocol(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let cfg = DampiConfig::default().with_clock_mode(args.clock);
     let verifier = DampiVerifier::with_config(sim, cfg);
-    let report = dampi::analysis::analyze_program(&verifier, prog.as_ref());
+    let report = match dampi::analysis::analyze_program_with_protocol(
+        &verifier,
+        prog.as_ref(),
+        spec.as_ref(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: --protocol: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if args.json {
         println!("{}", report.to_json());
     } else {
@@ -918,6 +1070,9 @@ fn usage() -> ExitCode {
          [--progress]          print a live progress line (replays/sec, frontier, ETA)\n    \
          [--prune-static]      run the static pre-analysis first and prune the frontier\n    \
                                (same error set, fewer replays)\n    \
+         [--protocol SPEC]     with --prune-static: also check the free run against a\n    \
+                               session-protocol spec (path or committed name) and prune\n    \
+                               wildcard alternates the protocol rules out\n    \
          [--cache DIR]         content-addressed replay-result cache: warm reruns of an\n    \
                                unchanged workload reuse committed subtrees byte-for-byte\n    \
          [--cache-readonly]    consult the cache but never write or evict entries\n    \
@@ -932,14 +1087,19 @@ fn usage() -> ExitCode {
          [--max-attempts K]    quarantine a subtree after K lost dispatches (default 3)\n    \
          [--worker-fault SPEC] chaos-inject one worker: kind:nth[:always], kind one of\n    \
                                kill|exit-before-ack|stall-heartbeats|wedge|corrupt-result\n  \
-         dampi-cli analyze <workload> [--np N] [--json]\n    \
+         dampi-cli analyze <workload> [--np N] [--json] [--protocol SPEC]\n    \
                                static pre-replay analysis: match sets, prunable\n    \
                                alternates, symmetry orbits, definite-bug lints\n    \
-                               (exit 2 when an error-severity lint fires)\n  \
+                               (exit 2 when an error-severity lint fires);\n    \
+                               --protocol adds L006–L008 session-conformance lints\n    \
+                               against a spec file or committed spec name\n  \
          dampi-cli fuzz [--seed S] [--count N] [--max M] [--escalate-k K]\n    \
                         [--out PATH]          write verdict JSONL here instead of stdout\n    \
                         [--emit-specs DIR]    also write each generated program spec\n    \
                         [--shrink-bugs DIR]   minimise any unclassified disagreement to DIR\n    \
+                        [--protocol-templates N]  known-answer corpus for the session-\n    \
+                               conformance checker: N seeded protocol templates with\n    \
+                               injected L006/L007/L008 violations (exit 1 on any miss)\n    \
                                seeded differential fuzzing: generate N programs, verify\n    \
                                each under ISP / vector / Lamport(k) / both piggyback\n    \
                                mechanisms, and classify every disagreement; output is\n    \

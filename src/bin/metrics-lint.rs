@@ -1,10 +1,13 @@
-//! `metrics-lint` — validate `dampi-cli verify --metrics` snapshots.
+//! `metrics-lint` — validate `dampi-cli verify --metrics` snapshots and
+//! `dampi-cli analyze --json` reports.
 //!
 //! ```text
 //! metrics-lint <snapshot.json>... [--expect-semantic-match]
+//! metrics-lint --analysis <report.json>...
 //! ```
 //!
-//! Checks every file against the schema and its internal invariants:
+//! Checks every metrics file against the schema and its internal
+//! invariants:
 //!
 //! * `schema` equals the supported version and the `semantic` and
 //!   `wall_clock` sections are present;
@@ -27,10 +30,20 @@
 //! section of every file to be byte-identical once serialized — the
 //! determinism contract for snapshots of the same campaign taken at
 //! different `--jobs` levels.
+//!
+//! With `--analysis`, every file is instead validated as an analyzer
+//! report (`analyze --json`, schema v2): all required keys present,
+//! `plan_version` current, every lint carrying exactly the stable
+//! fields, and the `protocol` block — when present — internally
+//! consistent (hex digest, per-rank status vector, L006–L008 counts
+//! agreeing with the lint list, and pruning facts withheld unless every
+//! rank is conformant).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use dampi::analysis::ANALYSIS_SCHEMA_VERSION;
+use dampi::core::prune::PRUNE_PLAN_VERSION;
 use dampi::core::METRICS_SCHEMA_VERSION;
 use serde_json::Value;
 
@@ -198,24 +211,200 @@ fn check_file(path: &PathBuf, errs: &mut Vec<String>) -> Option<String> {
     Some(serde_json::to_string(semantic).expect("reserializes"))
 }
 
+/// Keys every schema-v2 analyzer report must carry.
+const ANALYSIS_KEYS: &[&str] = &[
+    "schema_version",
+    "program",
+    "nprocs",
+    "epochs",
+    "epochs_mapped",
+    "alternates_recorded",
+    "match_set_sizes",
+    "deterministic_wildcards",
+    "infeasible_alternates",
+    "orbits",
+    "lints",
+    "error_lints",
+    "notes",
+    "plan_version",
+    "refined_match_set_sizes",
+    "refinement_iterations",
+    "refined_deterministic_wildcards",
+    "refined_infeasible_alternates",
+    "oblivious_receives",
+    "protocol_deterministic_wildcards",
+    "protocol_infeasible_alternates",
+    "protocol",
+];
+
+fn check_analysis(path: &PathBuf, errs: &mut Vec<String>) {
+    let file = path.display().to_string();
+    let v: Value = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            errs.push(fail(&file, &format!("unreadable or invalid JSON: {e}")));
+            return;
+        }
+    };
+    for key in ANALYSIS_KEYS {
+        if v.get(key).is_none() {
+            errs.push(fail(&file, &format!("missing `{key}`")));
+        }
+    }
+    if v.get("schema_version").and_then(Value::as_u64) != Some(u64::from(ANALYSIS_SCHEMA_VERSION)) {
+        errs.push(fail(
+            &file,
+            &format!("schema_version != {ANALYSIS_SCHEMA_VERSION}"),
+        ));
+    }
+    if v.get("plan_version").and_then(Value::as_u64) != Some(u64::from(PRUNE_PLAN_VERSION)) {
+        errs.push(fail(
+            &file,
+            &format!("plan_version != {PRUNE_PLAN_VERSION}"),
+        ));
+    }
+    let lints = v
+        .get("lints")
+        .and_then(Value::as_array)
+        .cloned()
+        .unwrap_or_default();
+    for lint in &lints {
+        let keys: Vec<&str> = lint
+            .as_object()
+            .map(|o| o.iter().map(|(k, _)| k.as_str()).collect())
+            .unwrap_or_default();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        if sorted != ["id", "kind", "message", "ranks", "severity"] {
+            errs.push(fail(&file, &format!("lint with unexpected fields: {lint}")));
+            continue;
+        }
+        let id = lint["id"].as_str().unwrap_or_default();
+        let sev = lint["severity"].as_str().unwrap_or_default();
+        if !id.starts_with('L') || !matches!(sev, "error" | "warning") {
+            errs.push(fail(&file, &format!("malformed lint: {lint}")));
+        }
+    }
+    let count = |want: &str| lints.iter().filter(|l| l["id"] == want).count() as u64;
+    let proto_facts = [
+        "protocol_deterministic_wildcards",
+        "protocol_infeasible_alternates",
+    ]
+    .iter()
+    .map(|k| v.get(k).and_then(Value::as_array).map_or(0, Vec::len))
+    .sum::<usize>();
+    match v.get("protocol") {
+        None | Some(Value::Null) => {
+            // No spec supplied: the protocol fact sections must be empty
+            // and no conformance lint may appear.
+            if proto_facts != 0 {
+                errs.push(fail(
+                    &file,
+                    "protocol facts present without a protocol block",
+                ));
+            }
+            if count("L006") + count("L007") + count("L008") != 0 {
+                errs.push(fail(&file, "conformance lints without a protocol block"));
+            }
+        }
+        Some(p) => {
+            for key in [
+                "spec_name",
+                "spec_digest",
+                "rank_status",
+                "l006",
+                "l007",
+                "l008",
+            ] {
+                if p.get(key).is_none() {
+                    errs.push(fail(&file, &format!("protocol block missing `{key}`")));
+                }
+            }
+            let digest = p
+                .get("spec_digest")
+                .and_then(Value::as_str)
+                .unwrap_or_default();
+            if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                errs.push(fail(
+                    &file,
+                    &format!("spec_digest `{digest}` is not 16 hex chars"),
+                ));
+            }
+            let status: Vec<&str> = p
+                .get("rank_status")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().filter_map(Value::as_str).collect())
+                .unwrap_or_default();
+            if Some(status.len() as u64) != v.get("nprocs").and_then(Value::as_u64) {
+                errs.push(fail(&file, "rank_status length != nprocs"));
+            }
+            let mut violations = 0;
+            for (id, key) in [("L006", "l006"), ("L007", "l007"), ("L008", "l008")] {
+                let n = p.get(key).and_then(Value::as_u64).unwrap_or(0);
+                violations += n;
+                if n != count(id) {
+                    errs.push(fail(
+                        &file,
+                        &format!("protocol.{key} = {n} but {} {id} lint(s)", count(id)),
+                    ));
+                }
+            }
+            let all_conformant = !status.is_empty() && status.iter().all(|s| *s == "conformant");
+            if violations > 0 && all_conformant {
+                errs.push(fail(&file, "violations counted but every rank conformant"));
+            }
+            // The soundness gate: protocol pruning facts are only
+            // admissible off a fully conformant traced run.
+            if !all_conformant && proto_facts != 0 {
+                errs.push(fail(
+                    &file,
+                    "protocol facts present on a non-conformant run",
+                ));
+            }
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: metrics-lint <snapshot.json>... [--expect-semantic-match]\n       metrics-lint --analysis <report.json>...";
+
 fn main() -> ExitCode {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut expect_match = false;
+    let mut analysis_mode = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--expect-semantic-match" => expect_match = true,
+            "--analysis" => analysis_mode = true,
             "--help" | "-h" => {
-                eprintln!("usage: metrics-lint <snapshot.json>... [--expect-semantic-match]");
+                eprintln!("{USAGE}");
                 return ExitCode::FAILURE;
             }
             _ => files.push(PathBuf::from(arg)),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: metrics-lint <snapshot.json>... [--expect-semantic-match]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
     let mut errs: Vec<String> = Vec::new();
+    if analysis_mode {
+        for path in &files {
+            check_analysis(path, &mut errs);
+        }
+        return if errs.is_empty() {
+            println!("metrics-lint: {} analysis report(s) ok", files.len());
+            ExitCode::SUCCESS
+        } else {
+            for e in &errs {
+                eprintln!("metrics-lint: {e}");
+            }
+            ExitCode::FAILURE
+        };
+    }
     let semantics: Vec<(String, Option<String>)> = files
         .iter()
         .map(|p| (p.display().to_string(), check_file(p, &mut errs)))
